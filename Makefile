@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full experiment tables (writes bench_results/*.csv too)
+bench:
+	dune exec bench/main.exe -- csv
+
+# Reduced seed counts, for CI smoke
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/byzantine_generals.exe
+	dune exec examples/adversarial_scheduler.exe
+	dune exec examples/replicated_log.exe
+	dune exec examples/partial_network.exe
+	dune exec examples/model_checking.exe
+
+clean:
+	dune clean
