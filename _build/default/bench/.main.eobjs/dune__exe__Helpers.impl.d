@@ -1,0 +1,1 @@
+bench/helpers.ml: Abc Abc_net Abc_sim Array List

@@ -1,0 +1,1 @@
+bench/main.ml: Abc Abc_net Abc_sim Abc_smr Adversary Analyze Array B Bechamel Behaviour Benchmark Hashtbl Helpers Instance List Measure Node_id Printf Staged String Sys Table Test Time Toolkit

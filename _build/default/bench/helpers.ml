@@ -1,0 +1,147 @@
+(* Shared machinery for the experiment harness: protocol runners and
+   samplers used by every table in main.ml. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Summary = Abc_sim.Summary
+module Table = Abc_sim.Table
+module B = Abc.Bracha_consensus
+module BO = Abc.Ben_or
+
+module BH = Abc.Harness.Make (struct
+  include B
+
+  let value_of_input = B.value_of_input
+end)
+
+module BOH = Abc.Harness.Make (struct
+  include BO
+
+  let value_of_input = BO.value_of_input
+end)
+
+let node = Node_id.of_int
+
+let bracha_max_f n = (n - 1) / 3
+
+let benor_max_f n = (n - 1) / 5
+
+(* Input patterns *)
+
+let unanimous n v = Array.make n v
+
+let split_inputs n =
+  Array.init n (fun i -> if i < n / 2 then Abc.Value.Zero else Abc.Value.One)
+
+(* Fault batteries: the highest-numbered [count] nodes misbehave. *)
+
+let tail_faults ~n ~count behaviour =
+  List.init count (fun k -> (node (n - 1 - k), behaviour))
+
+type fault_kind = No_fault | Silent | Crash | Flip | Equivocate | Force_decide
+
+let fault_label = function
+  | No_fault -> "none"
+  | Silent -> "silent"
+  | Crash -> "crash"
+  | Flip -> "flip"
+  | Equivocate -> "equivocate"
+  | Force_decide -> "force-d"
+
+let bracha_faults ~n ~count kind =
+  match kind with
+  | No_fault -> []
+  | Silent -> tail_faults ~n ~count Behaviour.Silent
+  | Crash -> tail_faults ~n ~count (Behaviour.Crash_after 5)
+  | Flip -> tail_faults ~n ~count (Behaviour.Mutate B.Fault.flip_value)
+  | Equivocate ->
+    tail_faults ~n ~count (Behaviour.Equivocate (B.Fault.equivocate_by_half ~n))
+  | Force_decide -> tail_faults ~n ~count (Behaviour.Mutate B.Fault.force_decide)
+
+(* The hardest fault placement we found empirically: bit-flipping liars
+   split across the two input halves, so each half hears amplified
+   support for the other half's value and the honest nodes stay in
+   disagreement until coins align. *)
+let balanced_flip_liars ~n ~count =
+  List.init count (fun k ->
+      let id = if k mod 2 = 0 then k / 2 else n - 1 - (k / 2) in
+      (node id, Behaviour.Mutate B.Fault.flip_value))
+
+let benor_faults ~n ~count kind =
+  match kind with
+  | No_fault -> []
+  | Silent -> tail_faults ~n ~count Behaviour.Silent
+  | Crash -> tail_faults ~n ~count (Behaviour.Crash_after 5)
+  | Flip | Force_decide -> tail_faults ~n ~count (Behaviour.Mutate BO.Fault.flip_value)
+  | Equivocate ->
+    tail_faults ~n ~count (Behaviour.Equivocate (BO.Fault.equivocate_by_half ~n))
+
+(* Runners.  All runs are capped so that liveness failures (expected
+   when sweeping past resilience bounds) terminate quickly. *)
+
+let run_bracha ?(options = B.Options.default) ?(adversary = Adversary.uniform)
+    ?(faulty = []) ?max_deliveries ~n ~f ~seed values =
+  let inputs = B.inputs ~n ~options values in
+  let config =
+    BH.E.config ~n ~f ~inputs ~faulty ~adversary ~seed ?max_deliveries ()
+  in
+  snd (BH.run config)
+
+let run_benor ?(mode = BO.Mode.Byzantine) ?(coin = Abc.Coin.local)
+    ?(adversary = Adversary.uniform) ?(faulty = []) ?max_deliveries ~n ~f ~seed
+    values =
+  let inputs = BO.inputs ~n ~mode ~coin values in
+  let config =
+    BOH.E.config ~n ~f ~inputs ~faulty ~adversary ~seed ?max_deliveries ()
+  in
+  snd (BOH.run config)
+
+(* Sampling helpers *)
+
+type sample = {
+  ok_rate : float;
+  rounds : Summary.t option; (* over successful runs *)
+  messages : Summary.t option;
+  durations : Summary.t option;
+}
+
+let collect verdicts =
+  let oks = List.filter Abc.Harness.ok verdicts in
+  let pick f = Summary.of_list (List.map f oks) in
+  {
+    ok_rate = float_of_int (List.length oks) /. float_of_int (List.length verdicts);
+    rounds = pick (fun v -> float_of_int v.Abc.Harness.max_round);
+    messages = pick (fun v -> float_of_int v.Abc.Harness.messages);
+    durations = pick (fun v -> float_of_int v.Abc.Harness.duration);
+  }
+
+let sample_bracha ?options ?adversary ?faulty ?max_deliveries ~n ~f ~seeds values =
+  collect
+    (List.init seeds (fun seed ->
+         run_bracha ?options ?adversary ?faulty ?max_deliveries ~n ~f ~seed values))
+
+let sample_benor ?mode ?coin ?adversary ?faulty ?max_deliveries ~n ~f ~seeds values =
+  collect
+    (List.init seeds (fun seed ->
+         run_benor ?mode ?coin ?adversary ?faulty ?max_deliveries ~n ~f ~seed values))
+
+let mean_or summary default =
+  match summary with Some s -> Summary.mean s | None -> default
+
+let p95_or summary default =
+  match summary with Some s -> Summary.percentile s 95. | None -> default
+
+let max_or summary default =
+  match summary with Some s -> Summary.max_value s | None -> default
+
+(* Log-log slope fit for complexity experiments: least squares on
+   (log n, log y). *)
+let fitted_exponent points =
+  let logs = List.map (fun (n, y) -> (log (float_of_int n), log y)) points in
+  let k = float_of_int (List.length logs) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. logs in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. logs in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. logs in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. logs in
+  ((k *. sxy) -. (sx *. sy)) /. ((k *. sxx) -. (sx *. sx))

@@ -1,0 +1,838 @@
+(* Experiment harness: regenerates every table/figure of the
+   reproduction (EXPERIMENTS.md records paper-vs-measured).
+
+     dune exec bench/main.exe              # all experiment tables + microbench
+     dune exec bench/main.exe -- E3 E6     # selected experiments
+     dune exec bench/main.exe -- quick     # reduced seed counts (CI)
+     dune exec bench/main.exe -- csv       # also write bench_results/*.csv
+
+   The 1984 paper proves theorems rather than reporting measurements;
+   each experiment operationalizes one theorem-level claim (see
+   DESIGN.md for the mapping). *)
+
+open Helpers
+
+let seeds_scale = ref 1.
+
+let scaled k = max 2 (int_of_float (float_of_int k *. !seeds_scale))
+
+(* ----------------------------------------------------------------- *)
+(* E1: reliable broadcast correctness (validity/agreement/totality)  *)
+(* ----------------------------------------------------------------- *)
+
+module Rbc = Abc.Bracha_rbc.Binary
+module RbcE = Abc_net.Engine.Make (Rbc)
+
+let rbc_fault ~n kind =
+  let two_faced _rng ~dst v =
+    if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
+  in
+  match kind with
+  | No_fault -> []
+  | Silent -> [ (node 0, Behaviour.Silent) ]
+  | Crash -> [ (node 0, Behaviour.Crash_after 2) ]
+  | Flip ->
+    (* the sender stays honest; a relay lies *)
+    [ (node 1, Behaviour.Mutate (Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v))) ]
+  | Equivocate -> [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate two_faced)) ]
+  | Force_decide -> []
+
+let experiment_e1 () =
+  let table =
+    Table.create ~title:"E1. Reliable broadcast correctness (seeds per cell: 20)"
+      ~columns:
+        [ "n"; "f"; "fault"; "adversary"; "honest delivered"; "agreement";
+          "validity"; "totality"; "msgs/n^2" ]
+  in
+  let seeds = scaled 20 in
+  List.iter
+    (fun (n, f) ->
+      List.iter
+        (fun fault ->
+          List.iter
+            (fun (adversary : Adversary.t) ->
+              let faulty = rbc_fault ~n fault in
+              let faulty_ids = List.map fst faulty in
+              let honest =
+                List.filter
+                  (fun id -> not (List.exists (Node_id.equal id) faulty_ids))
+                  (Node_id.all ~n)
+              in
+              let delivered = ref 0 and total = ref 0 in
+              let agreement = ref true and validity = ref true in
+              let totality = ref true in
+              let msgs = ref 0 in
+              for seed = 0 to seeds - 1 do
+                let config =
+                  RbcE.config ~n ~f
+                    ~inputs:(Rbc.inputs ~n ~sender:(node 0) Abc.Value.One)
+                    ~faulty ~adversary ~seed ()
+                in
+                let result = RbcE.run config in
+                msgs := !msgs + Abc_sim.Metrics.counter result.RbcE.metrics "sent";
+                let values =
+                  List.filter_map
+                    (fun id ->
+                      match result.RbcE.outputs.(Node_id.to_int id) with
+                      | [ (_, Rbc.Delivered v) ] -> Some v
+                      | _ -> None)
+                    honest
+                in
+                total := !total + List.length honest;
+                delivered := !delivered + List.length values;
+                (* totality: within one run, all honest deliver or none *)
+                if List.length values > 0 && List.length values < List.length honest
+                then totality := false;
+                (match values with
+                | v :: rest ->
+                  if not (List.for_all (Abc.Value.equal v) rest) then agreement := false
+                | [] -> ());
+                (* validity only applies when the sender is honest *)
+                if fault = No_fault || fault = Flip then
+                  if not (List.for_all (Abc.Value.equal Abc.Value.One) values) then
+                    validity := false
+              done;
+              Table.add_row table
+                [
+                  Table.cell_int n;
+                  Table.cell_int f;
+                  fault_label fault;
+                  adversary.Adversary.name;
+                  Table.cell_percent
+                    (float_of_int !delivered /. float_of_int (max 1 !total));
+                  (if !agreement then "yes" else "VIOLATED");
+                  (if !validity then "yes" else "VIOLATED");
+                  (if !totality then "yes" else "VIOLATED");
+                  Table.cell_float
+                    (float_of_int !msgs /. float_of_int (seeds * n * n));
+                ])
+            [ Adversary.fifo; Adversary.uniform; Adversary.split ~n ])
+        [ No_fault; Silent; Crash; Flip; Equivocate ])
+    [ (4, 1); (7, 2); (10, 3) ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E2: resilience boundary — Bracha (n>3f) vs Ben-Or (n>5f)          *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e2 () =
+  let n = 16 in
+  let seeds = scaled 12 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E2. Resilience sweep at n=%d, flip-value Byzantine faults (ok%% over %d \
+            seeds; Bracha bound f<=%d, Ben-Or bound f<=%d)"
+           n seeds (bracha_max_f n) (benor_max_f n))
+      ~columns:[ "f (actual faults)"; "bracha ok"; "ben-or ok" ]
+  in
+  (* Cap deliveries so liveness failures beyond the bound return fast. *)
+  let cap = 400_000 in
+  List.iter
+    (fun f ->
+      let values = split_inputs n in
+      let bracha =
+        sample_bracha
+          ~faulty:(bracha_faults ~n ~count:f Flip)
+          ~max_deliveries:cap ~n ~f ~seeds values
+      in
+      let benor =
+        sample_benor
+          ~faulty:(benor_faults ~n ~count:f Flip)
+          ~max_deliveries:cap ~n ~f ~seeds values
+      in
+      Table.add_row table
+        [
+          Table.cell_int f;
+          Table.cell_percent bracha.ok_rate;
+          Table.cell_percent benor.ok_rate;
+        ])
+    [ 0; 1; 2; 3; 4; 5 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E3: rounds to decide vs n at maximum resilience (local coin)      *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e3 () =
+  let seeds = scaled 30 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E3. Rounds to decide, f=max, split inputs, balanced flip liars, split \
+            scheduler (local coin, %d seeds)"
+           seeds)
+      ~columns:[ "n"; "f"; "mean rounds"; "p95"; "max"; "mean msgs" ]
+  in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      let s =
+        sample_bracha
+          ~adversary:(Adversary.split ~n)
+          ~faulty:(balanced_flip_liars ~n ~count:f)
+          ~n ~f ~seeds (split_inputs n)
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_float (mean_or s.rounds 0.);
+          Table.cell_float ~decimals:0 (p95_or s.rounds 0.);
+          Table.cell_float ~decimals:0 (max_or s.rounds 0.);
+          Table.cell_float ~decimals:0 (mean_or s.messages 0.);
+        ])
+    [ 4; 8; 12; 16 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E4: constant expected rounds when f = O(sqrt n)                   *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e4 () =
+  let seeds = scaled 20 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E4. Rounds with f=floor(sqrt n) — same faults/scheduler as E3 but fewer \
+            liars (local coin, %d seeds)"
+           seeds)
+      ~columns:[ "n"; "f=sqrt(n)"; "f_max"; "mean rounds"; "p95"; "max" ]
+  in
+  List.iter
+    (fun n ->
+      let f = int_of_float (sqrt (float_of_int n)) in
+      assert (n > 3 * f);
+      let s =
+        sample_bracha
+          ~adversary:(Adversary.split ~n)
+          ~faulty:(balanced_flip_liars ~n ~count:f)
+          ~n ~f ~seeds (split_inputs n)
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_int (bracha_max_f n);
+          Table.cell_float (mean_or s.rounds 0.);
+          Table.cell_float ~decimals:0 (p95_or s.rounds 0.);
+          Table.cell_float ~decimals:0 (max_or s.rounds 0.);
+        ])
+    [ 16; 25; 36 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E5: message complexity — O(n^2) per RBC, O(n^3) per round         *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e5 () =
+  let table =
+    Table.create
+      ~title:
+        "E5. Message complexity (honest runs, fifo scheduler; consensus msgs \
+         normalized per round)"
+      ~columns:
+        [ "n"; "rbc msgs"; "rbc/n^2"; "consensus msgs/round"; "consensus/(n^3)" ]
+  in
+  let rbc_points = ref [] and cons_points = ref [] in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      (* one RBC *)
+      let config =
+        RbcE.config ~n ~f
+          ~inputs:(Rbc.inputs ~n ~sender:(node 0) Abc.Value.One)
+          ~adversary:Adversary.fifo ~seed:0 ()
+      in
+      let rbc_result = RbcE.run config in
+      let rbc_msgs = Abc_sim.Metrics.counter rbc_result.RbcE.metrics "sent" in
+      (* one consensus, unanimous so it ends in one round *)
+      let v = run_bracha ~adversary:Adversary.fifo ~n ~f ~seed:0 (unanimous n Abc.Value.One) in
+      let per_round =
+        float_of_int v.Abc.Harness.messages
+        /. float_of_int (max 1 v.Abc.Harness.max_round + 1)
+      in
+      rbc_points := (n, float_of_int rbc_msgs) :: !rbc_points;
+      cons_points := (n, per_round) :: !cons_points;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int rbc_msgs;
+          Table.cell_float (float_of_int rbc_msgs /. float_of_int (n * n));
+          Table.cell_float ~decimals:0 per_round;
+          Table.cell_float (per_round /. float_of_int (n * n * n));
+        ])
+    [ 4; 7; 10; 13; 16; 22 ];
+  Table.print table;
+  Printf.printf "fitted exponents: rbc %.2f (theory 2), consensus %.2f (theory 3)\n\n"
+    (fitted_exponent !rbc_points)
+    (fitted_exponent !cons_points)
+
+(* ----------------------------------------------------------------- *)
+(* E6: local coin vs common coin                                     *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e6 () =
+  let seeds = scaled 40 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E6. Coin comparison: rounds to decide (split inputs, flip faults, split \
+            scheduler, %d seeds)"
+           seeds)
+      ~columns:
+        [ "n"; "f"; "local mean"; "local p95"; "local max"; "common mean";
+          "common p95"; "common max" ]
+  in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      let faulty = balanced_flip_liars ~n ~count:f in
+      let adversary = Adversary.split ~n in
+      let local = sample_bracha ~adversary ~faulty ~n ~f ~seeds (split_inputs n) in
+      let common =
+        sample_bracha
+          ~options:(B.Options.with_common_coin ~seed:7)
+          ~adversary ~faulty ~n ~f ~seeds (split_inputs n)
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_float (mean_or local.rounds 0.);
+          Table.cell_float ~decimals:0 (p95_or local.rounds 0.);
+          Table.cell_float ~decimals:0 (max_or local.rounds 0.);
+          Table.cell_float (mean_or common.rounds 0.);
+          Table.cell_float ~decimals:0 (p95_or common.rounds 0.);
+          Table.cell_float ~decimals:0 (max_or common.rounds 0.);
+        ])
+    [ 4; 8; 13; 16 ];
+  Table.print table;
+  (* Full distributions at n=16: the tail is the story. *)
+  let n = 16 in
+  let f = bracha_max_f n in
+  let faulty = balanced_flip_liars ~n ~count:f in
+  let adversary = Adversary.split ~n in
+  let rounds options =
+    let h = Abc_sim.Histogram.create () in
+    for seed = 0 to seeds - 1 do
+      let v = run_bracha ~options ~adversary ~faulty ~n ~f ~seed (split_inputs n) in
+      if Abc.Harness.ok v then Abc_sim.Histogram.add h v.Abc.Harness.max_round
+    done;
+    h
+  in
+  Printf.printf "rounds-to-decide distribution at n=16 (local coin):\n%s"
+    (Abc_sim.Histogram.render (rounds B.Options.default));
+  Printf.printf "rounds-to-decide distribution at n=16 (common coin):\n%s\n"
+    (Abc_sim.Histogram.render (rounds (B.Options.with_common_coin ~seed:7)));
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E7: validation / reliable-broadcast ablation                      *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e7 () =
+  let n = 7 and f = 2 in
+  let seeds = scaled 30 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E7. Ablation at n=%d f=%d under force-decide + flip liars (ok%% over %d \
+            seeds)"
+           n f seeds)
+      ~columns:[ "transport"; "validation"; "ok"; "mean rounds (ok runs)" ]
+  in
+  let faulty =
+    [
+      (node (n - 1), Behaviour.Mutate B.Fault.force_decide);
+      (node (n - 2), Behaviour.Mutate B.Fault.flip_value);
+    ]
+  in
+  let cap = 300_000 in
+  List.iter
+    (fun (transport, transport_label) ->
+      List.iter
+        (fun validation ->
+          let options = { B.Options.default with B.Options.transport; validation } in
+          let s =
+            sample_bracha ~options ~faulty ~max_deliveries:cap ~n ~f ~seeds
+              (unanimous n Abc.Value.Zero)
+          in
+          Table.add_row table
+            [
+              transport_label;
+              (if validation then "on" else "off");
+              Table.cell_percent s.ok_rate;
+              Table.cell_float (mean_or s.rounds 0.);
+            ])
+        [ true; false ])
+    [ (B.Options.Reliable, "rbc"); (B.Options.Plain, "plain") ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E9: replicated-log throughput                                     *)
+(* ----------------------------------------------------------------- *)
+
+module Log = Abc_smr.Replicated_log
+module LogE = Abc_net.Engine.Make (Log)
+
+let experiment_e9 () =
+  let seeds = scaled 5 in
+  let slots = 3 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9. Replicated log: %d slots, one silent Byzantine replica (%d seeds)"
+           slots seeds)
+      ~columns:
+        [ "n"; "f"; "commands"; "messages"; "virtual time"; "msgs/command";
+          "time/command" ]
+  in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      let commands = ref 0 and msgs = ref 0 and time = ref 0 in
+      for seed = 0 to seeds - 1 do
+        let config =
+          LogE.config ~n ~f
+            ~inputs:
+              (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
+                   Printf.sprintf "cmd-%d.%d" i k))
+            ~faulty:[ (node (n - 1), Behaviour.Silent) ]
+            ~adversary:Adversary.uniform ~seed ()
+        in
+        let result = LogE.run config in
+        (match Log.log_of_outputs result.LogE.outputs.(0) with
+        | Some log -> commands := !commands + List.length log
+        | None -> ());
+        msgs := !msgs + Abc_sim.Metrics.counter result.LogE.metrics "sent";
+        time := !time + result.LogE.duration
+      done;
+      let per_cmd v = float_of_int v /. float_of_int (max 1 !commands) in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_int !commands;
+          Table.cell_int !msgs;
+          Table.cell_int !time;
+          Table.cell_float (per_cmd !msgs);
+          Table.cell_float (per_cmd !time);
+        ])
+    [ 4; 7 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E8: wall-clock microbenchmarks (Bechamel)                         *)
+(* ----------------------------------------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let rbc_handle =
+    (* cost of processing one echo in a warm instance *)
+    let state = ref (Rbc.Core.create ~n:7 ~f:2 ~sender:(node 0)) in
+    let s0, _, _ = Rbc.Core.handle !state ~src:(node 1) (Rbc.Core.Echo Abc.Value.One) in
+    state := s0;
+    Test.make ~name:"rbc_core.handle(echo)"
+      (Staged.stage (fun () ->
+           ignore (Rbc.Core.handle !state ~src:(node 2) (Rbc.Core.Echo Abc.Value.One))))
+  in
+  let validation_submit =
+    Test.make ~name:"validation.submit(r1s1)"
+      (Staged.stage (fun () ->
+           let v = Abc.Validation.create ~n:7 ~f:2 ~enabled:true in
+           ignore
+             (Abc.Validation.submit v
+                {
+                  Abc.Consensus_msg.origin = node 1;
+                  round = 1;
+                  step = Abc.Consensus_msg.Step.S1;
+                  value = Abc.Value.One;
+                  decide = false;
+                })))
+  in
+  let full_rbc_run =
+    Test.make ~name:"full rbc run (n=7, f=2)"
+      (Staged.stage (fun () ->
+           let config =
+             RbcE.config ~n:7 ~f:2
+               ~inputs:(Rbc.inputs ~n:7 ~sender:(node 0) Abc.Value.One)
+               ~seed:1 ()
+           in
+           ignore (RbcE.run config)))
+  in
+  let full_consensus_run =
+    Test.make ~name:"full consensus run (n=4, f=1)"
+      (Staged.stage (fun () ->
+           ignore (run_bracha ~n:4 ~f:1 ~seed:1 (split_inputs 4))))
+  in
+  let full_benor_run =
+    Test.make ~name:"full ben-or run (n=6, f=1)"
+      (Staged.stage (fun () ->
+           ignore (run_benor ~n:6 ~f:1 ~seed:1 (split_inputs 6))))
+  in
+  Test.make_grouped ~name:"abc"
+    [ rbc_handle; validation_submit; full_rbc_run; full_consensus_run; full_benor_run ]
+
+let experiment_e8 () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "E8. Wall-clock microbenchmarks (ns/run, OLS fit)";
+  print_endline "================================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-36s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E10: 1984 vs 2014 — Bracha vs MMR, and what the common coin buys   *)
+(* ----------------------------------------------------------------- *)
+
+module Mmr = Abc.Mmr_consensus
+
+module MmrH = Abc.Harness.Make (struct
+  include Mmr
+
+  let value_of_input = Mmr.value_of_input
+end)
+
+let run_mmr ?(coin = Abc.Coin.common ~seed:7) ?(adversary = Adversary.uniform)
+    ?(faulty = []) ~n ~f ~seed values =
+  let inputs = Mmr.inputs ~n ~coin values in
+  snd (MmrH.run (MmrH.E.config ~n ~f ~inputs ~faulty ~adversary ~seed ()))
+
+let experiment_e10 () =
+  let seeds = scaled 25 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E10. Bracha (1984, local coin) vs MMR (2014, common coin): split inputs, \
+            f flip liars, split scheduler (%d seeds)"
+           seeds)
+      ~columns:
+        [ "n"; "f"; "bracha rounds"; "bracha msgs"; "mmr rounds"; "mmr msgs";
+          "msg ratio" ]
+  in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      let adversary = Adversary.split ~n in
+      let bracha =
+        sample_bracha ~adversary
+          ~faulty:(balanced_flip_liars ~n ~count:f)
+          ~n ~f ~seeds (split_inputs n)
+      in
+      let mmr_faulty =
+        List.init f (fun k ->
+            let id = if k mod 2 = 0 then k / 2 else n - 1 - (k / 2) in
+            (node id, Behaviour.Mutate Mmr.Fault.flip_value))
+      in
+      let mmr =
+        collect
+          (List.init seeds (fun seed ->
+               run_mmr ~adversary ~faulty:mmr_faulty ~n ~f ~seed (split_inputs n)))
+      in
+      let ratio = mean_or bracha.messages 0. /. mean_or mmr.messages 1. in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_float (mean_or bracha.rounds 0.);
+          Table.cell_float ~decimals:0 (mean_or bracha.messages 0.);
+          Table.cell_float (mean_or mmr.rounds 0.);
+          Table.cell_float ~decimals:0 (mean_or mmr.messages 0.);
+          Table.cell_ratio ratio;
+        ])
+    [ 4; 8; 16 ];
+  Table.print table;
+  (* The safety ablation: MMR with a local coin loses agreement. *)
+  let seeds = scaled 40 in
+  let violations coin =
+    List.length
+      (List.filter
+         (fun seed ->
+           let v = run_mmr ~coin ~n:7 ~f:2 ~seed (split_inputs 7) in
+           not (v.Abc.Harness.agreement && v.Abc.Harness.validity))
+         (List.init seeds (fun i -> i)))
+  in
+  Printf.printf
+    "coin safety ablation (n=7, f=2, split inputs, %d seeds):\n\
+    \  common coin: %d agreement/validity violations\n\
+    \  local coin:  %d agreement/validity violations  <- the common coin is a\n\
+    \               safety requirement in MMR, unlike in Bracha's protocol\n\n"
+    seeds
+    (violations (Abc.Coin.common ~seed:7))
+    (violations Abc.Coin.local)
+
+(* ----------------------------------------------------------------- *)
+(* E11: the price of implementing the coin — idealized vs Rabin      *)
+(* ----------------------------------------------------------------- *)
+
+let experiment_e11 () =
+  let seeds = scaled 25 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E11. MMR with idealized common coin vs implemented Rabin coin (share \
+            exchange on the wire): split inputs, two silent faults (%d seeds)"
+           seeds)
+      ~columns:
+        [ "n"; "f"; "ideal rounds"; "ideal msgs"; "rabin rounds"; "rabin msgs";
+          "share msgs"; "overhead" ]
+  in
+  List.iter
+    (fun n ->
+      let f = bracha_max_f n in
+      let faulty =
+        if f = 0 then []
+        else if f = 1 then [ (node (n - 1), Behaviour.Silent) ]
+        else [ (node (n - 1), Behaviour.Silent); (node (n - 2), Behaviour.Silent) ]
+      in
+      let sample inputs =
+        let runs =
+          List.init seeds (fun seed ->
+              let cfg =
+                MmrH.E.config ~n ~f ~inputs ~faulty ~adversary:Adversary.uniform
+                  ~seed ()
+              in
+              MmrH.run cfg)
+        in
+        let verdicts = List.map snd runs in
+        let share_msgs =
+          List.fold_left
+            (fun acc (result, _) ->
+              acc + Abc_sim.Metrics.counter result.MmrH.E.metrics "sent.share")
+            0 runs
+        in
+        (collect verdicts, float_of_int share_msgs /. float_of_int seeds)
+      in
+      let ideal, _ =
+        sample (Mmr.inputs ~n ~coin:(Abc.Coin.common ~seed:7) (split_inputs n))
+      in
+      let rabin, share_msgs =
+        sample (Mmr.inputs_with_shared_coin ~n ~f ~seed:7 (split_inputs n))
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          Table.cell_float (mean_or ideal.rounds 0.);
+          Table.cell_float ~decimals:0 (mean_or ideal.messages 0.);
+          Table.cell_float (mean_or rabin.rounds 0.);
+          Table.cell_float ~decimals:0 (mean_or rabin.messages 0.);
+          Table.cell_float ~decimals:0 share_msgs;
+          Table.cell_ratio (mean_or rabin.messages 1. /. mean_or ideal.messages 1.);
+        ])
+    [ 4; 7; 16 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E12: connectivity threshold for agreement over flooding            *)
+(* ----------------------------------------------------------------- *)
+
+module Topology = Abc_net.Topology
+module Relayed_mmr = Abc_net.Relay.Make (Mmr)
+
+module RMH = Abc.Harness.Make (struct
+  include Relayed_mmr
+
+  let value_of_input = Mmr.value_of_input
+end)
+
+let experiment_e12 () =
+  let n = 8 in
+  let f = 2 in
+  let seeds = scaled 10 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E12. Agreement over flood relaying vs vertex connectivity (n=%d, f=%d \
+            crash faults at a worst-case cut, common coin, %d seeds; survival needs \
+            κ > f at the cut)"
+           n f seeds)
+      ~columns:
+        [ "graph"; "κ"; "crashes"; "survivors connected"; "ok"; "mean msgs" ]
+  in
+  let cut = [ 1; 5 ] in
+  let graphs =
+    [
+      ("ring C8(1)", Topology.circulant ~n ~offsets:[ 1 ]);
+      ("C8(1,2)", Topology.circulant ~n ~offsets:[ 1; 2 ]);
+      ("C8(1,2,3)", Topology.circulant ~n ~offsets:[ 1; 2; 3 ]);
+      ("complete K8", Topology.complete ~n);
+    ]
+  in
+  List.iter
+    (fun (label, g) ->
+      let faulty =
+        List.map (fun i -> (node i, Behaviour.Crash_after 0)) cut
+      in
+      let verdicts =
+        List.init seeds (fun seed ->
+            let values = split_inputs n in
+            let inputs = Mmr.inputs ~n ~coin:(Abc.Coin.common ~seed:7) values in
+            let cfg =
+              RMH.E.config ~n ~f ~inputs ~faulty ~topology:g
+                ~adversary:Adversary.uniform ~seed ~max_deliveries:400_000 ()
+            in
+            snd (RMH.run cfg))
+      in
+      let s = collect verdicts in
+      Table.add_row table
+        [
+          label;
+          Table.cell_int (Topology.vertex_connectivity g);
+          String.concat "," (List.map string_of_int cut);
+          (if Topology.connected_after_removing g (List.map node cut) then "yes"
+           else "no");
+          Table.cell_percent s.ok_rate;
+          Table.cell_float ~decimals:0 (mean_or s.messages 0.);
+        ])
+    graphs;
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E13: two roads to multivalued consensus — Turpin-Coan vs ACS       *)
+(* ----------------------------------------------------------------- *)
+
+module Tc = Abc.Turpin_coan.Make (Abc.Payloads.Int_payload)
+module TcE = Abc_net.Engine.Make (Tc)
+module Mv = Abc.Multivalued.Make (Abc.Payloads.Int_payload)
+module MvE = Abc_net.Engine.Make (Mv)
+
+let experiment_e13 () =
+  let seeds = scaled 10 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E13. Multivalued consensus: Turpin-Coan reduction (1 BA, n>4f) vs \
+            ACS (n BAs, n>3f); near-unanimous inputs, one silent fault (%d seeds)"
+           seeds)
+      ~columns:
+        [ "n"; "tc f"; "acs f"; "tc msgs"; "acs msgs"; "acs/tc"; "tc agreed";
+          "acs agreed" ]
+  in
+  List.iter
+    (fun n ->
+      let tc_f = (n - 1) / 4 in
+      let acs_f = bracha_max_f n in
+      let proposals = Array.init n (fun i -> if i = 0 then 9 else 5) in
+      let tc_faulty = [ (node (n - 1), Behaviour.Silent) ] in
+      let acs_faulty = [ (node (n - 1), Behaviour.Silent) ] in
+      let tc_msgs = ref 0 and tc_agreed = ref 0 in
+      let acs_msgs = ref 0 and acs_agreed = ref 0 in
+      for seed = 0 to seeds - 1 do
+        let tc_result =
+          TcE.run
+            (TcE.config ~n ~f:tc_f
+               ~inputs:(Tc.inputs ~n ~coin:Abc.Coin.local proposals)
+               ~faulty:tc_faulty ~adversary:Adversary.uniform ~seed ())
+        in
+        tc_msgs := !tc_msgs + Abc_sim.Metrics.counter tc_result.TcE.metrics "sent";
+        (match tc_result.TcE.outputs.(0) with
+        | [ (_, Tc.Agreed _) ] -> incr tc_agreed
+        | _ -> ());
+        let acs_result =
+          MvE.run
+            (MvE.config ~n ~f:acs_f
+               ~inputs:(Mv.inputs ~n ~coin:Abc.Coin.local proposals)
+               ~faulty:acs_faulty ~adversary:Adversary.uniform ~seed ())
+        in
+        acs_msgs := !acs_msgs + Abc_sim.Metrics.counter acs_result.MvE.metrics "sent";
+        match acs_result.MvE.outputs.(0) with
+        | [ (_, _) ] -> incr acs_agreed
+        | _ -> ()
+      done;
+      let per_seed v = float_of_int v /. float_of_int seeds in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int tc_f;
+          Table.cell_int acs_f;
+          Table.cell_float ~decimals:0 (per_seed !tc_msgs);
+          Table.cell_float ~decimals:0 (per_seed !acs_msgs);
+          Table.cell_ratio (float_of_int !acs_msgs /. float_of_int (max 1 !tc_msgs));
+          Table.cell_percent (per_seed !tc_agreed);
+          Table.cell_percent (per_seed !acs_agreed);
+        ])
+    [ 5; 9; 13 ];
+  Table.print table;
+  print_newline ()
+
+let experiments =
+  [
+    ("E1", "reliable broadcast correctness", experiment_e1);
+    ("E2", "resilience boundary sweep", experiment_e2);
+    ("E3", "rounds vs n at max resilience", experiment_e3);
+    ("E4", "rounds with f = sqrt(n)", experiment_e4);
+    ("E5", "message complexity", experiment_e5);
+    ("E6", "local vs common coin", experiment_e6);
+    ("E7", "validation/transport ablation", experiment_e7);
+    ("E8", "wall-clock microbenchmarks", experiment_e8);
+    ("E9", "replicated log throughput", experiment_e9);
+    ("E10", "bracha 1984 vs mmr 2014", experiment_e10);
+    ("E11", "idealized vs implemented common coin", experiment_e11);
+    ("E12", "connectivity threshold over flooding", experiment_e12);
+    ("E13", "turpin-coan vs acs multivalued", experiment_e13);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    if List.mem "quick" args then begin
+      seeds_scale := 0.25;
+      List.filter (fun a -> a <> "quick") args
+    end
+    else args
+  in
+  let args =
+    if List.mem "csv" args then begin
+      Abc_sim.Table.set_csv_directory (Some "bench_results");
+      List.filter (fun a -> a <> "csv") args
+    end
+    else args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names -> List.filter (fun (id, _, _) -> List.mem id names) experiments
+  in
+  Printf.printf
+    "Asynchronous Byzantine Consensus (PODC 1984) — experiment harness\n\
+     Deterministic: every cell is a function of its seeds.\n\n";
+  List.iter
+    (fun (id, label, run) ->
+      Printf.printf "--- %s: %s ---\n" id label;
+      run ())
+    selected

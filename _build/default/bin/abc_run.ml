@@ -1,0 +1,554 @@
+(* abc-run: command-line driver for the asynchronous Byzantine
+   consensus library.
+
+   One subcommand per protocol:
+
+     abc-run rbc        --n 4 --f 1 --fault equivocate
+     abc-run consensus  --n 7 --f 2 --inputs split --adversary split --seeds 20
+     abc-run benor      --n 11 --f 2 --mode byzantine
+     abc-run acs        --n 4 --f 1
+     abc-run smr        --n 4 --f 1 --slots 3 --fault silent
+
+   Every run is deterministic in --seed. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module B = Abc.Bracha_consensus
+module BO = Abc.Ben_or
+open Cmdliner
+
+(* ---- shared argument vocabulary ---- *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let f_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "f"; "max-faults" ] ~docv:"F" ~doc:"Resilience parameter handed to the protocol.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "seeds" ] ~docv:"K"
+        ~doc:"Run $(docv) seeds (seed, seed+1, ...) and summarize.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Dump the tail of the execution trace after the run.")
+
+let adversary_arg =
+  let choices =
+    [
+      ("fifo", `Fifo);
+      ("uniform", `Uniform);
+      ("latency", `Latency);
+      ("targeted", `Targeted);
+      ("split", `Split);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum choices) `Uniform
+    & info [ "adversary" ] ~docv:"POLICY"
+        ~doc:"Message scheduler: $(b,fifo), $(b,uniform), $(b,latency), \
+              $(b,targeted) or $(b,split).")
+
+let adversary_of ~n = function
+  | `Fifo -> Adversary.fifo
+  | `Uniform -> Adversary.uniform
+  | `Latency -> Adversary.latency ~mean:8.
+  | `Targeted -> Adversary.targeted_delay ~victims:[ Node_id.of_int 0 ]
+  | `Split -> Adversary.split ~n
+
+let fault_kind_arg =
+  let choices =
+    [
+      ("none", `None);
+      ("silent", `Silent);
+      ("crash", `Crash);
+      ("flip", `Flip);
+      ("equivocate", `Equivocate);
+      ("force-decide", `Force_decide);
+      ("replay", `Replay);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum choices) `None
+    & info [ "fault" ] ~docv:"KIND"
+        ~doc:"Behaviour of the faulty nodes: $(b,none), $(b,silent), $(b,crash), \
+              $(b,flip), $(b,equivocate), $(b,force-decide) or $(b,replay).")
+
+let faulty_count_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "faulty" ] ~docv:"K"
+        ~doc:"How many nodes misbehave (the highest-numbered $(docv) nodes).")
+
+let inputs_arg =
+  let choices =
+    [ ("zero", `Zero); ("one", `One); ("split", `Split); ("alternate", `Alternate) ]
+  in
+  Arg.(
+    value
+    & opt (enum choices) `Split
+    & info [ "inputs" ] ~docv:"PATTERN"
+        ~doc:"Input pattern: $(b,zero), $(b,one), $(b,split) (low half 0, high \
+              half 1) or $(b,alternate).")
+
+let values_of ~n = function
+  | `Zero -> Array.make n Abc.Value.Zero
+  | `One -> Array.make n Abc.Value.One
+  | `Split ->
+    Array.init n (fun i -> if i < n / 2 then Abc.Value.Zero else Abc.Value.One)
+  | `Alternate ->
+    Array.init n (fun i -> if i mod 2 = 0 then Abc.Value.Zero else Abc.Value.One)
+
+let coin_arg =
+  let choices = [ ("local", `Local); ("common", `Common) ] in
+  Arg.(
+    value
+    & opt (enum choices) `Local
+    & info [ "coin" ] ~docv:"COIN" ~doc:"Round coin: $(b,local) or $(b,common).")
+
+let coin_of = function `Local -> Abc.Coin.local | `Common -> Abc.Coin.common ~seed:7
+
+let faulty_nodes ~n ~count kind mutators =
+  let flip, equivocate, force = mutators in
+  let behaviour =
+    match kind with
+    | `None -> None
+    | `Silent -> Some Behaviour.Silent
+    | `Crash -> Some (Behaviour.Crash_after 5)
+    | `Flip -> Some (Behaviour.Mutate flip)
+    | `Equivocate -> Some (Behaviour.Equivocate equivocate)
+    | `Force_decide -> Some (Behaviour.Mutate force)
+    | `Replay -> Some (Behaviour.Replay 2)
+  in
+  match behaviour with
+  | None -> []
+  | Some b -> List.init count (fun k -> (Node_id.of_int (n - 1 - k), b))
+
+let print_trace ?n trace =
+  Fmt.pr "@.--- execution trace (tail) ---@.";
+  match n with
+  | Some n -> print_string (Abc_net.Sequence_diagram.render trace ~n)
+  | None -> Abc_sim.Trace.dump Fmt.stdout trace
+
+let summarize_rounds label rounds =
+  match Abc_sim.Summary.of_int_list rounds with
+  | Some s ->
+    Fmt.pr "%s rounds: mean %.2f median %.0f p95 %.0f max %.0f (over %d seeds)@."
+      label (Abc_sim.Summary.mean s) (Abc_sim.Summary.median s)
+      (Abc_sim.Summary.percentile s 95.) (Abc_sim.Summary.max_value s)
+      (Abc_sim.Summary.count s)
+  | None -> ()
+
+(* ---- rbc ---- *)
+
+let run_rbc n f seed adversary fault faulty_count trace =
+  let module Rbc = Abc.Bracha_rbc.Binary in
+  let module E = Abc_net.Engine.Make (Rbc) in
+  let two_faced _rng ~dst v =
+    if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
+  in
+  let mutators =
+    ( Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v),
+      Rbc.Fault.equivocate two_faced,
+      Rbc.Fault.substitute (fun _ v -> v) )
+  in
+  (* The designated sender is node 0; faults apply there first when
+     requested so the interesting case (faulty sender) is default. *)
+  let faulty =
+    match faulty_nodes ~n ~count:faulty_count fault mutators with
+    | [] -> []
+    | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
+  in
+  let tr = if trace then Some (Abc_sim.Trace.create ()) else None in
+  let config =
+    E.config ~n ~f
+      ~inputs:(Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One)
+      ~faulty
+      ~adversary:(adversary_of ~n adversary)
+      ~seed ?trace:tr ()
+  in
+  let result = E.run config in
+  Fmt.pr "bracha-rbc n=%d f=%d seed=%d stop=%a messages=%d time=%d@." n f seed
+    Abc_net.Engine.pp_stop_reason result.E.stop
+    (Abc_sim.Metrics.counter result.E.metrics "sent")
+    result.E.duration;
+  Array.iteri
+    (fun i outputs ->
+      match outputs with
+      | [ (time, Rbc.Delivered v) ] ->
+        Fmt.pr "  node %d: delivered %a at t=%d@." i Abc.Value.pp v time
+      | [] -> Fmt.pr "  node %d: no delivery@." i
+      | _ -> ())
+    result.E.outputs;
+  Option.iter (print_trace ~n) tr
+
+(* ---- consensus (bracha) ---- *)
+
+let run_consensus n f seed seeds adversary fault faulty_count inputs coin
+    no_validation plain trace =
+  let module H = Abc.Harness.Make (struct
+    include B
+
+    let value_of_input = B.value_of_input
+  end) in
+  let options =
+    {
+      B.Options.coin = coin_of coin;
+      validation = not no_validation;
+      transport = (if plain then B.Options.Plain else B.Options.Reliable);
+    }
+  in
+  let mutators =
+    (B.Fault.flip_value, B.Fault.equivocate_by_half ~n, B.Fault.force_decide)
+  in
+  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let values = values_of ~n inputs in
+  let rounds = ref [] in
+  let failures = ref 0 in
+  for k = 0 to seeds - 1 do
+    let tr = if trace && k = 0 then Some (Abc_sim.Trace.create ()) else None in
+    let config =
+      H.E.config ~n ~f
+        ~inputs:(B.inputs ~n ~options values)
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed:(seed + k) ?trace:tr ()
+    in
+    let _, verdict = H.run config in
+    if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
+    else incr failures;
+    if seeds = 1 then begin
+      Fmt.pr "bracha-consensus n=%d f=%d seed=%d (%a)@." n f (seed + k)
+        B.Options.pp options;
+      Fmt.pr "  %a@." Abc.Harness.pp_verdict verdict;
+      List.iter
+        (fun (id, time, d) ->
+          Fmt.pr "  %a: %a at t=%d@." Node_id.pp id Abc.Decision.pp d time)
+        verdict.Abc.Harness.decisions
+    end;
+    Option.iter print_trace tr
+  done;
+  if seeds > 1 then begin
+    Fmt.pr "bracha-consensus n=%d f=%d seeds=%d..%d (%a)@." n f seed
+      (seed + seeds - 1) B.Options.pp options;
+    Fmt.pr "  ok %d/%d, failures %d@." (List.length !rounds) seeds !failures;
+    summarize_rounds "  " !rounds
+  end
+
+(* ---- benor ---- *)
+
+let run_benor n f seed seeds adversary fault faulty_count inputs coin mode =
+  let module H = Abc.Harness.Make (struct
+    include BO
+
+    let value_of_input = BO.value_of_input
+  end) in
+  let mode = match mode with `Byzantine -> BO.Mode.Byzantine | `Crash -> BO.Mode.Crash in
+  let mutators =
+    (BO.Fault.flip_value, BO.Fault.equivocate_by_half ~n, BO.Fault.flip_value)
+  in
+  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let values = values_of ~n inputs in
+  let rounds = ref [] in
+  let failures = ref 0 in
+  for k = 0 to seeds - 1 do
+    let config =
+      H.E.config ~n ~f
+        ~inputs:(BO.inputs ~n ~mode ~coin:(coin_of coin) values)
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed:(seed + k) ()
+    in
+    let _, verdict = H.run config in
+    if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
+    else incr failures;
+    if seeds = 1 then
+      Fmt.pr "ben-or(%a) n=%d f=%d seed=%d: %a@." BO.Mode.pp mode n f (seed + k)
+        Abc.Harness.pp_verdict verdict
+  done;
+  if seeds > 1 then begin
+    Fmt.pr "ben-or(%a) n=%d f=%d seeds=%d..%d: ok %d/%d failures %d@." BO.Mode.pp
+      mode n f seed (seed + seeds - 1) (List.length !rounds) seeds !failures;
+    summarize_rounds "  " !rounds
+  end
+
+(* ---- mmr ---- *)
+
+let run_mmr n f seed seeds adversary fault faulty_count inputs coin =
+  let module M = Abc.Mmr_consensus in
+  let module H = Abc.Harness.Make (struct
+    include M
+
+    let value_of_input = M.value_of_input
+  end) in
+  let coin =
+    (* MMR's safety needs the common coin; local is for the ablation. *)
+    match coin with `Local -> Abc.Coin.local | `Common -> Abc.Coin.common ~seed:7
+  in
+  let mutators =
+    (M.Fault.flip_value, M.Fault.equivocate_by_half ~n, M.Fault.flip_value)
+  in
+  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let values = values_of ~n inputs in
+  let rounds = ref [] in
+  let failures = ref 0 in
+  for k = 0 to seeds - 1 do
+    let config =
+      H.E.config ~n ~f
+        ~inputs:(M.inputs ~n ~coin values)
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed:(seed + k) ()
+    in
+    let _, verdict = H.run config in
+    if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
+    else incr failures;
+    if seeds = 1 then
+      Fmt.pr "mmr-consensus n=%d f=%d seed=%d: %a@." n f (seed + k)
+        Abc.Harness.pp_verdict verdict
+  done;
+  if seeds > 1 then begin
+    Fmt.pr "mmr-consensus n=%d f=%d seeds=%d..%d: ok %d/%d failures %d@." n f seed
+      (seed + seeds - 1) (List.length !rounds) seeds !failures;
+    summarize_rounds "  " !rounds
+  end
+
+(* ---- acs ---- *)
+
+let run_acs n f seed adversary fault faulty_count =
+  let module Acs = Abc.Acs.Make (Abc.Payloads.Int_payload) in
+  let module E = Abc_net.Engine.Make (Acs) in
+  let mutators =
+    ( (fun _rng (m : Acs.msg) -> m),
+      (fun _rng ~dst:_ (m : Acs.msg) -> m),
+      fun _rng (m : Acs.msg) -> m )
+  in
+  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let config =
+    E.config ~n ~f
+      ~inputs:(Acs.inputs ~n ~coin:Abc.Coin.local (Array.init n (fun i -> 100 + i)))
+      ~faulty
+      ~adversary:(adversary_of ~n adversary)
+      ~seed ()
+  in
+  let result = E.run config in
+  Fmt.pr "acs n=%d f=%d seed=%d stop=%a messages=%d@." n f seed
+    Abc_net.Engine.pp_stop_reason result.E.stop
+    (Abc_sim.Metrics.counter result.E.metrics "sent");
+  Array.iteri
+    (fun i outputs ->
+      match outputs with
+      | [ (_, output) ] -> Fmt.pr "  node %d: %a@." i Acs.pp_output output
+      | [] -> Fmt.pr "  node %d: no output@." i
+      | _ -> ())
+    result.E.outputs
+
+(* ---- smr ---- *)
+
+let run_smr n f seed adversary fault faulty_count slots =
+  let module Log = Abc_smr.Replicated_log in
+  let module E = Abc_net.Engine.Make (Log) in
+  let mutators =
+    ( (fun _rng (m : Log.msg) -> m),
+      (fun _rng ~dst:_ (m : Log.msg) -> m),
+      fun _rng (m : Log.msg) -> m )
+  in
+  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let config =
+    E.config ~n ~f
+      ~inputs:
+        (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
+             Printf.sprintf "cmd-%d.%d" i k))
+      ~faulty
+      ~adversary:(adversary_of ~n adversary)
+      ~seed ()
+  in
+  let result = E.run config in
+  Fmt.pr "smr n=%d f=%d slots=%d seed=%d stop=%a messages=%d time=%d@." n f slots
+    seed Abc_net.Engine.pp_stop_reason result.E.stop
+    (Abc_sim.Metrics.counter result.E.metrics "sent")
+    result.E.duration;
+  Array.iteri
+    (fun i outputs ->
+      match Log.log_of_outputs outputs with
+      | Some log ->
+        Fmt.pr "  replica %d: %a@." i Fmt.(list ~sep:(any " -> ") string) log
+      | None -> Fmt.pr "  replica %d: incomplete@." i)
+    result.E.outputs
+
+(* ---- check (bounded model checking) ---- *)
+
+let run_check n f seed depth max_states fault =
+  ignore seed;
+  let module Rbc = Abc.Bracha_rbc.Binary in
+  let module X = Abc_check.Explore.Make (Rbc) in
+  let two_faced _rng ~dst v =
+    if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
+  in
+  let faulty =
+    match fault with
+    | `None -> []
+    | `Silent -> [ (Node_id.of_int 0, Behaviour.Silent) ]
+    | `Crash -> [ (Node_id.of_int 0, Behaviour.Crash_after 2) ]
+    | `Equivocate ->
+      [ (Node_id.of_int 0, Behaviour.Equivocate (Rbc.Fault.equivocate two_faced)) ]
+    | `Flip | `Force_decide | `Replay ->
+      [ (Node_id.of_int 1,
+         Behaviour.Mutate (Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v))) ]
+  in
+  let agreement outputs =
+    let delivered =
+      Array.to_list outputs
+      |> List.concat_map (List.map (fun (Rbc.Delivered v) -> v))
+    in
+    match delivered with
+    | [] -> true
+    | v :: rest -> List.for_all (Abc.Value.equal v) rest
+  in
+  let outcome =
+    X.run
+      {
+        X.n;
+        f;
+        inputs = Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One;
+        faulty;
+        invariant = agreement;
+        max_states;
+        max_depth = (if depth = 0 then None else Some depth);
+      }
+  in
+  Fmt.pr
+    "model-check rbc n=%d f=%d depth<=%s: explored=%d exhausted=%b deadlocks=%d      depth_reached=%d@."
+    n f
+    (if depth = 0 then "inf" else string_of_int depth)
+    outcome.X.explored outcome.X.exhausted outcome.X.deadlocks
+    outcome.X.depth_reached;
+  match outcome.X.violation with
+  | None -> Fmt.pr "  agreement holds on every explored schedule@."
+  | Some v ->
+    Fmt.pr "  VIOLATION after %d deliveries:@." (List.length v.X.schedule);
+    List.iter
+      (fun (src, dst, m) ->
+        Fmt.pr "    %a -> %a : %s@." Node_id.pp src Node_id.pp dst m)
+      v.X.schedule
+
+(* ---- command wiring ---- *)
+
+let rbc_cmd =
+  let term =
+    Term.(
+      const run_rbc $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
+      $ faulty_count_arg $ trace_arg)
+  in
+  Cmd.v (Cmd.info "rbc" ~doc:"Run one Bracha reliable broadcast.") term
+
+let consensus_cmd =
+  let no_validation =
+    Arg.(value & flag & info [ "no-validation" ] ~doc:"Disable message validation.")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ] ~doc:"Plain broadcasts instead of reliable broadcast.")
+  in
+  let term =
+    Term.(
+      const run_consensus $ n_arg $ f_arg $ seed_arg $ seeds_arg $ adversary_arg
+      $ fault_kind_arg $ faulty_count_arg $ inputs_arg $ coin_arg $ no_validation
+      $ plain $ trace_arg)
+  in
+  Cmd.v (Cmd.info "consensus" ~doc:"Run Bracha's randomized Byzantine consensus.") term
+
+let benor_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("byzantine", `Byzantine); ("crash", `Crash) ]) `Byzantine
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Fault mode: $(b,byzantine) or $(b,crash).")
+  in
+  let term =
+    Term.(
+      const run_benor $ n_arg $ f_arg $ seed_arg $ seeds_arg $ adversary_arg
+      $ fault_kind_arg $ faulty_count_arg $ inputs_arg $ coin_arg $ mode)
+  in
+  Cmd.v (Cmd.info "benor" ~doc:"Run the Ben-Or baseline protocol.") term
+
+let mmr_cmd =
+  let coin_common =
+    Arg.(
+      value
+      & opt (enum [ ("local", `Local); ("common", `Common) ]) `Common
+      & info [ "coin" ] ~docv:"COIN"
+          ~doc:
+            "Round coin: $(b,common) (default; required for safety) or $(b,local) \
+             (ablation only — violates agreement).")
+  in
+  let term =
+    Term.(
+      const run_mmr $ n_arg $ f_arg $ seed_arg $ seeds_arg $ adversary_arg
+      $ fault_kind_arg $ faulty_count_arg $ inputs_arg $ coin_common)
+  in
+  Cmd.v
+    (Cmd.info "mmr" ~doc:"Run MMR (2014) binary agreement, Bracha's modern descendant.")
+    term
+
+let acs_cmd =
+  let term =
+    Term.(
+      const run_acs $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
+      $ faulty_count_arg)
+  in
+  Cmd.v (Cmd.info "acs" ~doc:"Run an asynchronous common subset.") term
+
+let check_cmd =
+  let depth =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Schedule-length bound (0 = unbounded, may be huge).")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt int 500_000
+      & info [ "states" ] ~docv:"K" ~doc:"Exploration budget in states.")
+  in
+  let term =
+    Term.(
+      const run_check $ n_arg $ f_arg $ seed_arg $ depth $ max_states
+      $ fault_kind_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check reliable broadcast over every schedule prefix.")
+    term
+
+let smr_cmd =
+  let slots =
+    Arg.(value & opt int 3 & info [ "slots" ] ~docv:"K" ~doc:"Log length in slots.")
+  in
+  let term =
+    Term.(
+      const run_smr $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
+      $ faulty_count_arg $ slots)
+  in
+  Cmd.v (Cmd.info "smr" ~doc:"Run the replicated log.") term
+
+let () =
+  let doc = "Asynchronous Byzantine consensus (Bracha, PODC 1984) simulator" in
+  let info = Cmd.info "abc-run" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ rbc_cmd; consensus_cmd; benor_cmd; mmr_cmd; acs_cmd; smr_cmd; check_cmd ]))

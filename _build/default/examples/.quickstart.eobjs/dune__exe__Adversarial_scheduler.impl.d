@@ -1,0 +1,1 @@
+examples/adversarial_scheduler.ml: Abc Abc_net Abc_sim Array Fmt List

@@ -1,0 +1,1 @@
+examples/byzantine_generals.ml: Abc Abc_net Array Fmt List String

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Abc Abc_check Abc_net Array Fmt List

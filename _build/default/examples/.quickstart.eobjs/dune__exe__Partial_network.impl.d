@@ -1,0 +1,1 @@
+examples/partial_network.ml: Abc Abc_net Array Fmt List String

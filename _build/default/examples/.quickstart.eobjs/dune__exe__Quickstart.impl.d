@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abc Abc_net Abc_sim Array Fmt

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Abc Abc_net Abc_sim Abc_smr Array Fmt List Printf

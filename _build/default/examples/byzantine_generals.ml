@@ -1,0 +1,81 @@
+(* Byzantine generals: seven generals, two traitors, no clocks.
+
+   Seven armies must agree whether to attack (1) or retreat (0) using
+   asynchronous messengers — arbitrarily slow, never lost.  Two
+   generals are traitors trying to split the loyal five.  This is
+   exactly the setting of Bracha's PODC 1984 protocol: n = 7 > 3f = 6,
+   so agreement is possible despite FLP, with probability-1
+   termination from coin flips.
+
+   The example runs three traitor strategies and shows that the loyal
+   generals always reach the same decision, and that when all loyal
+   generals want to attack, no traitor can talk them out of it
+   (validity).
+
+   Run with: dune exec examples/byzantine_generals.exe *)
+
+module B = Abc.Bracha_consensus
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+
+module H = Abc.Harness.Make (struct
+  include B
+
+  let value_of_input = B.value_of_input
+end)
+
+let n = 7
+
+let f = 2
+
+let traitors = [ 2; 5 ]
+
+let strategies =
+  [
+    ("silent traitors (crash)", Behaviour.Silent);
+    ("consistent liars (flip every vote)", Behaviour.Mutate B.Fault.flip_value);
+    ( "two-faced traitors (equivocate)",
+      Behaviour.Equivocate (B.Fault.equivocate_by_half ~n) );
+  ]
+
+let campaign ~label ~behaviour ~votes ~seed =
+  let faulty = List.map (fun i -> (Node_id.of_int i, behaviour)) traitors in
+  let inputs = B.inputs ~n ~options:B.Options.default votes in
+  let config =
+    H.E.config ~n ~f ~inputs ~faulty ~adversary:Abc_net.Adversary.uniform ~seed ()
+  in
+  let _, verdict = H.run config in
+  Fmt.pr "  %-38s" label;
+  match verdict.Abc.Harness.decisions with
+  | (_, _, first) :: _ when Abc.Harness.ok verdict ->
+    let order =
+      if Abc.Value.to_bool first.Abc.Decision.value then "ATTACK" else "RETREAT"
+    in
+    Fmt.pr "loyal generals agree: %s (round %d, %d messages)@." order
+      verdict.Abc.Harness.max_round verdict.Abc.Harness.messages
+  | _ -> Fmt.pr "FAILED: %a@." Abc.Harness.pp_verdict verdict
+
+let () =
+  Fmt.pr "Seven generals, two traitors (nodes %s), asynchronous messengers.@."
+    (String.concat ", " (List.map string_of_int traitors));
+
+  Fmt.pr "@.Scenario 1: every loyal general wants to attack.@.";
+  let attack_votes = Array.make n Abc.Value.One in
+  List.iteri
+    (fun k (label, behaviour) ->
+      campaign ~label ~behaviour ~votes:attack_votes ~seed:(100 + k))
+    strategies;
+
+  Fmt.pr "@.Scenario 2: the loyal generals are split 3 vs 2.@.";
+  let split_votes =
+    Array.init n (fun i -> if i mod 2 = 0 then Abc.Value.One else Abc.Value.Zero)
+  in
+  List.iteri
+    (fun k (label, behaviour) ->
+      campaign ~label ~behaviour ~votes:split_votes ~seed:(200 + k))
+    strategies;
+
+  Fmt.pr
+    "@.In scenario 1 validity forces ATTACK every time; in scenario 2 either@.\
+     order is legitimate — what matters is that all loyal generals pick the@.\
+     same one, which they always do.@."

@@ -1,0 +1,1 @@
+lib/check/explore.ml: Abc_net Abc_prng Array Buffer Digest Fmt Hashtbl List Map Marshal Queue String

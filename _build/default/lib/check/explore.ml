@@ -1,0 +1,215 @@
+module Node_id = Abc_net.Node_id
+module Protocol = Abc_net.Protocol
+module Behaviour = Abc_net.Behaviour
+
+module Make (P : Abc_net.Protocol.S) = struct
+  type config = {
+    n : int;
+    f : int;
+    inputs : P.input array;
+    faulty : (Node_id.t * P.msg Behaviour.t) list;
+    invariant : P.output list array -> bool;
+    max_states : int;
+    max_depth : int option;
+  }
+
+  type violation = {
+    schedule : (Node_id.t * Node_id.t * string) list;
+    outputs : P.output list array;
+  }
+
+  type outcome = {
+    explored : int;
+    exhausted : bool;
+    deadlocks : int;
+    depth_reached : int;
+    violation : violation option;
+  }
+
+  (* The in-flight pool is a canonical multiset: entries keyed by the
+     marshalled (src, dst, msg) triple so that duplicate messages do
+     not multiply the branching factor. *)
+  module Pending_map = Map.Make (String)
+
+  type entry = { src : Node_id.t; dst : Node_id.t; msg : P.msg; count : int }
+
+  type sys_state = {
+    nodes : P.state array;
+    activations : int array;
+    outputs : P.output list array; (* oldest first *)
+    pending : entry Pending_map.t;
+  }
+
+  let entry_key src dst msg = Marshal.to_string (src, dst, msg) []
+
+  let add_pending pending src dst msg =
+    let key = entry_key src dst msg in
+    match Pending_map.find_opt key pending with
+    | Some e -> Pending_map.add key { e with count = e.count + 1 } pending
+    | None -> Pending_map.add key { src; dst; msg; count = 1 } pending
+
+  let remove_pending pending key =
+    match Pending_map.find_opt key pending with
+    | Some e when e.count > 1 -> Pending_map.add key { e with count = e.count - 1 } pending
+    | Some _ -> Pending_map.remove key pending
+    | None -> assert false
+
+  (* A fresh stream per call: deterministic protocols never draw from
+     it, and if one does, every branch sees the same draws. *)
+  let fresh_rng label = Abc_prng.Stream.split (Abc_prng.Stream.root ~seed:0) ~label
+
+  let context cfg i =
+    {
+      Protocol.Context.me = Node_id.of_int i;
+      n = cfg.n;
+      f = cfg.f;
+      rng = fresh_rng i;
+    }
+
+  (* Canonical fingerprint of a system state.  Node states are
+     marshalled as-is: for tree-backed states the AVL shape can differ
+     for equal contents, which only weakens deduplication (more states
+     revisited), never soundness. *)
+  let fingerprint state =
+    let buffer = Buffer.create 512 in
+    Array.iter
+      (fun node_state -> Buffer.add_string buffer (Marshal.to_string node_state []))
+      state.nodes;
+    Array.iter (fun a -> Buffer.add_string buffer (string_of_int a)) state.activations;
+    Buffer.add_string buffer (Marshal.to_string state.outputs []);
+    Pending_map.iter
+      (fun key e ->
+        Buffer.add_string buffer key;
+        Buffer.add_string buffer (string_of_int e.count))
+      state.pending;
+    Digest.string (Buffer.contents buffer)
+
+  (* [deliver cfg state key] returns the successor state. *)
+  let deliver cfg state key =
+    let e = Pending_map.find key state.pending in
+    let i = Node_id.to_int e.dst in
+    let ctx = context cfg i in
+    let node_state, actions, new_outputs =
+      P.on_message ctx state.nodes.(i) ~src:e.src e.msg
+    in
+    let activation = state.activations.(i) in
+    let actions =
+      match List.assoc_opt e.dst cfg.faulty with
+      | None -> actions
+      | Some b ->
+        Behaviour.apply b ~rng:(fresh_rng (1000 + i)) ~n:cfg.n ~activation actions
+    in
+    let nodes = Array.copy state.nodes in
+    nodes.(i) <- node_state;
+    let activations = Array.copy state.activations in
+    activations.(i) <- activation + 1;
+    let outputs = Array.copy state.outputs in
+    outputs.(i) <- state.outputs.(i) @ new_outputs;
+    let pending = remove_pending state.pending key in
+    let pending =
+      List.fold_left
+        (fun pending action ->
+          match action with
+          | Protocol.Broadcast msg ->
+            List.fold_left
+              (fun pending dst -> add_pending pending e.dst dst msg)
+              pending (Node_id.all ~n:cfg.n)
+          | Protocol.Send (dst, msg) -> add_pending pending e.dst dst msg)
+        pending actions
+    in
+    { nodes; activations; outputs; pending }
+
+  let initial_state cfg =
+    let nodes = Array.make cfg.n (fst (P.initial (context cfg 0) cfg.inputs.(0))) in
+    let pending = ref Pending_map.empty in
+    for i = 0 to cfg.n - 1 do
+      let ctx = context cfg i in
+      let node_state, actions = P.initial ctx cfg.inputs.(i) in
+      nodes.(i) <- node_state;
+      let actions =
+        match List.assoc_opt (Node_id.of_int i) cfg.faulty with
+        | None -> actions
+        | Some b ->
+          Behaviour.apply b ~rng:(fresh_rng (1000 + i)) ~n:cfg.n ~activation:0 actions
+      in
+      List.iter
+        (fun action ->
+          match action with
+          | Protocol.Broadcast msg ->
+            List.iter
+              (fun dst -> pending := add_pending !pending (Node_id.of_int i) dst msg)
+              (Node_id.all ~n:cfg.n)
+          | Protocol.Send (dst, msg) ->
+            pending := add_pending !pending (Node_id.of_int i) dst msg)
+        actions
+    done;
+    {
+      nodes;
+      activations = Array.make cfg.n 1;
+      outputs = Array.make cfg.n [];
+      pending = !pending;
+    }
+
+  let run cfg =
+    let start = initial_state cfg in
+    let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+    (* parent edge per fingerprint, for counterexample reconstruction *)
+    let parents : (string, string * (Node_id.t * Node_id.t * string)) Hashtbl.t =
+      Hashtbl.create 4096
+    in
+    let queue = Queue.create () in
+    let explored = ref 0 in
+    let deadlocks = ref 0 in
+    let violation = ref None in
+    let start_fp = fingerprint start in
+    Hashtbl.add visited start_fp ();
+    Queue.add (start, start_fp, 0) queue;
+    let depth_reached = ref 0 in
+    let truncated = ref false in
+    let rebuild_schedule fp =
+      let rec walk fp acc =
+        match Hashtbl.find_opt parents fp with
+        | Some (parent_fp, step) -> walk parent_fp (step :: acc)
+        | None -> acc
+      in
+      walk fp []
+    in
+    if not (cfg.invariant start.outputs) then
+      violation := Some { schedule = []; outputs = start.outputs };
+    while (not (Queue.is_empty queue)) && !violation = None && !explored < cfg.max_states do
+      let state, fp, depth = Queue.pop queue in
+      incr explored;
+      depth_reached := max !depth_reached depth;
+      if Pending_map.is_empty state.pending then incr deadlocks
+      else if (match cfg.max_depth with Some d -> depth >= d | None -> false) then
+        truncated := true
+      else
+        Pending_map.iter
+          (fun key e ->
+            if !violation = None then begin
+              let successor = deliver cfg state key in
+              let successor_fp = fingerprint successor in
+              if not (Hashtbl.mem visited successor_fp) then begin
+                Hashtbl.add visited successor_fp ();
+                Hashtbl.add parents successor_fp
+                  (fp, (e.src, e.dst, Fmt.str "%a" P.pp_msg e.msg));
+                if not (cfg.invariant successor.outputs) then
+                  violation :=
+                    Some
+                      {
+                        schedule = rebuild_schedule successor_fp;
+                        outputs = successor.outputs;
+                      }
+                else Queue.add (successor, successor_fp, depth + 1) queue
+              end
+            end)
+          state.pending
+    done;
+    {
+      explored = !explored;
+      exhausted = Queue.is_empty queue && !violation = None && not !truncated;
+      deadlocks = !deadlocks;
+      depth_reached = !depth_reached;
+      violation = !violation;
+    }
+end

@@ -1,0 +1,1 @@
+lib/core/acs.ml: Array Ba_instance Coin Decision Fmt Import Int List Map Node_id Option Protocol Rbc_core Rbc_mux Value

@@ -1,0 +1,1 @@
+lib/core/acs.mli: Coin Import Node_id Protocol Value

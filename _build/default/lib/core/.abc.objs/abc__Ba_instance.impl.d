@@ -1,0 +1,1 @@
+lib/core/ba_instance.ml: Coin Consensus_core Consensus_msg Decision Import List Node_id Rbc_mux Validation

@@ -1,0 +1,1 @@
+lib/core/ba_instance.mli: Coin Decision Import Node_id Rbc_mux Stream Value

@@ -1,0 +1,1 @@
+lib/core/ben_or.ml: Array Coin Decision Fmt Import List Map Node_id Option Protocol Value

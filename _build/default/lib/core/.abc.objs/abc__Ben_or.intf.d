@@ -1,0 +1,1 @@
+lib/core/ben_or.mli: Coin Decision Fmt Import Node_id Protocol Stream Value

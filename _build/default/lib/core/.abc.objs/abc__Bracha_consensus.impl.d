@@ -1,0 +1,1 @@
+lib/core/bracha_consensus.ml: Array Ba_instance Coin Consensus_core Consensus_msg Decision Fmt Import List Node_id Protocol Rbc_mux Stream Validation Value

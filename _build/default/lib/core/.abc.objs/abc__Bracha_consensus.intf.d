@@ -1,0 +1,1 @@
+lib/core/bracha_consensus.mli: Coin Consensus_msg Decision Fmt Import Node_id Protocol Rbc_mux Stream Value

@@ -1,0 +1,1 @@
+lib/core/bracha_rbc.ml: Array Fmt Import List Node_id Protocol Rbc_core Value

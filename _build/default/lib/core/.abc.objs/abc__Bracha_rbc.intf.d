@@ -1,0 +1,1 @@
+lib/core/bracha_rbc.mli: Import Node_id Protocol Rbc_core Stream Value

@@ -1,0 +1,1 @@
+lib/core/coin.ml: Abc_prng Fmt Import Int64 Stream Value

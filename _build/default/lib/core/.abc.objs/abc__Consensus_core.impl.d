@@ -1,0 +1,1 @@
+lib/core/consensus_core.ml: Coin Consensus_msg Decision Import List Map Node_id Step Value

@@ -1,0 +1,1 @@
+lib/core/consensus_core.mli: Coin Consensus_msg Decision Import Node_id Stream Value

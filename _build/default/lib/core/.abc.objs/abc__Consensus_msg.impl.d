@@ -1,0 +1,1 @@
+lib/core/consensus_msg.ml: Bool Fmt Import Int Map Node_id Value

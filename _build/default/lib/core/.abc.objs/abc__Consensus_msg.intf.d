@@ -1,0 +1,1 @@
+lib/core/consensus_msg.mli: Fmt Import Map Node_id Value

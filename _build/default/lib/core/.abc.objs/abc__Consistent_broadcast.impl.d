@@ -1,0 +1,1 @@
+lib/core/consistent_broadcast.ml: Array Fmt Import Map Node_id Protocol Rbc_core Value

@@ -1,0 +1,1 @@
+lib/core/consistent_broadcast.mli: Import Node_id Protocol Rbc_core Value

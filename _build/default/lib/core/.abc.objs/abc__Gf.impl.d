@@ -1,0 +1,1 @@
+lib/core/gf.ml: Abc_prng Fmt Int

@@ -1,0 +1,1 @@
+lib/core/gf.mli: Abc_prng Fmt

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Abc_net Array Decision Engine Fmt Import List Metrics Node_id Protocol Value

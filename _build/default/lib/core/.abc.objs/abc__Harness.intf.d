@@ -1,0 +1,1 @@
+lib/core/harness.mli: Decision Engine Fmt Import Node_id Protocol Value

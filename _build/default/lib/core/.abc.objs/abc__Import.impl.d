@@ -1,0 +1,1 @@
+lib/core/import.ml: Abc_net Abc_prng Abc_sim

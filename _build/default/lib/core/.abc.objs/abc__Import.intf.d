@@ -1,0 +1,1 @@
+lib/core/import.mli: Abc_net Abc_prng Abc_sim

@@ -1,0 +1,1 @@
+lib/core/mmr_consensus.ml: Array Coin Decision Fmt Gf Import Int List Map Node_id Protocol Rabin_coin Shamir Value

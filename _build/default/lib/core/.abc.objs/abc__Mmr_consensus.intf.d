@@ -1,0 +1,1 @@
+lib/core/mmr_consensus.mli: Coin Decision Import Node_id Protocol Rabin_coin Shamir Stream Value

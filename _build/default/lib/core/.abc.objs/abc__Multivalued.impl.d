@@ -1,0 +1,1 @@
+lib/core/multivalued.ml: Acs Array Coin Fmt Import List Node_id Value

@@ -1,0 +1,1 @@
+lib/core/multivalued.mli: Acs Coin Import Node_id Protocol Value

@@ -1,0 +1,1 @@
+lib/core/payloads.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/core/rabin_coin.ml: Gf Import List Node_id Shamir Stream Value

@@ -1,0 +1,1 @@
+lib/core/rabin_coin.mli: Import Node_id Shamir Value

@@ -1,0 +1,1 @@
+lib/core/rbc_core.ml: Fmt Import List Map Node_id Value

@@ -1,0 +1,1 @@
+lib/core/rbc_core.mli: Fmt Import Node_id Value

@@ -1,0 +1,1 @@
+lib/core/rbc_mux.ml: Consensus_msg Fmt List Option Rbc_core

@@ -1,0 +1,1 @@
+lib/core/rbc_mux.mli: Consensus_msg Fmt Import Node_id Rbc_core

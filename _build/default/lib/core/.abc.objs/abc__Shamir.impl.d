@@ -1,0 +1,1 @@
+lib/core/shamir.ml: Gf List

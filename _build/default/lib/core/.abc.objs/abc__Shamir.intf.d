@@ -1,0 +1,1 @@
+lib/core/shamir.mli: Abc_prng Gf

@@ -1,0 +1,1 @@
+lib/core/turpin_coan.ml: Array Ba_instance Coin Decision Fmt Import List Map Node_id Option Protocol Rbc_mux Value

@@ -1,0 +1,1 @@
+lib/core/turpin_coan.mli: Coin Import Protocol Value

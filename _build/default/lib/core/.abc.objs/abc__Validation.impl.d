@@ -1,0 +1,1 @@
+lib/core/validation.ml: Consensus_msg Import Key List Map Node_id Step Value

@@ -1,0 +1,1 @@
+lib/core/validation.mli: Consensus_msg

@@ -1,0 +1,213 @@
+open Import
+
+module Int_map = Map.Make (Int)
+
+module Make (V : Value.PAYLOAD) = struct
+  module Prbc = Rbc_core.Make (V)
+
+  type input = { proposal : V.t; coin : Coin.t }
+
+  type output = Accepted of (Node_id.t * V.t) list
+
+  type msg =
+    | Prop of { origin : Node_id.t; event : Prbc.event }
+    | Ba of { index : int; wire : Rbc_mux.wire }
+
+  type state = {
+    n : int;
+    f : int;
+    me : Node_id.t;
+    prop_instances : Prbc.t Node_id.Map.t;
+    proposals : V.t Node_id.Map.t; (* reliably delivered proposals *)
+    bas : Ba_instance.t Int_map.t; (* one BA per proposer index *)
+    decisions : Value.t Int_map.t; (* BA results *)
+    emitted : bool;
+  }
+
+  let name = "acs"
+
+  let ba_validation = true
+
+  let make_ba ~n ~f ~me ~coin = Ba_instance.create ~n ~f ~me ~coin ~validation:ba_validation
+
+  let ba state index = Int_map.find index state.bas
+
+  let wrap_ba index wires =
+    List.map (fun wire -> Protocol.Broadcast (Ba { index; wire })) wires
+
+  let wrap_prop origin events =
+    List.map (fun event -> Protocol.Broadcast (Prop { origin; event })) events
+
+  let ones_decided state =
+    Int_map.fold
+      (fun _ v acc -> if Value.equal v Value.One then acc + 1 else acc)
+      state.decisions 0
+
+  let record_events state index events =
+    List.fold_left
+      (fun state (Ba_instance.Decided d) ->
+        if Int_map.mem index state.decisions then state
+        else { state with decisions = Int_map.add index d.Decision.value state.decisions })
+      state events
+
+  (* Start [BA_index] with [input], folding any immediate events back
+     into the state.  No-op when already started. *)
+  let start_ba state ~rng index input =
+    let instance = ba state index in
+    if Ba_instance.started instance then (state, [])
+    else begin
+      let instance, wires, events = Ba_instance.start instance ~rng ~input in
+      let state = { state with bas = Int_map.add index instance state.bas } in
+      let state = record_events state index events in
+      (state, wrap_ba index wires)
+    end
+
+  (* Apply the ACS rules to fixpoint: vote 1 for delivered proposals,
+     vote 0 everywhere once n-f instances accepted, emit when all
+     instances are decided and the accepted payloads have arrived. *)
+  let rec settle state ~rng actions =
+    (* Rule 1: proposals that arrived but whose BA has no input yet. *)
+    let pending_one =
+      Node_id.Map.fold
+        (fun origin _ acc ->
+          let index = Node_id.to_int origin in
+          if Ba_instance.started (ba state index) then acc else index :: acc)
+        state.proposals []
+    in
+    match pending_one with
+    | index :: _ ->
+      let state, new_actions = start_ba state ~rng index Value.One in
+      settle state ~rng (actions @ new_actions)
+    | [] ->
+      (* Rule 2: enough instances accepted — refuse the rest. *)
+      let unstarted =
+        List.filter
+          (fun i -> not (Ba_instance.started (ba state i)))
+          (List.init state.n (fun i -> i))
+      in
+      if ones_decided state >= state.n - state.f && unstarted <> [] then begin
+        let state, new_actions =
+          List.fold_left
+            (fun (state, acc) index ->
+              let state, actions = start_ba state ~rng index Value.Zero in
+              (state, acc @ actions))
+            (state, []) unstarted
+        in
+        settle state ~rng (actions @ new_actions)
+      end
+      else begin
+        (* Rule 3: emit once everything is decided and every accepted
+           proposal has been delivered (totality guarantees it will). *)
+        if state.emitted || Int_map.cardinal state.decisions < state.n then
+          (state, actions, [])
+        else begin
+          let accepted_indices =
+            Int_map.fold
+              (fun i v acc -> if Value.equal v Value.One then i :: acc else acc)
+              state.decisions []
+            |> List.sort compare
+          in
+          let payloads =
+            List.map
+              (fun i -> Node_id.Map.find_opt (Node_id.of_int i) state.proposals)
+              accepted_indices
+          in
+          if List.for_all Option.is_some payloads then begin
+            let subset =
+              List.map2
+                (fun i payload ->
+                  match payload with
+                  | Some p -> (Node_id.of_int i, p)
+                  | None -> assert false)
+                accepted_indices payloads
+            in
+            ({ state with emitted = true }, actions, [ Accepted subset ])
+          end
+          else (state, actions, [])
+        end
+      end
+
+  let initial ctx (input : input) =
+    let { Protocol.Context.me; n; f; rng = _ } = ctx in
+    let bas =
+      List.fold_left
+        (fun bas i -> Int_map.add i (make_ba ~n ~f ~me ~coin:input.coin) bas)
+        Int_map.empty
+        (List.init n (fun i -> i))
+    in
+    let state =
+      {
+        n;
+        f;
+        me;
+        prop_instances = Node_id.Map.empty;
+        proposals = Node_id.Map.empty;
+        bas;
+        decisions = Int_map.empty;
+        emitted = false;
+      }
+    in
+    (state, [ Protocol.Broadcast (Prop { origin = me; event = Prbc.Initial input.proposal }) ])
+
+  let prop_instance state origin =
+    match Node_id.Map.find_opt origin state.prop_instances with
+    | Some inst -> inst
+    | None -> Prbc.create ~n:state.n ~f:state.f ~sender:origin
+
+  let on_message ctx state ~src msg =
+    let rng = ctx.Protocol.Context.rng in
+    match msg with
+    | Prop { origin; event } ->
+      let inst = prop_instance state origin in
+      let inst, events, delivered = Prbc.handle inst ~src event in
+      let state =
+        { state with prop_instances = Node_id.Map.add origin inst state.prop_instances }
+      in
+      let state =
+        match delivered with
+        | Some payload when not (Node_id.Map.mem origin state.proposals) ->
+          { state with proposals = Node_id.Map.add origin payload state.proposals }
+        | Some _ | None -> state
+      in
+      let state, actions, outputs = settle state ~rng (wrap_prop origin events) in
+      (state, actions, outputs)
+    | Ba { index; wire } ->
+      if index < 0 || index >= state.n then (state, [], [])
+      else begin
+        let instance, wires, events = Ba_instance.on_wire (ba state index) ~rng ~src wire in
+        let state = { state with bas = Int_map.add index instance state.bas } in
+        let state = record_events state index events in
+        let state, actions, outputs = settle state ~rng (wrap_ba index wires) in
+        (state, actions, outputs)
+      end
+
+  let is_terminal (Accepted _) = true
+
+  let msg_label = function
+    | Prop { event; _ } -> "prop." ^ Prbc.event_label event
+    | Ba { wire; _ } -> "ba." ^ Rbc_mux.wire_label wire
+
+  let pp_msg ppf = function
+    | Prop { origin; event } ->
+      Fmt.pf ppf "prop[%a]:%a" Node_id.pp origin Prbc.pp_event event
+    | Ba { index; wire } -> Fmt.pf ppf "ba[%d]:%a" index Rbc_mux.pp_wire wire
+
+  let pp_output ppf (Accepted subset) =
+    Fmt.pf ppf "accepted{%a}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (id, p) ->
+           Fmt.pf ppf "%a=%a" Node_id.pp id V.pp p))
+      subset
+
+  let inputs ~n ~coin proposals =
+    if Array.length proposals <> n then
+      invalid_arg "Acs.inputs: proposals length must equal n";
+    Array.map (fun proposal -> { proposal; coin }) proposals
+
+  let decide_value (Accepted subset) =
+    match subset with
+    | [] -> invalid_arg "Acs.decide_value: empty common subset"
+    | (_, first) :: rest ->
+      List.fold_left
+        (fun best (_, p) -> if V.compare p best < 0 then p else best)
+        first rest
+end

@@ -1,0 +1,199 @@
+open Import
+
+module Mode = struct
+  type t = Byzantine | Crash
+
+  let max_faults t ~n =
+    match t with Byzantine -> (n - 1) / 5 | Crash -> (n - 1) / 2
+
+  let label = function Byzantine -> "byzantine" | Crash -> "crash"
+
+  let pp ppf t = Fmt.string ppf (label t)
+end
+
+type input = { value : Value.t; mode : Mode.t; coin : Coin.t }
+
+type msg =
+  | Report of { round : int; value : Value.t }
+  | Proposal of { round : int; value : Value.t option }
+
+type output = Decision.t
+
+type phase = Reporting | Proposing
+
+(* Tally for one (round, phase): [c0]/[c1] count values, [cq] counts
+   "?" proposals. *)
+type tally = { origins : Node_id.Set.t; c0 : int; c1 : int; cq : int }
+
+let empty_tally = { origins = Node_id.Set.empty; c0 = 0; c1 = 0; cq = 0 }
+
+module Slot_map = Map.Make (struct
+  type t = int * int (* round, phase as int *)
+
+  let compare = compare
+end)
+
+type state = {
+  n : int;
+  f : int;
+  mode : Mode.t;
+  coin : Coin.t;
+  value : Value.t;
+  round : int;
+  phase : phase;
+  decided : Decision.t option;
+  tallies : tally Slot_map.t;
+}
+
+let name = "ben-or"
+
+let phase_index = function Reporting -> 1 | Proposing -> 2
+
+let quorum state = state.n - state.f
+
+let majority_threshold state =
+  match state.mode with
+  | Mode.Byzantine -> (state.n + state.f) / 2 (* strictly-greater-than bound *)
+  | Mode.Crash -> state.n / 2
+
+let adopt_threshold state =
+  match state.mode with Mode.Byzantine -> state.f + 1 | Mode.Crash -> 1
+
+let decide_threshold state =
+  match state.mode with
+  | Mode.Byzantine -> (3 * state.f) + 1
+  | Mode.Crash -> state.f + 1
+
+let tally state ~round ~phase =
+  match Slot_map.find_opt (round, phase_index phase) state.tallies with
+  | Some tl -> tl
+  | None -> empty_tally
+
+let count tl v = match v with Value.Zero -> tl.c0 | Value.One -> tl.c1
+
+let total tl = tl.c0 + tl.c1 + tl.cq
+
+let own_message state =
+  match state.phase with
+  | Reporting -> Report { round = state.round; value = state.value }
+  | Proposing ->
+    let tl = tally state ~round:state.round ~phase:Reporting in
+    let proposal =
+      if count tl Value.Zero > majority_threshold state then Some Value.Zero
+      else if count tl Value.One > majority_threshold state then Some Value.One
+      else None
+    in
+    Proposal { round = state.round; value = proposal }
+
+(* Fire every enabled phase transition; the recursion advances (round,
+   phase) each time, so it stops at the first missing quorum. *)
+let rec progress state ~rng acc_actions acc_outputs =
+  let tl = tally state ~round:state.round ~phase:state.phase in
+  if total tl < quorum state then (state, List.rev acc_actions, List.rev acc_outputs)
+  else
+    match state.phase with
+    | Reporting ->
+      let state = { state with phase = Proposing } in
+      progress state ~rng
+        (Protocol.Broadcast (own_message state) :: acc_actions)
+        acc_outputs
+    | Proposing ->
+      let w =
+        if count tl Value.Zero >= count tl Value.One then Value.Zero else Value.One
+      in
+      let support = count tl w in
+      let state, acc_outputs =
+        if support >= decide_threshold state then begin
+          match state.decided with
+          | Some _ -> ({ state with value = w }, acc_outputs)
+          | None ->
+            let decision = { Decision.value = w; round = state.round } in
+            ( { state with value = w; decided = Some decision },
+              decision :: acc_outputs )
+        end
+        else if support >= adopt_threshold state then
+          ({ state with value = w }, acc_outputs)
+        else begin
+          let value =
+            match state.decided with
+            | Some d -> d.Decision.value
+            | None -> Coin.flip state.coin ~rng ~round:state.round
+          in
+          ({ state with value }, acc_outputs)
+        end
+      in
+      let state = { state with round = state.round + 1; phase = Reporting } in
+      progress state ~rng
+        (Protocol.Broadcast (own_message state) :: acc_actions)
+        acc_outputs
+
+let record state ~src msg =
+  let slot, contribution =
+    match msg with
+    | Report { round; value } -> ((round, phase_index Reporting), Some value)
+    | Proposal { round; value } -> ((round, phase_index Proposing), value)
+  in
+  let tl =
+    match Slot_map.find_opt slot state.tallies with
+    | Some tl -> tl
+    | None -> empty_tally
+  in
+  if Node_id.Set.mem src tl.origins then state
+  else begin
+    let tl = { tl with origins = Node_id.Set.add src tl.origins } in
+    let tl =
+      match contribution with
+      | Some Value.Zero -> { tl with c0 = tl.c0 + 1 }
+      | Some Value.One -> { tl with c1 = tl.c1 + 1 }
+      | None -> { tl with cq = tl.cq + 1 }
+    in
+    { state with tallies = Slot_map.add slot tl state.tallies }
+  end
+
+let initial ctx (input : input) =
+  let state =
+    {
+      n = ctx.Protocol.Context.n;
+      f = ctx.Protocol.Context.f;
+      mode = input.mode;
+      coin = input.coin;
+      value = input.value;
+      round = 1;
+      phase = Reporting;
+      decided = None;
+      tallies = Slot_map.empty;
+    }
+  in
+  (state, [ Protocol.Broadcast (own_message state) ])
+
+let on_message ctx state ~src msg =
+  let state = record state ~src msg in
+  progress state ~rng:ctx.Protocol.Context.rng [] []
+
+let is_terminal (_ : output) = true
+
+let msg_label = function Report _ -> "report" | Proposal _ -> "proposal"
+
+let pp_msg ppf = function
+  | Report { round; value } -> Fmt.pf ppf "report(r%d, %a)" round Value.pp value
+  | Proposal { round; value = Some v } -> Fmt.pf ppf "proposal(r%d, %a)" round Value.pp v
+  | Proposal { round; value = None } -> Fmt.pf ppf "proposal(r%d, ?)" round
+
+let pp_output = Decision.pp
+
+let inputs ~n ~mode ~coin values =
+  if Array.length values <> n then
+    invalid_arg "Ben_or.inputs: values length must equal n";
+  Array.map (fun value -> { value; mode; coin }) values
+
+let value_of_input (input : input) = input.value
+
+module Fault = struct
+  let flip_value _rng = function
+    | Report r -> Report { r with value = Value.negate r.value }
+    | Proposal { round; value } ->
+      Proposal { round; value = Option.map Value.negate value }
+
+  let equivocate_by_half ~n rng ~dst msg =
+    if Node_id.to_int dst < n / 2 then msg else flip_value rng msg
+end

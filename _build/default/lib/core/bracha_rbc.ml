@@ -1,0 +1,63 @@
+open Import
+
+module Make (V : Value.PAYLOAD) = struct
+  module Core = Rbc_core.Make (V)
+
+  type input = { sender : Node_id.t; payload : V.t option }
+
+  type output = Delivered of V.t
+
+  type msg = Core.event
+
+  type state = Core.t
+
+  let name = "bracha-rbc"
+
+  let broadcast_all events = List.map (fun e -> Protocol.Broadcast e) events
+
+  let initial ctx input =
+    let state =
+      Core.create ~n:ctx.Protocol.Context.n ~f:ctx.Protocol.Context.f
+        ~sender:input.sender
+    in
+    let actions =
+      match input.payload with
+      | Some v ->
+        assert (Node_id.equal ctx.Protocol.Context.me input.sender);
+        [ Protocol.Broadcast (Core.Initial v) ]
+      | None -> []
+    in
+    (state, actions)
+
+  let on_message _ctx state ~src msg =
+    let state, events, delivery = Core.handle state ~src msg in
+    let outputs = match delivery with Some v -> [ Delivered v ] | None -> [] in
+    (state, broadcast_all events, outputs)
+
+  let is_terminal (Delivered _) = true
+
+  let msg_label = Core.event_label
+
+  let pp_msg = Core.pp_event
+
+  let pp_output ppf (Delivered v) = Fmt.pf ppf "delivered(%a)" V.pp v
+
+  module Fault = struct
+    let map_payload forge rng = function
+      | Core.Initial v -> Core.Initial (forge rng v)
+      | Core.Echo v -> Core.Echo (forge rng v)
+      | Core.Ready v -> Core.Ready (forge rng v)
+
+    let substitute forge rng msg = map_payload forge rng msg
+
+    let equivocate forge rng ~dst msg =
+      map_payload (fun rng v -> forge rng ~dst v) rng msg
+  end
+
+  let inputs ~n ~sender v =
+    Array.init n (fun i ->
+        let me = Node_id.of_int i in
+        { sender; payload = (if Node_id.equal me sender then Some v else None) })
+end
+
+module Binary = Make (Value)

@@ -1,0 +1,25 @@
+open Import
+
+type t = Local | Common of { seed : int }
+
+let local = Local
+
+let common ~seed = Common { seed }
+
+let flip t ~rng ~round =
+  match t with
+  | Local -> Value.of_bool (Stream.bool rng)
+  | Common { seed } ->
+    (* A pure function of (seed, round): one SplitMix64 mixing step is
+       an adequate bit extractor for a perfect-coin model. *)
+    let mixed =
+      Abc_prng.Splitmix64.mix
+        (Int64.logxor
+           (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+           (Int64.of_int round))
+    in
+    Value.of_bool (Int64.logand mixed 1L = 1L)
+
+let label = function Local -> "local" | Common _ -> "common"
+
+let pp ppf t = Fmt.string ppf (label t)

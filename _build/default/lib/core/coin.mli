@@ -1,0 +1,36 @@
+open Import
+
+(** Round coins.
+
+    Bracha's 1984 protocol flips a {e local} coin: when a node sees
+    neither enough support to decide nor to adopt, it picks its next
+    value uniformly at random.  Termination then holds with probability
+    1, with expected round counts that grow quickly with [n] (all
+    honest coins must align against the adversary).
+
+    The {e common} coin is the modern extension (Rabin-style, the one
+    HoneyBadgerBFT-era protocols use): all nodes read the same unbiased
+    random bit per round, collapsing the expected round count to a
+    constant.  We model a perfect common coin as a pure function of
+    [(seed, round)] — the substitution is documented in DESIGN.md. *)
+
+type t =
+  | Local  (** independent uniform bit per node per flip *)
+  | Common of { seed : int }
+      (** shared unbiased bit, identical at every node for each round *)
+
+val local : t
+(** The paper's local coin. *)
+
+val common : seed:int -> t
+(** A perfect common coin keyed by [seed]. *)
+
+val flip : t -> rng:Stream.t -> round:int -> Value.t
+(** [flip t ~rng ~round] draws the coin for [round].  A [Local] coin
+    consumes randomness from the node's private [rng]; a [Common] coin
+    ignores [rng] and returns the same bit at every node. *)
+
+val label : t -> string
+(** ["local"] or ["common"]. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,161 @@
+open Import
+open Consensus_msg
+
+type effect = Broadcast_step of vmsg | Decide of Decision.t
+
+(* Tally of validated messages for one (round, step) slot; identical in
+   shape to the validation layer's but counted independently, keeping
+   the two modules' correctness arguments separate. *)
+type tally = { origins : Node_id.Set.t; c0 : int; c1 : int; d0 : int; d1 : int }
+
+let empty_tally = { origins = Node_id.Set.empty; c0 = 0; c1 = 0; d0 = 0; d1 = 0 }
+
+module Slot_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  n : int;
+  f : int;
+  me : Node_id.t;
+  coin : Coin.t;
+  value : Value.t;
+  round : int;
+  step : Step.t; (* the step whose quorum we are waiting on *)
+  decided : Decision.t option;
+  tallies : tally Slot_map.t;
+}
+
+let quorum t = t.n - t.f
+
+let round t = t.round
+
+let decided t = t.decided
+
+let current_value t = t.value
+
+let tally t ~round ~step =
+  match Slot_map.find_opt (round, Step.to_int step) t.tallies with
+  | Some tl -> tl
+  | None -> empty_tally
+
+let count tl v = match v with Value.Zero -> tl.c0 | Value.One -> tl.c1
+
+let dcount tl v = match v with Value.Zero -> tl.d0 | Value.One -> tl.d1
+
+let total tl = tl.c0 + tl.c1
+
+let own_vmsg t ~step ~decide =
+  { origin = t.me; round = t.round; step; value = t.value; decide }
+
+(* The value with strictly more than half of the validated step-1
+   messages, if any; [current] otherwise (possible only for even
+   totals). *)
+let majority tl ~current =
+  if count tl Value.Zero > total tl / 2 then Value.Zero
+  else if count tl Value.One > total tl / 2 then Value.One
+  else current
+
+(* Once decided, a node only needs to keep broadcasting long enough for
+   the stragglers: every honest node decides at most one round after
+   the first decision, so rounds beyond [decided + 2] serve nobody and
+   the instance quiesces (essential when many instances run inside one
+   composition, e.g. ACS). *)
+let quiesced t =
+  match t.decided with
+  | Some d -> t.round > d.Decision.round + 2
+  | None -> false
+
+(* Take every transition enabled by the current tallies.  Each firing
+   advances (round, step), so the recursion stops at the first missing
+   quorum.  Effects accumulate in reverse. *)
+let rec progress t ~rng acc =
+  let tl = tally t ~round:t.round ~step:t.step in
+  if quiesced t || total tl < quorum t then (t, List.rev acc)
+  else
+    match t.step with
+    | Step.S1 ->
+      let value = majority tl ~current:t.value in
+      let t = { t with value; step = Step.S2 } in
+      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S2 ~decide:false) :: acc)
+    | Step.S2 ->
+      (* Arm the decide flag when one value exceeds n/2 — at most one
+         value per round can, because each origin contributes a single
+         step-2 message. *)
+      let flagged, value =
+        if count tl Value.Zero > t.n / 2 then (true, Value.Zero)
+        else if count tl Value.One > t.n / 2 then (true, Value.One)
+        else (false, t.value)
+      in
+      let t = { t with value; step = Step.S3 } in
+      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S3 ~decide:flagged) :: acc)
+    | Step.S3 ->
+      let w =
+        if dcount tl Value.Zero >= dcount tl Value.One then Value.Zero else Value.One
+      in
+      let support = dcount tl w in
+      let t, acc =
+        if support >= (2 * t.f) + 1 then begin
+          match t.decided with
+          | Some _ -> ({ t with value = w }, acc)
+          | None ->
+            let decision = { Decision.value = w; round = t.round } in
+            ({ t with value = w; decided = Some decision }, Decide decision :: acc)
+        end
+        else if support >= t.f + 1 then ({ t with value = w }, acc)
+        else begin
+          (* Neither rule fired: flip the round coin — unless decided
+             already, in which case the value is locked forever. *)
+          let value =
+            match t.decided with
+            | Some d -> d.Decision.value
+            | None -> Coin.flip t.coin ~rng ~round:t.round
+          in
+          ({ t with value }, acc)
+        end
+      in
+      let t = { t with round = t.round + 1; step = Step.S1 } in
+      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S1 ~decide:false) :: acc)
+
+let record t (m : vmsg) =
+  let slot = (m.round, Step.to_int m.step) in
+  let tl =
+    match Slot_map.find_opt slot t.tallies with
+    | Some tl -> tl
+    | None -> empty_tally
+  in
+  if Node_id.Set.mem m.origin tl.origins then t
+  else begin
+    let tl = { tl with origins = Node_id.Set.add m.origin tl.origins } in
+    let tl =
+      match (m.value, m.decide) with
+      | Value.Zero, false -> { tl with c0 = tl.c0 + 1 }
+      | Value.One, false -> { tl with c1 = tl.c1 + 1 }
+      | Value.Zero, true -> { tl with c0 = tl.c0 + 1; d0 = tl.d0 + 1 }
+      | Value.One, true -> { tl with c1 = tl.c1 + 1; d1 = tl.d1 + 1 }
+    in
+    { t with tallies = Slot_map.add slot tl t.tallies }
+  end
+
+let on_validated t ~rng m =
+  let t = record t m in
+  progress t ~rng []
+
+let create ~n ~f ~me ~coin ~input =
+  assert (n > 3 * f);
+  let t =
+    {
+      n;
+      f;
+      me;
+      coin;
+      value = input;
+      round = 1;
+      step = Step.S1;
+      decided = None;
+      tallies = Slot_map.empty;
+    }
+  in
+  (t, [ Broadcast_step (own_vmsg t ~step:Step.S1 ~decide:false) ])

@@ -1,0 +1,53 @@
+open Import
+
+(** Bracha's randomized binary consensus — pure round state machine.
+
+    Tolerates [f ≤ ⌊(n-1)/3⌋] Byzantine nodes in a fully asynchronous
+    system, deciding with probability 1 — the 1984 answer to FLP.  Each
+    round [r] has three steps, each a reliable broadcast by every node
+    (messages arrive here only after validation):
+
+    + {b Step 1} — broadcast the current value; await [q = n - f]
+      messages; adopt the majority value.
+    + {b Step 2} — broadcast it; await [q]; if some value [w] has more
+      than [n/2] support, arm the decide flag for [w].
+    + {b Step 3} — broadcast value (+ flag); await [q]; with [d(w)] the
+      number of decide-messages for [w]:
+      - [d(w) ≥ 2f+1]: {b decide} [w] (and keep participating so
+        stragglers terminate — they all decide by round [r+1]);
+      - [d(w) ≥ f+1]: adopt [w];
+      - otherwise: flip the round {!Coin}.
+
+    The module consumes already-validated messages and emits broadcast
+    effects; transports (RBC or plain) live in the adapters.  All
+    thresholds count distinct origins, so acting on more than [q]
+    messages (when validation releases a batch) is safe — every rule is
+    monotone in the counts. *)
+
+type effect =
+  | Broadcast_step of Consensus_msg.vmsg
+      (** this node's next step message, to be disseminated *)
+  | Decide of Decision.t  (** emitted exactly once, upon decision *)
+
+type t
+(** Immutable consensus state for one node. *)
+
+val create :
+  n:int -> f:int -> me:Node_id.t -> coin:Coin.t -> input:Value.t -> t * effect list
+(** [create ~n ~f ~me ~coin ~input] starts round 1 and emits the
+    step-1 broadcast of [input].  Requires [n > 3f]. *)
+
+val on_validated : t -> rng:Stream.t -> Consensus_msg.vmsg -> t * effect list
+(** [on_validated t ~rng m] accounts for a validated message and takes
+    every transition that has become enabled (possibly several, if
+    later-step quorums were already waiting).  [rng] feeds local coin
+    flips. *)
+
+val round : t -> int
+(** Current round (1-based). *)
+
+val decided : t -> Decision.t option
+(** The decision, once taken. *)
+
+val current_value : t -> Value.t
+(** The node's current estimate (for tests and debugging). *)

@@ -1,0 +1,76 @@
+open Import
+
+module Step = struct
+  type t = S1 | S2 | S3
+
+  let to_int = function S1 -> 1 | S2 -> 2 | S3 -> 3
+
+  let equal a b = to_int a = to_int b
+
+  let compare a b = Int.compare (to_int a) (to_int b)
+
+  let pp ppf s = Fmt.pf ppf "s%d" (to_int s)
+end
+
+module Payload = struct
+  type t = { value : Value.t; decide : bool }
+
+  let equal a b = Value.equal a.value b.value && Bool.equal a.decide b.decide
+
+  let compare a b =
+    match Value.compare a.value b.value with
+    | 0 -> Bool.compare a.decide b.decide
+    | c -> c
+
+  let pp ppf { value; decide } =
+    if decide then Fmt.pf ppf "d:%a" Value.pp value else Value.pp ppf value
+
+  let label = "step"
+end
+
+module Key = struct
+  type t = { origin : Node_id.t; round : int; step : Step.t }
+
+  let compare a b =
+    match Node_id.compare a.origin b.origin with
+    | 0 -> (
+      match Int.compare a.round b.round with
+      | 0 -> Step.compare a.step b.step
+      | c -> c)
+    | c -> c
+
+  let equal a b = compare a b = 0
+
+  let pp ppf { origin; round; step } =
+    Fmt.pf ppf "%a/r%d/%a" Node_id.pp origin round Step.pp step
+
+  module Map = Map.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end
+
+type vmsg = {
+  origin : Node_id.t;
+  round : int;
+  step : Step.t;
+  value : Value.t;
+  decide : bool;
+}
+
+let vmsg_of_delivery (key : Key.t) (payload : Payload.t) =
+  {
+    origin = key.origin;
+    round = key.round;
+    step = key.step;
+    value = payload.value;
+    decide = payload.decide;
+  }
+
+let key_of_vmsg v = { Key.origin = v.origin; round = v.round; step = v.step }
+
+let payload_of_vmsg v = { Payload.value = v.value; decide = v.decide }
+
+let pp_vmsg ppf v =
+  Fmt.pf ppf "%a=%a" Key.pp (key_of_vmsg v) Payload.pp (payload_of_vmsg v)

@@ -1,0 +1,61 @@
+open Import
+
+(** Message vocabulary of Bracha's randomized consensus.
+
+    Each round has three steps; in every step each node
+    reliable-broadcasts one value.  Step-3 messages additionally carry
+    the "deciding" flag ([(d, v)] in the paper).  The payload that
+    travels inside reliable-broadcast instances is [(value, decide)];
+    the instance {!Key} names the (originator, round, step) slot, and a
+    {e validated message} ({!vmsg}) is the pair of both — what the
+    validation layer and the consensus core operate on. *)
+
+(** Protocol step within a round. *)
+module Step : sig
+  type t = S1 | S2 | S3
+
+  val to_int : t -> int
+  (** 1, 2 or 3. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+(** RBC payload: the broadcast value plus the step-3 decide flag. *)
+module Payload : sig
+  type t = { value : Value.t; decide : bool }
+
+  include Value.PAYLOAD with type t := t
+end
+
+(** Identity of one reliable-broadcast instance: who broadcasts for
+    which (round, step) slot.  Carried verbatim on the wire so that a
+    Byzantine node cannot smuggle one instance's traffic into
+    another. *)
+module Key : sig
+  type t = { origin : Node_id.t; round : int; step : Step.t }
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  module Map : Map.S with type key = t
+end
+
+type vmsg = {
+  origin : Node_id.t;
+  round : int;
+  step : Step.t;
+  value : Value.t;
+  decide : bool;
+}
+(** A consensus step message after reliable delivery, as seen by the
+    validation layer and the consensus core. *)
+
+val vmsg_of_delivery : Key.t -> Payload.t -> vmsg
+(** Reassemble a validated-message view from an RBC delivery. *)
+
+val key_of_vmsg : vmsg -> Key.t
+val payload_of_vmsg : vmsg -> Payload.t
+val pp_vmsg : vmsg Fmt.t

@@ -1,0 +1,39 @@
+open Import
+
+(** Consistent (echo-only) broadcast — what Bracha's ready phase buys.
+
+    The two-phase primitive that predates reliable broadcast: the
+    sender broadcasts [Initial v]; nodes echo; a node delivers on a
+    quorum of [⌈(n+f+1)/2⌉] matching echoes.  It guarantees validity
+    and {b consistency} (no two honest nodes deliver different values)
+    with only ~n² messages and two phases — but {b not totality}: if
+    the sender crashes mid-broadcast, some honest nodes can deliver
+    while others never do.
+
+    Bracha's third ([ready]) phase exists precisely to close that gap,
+    at the cost of another n² messages.  The test suite demonstrates
+    the totality failure with a deterministic crash schedule, and the
+    comparison is part of understanding why consensus must be built on
+    the reliable (three-phase) primitive. *)
+
+module Make (V : Value.PAYLOAD) : sig
+  module Core : module type of Rbc_core.Make (V)
+  (** Reuses the reliable-broadcast event vocabulary ([Ready] events
+      are ignored by this protocol). *)
+
+  type input = { sender : Node_id.t; payload : V.t option }
+
+  type output = Delivered of V.t
+
+  include
+    Protocol.S
+      with type input := input
+       and type output := output
+       and type msg = Core.event
+
+  val inputs : n:int -> sender:Node_id.t -> V.t -> input array
+end
+
+module Binary : sig
+  include module type of Make (Value)
+end

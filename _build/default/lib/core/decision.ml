@@ -1,0 +1,5 @@
+type t = { value : Value.t; round : int }
+
+let equal a b = Value.equal a.value b.value && Int.equal a.round b.round
+
+let pp ppf { value; round } = Fmt.pf ppf "decide(%a, round %d)" Value.pp value round

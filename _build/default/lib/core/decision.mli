@@ -1,0 +1,11 @@
+(** Consensus decisions.
+
+    Shared output type of every binary-consensus protocol in this
+    library, so one harness can evaluate them all. *)
+
+type t = { value : Value.t; round : int }
+(** [value] is the decided bit; [round] the round in which this node
+    decided (1-based). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

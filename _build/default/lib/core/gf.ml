@@ -1,0 +1,43 @@
+let prime = 0x7FFFFFFF (* 2^31 - 1, a Mersenne prime *)
+
+type t = int
+
+let of_int x =
+  let r = x mod prime in
+  if r < 0 then r + prime else r
+
+let to_int t = t
+
+let zero = 0
+
+let one = 1
+
+let add a b =
+  let s = a + b in
+  if s >= prime then s - prime else s
+
+let sub a b =
+  let d = a - b in
+  if d < 0 then d + prime else d
+
+(* a, b < 2^31 so a * b < 2^62 fits a native int. *)
+let mul a b = a * b mod prime
+
+let rec pow x k =
+  assert (k >= 0);
+  if k = 0 then one
+  else begin
+    let half = pow x (k / 2) in
+    let squared = mul half half in
+    if k mod 2 = 0 then squared else mul squared x
+  end
+
+let inv x = if x = 0 then raise Division_by_zero else pow x (prime - 2)
+
+let div a b = mul a (inv b)
+
+let equal = Int.equal
+
+let pp = Fmt.int
+
+let random rng = Abc_prng.Stream.int rng ~bound:prime

@@ -1,0 +1,41 @@
+(** Arithmetic in the prime field GF(2³¹ − 1).
+
+    The field under the Shamir secret sharing used by the Rabin-style
+    common coin.  The Mersenne prime [p = 2³¹ − 1] keeps every product
+    of two field elements inside OCaml's 63-bit native integers, so no
+    boxed arithmetic is needed. *)
+
+val prime : int
+(** The field modulus, [2³¹ - 1]. *)
+
+type t = private int
+(** A field element in [[0, prime)]. *)
+
+val of_int : int -> t
+(** [of_int x] reduces [x] modulo [prime] (negative inputs allowed). *)
+
+val to_int : t -> int
+(** The canonical representative in [[0, prime)]. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0], by square-and-multiply. *)
+
+val inv : t -> t
+(** Multiplicative inverse (by Fermat's little theorem).  Raises
+    [Division_by_zero] on {!zero}. *)
+
+val div : t -> t -> t
+(** [div a b] is [mul a (inv b)]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val random : Abc_prng.Stream.t -> t
+(** A uniformly random field element. *)

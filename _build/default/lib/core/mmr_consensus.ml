@@ -1,0 +1,279 @@
+open Import
+
+type coin_source = Flip of Coin.t | Shares of Rabin_coin.t
+
+type input = { value : Value.t; coin : coin_source }
+
+type msg =
+  | Bval of { round : int; value : Value.t }
+  | Aux of { round : int; value : Value.t }
+  | Share of { round : int; share : Shamir.share }
+
+type output = Decision.t
+
+(* Per-round bookkeeping.  [bval_from] / [aux_from] track the distinct
+   senders per value ([aux_from] keyed by the sender's single vote);
+   [bval_echoed] latches the f+1 re-broadcast rule per value. *)
+type round_state = {
+  bval_from : Node_id.Set.t array; (* indexed by Value.to_int *)
+  bval_echoed : bool array;
+  bin_values : bool array;
+  aux_from : Value.t Node_id.Map.t;
+  aux_sent : bool;
+  share_sent : bool;
+  shares : Shamir.share Node_id.Map.t; (* verified coin shares *)
+  completed : bool;
+}
+
+let fresh_round () =
+  {
+    bval_from = [| Node_id.Set.empty; Node_id.Set.empty |];
+    bval_echoed = [| false; false |];
+    bin_values = [| false; false |];
+    aux_from = Node_id.Map.empty;
+    aux_sent = false;
+    share_sent = false;
+    shares = Node_id.Map.empty;
+    completed = false;
+  }
+
+module Int_map = Map.Make (Int)
+
+type state = {
+  n : int;
+  f : int;
+  me : Node_id.t;
+  coin : coin_source;
+  est : Value.t;
+  round : int;
+  decided : Decision.t option;
+  rounds : round_state Int_map.t;
+}
+
+let name = "mmr-consensus"
+
+let quorum state = state.n - state.f
+
+let round_state state r =
+  match Int_map.find_opt r state.rounds with
+  | Some rs -> rs
+  | None -> fresh_round ()
+
+let set_round state r rs = { state with rounds = Int_map.add r rs state.rounds }
+
+(* Mutation helpers on the immutable round record (arrays are copied
+   before update to keep states value-semantic). *)
+let with_set arr i v =
+  let arr = Array.copy arr in
+  arr.(i) <- v;
+  arr
+
+let add_bval rs ~src value =
+  let i = Value.to_int value in
+  { rs with bval_from = with_set rs.bval_from i (Node_id.Set.add src rs.bval_from.(i)) }
+
+let add_aux rs ~src value =
+  if Node_id.Map.mem src rs.aux_from then rs
+  else { rs with aux_from = Node_id.Map.add src value rs.aux_from }
+
+let add_share rs ~src share =
+  if Node_id.Map.mem src rs.shares then rs
+  else { rs with shares = Node_id.Map.add src share rs.shares }
+
+(* The BV-broadcast rules plus the AUX trigger for round [r]; returns
+   the messages this node must broadcast now. *)
+let bv_progress state r =
+  let rs = round_state state r in
+  let sends = ref [] in
+  let rs = ref rs in
+  List.iter
+    (fun value ->
+      let i = Value.to_int value in
+      let support = Node_id.Set.cardinal !rs.bval_from.(i) in
+      if support >= state.f + 1 && not !rs.bval_echoed.(i) then begin
+        sends := Bval { round = r; value } :: !sends;
+        rs := { !rs with bval_echoed = with_set !rs.bval_echoed i true }
+      end;
+      if support >= (2 * state.f) + 1 && not !rs.bin_values.(i) then
+        rs := { !rs with bin_values = with_set !rs.bin_values i true })
+    [ Value.Zero; Value.One ];
+  (* First value entering bin_values triggers the single AUX vote. *)
+  let rs = !rs in
+  let rs, sends =
+    if (not rs.aux_sent) && (rs.bin_values.(0) || rs.bin_values.(1)) then begin
+      let value = if rs.bin_values.(0) then Value.Zero else Value.One in
+      ({ rs with aux_sent = true }, Aux { round = r; value } :: !sends)
+    end
+    else (rs, !sends)
+  in
+  (set_round state r rs, List.rev sends)
+
+(* Obtain the round coin.  The [Flip] sources answer immediately; the
+   share-based source reveals this node's share (once) and waits for
+   f+1 verified shares — exactly Rabin's protocol, on the wire. *)
+let obtain_coin state ~rng rs r =
+  match state.coin with
+  | Flip c -> (rs, [], Some (Coin.flip c ~rng ~round:r))
+  | Shares dealer ->
+    let rs, sends =
+      if rs.share_sent then (rs, [])
+      else begin
+        let my_share = Rabin_coin.share dealer ~round:r ~node:state.me in
+        (* Count our own share immediately; the broadcast copy that
+           loops back is deduplicated. *)
+        let rs = add_share { rs with share_sent = true } ~src:state.me my_share in
+        (rs, [ Share { round = r; share = my_share } ])
+      end
+    in
+    if Node_id.Map.cardinal rs.shares >= Rabin_coin.threshold dealer then begin
+      let shares = List.map snd (Node_id.Map.bindings rs.shares) in
+      (rs, sends, Some (Rabin_coin.reconstruct dealer shares))
+    end
+    else (rs, sends, None)
+
+(* End-of-round rule: enough AUX votes with values inside bin_values,
+   then the round coin. *)
+let try_complete_round state ~rng =
+  let r = state.round in
+  let rs = round_state state r in
+  if rs.completed then (state, [], [])
+  else begin
+    let supported =
+      Node_id.Map.filter
+        (fun _ v -> rs.bin_values.(Value.to_int v))
+        rs.aux_from
+    in
+    if Node_id.Map.cardinal supported < quorum state then (state, [], [])
+    else begin
+      let has v =
+        Node_id.Map.exists (fun _ w -> Value.equal v w) supported
+      in
+      let rs, coin_sends, coin = obtain_coin state ~rng rs r in
+      let state = set_round state r rs in
+      match coin with
+      | None -> (state, coin_sends, [])
+      | Some coin_value ->
+        let singleton =
+          match (has Value.Zero, has Value.One) with
+          | true, false -> Some Value.Zero
+          | false, true -> Some Value.One
+          | true, true | false, false -> None
+        in
+        let state, outputs =
+          match singleton with
+          | Some v ->
+            let state = { state with est = v } in
+            if Value.equal v coin_value && state.decided = None then begin
+              let decision = { Decision.value = v; round = r } in
+              ({ state with decided = Some decision }, [ decision ])
+            end
+            else (state, [])
+          | None ->
+            let est =
+              match state.decided with
+              | Some d -> d.Decision.value (* the decided value is locked *)
+              | None -> coin_value
+            in
+            ({ state with est }, [])
+        in
+        let state = set_round state r { rs with completed = true } in
+        let state = { state with round = r + 1 } in
+        (state, Bval { round = state.round; value = state.est } :: coin_sends, outputs)
+    end
+  end
+
+(* Fire everything that is enabled: BV rules for the current round may
+   unlock the round completion, whose round switch may find the next
+   round's tallies already over quorum. *)
+let rec settle state ~rng actions outputs =
+  let state, bv_sends = bv_progress state state.round in
+  let state, round_sends, round_outputs = try_complete_round state ~rng in
+  let actions = actions @ bv_sends @ round_sends in
+  let outputs = outputs @ round_outputs in
+  if round_sends = [] && round_outputs = [] then (state, actions, outputs)
+  else settle state ~rng actions outputs
+
+let initial ctx (input : input) =
+  let state =
+    {
+      n = ctx.Protocol.Context.n;
+      f = ctx.Protocol.Context.f;
+      me = ctx.Protocol.Context.me;
+      coin = input.coin;
+      est = input.value;
+      round = 1;
+      decided = None;
+      rounds = Int_map.empty;
+    }
+  in
+  let state, actions, _ =
+    settle state ~rng:ctx.Protocol.Context.rng
+      [ Bval { round = 1; value = input.value } ]
+      []
+  in
+  (state, List.map (fun m -> Protocol.Broadcast m) actions)
+
+let on_message ctx state ~src msg =
+  let state, touched =
+    match msg with
+    | Bval { round; value } ->
+      (set_round state round (add_bval (round_state state round) ~src value), round)
+    | Aux { round; value } ->
+      (set_round state round (add_aux (round_state state round) ~src value), round)
+    | Share { round; share } ->
+      (* Only dealer-certified shares count (the VSS check): a forged
+         or replayed share is dropped here. *)
+      let state =
+        match state.coin with
+        | Shares dealer when Rabin_coin.verify dealer ~round ~node:src share ->
+          set_round state round (add_share (round_state state round) ~src share)
+        | Shares _ | Flip _ -> state
+      in
+      (state, round)
+  in
+  (* The BV re-broadcast and AUX rules are per-round instances that
+     must fire even for rounds this node has already left (stragglers
+     depend on our echoes) or has not reached yet. *)
+  let state, instance_sends = bv_progress state touched in
+  let state, actions, outputs =
+    settle state ~rng:ctx.Protocol.Context.rng instance_sends []
+  in
+  (state, List.map (fun m -> Protocol.Broadcast m) actions, outputs)
+
+let is_terminal (_ : output) = true
+
+let msg_label = function Bval _ -> "bval" | Aux _ -> "aux" | Share _ -> "share"
+
+let pp_msg ppf = function
+  | Bval { round; value } -> Fmt.pf ppf "bval(r%d, %a)" round Value.pp value
+  | Aux { round; value } -> Fmt.pf ppf "aux(r%d, %a)" round Value.pp value
+  | Share { round; share } ->
+    Fmt.pf ppf "share(r%d, x=%d)" round share.Shamir.x
+
+let pp_output = Decision.pp
+
+let inputs ~n ~coin values =
+  if Array.length values <> n then
+    invalid_arg "Mmr_consensus.inputs: values length must equal n";
+  Array.map (fun value -> { value; coin = Flip coin }) values
+
+let inputs_with_shared_coin ~n ~f ~seed values =
+  if Array.length values <> n then
+    invalid_arg "Mmr_consensus.inputs_with_shared_coin: values length must equal n";
+  let dealer = Rabin_coin.create ~n ~f ~seed in
+  Array.map (fun value -> { value; coin = Shares dealer }) values
+
+let value_of_input (input : input) = input.value
+
+module Fault = struct
+  let flip_value _rng = function
+    | Bval { round; value } -> Bval { round; value = Value.negate value }
+    | Aux { round; value } -> Aux { round; value = Value.negate value }
+    | Share { round; share } ->
+      (* Corrupt the share value: the dealer-certification check must
+         reject it downstream. *)
+      Share { round; share = { share with Shamir.y = Gf.add share.Shamir.y Gf.one } }
+
+  let equivocate_by_half ~n rng ~dst msg =
+    if Node_id.to_int dst < n / 2 then msg else flip_value rng msg
+end

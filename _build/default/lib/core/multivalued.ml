@@ -1,0 +1,46 @@
+open Import
+
+module Make (V : Value.PAYLOAD) = struct
+  module Underlying = Acs.Make (V)
+
+  type input = { proposal : V.t; coin : Coin.t }
+
+  type output = Decided of { value : V.t; subset : (Node_id.t * V.t) list }
+
+  type msg = Underlying.msg
+
+  type state = Underlying.state
+
+  let name = "multivalued-consensus"
+
+  let translate outputs =
+    List.map
+      (fun (Underlying.Accepted subset as accepted) ->
+        Decided { value = Underlying.decide_value accepted; subset })
+      outputs
+
+  let initial ctx (input : input) =
+    Underlying.initial ctx
+      { Underlying.proposal = input.proposal; coin = input.coin }
+
+  let on_message ctx state ~src msg =
+    let state, actions, outputs = Underlying.on_message ctx state ~src msg in
+    (state, actions, translate outputs)
+
+  let is_terminal (Decided _) = true
+
+  let msg_label = Underlying.msg_label
+
+  let pp_msg = Underlying.pp_msg
+
+  let pp_output ppf (Decided { value; subset }) =
+    Fmt.pf ppf "decided(%a from %d proposals)" V.pp value (List.length subset)
+
+  let inputs ~n ~coin proposals =
+    Array.map
+      (fun (input : Underlying.input) ->
+        { proposal = input.Underlying.proposal; coin })
+      (Underlying.inputs ~n ~coin proposals)
+
+  let decided_value (Decided { value; _ }) = value
+end

@@ -1,0 +1,30 @@
+open Import
+
+(** Multivalued consensus, packaged.
+
+    The thin layer over {!Acs} that most applications want: every node
+    proposes an arbitrary payload, every honest node decides the
+    {e same single payload}, and the decision was proposed by some node
+    (at least [n - 2f] of the subset's members are honest, and the
+    deterministic collapse picks the smallest payload, so a Byzantine
+    proposer can only win by proposing the smallest value — it cannot
+    invent disagreement). *)
+
+module Make (V : Value.PAYLOAD) : sig
+  module Underlying : module type of Acs.Make (V)
+
+  type input = { proposal : V.t; coin : Coin.t }
+
+  type output = Decided of { value : V.t; subset : (Node_id.t * V.t) list }
+      (** the collapsed decision plus the common subset it came from *)
+
+  include
+    Protocol.S
+      with type input := input
+       and type output := output
+       and type msg = Underlying.msg
+
+  val inputs : n:int -> coin:Coin.t -> V.t array -> input array
+
+  val decided_value : output -> V.t
+end

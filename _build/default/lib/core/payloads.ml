@@ -1,0 +1,17 @@
+module Int_payload = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Fmt.int
+  let label = "int"
+end
+
+module String_payload = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp = Fmt.string
+  let label = "string"
+end

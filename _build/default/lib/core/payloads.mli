@@ -1,0 +1,8 @@
+(** Ready-made broadcast payload types for examples, tests and the
+    replicated log. *)
+
+(** Integer payloads (command ids, sequence numbers...). *)
+module Int_payload : Value.PAYLOAD with type t = int
+
+(** String payloads (commands, opaque blobs). *)
+module String_payload : Value.PAYLOAD with type t = string

@@ -1,0 +1,38 @@
+open Import
+
+type t = { n : int; f : int; seed : int }
+
+let create ~n ~f ~seed =
+  assert (0 <= f && f < n);
+  { n; f; seed }
+
+let threshold t = t.f + 1
+
+(* The dealer's per-round polynomial, deterministic in (seed, round):
+   coefficients are drawn from a stream keyed by both, so shares can be
+   recomputed anywhere without storing dealer state. *)
+let coefficients t ~round =
+  let rng =
+    Stream.split (Stream.root ~seed:t.seed) ~label:(0x5EED + round)
+  in
+  List.init (threshold t) (fun _ -> Gf.random rng)
+
+let share t ~round ~node =
+  let x = Node_id.to_int node + 1 in
+  { Shamir.x; y = Shamir.evaluate ~coefficients:(coefficients t ~round) ~x }
+
+let verify t ~round ~node (claimed : Shamir.share) =
+  let expected = share t ~round ~node in
+  claimed.Shamir.x = expected.Shamir.x
+  && Gf.equal claimed.Shamir.y expected.Shamir.y
+
+let secret_to_value secret = Value.of_int (Gf.to_int secret land 1)
+
+let reconstruct t shares =
+  assert (List.length shares >= threshold t);
+  secret_to_value (Shamir.reconstruct shares)
+
+let coin_value t ~round =
+  match coefficients t ~round with
+  | secret :: _ -> secret_to_value secret
+  | [] -> assert false

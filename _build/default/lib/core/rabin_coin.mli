@@ -1,0 +1,46 @@
+open Import
+
+(** Rabin-style common coin from predistributed Shamir shares.
+
+    Rabin's construction (the one Bracha's line of work points to for
+    constant expected rounds): a trusted dealer predistributes, for
+    every round, shares of a random secret under an [(f+1)]-of-[n]
+    {!Shamir} sharing.  At coin time each node reveals its share; any
+    [f+1] verified shares reconstruct the secret, whose low bit is the
+    round coin.  Because reconstruction needs [f+1] shares, at least
+    one must come from an honest node, so the adversary cannot learn
+    the coin before the honest nodes start revealing it.
+
+    The dealer is deterministic in [(seed, round)]: shares are
+    recomputed on demand rather than stored, and {!verify} recomputes a
+    claimed share the way a VSS commitment check would — a Byzantine
+    node can withhold its share but cannot forge another node's.
+
+    {!Mmr_consensus} uses this through actual [Share] wire messages;
+    the pure {!Coin.Common} variant remains available as the idealized
+    model (both are compared in experiment E11). *)
+
+type t
+(** Dealer configuration (immutable). *)
+
+val create : n:int -> f:int -> seed:int -> t
+(** [create ~n ~f ~seed] sets up per-round [(f+1)]-of-[n] sharings.
+    Requires [0 <= f < n]. *)
+
+val threshold : t -> int
+(** [f + 1]: shares needed to reconstruct a round's coin. *)
+
+val share : t -> round:int -> node:Node_id.t -> Shamir.share
+(** The share predistributed to [node] for [round]. *)
+
+val verify : t -> round:int -> node:Node_id.t -> Shamir.share -> bool
+(** Whether a claimed share is exactly the one the dealer gave that
+    node for that round (the VSS commitment check). *)
+
+val reconstruct : t -> Shamir.share list -> Value.t
+(** [reconstruct t shares] interpolates the round secret from at least
+    [threshold t] verified shares and returns its low bit. *)
+
+val coin_value : t -> round:int -> Value.t
+(** The dealer's own view of the round coin — for tests; protocol code
+    must go through shares. *)

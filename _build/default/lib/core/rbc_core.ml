@@ -1,0 +1,110 @@
+open Import
+
+module Make (V : Value.PAYLOAD) = struct
+  type event = Initial of V.t | Echo of V.t | Ready of V.t
+
+  module Value_map = Map.Make (V)
+
+  type t = {
+    n : int;
+    f : int;
+    sender : Node_id.t;
+    initial_seen : bool;
+    echoed : bool;
+    readied : bool;
+    delivered : V.t option;
+    echoes : Node_id.Set.t Value_map.t;
+    readies : Node_id.Set.t Value_map.t;
+  }
+
+  let create ~n ~f ~sender =
+    assert (n > 3 * f);
+    {
+      n;
+      f;
+      sender;
+      initial_seen = false;
+      echoed = false;
+      readied = false;
+      delivered = None;
+      echoes = Value_map.empty;
+      readies = Value_map.empty;
+    }
+
+  let delivered t = t.delivered
+
+  let echoed t = t.echoed
+
+  let readied t = t.readied
+
+  let echo_threshold ~n ~f = (n + f + 2) / 2 (* ⌈(n+f+1)/2⌉ *)
+
+  let ready_amplify_threshold ~f = f + 1
+
+  let deliver_threshold ~f = (2 * f) + 1
+
+  let support map v =
+    match Value_map.find_opt v map with
+    | Some nodes -> Node_id.Set.cardinal nodes
+    | None -> 0
+
+  let note map v src =
+    let nodes =
+      match Value_map.find_opt v map with
+      | Some nodes -> nodes
+      | None -> Node_id.Set.empty
+    in
+    Value_map.add v (Node_id.Set.add src nodes) map
+
+  (* After any counter moves, fire whichever of the two send rules and
+     the delivery rule have newly become enabled.  Each rule fires at
+     most once per instance, guarded by the [echoed] / [readied] /
+     [delivered] latches. *)
+  let progress t v =
+    let sends = ref [] in
+    let t =
+      if
+        (not t.readied)
+        && (support t.echoes v >= echo_threshold ~n:t.n ~f:t.f
+            || support t.readies v >= ready_amplify_threshold ~f:t.f)
+      then begin
+        sends := Ready v :: !sends;
+        { t with readied = true }
+      end
+      else t
+    in
+    let t, delivery =
+      if t.delivered = None && support t.readies v >= deliver_threshold ~f:t.f
+      then ({ t with delivered = Some v }, Some v)
+      else (t, None)
+    in
+    (t, List.rev !sends, delivery)
+
+  let handle t ~src event =
+    match event with
+    | Initial v ->
+      (* Only the designated sender's first Initial counts; an echo is
+         sent exactly once even if the sender equivocates. *)
+      if (not (Node_id.equal src t.sender)) || t.initial_seen then (t, [], None)
+      else begin
+        let t = { t with initial_seen = true } in
+        if t.echoed then (t, [], None)
+        else ({ t with echoed = true }, [ Echo v ], None)
+      end
+    | Echo v ->
+      let t = { t with echoes = note t.echoes v src } in
+      progress t v
+    | Ready v ->
+      let t = { t with readies = note t.readies v src } in
+      progress t v
+
+  let pp_event ppf = function
+    | Initial v -> Fmt.pf ppf "initial(%a)" V.pp v
+    | Echo v -> Fmt.pf ppf "echo(%a)" V.pp v
+    | Ready v -> Fmt.pf ppf "ready(%a)" V.pp v
+
+  let event_label = function
+    | Initial _ -> "initial"
+    | Echo _ -> "echo"
+    | Ready _ -> "ready"
+end

@@ -1,0 +1,44 @@
+open Import
+
+(** Multiplexer for many concurrent reliable-broadcast instances.
+
+    Bracha's consensus runs one RBC instance per (originator, round,
+    step).  The multiplexer routes each wire message to its instance —
+    creating instances lazily — and reports at most one delivery per
+    instance.  The instance key travels on the wire, so a Byzantine
+    node cannot fold two instances together or claim someone else's
+    slot as sender (the engine attributes the true source, and
+    [Initial] events from non-originators are dropped by the
+    instance). *)
+
+module Rbc : module type of Rbc_core.Make (Consensus_msg.Payload)
+(** The underlying reliable-broadcast instances, specialized to
+    consensus payloads. *)
+
+type wire = { key : Consensus_msg.Key.t; event : Rbc.event }
+(** One consensus wire message: an RBC event within instance [key]. *)
+
+type t
+(** Immutable multiplexer state for one node. *)
+
+val create : n:int -> f:int -> t
+(** [create ~n ~f] has no live instances yet. *)
+
+val broadcast_own : Consensus_msg.Key.t -> Consensus_msg.Payload.t -> wire
+(** [broadcast_own key payload] is the [Initial] wire message a node
+    broadcasts to start its own instance [key]. *)
+
+val handle :
+  t ->
+  src:Node_id.t ->
+  wire ->
+  t * wire list * (Consensus_msg.Key.t * Consensus_msg.Payload.t) option
+(** [handle t ~src wire] routes [wire] into its instance.  Returns the
+    new state, wire messages to broadcast (echoes/readies of the same
+    instance), and the instance's delivery when it completes. *)
+
+val instances : t -> int
+(** Number of live instances (for resource accounting/tests). *)
+
+val pp_wire : wire Fmt.t
+val wire_label : wire -> string

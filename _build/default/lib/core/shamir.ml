@@ -1,0 +1,37 @@
+type share = { x : int; y : Gf.t }
+
+let evaluate ~coefficients ~x =
+  let xg = Gf.of_int x in
+  List.fold_right (fun c acc -> Gf.add c (Gf.mul acc xg)) coefficients Gf.zero
+
+let deal ~rng ~secret ~threshold ~shares =
+  if threshold < 1 || threshold > shares then
+    invalid_arg "Shamir.deal: need 1 <= threshold <= shares";
+  let coefficients =
+    secret :: List.init (threshold - 1) (fun _ -> Gf.random rng)
+  in
+  List.init shares (fun i ->
+      let x = i + 1 in
+      { x; y = evaluate ~coefficients ~x })
+
+let reconstruct shares =
+  (match shares with [] -> invalid_arg "Shamir.reconstruct: no shares" | _ -> ());
+  let points = List.map (fun s -> (Gf.of_int s.x, s.y)) shares in
+  let distinct =
+    List.length (List.sort_uniq (fun (a, _) (b, _) -> compare a b) points)
+  in
+  if distinct <> List.length points then
+    invalid_arg "Shamir.reconstruct: duplicate evaluation points";
+  (* Lagrange interpolation at x = 0:
+     secret = Σᵢ yᵢ · Πⱼ≠ᵢ xⱼ / (xⱼ - xᵢ) *)
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let weight =
+        List.fold_left
+          (fun w (xj, _) ->
+            if Gf.equal xi xj then w
+            else Gf.mul w (Gf.div xj (Gf.sub xj xi)))
+          Gf.one points
+      in
+      Gf.add acc (Gf.mul yi weight))
+    Gf.zero points

@@ -1,0 +1,27 @@
+(** Shamir secret sharing over {!Gf}.
+
+    [k]-of-[n] threshold sharing: the dealer hides the secret as the
+    constant term of a random polynomial of degree [k-1] and hands node
+    [i] the evaluation at [x = i+1].  Any [k] shares reconstruct the
+    secret by Lagrange interpolation at 0; fewer reveal nothing.  The
+    substrate of the Rabin-style common coin ({!Rabin_coin}). *)
+
+type share = { x : int; y : Gf.t }
+(** One share: the evaluation point (never 0) and the value. *)
+
+val deal :
+  rng:Abc_prng.Stream.t -> secret:Gf.t -> threshold:int -> shares:int -> share list
+(** [deal ~rng ~secret ~threshold ~shares] draws a uniformly random
+    polynomial with constant term [secret] and returns shares at
+    [x = 1 .. shares].  Requires [1 <= threshold <= shares]. *)
+
+val reconstruct : share list -> Gf.t
+(** [reconstruct shares] interpolates at 0.  The caller must supply at
+    least [threshold] shares with distinct [x]; supplying consistent
+    extra shares does not change the result.  Raises [Invalid_argument]
+    on an empty list or duplicate evaluation points. *)
+
+val evaluate : coefficients:Gf.t list -> x:int -> Gf.t
+(** [evaluate ~coefficients ~x] is the polynomial
+    [c₀ + c₁·x + c₂·x² + …] at [x] (Horner).  Exposed so a dealer with
+    deterministic coefficients can recompute (verify) any share. *)

@@ -1,0 +1,148 @@
+open Import
+open Consensus_msg
+
+(* Per-(round, step) tally of validated messages.  [c0]/[c1] count all
+   messages by value; [d0]/[d1] count only decide-flagged ones. *)
+type tally = {
+  origins : Node_id.Set.t;
+  c0 : int;
+  c1 : int;
+  d0 : int;
+  d1 : int;
+}
+
+let empty_tally = { origins = Node_id.Set.empty; c0 = 0; c1 = 0; d0 = 0; d1 = 0 }
+
+module Slot = struct
+  type t = int * int (* round, step *)
+
+  let of_vmsg m = (m.round, Step.to_int m.step)
+
+  let compare = compare
+end
+
+module Slot_map = Map.Make (Slot)
+
+type t = {
+  n : int;
+  f : int;
+  enabled : bool;
+  tallies : tally Slot_map.t;
+  buffered : vmsg list; (* not yet justified, oldest first *)
+  seen : unit Key.Map.t; (* dedup of accepted submissions *)
+}
+
+let create ~n ~f ~enabled =
+  assert (n > 3 * f);
+  {
+    n;
+    f;
+    enabled;
+    tallies = Slot_map.empty;
+    buffered = [];
+    seen = Key.Map.empty;
+  }
+
+let tally t ~round ~step =
+  match Slot_map.find_opt (round, Step.to_int step) t.tallies with
+  | Some tl -> tl
+  | None -> empty_tally
+
+let count tl v = match v with Value.Zero -> tl.c0 | Value.One -> tl.c1
+
+let dcount tl v = match v with Value.Zero -> tl.d0 | Value.One -> tl.d1
+
+let total tl = tl.c0 + tl.c1
+
+let dtotal tl = tl.d0 + tl.d1
+
+let quorum t = t.n - t.f
+
+(* Majority-possibility threshold: v can be the (tie-tolerant strict)
+   majority of some q-subset iff cnt(v) ≥ (q+1)/2 rounded down — see
+   the interface comment. *)
+let majority_need q = (q + 1) / 2
+
+let justified t m =
+  if t.enabled = false then true
+  else begin
+    let q = quorum t in
+    match m.step with
+    | Step.S1 ->
+      if m.round = 1 then true
+      else begin
+        let prev = tally t ~round:(m.round - 1) ~step:Step.S3 in
+        let adopt_possible = dcount prev m.value >= t.f + 1 in
+        (* Coin rule: a q-subset containing at most f decide-messages
+           exists, so the sender may have flipped to any value. *)
+        let non_decide = total prev - dtotal prev in
+        let coin_possible =
+          total prev >= q && non_decide + min (dtotal prev) t.f >= q
+        in
+        adopt_possible || coin_possible
+      end
+    | Step.S2 ->
+      let prev = tally t ~round:m.round ~step:Step.S1 in
+      total prev >= q && count prev m.value >= majority_need q
+    | Step.S3 ->
+      if m.decide then begin
+        let prev = tally t ~round:m.round ~step:Step.S2 in
+        count prev m.value > t.n / 2
+      end
+      else begin
+        let s1 = tally t ~round:m.round ~step:Step.S1 in
+        let s2 = tally t ~round:m.round ~step:Step.S2 in
+        total s2 >= q && total s1 >= q && count s1 m.value >= majority_need q
+      end
+  end
+
+let record t m =
+  let slot = Slot.of_vmsg m in
+  let tl =
+    match Slot_map.find_opt slot t.tallies with
+    | Some tl -> tl
+    | None -> empty_tally
+  in
+  assert (not (Node_id.Set.mem m.origin tl.origins));
+  let tl = { tl with origins = Node_id.Set.add m.origin tl.origins } in
+  let tl =
+    match (m.value, m.decide) with
+    | Value.Zero, false -> { tl with c0 = tl.c0 + 1 }
+    | Value.One, false -> { tl with c1 = tl.c1 + 1 }
+    | Value.Zero, true -> { tl with c0 = tl.c0 + 1; d0 = tl.d0 + 1 }
+    | Value.One, true -> { tl with c1 = tl.c1 + 1; d1 = tl.d1 + 1 }
+  in
+  { t with tallies = Slot_map.add slot tl t.tallies }
+
+(* Validate everything in the buffer that has become justified, until
+   no further progress: each acceptance can unlock more. *)
+let drain t =
+  let rec loop t validated =
+    let accepted, still_buffered =
+      List.partition (fun m -> justified t m) t.buffered
+    in
+    match accepted with
+    | [] -> (t, List.rev validated)
+    | _ ->
+      let t =
+        List.fold_left record { t with buffered = still_buffered } accepted
+      in
+      loop t (List.rev_append accepted validated)
+  in
+  loop t []
+
+let submit t m =
+  if Key.Map.mem (key_of_vmsg m) t.seen then (t, [])
+  else begin
+    let t = { t with seen = Key.Map.add (key_of_vmsg m) () t.seen } in
+    if justified t m then begin
+      let t = record t m in
+      let t, cascaded = drain t in
+      (t, m :: cascaded)
+    end
+    else ({ t with buffered = t.buffered @ [ m ] }, [])
+  end
+
+let validated_count t ~round ~step = total (tally t ~round ~step)
+
+let buffered_count t = List.length t.buffered

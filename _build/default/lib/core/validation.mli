@@ -1,0 +1,58 @@
+(** Message validation ("justification").
+
+    The second pillar of Bracha's construction: an honest node accepts
+    a step message only once the message could have been produced by an
+    honest node following the protocol, judged against the set of
+    messages this node has already validated.  Combined with reliable
+    broadcast this reduces Byzantine nodes to fail-stop behaviour —
+    they can stay silent, but they cannot inject values that no honest
+    node could hold.
+
+    Concretely, with quorum [q = n - f] (all counts range over validated
+    messages with distinct origins):
+
+    - [(r=1, s=1, v)]: always justified (inputs are arbitrary).
+    - [(r>1, s=1, v)]: the sender finished round [r-1]: either [f+1]
+      step-3 decide-messages for [v] exist (the adopt rule), or a
+      [q]-subset of step-3 messages with at most [f] decide-messages
+      exists (the coin rule, any [v]).
+    - [(r, s=2, v)]: [v] can be the majority of some [q]-subset of
+      validated [(r, 1)] messages: [cnt₁(v) ≥ ⌈(q+1)/2⌉] (for even [q],
+      [q/2] — a tie lets the sender keep its previous value), and at
+      least [q] step-1 messages are validated.
+    - [(r, s=3, d=true, v)]: more than [n/2] validated [(r, 2)]
+      messages carry [v] — so only one value per round can ever carry
+      the decide flag.
+    - [(r, s=3, d=false, v)]: same majority rule as step 2 (a plain
+      step-3 value is the sender's step-2 value), plus evidence that
+      step 2 completed ([q] validated step-2 messages).
+
+    Messages that are not yet justified are buffered; each newly
+    validated message can cascade and justify buffered ones.  A message
+    from a Byzantine origin that is never justifiable stays buffered
+    forever — exactly the paper's intent.  With [enabled = false]
+    (ablation experiment E7) every message is accepted immediately. *)
+
+type t
+(** Immutable validation state for one node. *)
+
+val create : n:int -> f:int -> enabled:bool -> t
+(** [create ~n ~f ~enabled] accepts everything instantly when
+    [enabled] is false. *)
+
+val submit : t -> Consensus_msg.vmsg -> t * Consensus_msg.vmsg list
+(** [submit t m] offers a reliably-delivered message to the validator.
+    Returns the new state and the messages validated as a consequence
+    ([m] itself and/or previously buffered ones), in validation order.
+    Duplicate submissions for the same (origin, round, step) slot are
+    ignored. *)
+
+val justified : t -> Consensus_msg.vmsg -> bool
+(** [justified t m] checks the justification predicate for [m] against
+    the currently validated set (exposed for unit tests). *)
+
+val validated_count : t -> round:int -> step:Consensus_msg.Step.t -> int
+(** Number of validated messages (distinct origins) for a slot. *)
+
+val buffered_count : t -> int
+(** Number of messages waiting for justification. *)

@@ -1,0 +1,33 @@
+type t = Zero | One
+
+let zero = Zero
+
+let one = One
+
+let of_bool b = if b then One else Zero
+
+let to_bool v = v = One
+
+let of_int i = if i = 0 then Zero else One
+
+let to_int = function Zero -> 0 | One -> 1
+
+let negate = function Zero -> One | One -> Zero
+
+let equal a b =
+  match (a, b) with Zero, Zero | One, One -> true | Zero, One | One, Zero -> false
+
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let pp ppf v = Fmt.int ppf (to_int v)
+
+let label = "bit"
+
+module type PAYLOAD = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+  val label : string
+end

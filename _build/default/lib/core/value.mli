@@ -1,0 +1,46 @@
+(** Binary consensus values.
+
+    Bracha's protocol (like Ben-Or's) decides a single bit.  A
+    dedicated two-constructor type keeps bit-flipping faults and coin
+    flips explicit in protocol code. *)
+
+type t = Zero | One
+
+val zero : t
+val one : t
+
+val of_bool : bool -> t
+(** [of_bool b] is [One] when [b]. *)
+
+val to_bool : t -> bool
+(** [to_bool v] is [v = One]. *)
+
+val of_int : int -> t
+(** [of_int i] is [Zero] for 0 and [One] for anything else. *)
+
+val to_int : t -> int
+(** [to_int v] is 0 or 1. *)
+
+val negate : t -> t
+(** The other value. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val label : string
+(** Payload label for message counters ("bit"). *)
+
+(** Payload interface shared by the reliable-broadcast functors: any
+    type with decidable equality, a total order (used as map keys) and
+    a printer can be broadcast. *)
+module type PAYLOAD = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  val label : string
+  (** Short name used in message-kind counters. *)
+end

@@ -1,0 +1,1 @@
+lib/net/adversary.ml: Abc_prng Abc_sim Array Node_id Printf Queue

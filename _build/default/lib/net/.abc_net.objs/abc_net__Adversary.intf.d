@@ -1,0 +1,1 @@
+lib/net/adversary.mli: Abc_prng Node_id

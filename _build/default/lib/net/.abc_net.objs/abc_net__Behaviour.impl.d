@@ -1,0 +1,1 @@
+lib/net/behaviour.ml: Abc_prng List Node_id Protocol

@@ -1,0 +1,1 @@
+lib/net/behaviour.mli: Abc_prng Node_id Protocol

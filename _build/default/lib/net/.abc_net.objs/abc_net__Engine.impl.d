@@ -1,0 +1,1 @@
+lib/net/engine.ml: Abc_prng Abc_sim Adversary Array Behaviour Fmt Hashtbl List Node_id Protocol Topology

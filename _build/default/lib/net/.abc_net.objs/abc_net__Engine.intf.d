@@ -1,0 +1,1 @@
+lib/net/engine.mli: Abc_sim Adversary Behaviour Fmt Node_id Protocol Topology

@@ -1,0 +1,1 @@
+lib/net/protocol.ml: Abc_prng Fmt Node_id

@@ -1,0 +1,1 @@
+lib/net/protocol.mli: Abc_prng Fmt Node_id

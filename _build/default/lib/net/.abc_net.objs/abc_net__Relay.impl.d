@@ -1,0 +1,1 @@
+lib/net/relay.ml: Fmt List Node_id Protocol Set

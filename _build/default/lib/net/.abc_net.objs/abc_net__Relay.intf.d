@@ -1,0 +1,1 @@
+lib/net/relay.mli: Node_id Protocol

@@ -1,0 +1,1 @@
+lib/net/sequence_diagram.ml: Abc_sim Buffer Bytes List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/net/sequence_diagram.mli: Abc_sim

@@ -1,0 +1,41 @@
+type 'msg t =
+  | Honest
+  | Silent
+  | Crash_after of int
+  | Mutate of (Abc_prng.Stream.t -> 'msg -> 'msg)
+  | Equivocate of (Abc_prng.Stream.t -> dst:Node_id.t -> 'msg -> 'msg)
+  | Replay of int
+  | Corrupt_after of int * 'msg t
+
+let rec label = function
+  | Honest -> "honest"
+  | Silent -> "silent"
+  | Crash_after _ -> "crash"
+  | Mutate _ -> "mutate"
+  | Equivocate _ -> "equivocate"
+  | Replay _ -> "replay"
+  | Corrupt_after (_, inner) -> "adaptive:" ^ label inner
+
+let rec apply b ~rng ~n ~activation actions =
+  match b with
+  | Honest -> actions
+  | Silent -> []
+  | Crash_after k -> if activation < k then actions else []
+  | Mutate corrupt ->
+    let corrupt_action = function
+      | Protocol.Broadcast msg -> Protocol.Broadcast (corrupt rng msg)
+      | Protocol.Send (dst, msg) -> Protocol.Send (dst, corrupt rng msg)
+    in
+    List.map corrupt_action actions
+  | Equivocate corrupt ->
+    let corrupt_action = function
+      | Protocol.Broadcast msg ->
+        List.map
+          (fun dst -> Protocol.Send (dst, corrupt rng ~dst msg))
+          (Node_id.all ~n)
+      | Protocol.Send (dst, msg) -> [ Protocol.Send (dst, corrupt rng ~dst msg) ]
+    in
+    List.concat_map corrupt_action actions
+  | Replay k -> List.concat_map (fun a -> List.init (1 + k) (fun _ -> a)) actions
+  | Corrupt_after (k, inner) ->
+    if activation < k then actions else apply inner ~rng ~n ~activation actions

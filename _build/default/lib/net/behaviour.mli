@@ -1,0 +1,48 @@
+(** Byzantine fault behaviours.
+
+    A faulty node runs the honest protocol logic underneath, and a
+    behaviour corrupts its {e outgoing} traffic.  This covers the
+    standard adversary repertoire: crashing, staying silent,
+    consistently lying, equivocating (telling different nodes different
+    things — the attack reliable broadcast exists to defeat), and
+    message spam.  Mutation functions are supplied by the protocol
+    layer because only it can forge well-typed messages. *)
+
+type 'msg t =
+  | Honest  (** behaves exactly like a correct node *)
+  | Silent  (** receives everything, never sends anything *)
+  | Crash_after of int
+      (** behaves honestly for the first [k] activations (message
+          deliveries it reacts to, init included), then goes silent
+          forever — a clean fail-stop fault *)
+  | Mutate of (Abc_prng.Stream.t -> 'msg -> 'msg)
+      (** applies one corruption per outgoing message; every recipient
+          of a broadcast sees the same lie, so the fault cannot be
+          detected by cross-checking *)
+  | Equivocate of (Abc_prng.Stream.t -> dst:Node_id.t -> 'msg -> 'msg)
+      (** corrupts each broadcast per recipient: sends conflicting
+          messages to different nodes *)
+  | Replay of int
+      (** sends every outgoing message [1 + k] times: duplication /
+          spam pressure on the receivers' deduplication logic *)
+  | Corrupt_after of int * 'msg t
+      (** adaptive corruption: behaves honestly for the first [k]
+          activations, then switches to the given behaviour — models
+          an adversary that corrupts a node mid-protocol, which the
+          asynchronous model explicitly allows *)
+
+val label : 'msg t -> string
+(** Short name for reports ("honest", "silent", "crash", "mutate",
+    "equivocate", "replay", "adaptive:<inner>"). *)
+
+val apply :
+  'msg t ->
+  rng:Abc_prng.Stream.t ->
+  n:int ->
+  activation:int ->
+  'msg Protocol.action list ->
+  'msg Protocol.action list
+(** [apply b ~rng ~n ~activation actions] transforms the actions
+    produced by the honest logic during its [activation]-th activation
+    (the initial actions are activation 0).  [n] is the number of nodes
+    (needed to expand broadcasts when equivocating). *)

@@ -1,0 +1,268 @@
+type stop_reason = All_terminal | Quiescent | Delivery_limit
+
+let pp_stop_reason ppf = function
+  | All_terminal -> Fmt.string ppf "all-terminal"
+  | Quiescent -> Fmt.string ppf "quiescent"
+  | Delivery_limit -> Fmt.string ppf "delivery-limit"
+
+module Make (P : Protocol.S) = struct
+  type config = {
+    n : int;
+    f : int;
+    inputs : P.input array;
+    faulty : (Node_id.t * P.msg Behaviour.t) list;
+    adversary : Adversary.t;
+    seed : int;
+    max_deliveries : int;
+    fairness_age : int;
+    trace : Abc_sim.Trace.t option;
+    topology : Topology.t option;
+  }
+
+  type result = {
+    outputs : (int * P.output) list array;
+    stop : stop_reason;
+    deliveries : int;
+    duration : int;
+    metrics : Abc_sim.Metrics.t;
+  }
+
+  let config ?(faulty = []) ?(adversary = Adversary.fifo) ?(seed = 0)
+      ?max_deliveries ?fairness_age ?trace ?topology ~n ~f ~inputs () =
+    if Array.length inputs <> n then
+      invalid_arg "Engine.config: inputs length must equal n";
+    (match topology with
+    | Some g when Topology.nodes g <> n ->
+      invalid_arg "Engine.config: topology size must equal n"
+    | Some _ | None -> ());
+    List.iter
+      (fun (id, _) ->
+        if Node_id.to_int id >= n then
+          invalid_arg "Engine.config: faulty node id out of range")
+      faulty;
+    let max_deliveries =
+      match max_deliveries with Some m -> m | None -> 200_000 * n
+    in
+    let fairness_age =
+      match fairness_age with Some a -> a | None -> 32 * n * n
+    in
+    {
+      n;
+      f;
+      inputs;
+      faulty;
+      adversary;
+      seed;
+      max_deliveries;
+      fairness_age;
+      trace;
+      topology;
+    }
+
+  let honest cfg =
+    let faulty_set = Node_id.Set.of_list (List.map fst cfg.faulty) in
+    List.filter
+      (fun id -> not (Node_id.Set.mem id faulty_set))
+      (Node_id.all ~n:cfg.n)
+
+  type envelope = {
+    meta : Adversary.meta;
+    payload : P.msg;
+  }
+
+  type node = {
+    id : Node_id.t;
+    ctx : Protocol.Context.t;
+    behaviour : P.msg Behaviour.t;
+    behaviour_rng : Abc_prng.Stream.t;
+    mutable state : P.state;
+    mutable activations : int;
+    mutable terminal : bool;
+    mutable outputs : (int * P.output) list; (* reversed *)
+  }
+
+  let run cfg =
+    let root = Abc_prng.Stream.root ~seed:cfg.seed in
+    let adversary_rng = Abc_prng.Stream.split root ~label:cfg.n in
+    let policy = cfg.adversary.Adversary.instantiate () in
+    let metrics = Abc_sim.Metrics.create () in
+    let clock = Abc_sim.Clock.create () in
+    let pending : envelope Abc_sim.Vec.t = Abc_sim.Vec.create () in
+    let next_seq = ref 0 in
+    (* [index_of_seq] maps a live sequence number to its current index
+       in [pending]; [oldest_cursor] advances monotonically, so finding
+       the longest-in-flight message is O(1) amortized over the run —
+       the fairness check runs on every delivery and must be cheap. *)
+    let index_of_seq : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    let oldest_cursor = ref 0 in
+    let oldest_index () =
+      while not (Hashtbl.mem index_of_seq !oldest_cursor) do
+        incr oldest_cursor;
+        assert (!oldest_cursor < !next_seq)
+      done;
+      Hashtbl.find index_of_seq !oldest_cursor
+    in
+    let remove_pending index =
+      let envelope = Abc_sim.Vec.swap_remove pending index in
+      Hashtbl.remove index_of_seq envelope.meta.Adversary.seq;
+      (* swap_remove moved the last entry into [index]; retarget it. *)
+      if index < Abc_sim.Vec.length pending then begin
+        let moved = Abc_sim.Vec.get pending index in
+        Hashtbl.replace index_of_seq moved.meta.Adversary.seq index
+      end;
+      envelope
+    in
+    let behaviour_of id =
+      match List.assoc_opt id cfg.faulty with
+      | Some b -> b
+      | None -> Behaviour.Honest
+    in
+    let trace_record ~node ~tag detail =
+      match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node ~tag detail
+      | None -> ()
+    in
+    let make_node i =
+      let id = Node_id.of_int i in
+      let ctx =
+        {
+          Protocol.Context.me = id;
+          n = cfg.n;
+          f = cfg.f;
+          rng = Abc_prng.Stream.split root ~label:i;
+        }
+      in
+      let state, actions = P.initial ctx cfg.inputs.(i) in
+      ( {
+          id;
+          ctx;
+          behaviour = behaviour_of id;
+          behaviour_rng = Abc_prng.Stream.split root ~label:(cfg.n + 1 + i);
+          state;
+          activations = 0;
+          terminal = false;
+          outputs = [];
+        },
+        actions )
+    in
+    let created = Array.init cfg.n make_node in
+    let nodes = Array.map fst created in
+    (* With a partial topology only edges of the graph carry messages;
+       the self-channel always exists. *)
+    let can_reach src dst =
+      match cfg.topology with
+      | None -> true
+      | Some g -> Node_id.equal src dst || Topology.has_edge g src dst
+    in
+    let enqueue src action =
+      let dispatch dst payload =
+        if not (can_reach src dst) then
+          Abc_sim.Metrics.incr metrics "dropped.topology"
+        else begin
+        let seq = !next_seq in
+        next_seq := seq + 1;
+        let now = Abc_sim.Clock.now clock in
+        let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
+        let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
+        Abc_sim.Vec.push pending { meta; payload };
+        Hashtbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
+        policy.Adversary.note meta;
+        Abc_sim.Metrics.incr metrics "sent";
+        Abc_sim.Metrics.incr metrics ("sent." ^ P.msg_label payload)
+        end
+      in
+      match action with
+      | Protocol.Broadcast payload ->
+        List.iter (fun dst -> dispatch dst payload) (Node_id.all ~n:cfg.n)
+      | Protocol.Send (dst, payload) -> dispatch dst payload
+    in
+    let emit_actions node actions =
+      let before = List.length actions in
+      let actions =
+        Behaviour.apply node.behaviour ~rng:node.behaviour_rng ~n:cfg.n
+          ~activation:node.activations actions
+      in
+      if List.length actions < before then
+        Abc_sim.Metrics.add metrics "dropped.faulty" (before - List.length actions);
+      List.iter (enqueue node.id) actions
+    in
+    let record_outputs node outputs =
+      let now = Abc_sim.Clock.now clock in
+      let note o =
+        node.outputs <- (now, o) :: node.outputs;
+        trace_record ~node:(Node_id.to_int node.id) ~tag:"output"
+          (Fmt.str "%a" P.pp_output o);
+        if P.is_terminal o then node.terminal <- true
+      in
+      List.iter note outputs
+    in
+    (* Initialization: every node emits its starting actions at time 0
+       (activation 0 — so [Crash_after 0] suppresses even these). *)
+    let initialize (node, actions) =
+      emit_actions node actions;
+      node.activations <- 1
+    in
+    Array.iter initialize created;
+    let faulty_set = Node_id.Set.of_list (List.map fst cfg.faulty) in
+    let all_honest_terminal () =
+      Array.for_all
+        (fun node -> node.terminal || Node_id.Set.mem node.id faulty_set)
+        nodes
+    in
+    let view () =
+      Adversary.View.make
+        ~length:(Abc_sim.Vec.length pending)
+        ~get:(fun i -> (Abc_sim.Vec.get pending i).meta)
+        ~oldest:oldest_index
+        ~find_seq:(fun seq -> Hashtbl.find_opt index_of_seq seq)
+    in
+    let choose_index now =
+      let v = view () in
+      let oldest = oldest_index () in
+      let oldest_age = now - (Adversary.View.get v oldest).Adversary.sent_at in
+      if oldest_age >= cfg.fairness_age then oldest
+      else policy.Adversary.choose ~rng:adversary_rng ~now v
+    in
+    let deliveries = ref 0 in
+    let stop = ref None in
+    while !stop = None do
+      if all_honest_terminal () then stop := Some All_terminal
+      else if Abc_sim.Vec.is_empty pending then stop := Some Quiescent
+      else if !deliveries >= cfg.max_deliveries then stop := Some Delivery_limit
+      else begin
+        let now = Abc_sim.Clock.tick clock in
+        let index = choose_index now in
+        let envelope = remove_pending index in
+        (* Record the delivery age so tests can audit the fairness
+           guarantee: no message older than the bound is ever passed
+           over. *)
+        let age = now - envelope.meta.Adversary.sent_at in
+        if age > Abc_sim.Metrics.counter metrics "max_delivery_age" then
+          Abc_sim.Metrics.add metrics "max_delivery_age"
+            (age - Abc_sim.Metrics.counter metrics "max_delivery_age");
+        let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
+        incr deliveries;
+        Abc_sim.Metrics.incr metrics "delivered";
+        trace_record ~node:(Node_id.to_int node.id) ~tag:"deliver"
+          (Fmt.str "%a -> %a : %a" Node_id.pp envelope.meta.Adversary.src
+             Node_id.pp envelope.meta.Adversary.dst P.pp_msg envelope.payload);
+        let state, actions, outputs =
+          P.on_message node.ctx node.state ~src:envelope.meta.Adversary.src
+            envelope.payload
+        in
+        node.state <- state;
+        emit_actions node actions;
+        node.activations <- node.activations + 1;
+        record_outputs node outputs
+      end
+    done;
+    let stop = match !stop with Some s -> s | None -> assert false in
+    {
+      outputs = Array.map (fun node -> List.rev node.outputs) nodes;
+      stop;
+      deliveries = !deliveries;
+      duration = Abc_sim.Clock.now clock;
+      metrics;
+    }
+end

@@ -1,0 +1,82 @@
+(** The asynchronous execution engine.
+
+    [Engine.Make (P)] runs [n] instances of protocol [P] over a
+    reliable, authenticated, completely asynchronous network: the
+    configured {!Adversary.t} picks the delivery order, a fairness
+    bound guarantees every message is eventually delivered, and faulty
+    nodes have their traffic corrupted by their {!Behaviour.t}.
+
+    One virtual tick elapses per delivery.  Runs are deterministic
+    functions of the configuration (including the seed). *)
+
+type stop_reason =
+  | All_terminal
+      (** every honest node emitted a terminal output — success *)
+  | Quiescent
+      (** no messages in flight but some honest node is not terminal:
+          the protocol deadlocked (or was configured beyond its
+          resilience) *)
+  | Delivery_limit  (** the configured delivery budget ran out *)
+
+val pp_stop_reason : stop_reason Fmt.t
+
+module Make (P : Protocol.S) : sig
+  type config = {
+    n : int;  (** number of nodes *)
+    f : int;  (** resilience parameter handed to the protocol *)
+    inputs : P.input array;  (** one input per node; length [n] *)
+    faulty : (Node_id.t * P.msg Behaviour.t) list;
+        (** faulty nodes and their behaviours; all other nodes are
+            honest *)
+    adversary : Adversary.t;  (** message scheduling policy *)
+    seed : int;  (** root seed: equal seeds give equal runs *)
+    max_deliveries : int;  (** hard stop for non-terminating setups *)
+    fairness_age : int;
+        (** a message older than this many ticks is delivered next,
+            overriding the adversary — the "eventual delivery" bound *)
+    trace : Abc_sim.Trace.t option;  (** optional execution trace *)
+    topology : Topology.t option;
+        (** communication graph; [None] means complete.  Messages along
+            non-edges are dropped (counted as ["dropped.topology"]);
+            the self-channel always exists *)
+  }
+
+  type result = {
+    outputs : (int * P.output) list array;
+        (** per node: (virtual time, output) pairs in emission order *)
+    stop : stop_reason;
+    deliveries : int;  (** total messages delivered *)
+    duration : int;  (** final virtual time *)
+    metrics : Abc_sim.Metrics.t;
+        (** counters: ["sent"] and ["sent.<label>"] count point-to-point
+            messages (a broadcast counts [n] times), ["delivered"]
+            counts deliveries, ["dropped.faulty"] counts logical
+            actions suppressed by fault behaviours,
+            ["max_delivery_age"] is the oldest any delivered message
+            got (ticks in flight) — the fairness audit *)
+  }
+
+  val config :
+    ?faulty:(Node_id.t * P.msg Behaviour.t) list ->
+    ?adversary:Adversary.t ->
+    ?seed:int ->
+    ?max_deliveries:int ->
+    ?fairness_age:int ->
+    ?trace:Abc_sim.Trace.t ->
+    ?topology:Topology.t ->
+    n:int ->
+    f:int ->
+    inputs:P.input array ->
+    unit ->
+    config
+  (** Build a configuration with sensible defaults: no faults, fifo
+      adversary, seed 0, delivery budget [200_000 * n], fairness age
+      [32 * n * n] (long enough that starvation policies bite, short
+      enough that runs finish). *)
+
+  val run : config -> result
+  (** Execute the configured run to completion. *)
+
+  val honest : config -> Node_id.t list
+  (** The nodes of the run that are not in the faulty list. *)
+end

@@ -1,0 +1,24 @@
+type t = int
+
+let of_int i =
+  assert (i >= 0);
+  i
+
+let to_int id = id
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp ppf id = Fmt.pf ppf "n%d" id
+
+let all ~n = List.init n (fun i -> i)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

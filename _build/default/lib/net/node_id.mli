@@ -1,0 +1,29 @@
+(** Node identifiers.
+
+    Nodes in a run of [n] processes are identified by the integers
+    [0 .. n-1].  The type is kept abstract so that protocol code cannot
+    accidentally do arithmetic on identifiers. *)
+
+type t
+(** A node identifier. *)
+
+val of_int : int -> t
+(** [of_int i] is the identifier of node [i].  Requires [i >= 0]. *)
+
+val to_int : t -> int
+(** [to_int id] is the integer value of [id]. *)
+
+val equal : t -> t -> bool
+(** Identifier equality. *)
+
+val compare : t -> t -> int
+(** Total order on identifiers. *)
+
+val pp : t Fmt.t
+(** Prints as ["n<i>"]. *)
+
+val all : n:int -> t list
+(** [all ~n] is [[0; ...; n-1]] as identifiers, in order. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

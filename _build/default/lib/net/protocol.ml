@@ -1,0 +1,25 @@
+type 'msg action = Broadcast of 'msg | Send of Node_id.t * 'msg
+
+module Context = struct
+  type t = { me : Node_id.t; n : int; f : int; rng : Abc_prng.Stream.t }
+
+  let quorum ctx = ctx.n - ctx.f
+end
+
+module type S = sig
+  type input
+  type msg
+  type output
+  type state
+
+  val name : string
+  val initial : Context.t -> input -> state * msg action list
+
+  val on_message :
+    Context.t -> state -> src:Node_id.t -> msg -> state * msg action list * output list
+
+  val is_terminal : output -> bool
+  val msg_label : msg -> string
+  val pp_msg : msg Fmt.t
+  val pp_output : output Fmt.t
+end

@@ -1,0 +1,68 @@
+(** Protocol state machines.
+
+    A protocol is a deterministic (up to its private random stream)
+    state machine reacting to message deliveries.  The engine owns all
+    I/O: a protocol only returns {e actions} (messages to transmit) and
+    {e outputs} (externally visible events such as "decided 1").
+
+    The model matches the asynchronous authenticated point-to-point
+    network of Bracha (PODC 1984): every message is eventually
+    delivered, delivery order is adversarial, and the receiver learns
+    the true sender identity. *)
+
+type 'msg action =
+  | Broadcast of 'msg
+      (** Transmit to every node, including the sender itself.  The
+          self-copy travels through the network like any other message,
+          which only strengthens the adversary. *)
+  | Send of Node_id.t * 'msg  (** Transmit to a single node. *)
+
+module Context : sig
+  type t = {
+    me : Node_id.t;  (** this node's identity *)
+    n : int;  (** total number of nodes *)
+    f : int;  (** resilience parameter the protocol must tolerate *)
+    rng : Abc_prng.Stream.t;  (** this node's private random stream *)
+  }
+
+  val quorum : t -> int
+  (** [quorum ctx] is [n - f], the number of messages a node may safely
+      wait for in an asynchronous system. *)
+end
+
+module type S = sig
+  type input
+  (** Per-node initial input (e.g. the proposed bit). *)
+
+  type msg
+  (** Wire message type. *)
+
+  type output
+  (** Externally visible event (delivery, decision, ...). *)
+
+  type state
+  (** Node-local protocol state. *)
+
+  val name : string
+  (** Human-readable protocol name. *)
+
+  val initial : Context.t -> input -> state * msg action list
+  (** [initial ctx input] is the starting state and the actions emitted
+      before any delivery. *)
+
+  val on_message :
+    Context.t -> state -> src:Node_id.t -> msg -> state * msg action list * output list
+  (** [on_message ctx state ~src msg] reacts to the delivery of [msg]
+      sent by [src]. *)
+
+  val is_terminal : output -> bool
+  (** [is_terminal o] is [true] when [o] marks this node as done (the
+      engine stops once every honest node has emitted a terminal
+      output). *)
+
+  val msg_label : msg -> string
+  (** Short label used for per-kind message counters. *)
+
+  val pp_msg : msg Fmt.t
+  val pp_output : output Fmt.t
+end

@@ -1,0 +1,87 @@
+module Make (P : Protocol.S) = struct
+  type msg = {
+    origin : Node_id.t;
+    sequence : int;
+    target : Node_id.t option;
+    inner : P.msg;
+  }
+
+  type input = P.input
+
+  type output = P.output
+
+  module Seen = Set.Make (struct
+    type t = int * int (* origin, sequence *)
+
+    let compare = compare
+  end)
+
+  type state = {
+    inner_state : P.state;
+    seen : Seen.t;
+    next_sequence : int;
+  }
+
+  let name = P.name ^ "+relay"
+
+  (* Wrap the inner protocol's actions into flood envelopes.  Both
+     broadcasts and targeted sends are flooded (the target may not be a
+     direct neighbour); targeted payloads are delivered only at their
+     target. *)
+  let wrap me state actions =
+    List.fold_left
+      (fun (state, wrapped) action ->
+        let sequence = state.next_sequence in
+        let state = { state with next_sequence = sequence + 1 } in
+        let envelope =
+          match action with
+          | Protocol.Broadcast inner -> { origin = me; sequence; target = None; inner }
+          | Protocol.Send (dst, inner) ->
+            { origin = me; sequence; target = Some dst; inner }
+        in
+        (state, Protocol.Broadcast envelope :: wrapped))
+      (state, []) actions
+    |> fun (state, wrapped) -> (state, List.rev wrapped)
+
+  let initial ctx input =
+    let inner_state, actions = P.initial ctx input in
+    let state = { inner_state; seen = Seen.empty; next_sequence = 0 } in
+    wrap ctx.Protocol.Context.me state actions
+    |> fun (state, actions) -> (state, actions)
+
+  let on_message ctx state ~src:_ envelope =
+    let key = (Node_id.to_int envelope.origin, envelope.sequence) in
+    if Seen.mem key state.seen then (state, [], [])
+    else begin
+      let state = { state with seen = Seen.add key state.seen } in
+      (* Forward first: relaying must not depend on whether the payload
+         concerns us. *)
+      let forward = Protocol.Broadcast envelope in
+      let me = ctx.Protocol.Context.me in
+      let addressed =
+        match envelope.target with
+        | None -> true
+        | Some dst -> Node_id.equal dst me
+      in
+      if not addressed then (state, [ forward ], [])
+      else begin
+        let inner_state, inner_actions, outputs =
+          P.on_message ctx state.inner_state ~src:envelope.origin envelope.inner
+        in
+        let state = { state with inner_state } in
+        let state, wrapped = wrap me state inner_actions in
+        (state, forward :: wrapped, outputs)
+      end
+    end
+
+  let is_terminal = P.is_terminal
+
+  let msg_label envelope = "relay." ^ P.msg_label envelope.inner
+
+  let pp_msg ppf envelope =
+    Fmt.pf ppf "relay[%a#%d%a]:%a" Node_id.pp envelope.origin envelope.sequence
+      (Fmt.option (fun ppf t -> Fmt.pf ppf "->%a" Node_id.pp t))
+      envelope.target P.pp_msg envelope.inner
+
+  let pp_output = P.pp_output
+end

@@ -1,0 +1,88 @@
+let lane_width = 5
+
+(* The engine formats deliveries as "nA -> nB : payload". *)
+let parse_delivery detail =
+  match String.index_opt detail ' ' with
+  | None -> None
+  | Some _ -> (
+    try Scanf.sscanf detail "n%d -> n%d : %[^\255]" (fun a b rest -> Some (a, b, rest))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+
+let header n =
+  let buffer = Buffer.create 64 in
+  Buffer.add_string buffer "time  ";
+  for i = 0 to n - 1 do
+    Buffer.add_string buffer (Printf.sprintf "%-*s" lane_width (Printf.sprintf "n%d" i))
+  done;
+  Buffer.add_string buffer "\n";
+  Buffer.contents buffer
+
+let delivery_line ~n ~time src dst label =
+  let lo = min src dst and hi = max src dst in
+  let buffer = Buffer.create 80 in
+  Buffer.add_string buffer (Printf.sprintf "%04d  " time);
+  for i = 0 to n - 1 do
+    let cell = Bytes.make lane_width ' ' in
+    (* lane marks *)
+    if i = src then Bytes.set cell 0 'o';
+    if i = dst then Bytes.set cell 0 '*';
+    (* the connecting line *)
+    if i >= lo && i < hi then
+      for k = (if i = lo then 1 else 0) to lane_width - 1 do
+        if Bytes.get cell k = ' ' then Bytes.set cell k '-'
+      done;
+    (* arrowheads: '>' to the right, '<' to the left *)
+    if src < dst && i = dst then Bytes.set cell 0 '>';
+    if src > dst && i = dst then Bytes.set cell 0 '<';
+    if src = dst && i = src then Bytes.set cell 0 '@';
+    Buffer.add_bytes buffer cell
+  done;
+  Buffer.add_string buffer " ";
+  Buffer.add_string buffer label;
+  Buffer.add_string buffer "\n";
+  Buffer.contents buffer
+
+let output_line ~n ~time node label =
+  let buffer = Buffer.create 80 in
+  Buffer.add_string buffer (Printf.sprintf "%04d  " time);
+  for i = 0 to n - 1 do
+    let cell = Bytes.make lane_width ' ' in
+    if i = node then Bytes.set cell 0 '!';
+    Buffer.add_bytes buffer cell
+  done;
+  Buffer.add_string buffer " output: ";
+  Buffer.add_string buffer label;
+  Buffer.add_string buffer "\n";
+  Buffer.contents buffer
+
+let render_entries entries ~n =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (header n);
+  List.iter
+    (fun (entry : Abc_sim.Trace.entry) ->
+      match entry.Abc_sim.Trace.tag with
+      | "deliver" -> (
+        match parse_delivery entry.Abc_sim.Trace.detail with
+        | Some (src, dst, label) when src < n && dst < n ->
+          Buffer.add_string buffer
+            (delivery_line ~n ~time:entry.Abc_sim.Trace.time src dst label)
+        | Some _ | None -> ())
+      | "output" ->
+        if entry.Abc_sim.Trace.node >= 0 && entry.Abc_sim.Trace.node < n then
+          Buffer.add_string buffer
+            (output_line ~n ~time:entry.Abc_sim.Trace.time entry.Abc_sim.Trace.node
+               entry.Abc_sim.Trace.detail)
+      | _ -> ())
+    entries;
+  Buffer.contents buffer
+
+let render trace ~n = render_entries (Abc_sim.Trace.to_list trace) ~n
+
+let render_window trace ~n ~from_time ~to_time =
+  let entries =
+    List.filter
+      (fun (e : Abc_sim.Trace.entry) ->
+        e.Abc_sim.Trace.time >= from_time && e.Abc_sim.Trace.time <= to_time)
+      (Abc_sim.Trace.to_list trace)
+  in
+  render_entries entries ~n

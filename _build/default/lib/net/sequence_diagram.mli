@@ -1,0 +1,25 @@
+(** ASCII message-sequence diagrams from execution traces.
+
+    Turns the engine's {!Abc_sim.Trace} into the classic
+    lane-per-node diagram — the fastest way to see {e why} a particular
+    seed produced a weird run:
+
+    {v
+    time   n0   n1   n2   n3
+    0005    o---------->*        echo(1)
+    0007         o<----*         ready(1)
+    0012         !               output: delivered(1)
+    v}
+
+    Deliveries are parsed from the engine's ["deliver"] entries and
+    outputs from its ["output"] entries, so any traced run can be
+    rendered after the fact. *)
+
+val render : Abc_sim.Trace.t -> n:int -> string
+(** [render trace ~n] draws every retained trace entry, oldest first.
+    Unparseable entries are skipped.  [n] fixes the number of lanes. *)
+
+val render_window :
+  Abc_sim.Trace.t -> n:int -> from_time:int -> to_time:int -> string
+(** Restrict the diagram to entries with [from_time <= time <=
+    to_time]. *)

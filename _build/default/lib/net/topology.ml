@@ -1,0 +1,160 @@
+type t = { n : int; adjacency : bool array array }
+
+let nodes t = t.n
+
+let of_edges ~n edge_list =
+  if n <= 0 then invalid_arg "Topology.of_edges: n must be positive";
+  let adjacency = Array.make_matrix n n false in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Topology.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Topology.of_edges: self-loop";
+      adjacency.(u).(v) <- true;
+      adjacency.(v).(u) <- true)
+    edge_list;
+  { n; adjacency }
+
+let complete ~n =
+  of_edges ~n
+    (List.concat_map
+       (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None)
+                   (List.init n (fun i -> i)))
+       (List.init n (fun i -> i)))
+
+let ring ~n =
+  assert (n >= 3);
+  of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star ~n =
+  assert (n >= 2);
+  of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let circulant ~n ~offsets =
+  let edge_list =
+    List.concat_map
+      (fun d ->
+        if d <= 0 || d >= n then invalid_arg "Topology.circulant: bad offset";
+        List.init n (fun i -> (i, (i + d) mod n)))
+      offsets
+  in
+  of_edges ~n (List.filter (fun (u, v) -> u <> v) edge_list)
+
+let has_edge t u v = t.adjacency.(Node_id.to_int u).(Node_id.to_int v)
+
+let neighbors t u =
+  let u = Node_id.to_int u in
+  List.filter_map
+    (fun v -> if t.adjacency.(u).(v) then Some (Node_id.of_int v) else None)
+    (List.init t.n (fun i -> i))
+
+let degree t u = List.length (neighbors t u)
+
+let edges t =
+  List.concat_map
+    (fun u ->
+      List.filter_map
+        (fun v -> if u < v && t.adjacency.(u).(v) then Some (u, v) else None)
+        (List.init t.n (fun i -> i)))
+    (List.init t.n (fun i -> i))
+
+(* Reachability over the vertices for which [alive] holds. *)
+let component_covers t ~alive =
+  match List.find_opt alive (List.init t.n (fun i -> i)) with
+  | None -> false
+  | Some start ->
+    let seen = Array.make t.n false in
+    let queue = Queue.create () in
+    seen.(start) <- true;
+    Queue.add start queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for v = 0 to t.n - 1 do
+        if t.adjacency.(u).(v) && alive v && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end
+      done
+    done;
+    List.for_all (fun v -> (not (alive v)) || seen.(v)) (List.init t.n (fun i -> i))
+
+let is_connected t = component_covers t ~alive:(fun _ -> true)
+
+let connected_after_removing t removed =
+  let removed = List.map Node_id.to_int removed in
+  let alive v = not (List.mem v removed) in
+  component_covers t ~alive
+
+(* Menger: the maximum number of internally node-disjoint s-t paths
+   equals the s-t max-flow in the split graph where every vertex other
+   than s and t has capacity 1.  Vertices: v_in = 2v, v_out = 2v+1. *)
+let max_disjoint_paths t s target =
+  let size = 2 * t.n in
+  let capacity = Array.make_matrix size size 0 in
+  let infinity_cap = t.n * t.n in
+  for v = 0 to t.n - 1 do
+    capacity.((2 * v)).((2 * v) + 1) <-
+      (if v = s || v = target then infinity_cap else 1)
+  done;
+  for u = 0 to t.n - 1 do
+    for v = 0 to t.n - 1 do
+      if t.adjacency.(u).(v) then capacity.((2 * u) + 1).(2 * v) <- infinity_cap
+    done
+  done;
+  let source = (2 * s) + 1 and sink = 2 * target in
+  (* Edmonds–Karp *)
+  let flow = ref 0 in
+  let rec augment () =
+    let parent = Array.make size (-1) in
+    parent.(source) <- source;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while (not (Queue.is_empty queue)) && parent.(sink) = -1 do
+      let u = Queue.pop queue in
+      for v = 0 to size - 1 do
+        if parent.(v) = -1 && capacity.(u).(v) > 0 then begin
+          parent.(v) <- u;
+          Queue.add v queue
+        end
+      done
+    done;
+    if parent.(sink) <> -1 then begin
+      (* unit bottleneck is enough: internal capacities are 1 *)
+      let rec walk v =
+        if v <> source then begin
+          let u = parent.(v) in
+          capacity.(u).(v) <- capacity.(u).(v) - 1;
+          capacity.(v).(u) <- capacity.(v).(u) + 1;
+          walk u
+        end
+      in
+      walk sink;
+      incr flow;
+      augment ()
+    end
+  in
+  augment ();
+  !flow
+
+let vertex_connectivity t =
+  if t.n <= 1 then 0
+  else begin
+    let non_adjacent_pairs =
+      List.concat_map
+        (fun u ->
+          List.filter_map
+            (fun v -> if u < v && not t.adjacency.(u).(v) then Some (u, v) else None)
+            (List.init t.n (fun i -> i)))
+        (List.init t.n (fun i -> i))
+    in
+    match non_adjacent_pairs with
+    | [] -> t.n - 1 (* complete graph *)
+    | pairs ->
+      List.fold_left
+        (fun acc (u, v) -> min acc (max_disjoint_paths t u v))
+        max_int pairs
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "graph(n=%d, edges=%d, κ=%d)" t.n (List.length (edges t))
+    (vertex_connectivity t)

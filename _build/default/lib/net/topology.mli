@@ -1,0 +1,58 @@
+(** Network topologies.
+
+    The 1984 model assumes a complete communication graph.  This module
+    supplies partial topologies (and the engine enforces them) so the
+    library can also explore the {e connectivity} dimension studied by
+    later work: how much of the graph must survive for agreement to
+    remain possible.  Vertex connectivity is computed exactly (Menger
+    via unit-capacity max-flow), so experiments can dial κ and observe
+    protocol behaviour on either side of a threshold. *)
+
+type t
+(** An undirected graph over nodes [0 .. n-1] (immutable). *)
+
+val nodes : t -> int
+(** Number of vertices. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph; self-loops are rejected, and
+    duplicate/reversed edges are merged.  Raises [Invalid_argument] on
+    out-of-range endpoints. *)
+
+val complete : n:int -> t
+(** Every pair connected: the paper's model, κ = n-1. *)
+
+val ring : n:int -> t
+(** The cycle; κ = 2 for n ≥ 3. *)
+
+val star : n:int -> t
+(** Node 0 as hub; κ = 1. *)
+
+val circulant : n:int -> offsets:int list -> t
+(** [circulant ~n ~offsets] connects [i] to [i ± d] (mod n) for each
+    offset [d]; with offsets [1..k] (and [2k < n]) this is 2k-connected
+    — the connectivity dial used by the experiments. *)
+
+val has_edge : t -> Node_id.t -> Node_id.t -> bool
+
+val neighbors : t -> Node_id.t -> Node_id.t list
+(** Sorted neighbour list. *)
+
+val degree : t -> Node_id.t -> int
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, [(min, max)], sorted. *)
+
+val is_connected : t -> bool
+(** Whether the whole graph is one component. *)
+
+val connected_after_removing : t -> Node_id.t list -> bool
+(** Whether the survivors still form one non-empty connected
+    component after deleting the given vertices. *)
+
+val vertex_connectivity : t -> int
+(** Exact κ(G): the size of the smallest vertex cut ([n-1] for
+    complete graphs).  Exponential-free: max-flow per non-adjacent
+    pair, fine for the experiment sizes (n ≤ ~30). *)
+
+val pp : t Fmt.t

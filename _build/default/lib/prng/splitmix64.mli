@@ -1,0 +1,20 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, well-mixed 64-bit generator (Steele, Lea & Flood,
+    OOPSLA 2014).  It is used in this project to seed the main
+    {!Xoshiro256} generator and to derive independent child streams,
+    because its output function is a strong bit-mixing permutation. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator; equal seeds produce equal
+    output sequences. *)
+
+val next : t -> int64
+(** [next t] advances [t] and returns the next 64-bit output. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer: a bijective mixing
+    of the 64-bit input.  Used for key derivation. *)

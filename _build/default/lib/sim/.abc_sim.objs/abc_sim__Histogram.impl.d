@@ -1,0 +1,1 @@
+lib/sim/histogram.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/sim/table.ml: Array Buffer Filename List Printf String Unix

@@ -1,0 +1,15 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now t = t.now
+
+let advance_to t time =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: time %d is before now %d" time t.now);
+  t.now <- time
+
+let tick t =
+  t.now <- t.now + 1;
+  t.now

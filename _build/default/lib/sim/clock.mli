@@ -1,0 +1,22 @@
+(** Virtual clock.
+
+    Simulated time is a non-negative integer of abstract "ticks".  In
+    the message-passing engine one tick corresponds to one message
+    delivery, which is the natural time unit of an asynchronous system
+    (there is no global real-time clock in the model). *)
+
+type t
+(** A mutable virtual clock. *)
+
+val create : unit -> t
+(** [create ()] is a clock reading 0. *)
+
+val now : t -> int
+(** [now t] is the current virtual time. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t time] moves the clock forward to [time].  Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val tick : t -> int
+(** [tick t] advances the clock by one and returns the new time. *)

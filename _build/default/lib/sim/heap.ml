@@ -1,0 +1,84 @@
+type 'a entry = { priority : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { entries = Array.make 16 None; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let entry_get h i =
+  match h.entries.(i) with
+  | Some e -> e
+  | None -> assert false
+
+(* [before a b] is true when [a] must come out of the heap before
+   [b]. *)
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.entries.(i) in
+  h.entries.(i) <- h.entries.(j);
+  h.entries.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before (entry_get h i) (entry_get h parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && before (entry_get h left) (entry_get h !smallest) then
+    smallest := left;
+  if right < h.size && before (entry_get h right) (entry_get h !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let grow h =
+  let bigger = Array.make (2 * Array.length h.entries) None in
+  Array.blit h.entries 0 bigger 0 h.size;
+  h.entries <- bigger
+
+let push h ~priority payload =
+  if h.size = Array.length h.entries then grow h;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  h.entries.(h.size) <- Some { priority; seq; payload };
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = entry_get h 0 in
+    h.size <- h.size - 1;
+    h.entries.(0) <- h.entries.(h.size);
+    h.entries.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    Some (top.priority, top.payload)
+  end
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let top = entry_get h 0 in
+    Some (top.priority, top.payload)
+
+let clear h =
+  Array.fill h.entries 0 h.size None;
+  h.size <- 0;
+  h.next_seq <- 0

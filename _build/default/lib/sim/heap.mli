@@ -1,0 +1,30 @@
+(** Binary min-heap with stable tie-breaking.
+
+    The simulation kernel's priority queue.  Entries are ordered by an
+    integer priority; entries with equal priority come out in insertion
+    order, which keeps event execution deterministic. *)
+
+type 'a t
+(** A mutable heap of ['a] payloads. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of entries in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> priority:int -> 'a -> unit
+(** [push h ~priority x] inserts [x] with the given priority. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop h] removes and returns the entry with the smallest priority
+    (earliest inserted among ties), or [None] if [h] is empty. *)
+
+val peek : 'a t -> (int * 'a) option
+(** [peek h] is like {!pop} but does not remove the entry. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes all entries. *)

@@ -1,0 +1,40 @@
+type t = { counts : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 16; total = 0 }
+
+let add t v =
+  (match Hashtbl.find_opt t.counts v with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts v (ref 1));
+  t.total <- t.total + 1
+
+let add_list t vs = List.iter (add t) vs
+
+let total t = t.total
+
+let count t v = match Hashtbl.find_opt t.counts v with Some r -> !r | None -> 0
+
+let buckets t =
+  if t.total = 0 then []
+  else begin
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.counts [] in
+    let lo = List.fold_left min (List.hd keys) keys in
+    let hi = List.fold_left max (List.hd keys) keys in
+    List.init (hi - lo + 1) (fun i ->
+        let v = lo + i in
+        (v, count t v))
+  end
+
+let render ?(width = 40) ?(label = string_of_int) t =
+  match buckets t with
+  | [] -> "(no data)\n"
+  | bs ->
+    let peak = List.fold_left (fun acc (_, c) -> max acc c) 1 bs in
+    let buffer = Buffer.create 256 in
+    List.iter
+      (fun (v, c) ->
+        let bar = c * width / peak in
+        Buffer.add_string buffer
+          (Printf.sprintf "%6s %5d %s\n" (label v) c (String.make bar '#')))
+      bs;
+    Buffer.contents buffer

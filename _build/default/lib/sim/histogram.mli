@@ -1,0 +1,32 @@
+(** Integer histograms with ASCII rendering.
+
+    Used by the experiment harness to show full distributions (e.g.
+    rounds-to-decision) rather than just summary statistics — the tail
+    behaviour is the interesting part of randomized termination. *)
+
+type t
+(** A mutable histogram over integer values. *)
+
+val create : unit -> t
+(** [create ()] is an empty histogram. *)
+
+val add : t -> int -> unit
+(** [add t v] records one observation of [v]. *)
+
+val add_list : t -> int list -> unit
+(** Record each value in order. *)
+
+val total : t -> int
+(** Number of observations. *)
+
+val count : t -> int -> int
+(** [count t v] is the number of observations equal to [v]. *)
+
+val buckets : t -> (int * int) list
+(** [(value, count)] pairs for every observed value, ascending, with
+    gaps between min and max filled by zero-count buckets. *)
+
+val render : ?width:int -> ?label:(int -> string) -> t -> string
+(** [render t] draws one line per bucket: label, count and a bar
+    proportional to the count ([width] columns for the largest bucket,
+    default 40).  Empty histograms render as ["(no data)\n"]. *)

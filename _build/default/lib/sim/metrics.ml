@@ -1,0 +1,59 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name k =
+  let r = counter_ref t name in
+  r := !r + k
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let series_ref t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.series name r;
+    r
+
+let observe t name v =
+  let r = series_ref t name in
+  r := v :: !r
+
+let series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let summarize t name = Summary.of_list (series t name)
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%-32s %d@." name v) (counters t);
+  let series_names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.series []
+    |> List.sort String.compare
+  in
+  let pp_series name =
+    match summarize t name with
+    | Some s -> Fmt.pf ppf "%-32s %a@." name Summary.pp s
+    | None -> ()
+  in
+  List.iter pp_series series_names

@@ -1,0 +1,38 @@
+(** Named counters and value series for instrumenting simulations.
+
+    A [Metrics.t] is attached to each engine run.  Protocol code and
+    the engine bump counters ([incr]) and append observations
+    ([observe]); experiment harnesses read them back as totals or
+    {!Summary.t} aggregates. *)
+
+type t
+(** A mutable metrics registry. *)
+
+val create : unit -> t
+(** [create ()] is an empty registry. *)
+
+val incr : t -> string -> unit
+(** [incr t name] adds 1 to counter [name], creating it at 0. *)
+
+val add : t -> string -> int -> unit
+(** [add t name k] adds [k] to counter [name], creating it at 0. *)
+
+val counter : t -> string -> int
+(** [counter t name] is the current value of counter [name] (0 when the
+    counter was never touched). *)
+
+val observe : t -> string -> float -> unit
+(** [observe t name v] appends observation [v] to series [name]. *)
+
+val series : t -> string -> float list
+(** [series t name] is the observations of series [name], in insertion
+    order ([[]] when the series was never touched). *)
+
+val summarize : t -> string -> Summary.t option
+(** [summarize t name] is the summary of series [name]. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : t Fmt.t
+(** Render all counters and series summaries, one per line. *)

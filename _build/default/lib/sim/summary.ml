@@ -1,0 +1,52 @@
+type t = { sorted : float array; mean : float; stddev : float; total : float }
+
+let of_list samples =
+  match samples with
+  | [] -> None
+  | _ ->
+    let sorted = Array.of_list samples in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let total = Array.fold_left ( +. ) 0. sorted in
+    let mean = total /. float_of_int n in
+    let sq_dev = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. sorted in
+    let stddev = if n <= 1 then 0. else sqrt (sq_dev /. float_of_int (n - 1)) in
+    Some { sorted; mean; stddev; total }
+
+let of_int_list samples = of_list (List.map float_of_int samples)
+
+let count t = Array.length t.sorted
+
+let mean t = t.mean
+
+let stddev t = t.stddev
+
+let min_value t = t.sorted.(0)
+
+let max_value t = t.sorted.(Array.length t.sorted - 1)
+
+let percentile t p =
+  assert (p >= 0. && p <= 100.);
+  let n = Array.length t.sorted in
+  if n = 1 then t.sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lower = int_of_float (floor rank) in
+    let upper = int_of_float (ceil rank) in
+    let weight = rank -. float_of_int lower in
+    (t.sorted.(lower) *. (1. -. weight)) +. (t.sorted.(upper) *. weight)
+  end
+
+let median t = percentile t 50.
+
+let total t = t.total
+
+let mean_ci95 t =
+  let n = float_of_int (Array.length t.sorted) in
+  let half_width = 1.96 *. t.stddev /. sqrt n in
+  (t.mean -. half_width, t.mean +. half_width)
+
+let pp ppf t =
+  Fmt.pf ppf "mean=%.2f median=%.2f p95=%.2f range=[%.2f, %.2f] n=%d"
+    (mean t) (median t) (percentile t 95.) (min_value t) (max_value t)
+    (count t)

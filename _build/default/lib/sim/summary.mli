@@ -1,0 +1,46 @@
+(** Summary statistics over samples of measurements.
+
+    Experiments collect one sample per simulated run (rounds to
+    decision, messages delivered, ...) and report aggregates through
+    this module. *)
+
+type t
+(** Immutable summary of a non-empty sample set. *)
+
+val of_list : float list -> t option
+(** [of_list samples] summarizes [samples]; [None] when empty. *)
+
+val of_int_list : int list -> t option
+(** [of_int_list samples] is [of_list (List.map float_of_int samples)]. *)
+
+val count : t -> int
+(** Number of samples. *)
+
+val mean : t -> float
+(** Arithmetic mean. *)
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator; 0 for one sample). *)
+
+val min_value : t -> float
+(** Smallest sample. *)
+
+val max_value : t -> float
+(** Largest sample. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between order statistics. *)
+
+val median : t -> float
+(** [median t] is [percentile t 50.]. *)
+
+val total : t -> float
+(** Sum of all samples. *)
+
+val mean_ci95 : t -> float * float
+(** [(lo, hi)] of the normal-approximation 95% confidence interval for
+    the mean ([mean ± 1.96·stddev/√n]; degenerate for one sample). *)
+
+val pp : t Fmt.t
+(** One-line rendering: mean, median, p95, min–max, n. *)

@@ -1,0 +1,86 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns in table %S"
+         (List.length cells) (List.length t.columns) t.title);
+  t.rows <- cells :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row all;
+  let buffer = Buffer.create 256 in
+  let render_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buffer "  ";
+        Buffer.add_string buffer c;
+        Buffer.add_string buffer (String.make (widths.(i) - String.length c) ' '))
+      cells;
+    Buffer.add_char buffer '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buffer t.title;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (String.make total_width '=');
+  Buffer.add_char buffer '\n';
+  render_row t.columns;
+  Buffer.add_string buffer (String.make total_width '-');
+  Buffer.add_char buffer '\n';
+  List.iter render_row rows;
+  Buffer.contents buffer
+
+let csv t =
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (List.map line (t.columns :: List.rev t.rows)) ^ "\n"
+
+let csv_directory = ref None
+
+let set_csv_directory dir = csv_directory := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+      | _ -> '_')
+    (String.sub title 0 (min 40 (String.length title)))
+
+let print t =
+  print_string (render t);
+  match !csv_directory with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir (slug t.title ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (csv t);
+    close_out oc
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let cell_ratio v = Printf.sprintf "%.1fx" v
+
+let cell_percent v = Printf.sprintf "%.1f%%" (100. *. v)

@@ -1,0 +1,48 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints one table per reproduced experiment;
+    this module keeps the formatting consistent (aligned columns,
+    header rule, optional caption). *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] if the
+    number of cells differs from the number of columns. *)
+
+val add_rows : t -> string list list -> unit
+(** [add_rows t rows] appends each row in order. *)
+
+val render : t -> string
+(** [render t] is the complete table as a string, ending with a
+    newline. *)
+
+val csv : t -> string
+(** [csv t] is the table as RFC-4180-ish CSV (header row included;
+    cells containing commas or quotes are quoted). *)
+
+val set_csv_directory : string option -> unit
+(** When set, every subsequent {!print} also writes the table as
+    [<dir>/<slug-of-title>.csv] (the directory is created if needed).
+    The experiment harness uses this to export machine-readable
+    results. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output (and a CSV file when
+    {!set_csv_directory} is active). *)
+
+val cell_int : int -> string
+(** Canonical rendering of integer cells. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Canonical rendering of float cells (default 2 decimals). *)
+
+val cell_ratio : float -> string
+(** Render a ratio as ["12.3x"]. *)
+
+val cell_percent : float -> string
+(** Render a fraction in [0,1] as ["97.0%"]. *)

@@ -1,0 +1,48 @@
+type entry = { time : int; node : int; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable start : int;
+  mutable size : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { capacity; buffer = Array.make capacity None; start = 0; size = 0; dropped = 0 }
+
+let record t ~time ~node ~tag detail =
+  let entry = { time; node; tag; detail } in
+  if t.size = t.capacity then begin
+    (* Overwrite the oldest slot. *)
+    t.buffer.(t.start) <- Some entry;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.buffer.((t.start + t.size) mod t.capacity) <- Some entry;
+    t.size <- t.size + 1
+  end
+
+let length t = t.size
+
+let dropped t = t.dropped
+
+let to_list t =
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      match t.buffer.((t.start + i) mod t.capacity) with
+      | Some e -> collect (i - 1) (e :: acc)
+      | None -> assert false
+  in
+  collect (t.size - 1) []
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (to_list t)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "[t=%06d node=%02d] %-12s %s" e.time e.node e.tag e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)

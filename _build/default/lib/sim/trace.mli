@@ -1,0 +1,43 @@
+(** Execution traces.
+
+    A bounded in-memory log of simulation events, useful for debugging
+    protocol runs and for asserting ordering properties in tests.  When
+    the capacity is exceeded the oldest entries are discarded, so
+    tracing long runs stays cheap. *)
+
+type entry = {
+  time : int;  (** virtual time at which the event occurred *)
+  node : int;  (** node the event concerns, or [-1] for the engine *)
+  tag : string;  (** short machine-readable event kind *)
+  detail : string;  (** human-readable description *)
+}
+
+type t
+(** A mutable trace buffer. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] is an empty trace retaining at most
+    [capacity] entries (default 4096). *)
+
+val record : t -> time:int -> node:int -> tag:string -> string -> unit
+(** [record t ~time ~node ~tag detail] appends an entry, evicting the
+    oldest entry if the buffer is full. *)
+
+val length : t -> int
+(** [length t] is the number of retained entries. *)
+
+val dropped : t -> int
+(** [dropped t] is the number of entries evicted so far. *)
+
+val to_list : t -> entry list
+(** [to_list t] is the retained entries, oldest first. *)
+
+val find_all : t -> tag:string -> entry list
+(** [find_all t ~tag] is the retained entries with the given tag,
+    oldest first. *)
+
+val pp_entry : entry Fmt.t
+(** Pretty-printer for a single entry. *)
+
+val dump : Format.formatter -> t -> unit
+(** [dump ppf t] prints all retained entries, one per line. *)

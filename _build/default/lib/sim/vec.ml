@@ -1,0 +1,44 @@
+type 'a t = { mutable storage : 'a option array; mutable size : int }
+
+let create () = { storage = Array.make 16 None; size = 0 }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let grow v =
+  let bigger = Array.make (2 * Array.length v.storage) None in
+  Array.blit v.storage 0 bigger 0 v.size;
+  v.storage <- bigger
+
+let push v x =
+  if v.size = Array.length v.storage then grow v;
+  v.storage.(v.size) <- Some x;
+  v.size <- v.size + 1
+
+let get v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec.get: index out of bounds";
+  match v.storage.(i) with Some x -> x | None -> assert false
+
+let swap_remove v i =
+  let x = get v i in
+  v.size <- v.size - 1;
+  v.storage.(i) <- v.storage.(v.size);
+  v.storage.(v.size) <- None;
+  x
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f (get v i)
+  done
+
+let fold f init v =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let to_list v = List.rev (fold (fun acc x -> x :: acc) [] v)
+
+let clear v =
+  Array.fill v.storage 0 v.size None;
+  v.size <- 0

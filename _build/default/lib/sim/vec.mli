@@ -1,0 +1,41 @@
+(** Growable arrays with O(1) swap-removal.
+
+    The engine's pending-message pool: the adversary removes messages
+    from arbitrary positions, so order is not preserved — entries carry
+    their own sequence numbers where ordering matters. *)
+
+type 'a t
+(** A mutable growable array. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val length : 'a t -> int
+(** Number of elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty v] is [length v = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x]. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the element at index [i].  Raises [Invalid_argument]
+    when out of bounds. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes and returns the element at index [i] by
+    moving the last element into its place.  O(1); does not preserve
+    order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** [iter f v] applies [f] to each element in storage order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f init v] folds over elements in storage order. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in storage order. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)

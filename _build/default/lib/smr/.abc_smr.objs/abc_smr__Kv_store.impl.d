@@ -1,0 +1,1 @@
+lib/smr/kv_store.ml: Char Int64 List Map Printf String

@@ -1,0 +1,1 @@
+lib/smr/replicated_log.ml: Abc Abc_net Array Fmt Int List Map

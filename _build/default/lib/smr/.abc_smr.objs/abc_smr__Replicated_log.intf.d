@@ -1,0 +1,1 @@
+lib/smr/replicated_log.mli: Abc Abc_net

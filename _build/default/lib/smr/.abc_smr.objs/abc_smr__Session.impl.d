@@ -1,0 +1,1 @@
+lib/smr/session.ml: Kv_store List Printf Set String

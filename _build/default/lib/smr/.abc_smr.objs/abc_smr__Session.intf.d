@@ -1,0 +1,1 @@
+lib/smr/session.mli: Kv_store

@@ -1,0 +1,89 @@
+module String_map = Map.Make (String)
+
+type t = string String_map.t
+
+type command =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Del of { key : string }
+  | Cas of { key : string; expected : string; replacement : string }
+  | Noop
+  | Invalid of string
+
+type result =
+  | Unit
+  | Found of string
+  | Missing
+  | Cas_failed of string option
+
+let parse line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "PUT"; key; value ] -> Put { key; value }
+  | [ "GET"; key ] -> Get { key }
+  | [ "DEL"; key ] -> Del { key }
+  | [ "CAS"; key; expected; replacement ] -> Cas { key; expected; replacement }
+  | [ "<noop>" ] | [] -> Noop
+  | _ -> Invalid line
+
+let render = function
+  | Put { key; value } -> Printf.sprintf "PUT %s %s" key value
+  | Get { key } -> Printf.sprintf "GET %s" key
+  | Del { key } -> Printf.sprintf "DEL %s" key
+  | Cas { key; expected; replacement } ->
+    Printf.sprintf "CAS %s %s %s" key expected replacement
+  | Noop -> "<noop>"
+  | Invalid line -> line
+
+let empty = String_map.empty
+
+let find t key = String_map.find_opt key t
+
+let bindings t = String_map.bindings t
+
+let apply t command =
+  match command with
+  | Put { key; value } -> (String_map.add key value t, Unit)
+  | Get { key } -> (
+    match find t key with
+    | Some value -> (t, Found value)
+    | None -> (t, Missing))
+  | Del { key } ->
+    if String_map.mem key t then (String_map.remove key t, Unit) else (t, Missing)
+  | Cas { key; expected; replacement } -> (
+    match find t key with
+    | Some value when String.equal value expected ->
+      (String_map.add key replacement t, Found value)
+    | other -> (t, Cas_failed other))
+  | Noop | Invalid _ -> (t, Unit)
+
+let apply_log t lines =
+  let t, results =
+    List.fold_left
+      (fun (t, acc) line ->
+        let t, result = apply t (parse line) in
+        (t, result :: acc))
+      (t, []) lines
+  in
+  (t, List.rev results)
+
+(* FNV-1a over the canonical binding sequence: cheap, deterministic,
+   and adequate as a convergence fingerprint. *)
+let digest t =
+  let fnv_prime = 0x100000001b3L in
+  let hash = ref 0xcbf29ce484222325L in
+  let feed_char c =
+    hash := Int64.mul (Int64.logxor !hash (Int64.of_int (Char.code c))) fnv_prime
+  in
+  let feed_string s =
+    String.iter feed_char s;
+    feed_char '\000'
+  in
+  List.iter
+    (fun (k, v) ->
+      feed_string k;
+      feed_string v)
+    (bindings t);
+  Printf.sprintf "%016Lx" !hash

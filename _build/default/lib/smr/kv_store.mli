@@ -1,0 +1,63 @@
+(** Deterministic key-value state machine.
+
+    The "state machine" half of state machine replication: replicas
+    apply the agreed command log to this store, and because application
+    is deterministic, identical logs yield identical stores.  The
+    {!digest} gives a cheap fingerprint for checking replica
+    convergence (and catching divergence in tests).
+
+    Command syntax (whitespace-separated):
+
+    - [PUT key value] — bind [key];
+    - [GET key] — read (no state change, result recorded);
+    - [DEL key] — unbind;
+    - [CAS key old new] — bind to [new] iff currently [old];
+    - [<noop>] — the padding command proposed by idle replicas.
+
+    Anything else parses as [Invalid] and applies as a no-op: a
+    Byzantine replica must not be able to wedge honest state machines
+    with garbage. *)
+
+type t
+(** An immutable store. *)
+
+type command =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Del of { key : string }
+  | Cas of { key : string; expected : string; replacement : string }
+  | Noop
+  | Invalid of string  (** unparseable input, kept for auditing *)
+
+type result =
+  | Unit  (** state-changing command applied *)
+  | Found of string  (** [GET]/[CAS] observed this value *)
+  | Missing  (** key was absent *)
+  | Cas_failed of string option  (** expectation mismatch; actual value *)
+
+val parse : string -> command
+(** [parse line] never raises. *)
+
+val render : command -> string
+(** Inverse of {!parse} for well-formed commands. *)
+
+val empty : t
+(** The store with no bindings. *)
+
+val find : t -> string -> string option
+(** [find t key] is the current binding. *)
+
+val bindings : t -> (string * string) list
+(** All bindings, sorted by key. *)
+
+val apply : t -> command -> t * result
+(** [apply t c] executes one command. *)
+
+val apply_log : t -> string list -> t * result list
+(** [apply_log t lines] parses and applies each line in order,
+    returning results in the same order. *)
+
+val digest : t -> string
+(** Deterministic fingerprint of the full store contents: equal stores
+    have equal digests, and (for the sizes used here) different stores
+    practically never collide. *)

@@ -1,0 +1,52 @@
+(** Replicated log — state machine replication over asynchronous
+    Byzantine consensus.
+
+    The downstream application the 1984 primitives enable: a cluster of
+    replicas, each fed commands by its local clients, agrees on a
+    single totally-ordered command log despite [f] Byzantine replicas
+    and a fully asynchronous network — no leader, no timeouts.
+
+    The log is produced slot by slot.  For slot [k] every replica
+    proposes its [k]-th pending command and one {!Abc.Acs} instance
+    decides the common subset of proposals for that slot; the slot's
+    commands are the subset in node-id order.  Slots pipeline freely
+    (a replica joins slot [k]'s agreement as soon as it sees traffic
+    for it), but {!output}s commit in slot order.
+
+    Every honest replica emits one [Committed] per slot, in order, with
+    identical contents, and finally one terminal [Log_complete] whose
+    command sequence is the whole log. *)
+
+module Node_id = Abc_net.Node_id
+
+type command = string
+(** An opaque client command. *)
+
+type input = {
+  commands : command array;  (** my proposals, one per slot *)
+  slots : int;  (** length of the log to build *)
+  coin : Abc.Coin.t;  (** coin for the underlying agreements *)
+}
+
+type output =
+  | Committed of { slot : int; commands : (Node_id.t * command) list }
+      (** slot [slot] decided: the agreed (proposer, command) pairs in
+          node-id order; emitted in slot order *)
+  | Log_complete of command list
+      (** all slots decided: the full ordered log (terminal) *)
+
+type msg
+
+include
+  Abc_net.Protocol.S
+    with type input := input
+     and type output := output
+     and type msg := msg
+
+val inputs :
+  n:int -> slots:int -> coin:Abc.Coin.t -> (int -> int -> command) -> input array
+(** [inputs ~n ~slots ~coin command] builds per-replica workloads where
+    replica [i]'s proposal for slot [k] is [command i k]. *)
+
+val log_of_outputs : (int * output) list -> command list option
+(** The completed log in a replica's output stream, if present. *)

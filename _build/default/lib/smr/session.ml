@@ -1,0 +1,62 @@
+type request = { client : string; request_id : int; body : string }
+
+let tag r =
+  if String.contains r.client ':' then
+    invalid_arg "Session.tag: client id must not contain ':'";
+  Printf.sprintf "%s:%d:%s" r.client r.request_id r.body
+
+let parse line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i -> (
+    let client = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match String.index_opt rest ':' with
+    | None -> None
+    | Some j -> (
+      match int_of_string_opt (String.sub rest 0 j) with
+      | Some request_id when client <> "" ->
+        Some
+          { client; request_id; body = String.sub rest (j + 1) (String.length rest - j - 1) }
+      | Some _ | None -> None))
+
+module Key = struct
+  type t = string * int
+
+  let compare = compare
+end
+
+module Key_set = Set.Make (Key)
+
+type dedup = Key_set.t
+
+let empty = Key_set.empty
+
+let seen dedup ~client ~request_id = Key_set.mem (client, request_id) dedup
+
+type stats = { applied : int; skipped : int; anonymous : int }
+
+let apply_log store dedup log =
+  List.fold_left
+    (fun (store, dedup, stats) line ->
+      match parse line with
+      | Some { client; request_id; body } ->
+        if Key_set.mem (client, request_id) dedup then
+          (store, dedup, { stats with skipped = stats.skipped + 1 })
+        else begin
+          let store, _result = Kv_store.apply store (Kv_store.parse body) in
+          ( store,
+            Key_set.add (client, request_id) dedup,
+            { stats with applied = stats.applied + 1 } )
+        end
+      | None ->
+        let store, _result = Kv_store.apply store (Kv_store.parse line) in
+        ( store,
+          dedup,
+          {
+            stats with
+            applied = stats.applied + 1;
+            anonymous = stats.anonymous + 1;
+          } ))
+    (store, dedup, { applied = 0; skipped = 0; anonymous = 0 })
+    log

@@ -1,0 +1,39 @@
+(** Client sessions: exactly-once command execution.
+
+    In a real replicated service a client retries its request — often
+    through a different replica — until it sees a commit.  The same
+    logical command can therefore appear in the agreed log more than
+    once.  This layer gives commands client-session identities and
+    filters re-executions out at apply time, turning the log's
+    at-least-once delivery into exactly-once execution (the classic
+    RSM session trick).
+
+    A tagged command is [client:request_id:body].  Replicas track, per
+    client, which request ids have been applied; a duplicate is skipped
+    {e deterministically} — every replica skips the same occurrences,
+    so state convergence (same digests) is preserved. *)
+
+type request = { client : string; request_id : int; body : string }
+
+val tag : request -> string
+(** Wire form: ["client:request_id:body"].  [client] must not contain
+    [':']. *)
+
+val parse : string -> request option
+(** Inverse of {!tag}; [None] for untagged (anonymous) commands. *)
+
+type dedup
+(** Per-replica record of applied (client, request id) pairs. *)
+
+val empty : dedup
+
+val seen : dedup -> client:string -> request_id:int -> bool
+
+type stats = { applied : int; skipped : int; anonymous : int }
+
+val apply_log :
+  Kv_store.t -> dedup -> string list -> Kv_store.t * dedup * stats
+(** [apply_log store dedup log] applies each entry in order: tagged
+    commands execute at most once per (client, request id), duplicates
+    are skipped, untagged commands always execute (counted as
+    [anonymous]). *)

@@ -1,0 +1,1 @@
+test/test_benor.ml: Abc Abc_net Alcotest Array Fmt List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Abc Abc_net Alcotest Array List Printf QCheck QCheck_alcotest

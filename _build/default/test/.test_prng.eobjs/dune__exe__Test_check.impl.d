@@ -1,0 +1,1 @@
+test/test_check.ml: Abc Abc_check Abc_net Alcotest Array Fmt List

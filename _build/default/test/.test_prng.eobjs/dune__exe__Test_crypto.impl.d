@@ -1,0 +1,1 @@
+test/test_crypto.ml: Abc Abc_net Abc_prng Alcotest Array Fmt List Printf QCheck QCheck_alcotest

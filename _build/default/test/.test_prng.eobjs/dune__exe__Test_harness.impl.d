@@ -1,0 +1,1 @@
+test/test_harness.ml: Abc Abc_net Alcotest Array Astring Fmt List String

@@ -1,0 +1,1 @@
+test/test_mmr.ml: Abc Abc_net Alcotest Array Fmt List Printf QCheck QCheck_alcotest

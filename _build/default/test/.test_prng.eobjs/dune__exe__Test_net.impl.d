@@ -1,0 +1,1 @@
+test/test_net.ml: Abc_net Abc_prng Abc_sim Alcotest Array Fmt List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prng.ml: Abc_prng Alcotest Array Hashtbl Int Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rbc.ml: Abc Abc_net Abc_prng Abc_sim Alcotest Array List Printf QCheck QCheck_alcotest

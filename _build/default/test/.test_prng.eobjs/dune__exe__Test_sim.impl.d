@@ -1,0 +1,1 @@
+test/test_sim.ml: Abc_sim Alcotest Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_smr.ml: Abc Abc_net Abc_smr Alcotest Array Fmt List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_turpin.ml: Abc Abc_net Alcotest Array Fmt List QCheck QCheck_alcotest

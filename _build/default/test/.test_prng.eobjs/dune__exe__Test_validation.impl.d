@@ -1,0 +1,1 @@
+test/test_validation.ml: Abc Abc_net Abc_prng Alcotest Array List QCheck QCheck_alcotest

@@ -1,0 +1,208 @@
+(* Chaos campaign: randomized configurations across every protocol in
+   the library, asserting the consensus properties whenever the
+   configuration is within the protocol's design bounds.  This is the
+   wide-net complement to the targeted suites: qcheck draws the
+   parameters, the engine's determinism makes any failure replayable
+   from the printed counterexample. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Value = Abc.Value
+module B = Abc.Bracha_consensus
+module M = Abc.Mmr_consensus
+module BO = Abc.Ben_or
+
+let node = Node_id.of_int
+
+(* ---- randomized configuration vocabulary ---- *)
+
+type scenario = {
+  n : int;
+  f : int;
+  actual_faults : int;
+  fault_kind : int; (* 0..4 *)
+  adversary_kind : int; (* 0..5 *)
+  input_pattern : int; (* 0..2 *)
+  seed : int;
+}
+
+let scenario_gen ~max_f_of =
+  QCheck.Gen.(
+    int_range 4 10 >>= fun n ->
+    let fmax = max 0 (max_f_of n) in
+    int_range 0 fmax >>= fun f ->
+    int_range 0 f >>= fun actual_faults ->
+    int_range 0 4 >>= fun fault_kind ->
+    int_range 0 5 >>= fun adversary_kind ->
+    int_range 0 2 >>= fun input_pattern ->
+    int_range 0 1000 >>= fun seed ->
+    return { n; f; actual_faults; fault_kind; adversary_kind; input_pattern; seed })
+
+let print_scenario s =
+  Printf.sprintf "{n=%d f=%d faults=%d kind=%d adv=%d inputs=%d seed=%d}" s.n s.f
+    s.actual_faults s.fault_kind s.adversary_kind s.input_pattern s.seed
+
+let arbitrary ~max_f_of =
+  QCheck.make ~print:print_scenario (scenario_gen ~max_f_of)
+
+let adversary_of s =
+  match s.adversary_kind with
+  | 0 -> Adversary.fifo
+  | 1 -> Adversary.uniform
+  | 2 -> Adversary.latency ~mean:6.
+  | 3 -> Adversary.targeted_delay ~victims:[ node 0 ]
+  | 4 -> Adversary.split ~n:s.n
+  | _ -> Adversary.rotating_eclipse ~n:s.n ~period:5
+
+let values_of s =
+  match s.input_pattern with
+  | 0 -> Array.make s.n Value.Zero
+  | 1 -> Array.make s.n Value.One
+  | _ -> Array.init s.n (fun i -> if i < s.n / 2 then Value.Zero else Value.One)
+
+let faulty_of s ~flip ~equivocate =
+  let behaviour =
+    match s.fault_kind with
+    | 0 -> Behaviour.Silent
+    | 1 -> Behaviour.Crash_after (s.seed mod 7)
+    | 2 -> Behaviour.Mutate flip
+    | 3 -> Behaviour.Equivocate equivocate
+    | _ -> Behaviour.Corrupt_after (3, Behaviour.Mutate flip)
+  in
+  List.init s.actual_faults (fun k -> (node (s.n - 1 - k), behaviour))
+
+(* ---- campaigns ---- *)
+
+module BH = Abc.Harness.Make (struct
+  include B
+
+  let value_of_input = B.value_of_input
+end)
+
+let chaos_bracha =
+  QCheck.Test.make ~name:"bracha consensus survives arbitrary scenarios" ~count:120
+    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+    (fun s ->
+      let faulty =
+        faulty_of s ~flip:B.Fault.flip_value
+          ~equivocate:(B.Fault.equivocate_by_half ~n:s.n)
+      in
+      let inputs = B.inputs ~n:s.n ~options:B.Options.default (values_of s) in
+      let cfg =
+        BH.E.config ~n:s.n ~f:s.f ~inputs ~faulty ~adversary:(adversary_of s)
+          ~seed:s.seed ()
+      in
+      Abc.Harness.ok (snd (BH.run cfg)))
+
+module MH = Abc.Harness.Make (struct
+  include M
+
+  let value_of_input = M.value_of_input
+end)
+
+let chaos_mmr =
+  QCheck.Test.make ~name:"mmr consensus survives arbitrary scenarios" ~count:120
+    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+    (fun s ->
+      let faulty =
+        faulty_of s ~flip:M.Fault.flip_value
+          ~equivocate:(M.Fault.equivocate_by_half ~n:s.n)
+      in
+      let inputs = M.inputs ~n:s.n ~coin:(Abc.Coin.common ~seed:9) (values_of s) in
+      let cfg =
+        MH.E.config ~n:s.n ~f:s.f ~inputs ~faulty ~adversary:(adversary_of s)
+          ~seed:s.seed ()
+      in
+      Abc.Harness.ok (snd (MH.run cfg)))
+
+let chaos_mmr_rabin =
+  QCheck.Test.make ~name:"mmr over the rabin coin survives arbitrary scenarios"
+    ~count:60
+    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+    (fun s ->
+      let faulty =
+        faulty_of s ~flip:M.Fault.flip_value
+          ~equivocate:(M.Fault.equivocate_by_half ~n:s.n)
+      in
+      let inputs = M.inputs_with_shared_coin ~n:s.n ~f:s.f ~seed:9 (values_of s) in
+      let cfg =
+        MH.E.config ~n:s.n ~f:s.f ~inputs ~faulty ~adversary:(adversary_of s)
+          ~seed:s.seed ()
+      in
+      Abc.Harness.ok (snd (MH.run cfg)))
+
+module BOH = Abc.Harness.Make (struct
+  include BO
+
+  let value_of_input = BO.value_of_input
+end)
+
+let chaos_benor =
+  QCheck.Test.make ~name:"ben-or survives arbitrary in-bound scenarios" ~count:80
+    (arbitrary ~max_f_of:(fun n -> (n - 1) / 5))
+    (fun s ->
+      let faulty =
+        faulty_of s ~flip:BO.Fault.flip_value
+          ~equivocate:(BO.Fault.equivocate_by_half ~n:s.n)
+      in
+      let inputs = BO.inputs ~n:s.n ~mode:BO.Mode.Byzantine ~coin:Abc.Coin.local (values_of s) in
+      let cfg =
+        BOH.E.config ~n:s.n ~f:s.f ~inputs ~faulty ~adversary:(adversary_of s)
+          ~seed:s.seed ()
+      in
+      Abc.Harness.ok (snd (BOH.run cfg)))
+
+module Acs = Abc.Acs.Make (Abc.Payloads.Int_payload)
+module AcsE = Abc_net.Engine.Make (Acs)
+
+let chaos_acs =
+  (* Faults restricted to silence/crash here: the ACS message type is
+     abstract, so payload mutators come from inner protocols only. *)
+  QCheck.Test.make ~name:"acs produces a common subset in arbitrary scenarios"
+    ~count:40
+    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+    (fun s ->
+      let behaviour =
+        if s.fault_kind mod 2 = 0 then Behaviour.Silent
+        else Behaviour.Crash_after (s.seed mod 5)
+      in
+      let faulty =
+        List.init s.actual_faults (fun k -> (node (s.n - 1 - k), behaviour))
+      in
+      let inputs =
+        Acs.inputs ~n:s.n ~coin:Abc.Coin.local (Array.init s.n (fun i -> 100 + i))
+      in
+      let cfg =
+        AcsE.config ~n:s.n ~f:s.f ~inputs ~faulty ~adversary:(adversary_of s)
+          ~seed:s.seed ()
+      in
+      let result = AcsE.run cfg in
+      result.AcsE.stop = Abc_net.Engine.All_terminal
+      &&
+      let honest_subsets =
+        List.filter_map
+          (fun i ->
+            if i >= s.n - s.actual_faults then None
+            else
+              match result.AcsE.outputs.(i) with
+              | [ (_, Acs.Accepted subset) ] -> Some subset
+              | _ -> None)
+          (List.init s.n (fun i -> i))
+      in
+      match honest_subsets with
+      | first :: rest -> List.for_all (( = ) first) rest
+      | [] -> false)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "campaigns",
+        [
+          QCheck_alcotest.to_alcotest chaos_bracha;
+          QCheck_alcotest.to_alcotest chaos_mmr;
+          QCheck_alcotest.to_alcotest chaos_mmr_rabin;
+          QCheck_alcotest.to_alcotest chaos_benor;
+          QCheck_alcotest.to_alcotest chaos_acs;
+        ] );
+    ]

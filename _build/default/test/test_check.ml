@@ -1,0 +1,176 @@
+(* Tests for the bounded model checker: exhaustive schedule exploration
+   of reliable broadcast, plus a deliberately unsafe toy protocol to
+   prove the checker can actually find counterexamples. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Protocol = Abc_net.Protocol
+module Rbc = Abc.Bracha_rbc.Binary
+module X = Abc_check.Explore.Make (Rbc)
+
+let node = Node_id.of_int
+
+let rbc_agreement outputs =
+  let delivered =
+    Array.to_list outputs
+    |> List.concat_map (List.map (fun (Rbc.Delivered v) -> v))
+  in
+  match delivered with
+  | [] -> true
+  | v :: rest -> List.for_all (Abc.Value.equal v) rest
+
+let rbc_validity outputs =
+  Array.for_all
+    (List.for_all (fun (Rbc.Delivered v) -> Abc.Value.equal v Abc.Value.One))
+    outputs
+
+let rbc_config ?(faulty = []) ?(max_states = 400_000) ?(max_depth = None)
+    ~invariant () =
+  {
+    X.n = 4;
+    f = 1;
+    inputs = Rbc.inputs ~n:4 ~sender:(node 0) Abc.Value.One;
+    faulty;
+    invariant;
+    max_states;
+    max_depth;
+  }
+
+let test_honest_rbc_agreement_and_validity_bounded () =
+  let outcome =
+    X.run
+      (rbc_config ~max_depth:(Some 8)
+         ~invariant:(fun o -> rbc_agreement o && rbc_validity o)
+         ())
+  in
+  Alcotest.(check bool) "no violation" true (outcome.X.violation = None);
+  Alcotest.(check bool) "explored many states" true (outcome.X.explored > 1000);
+  Alcotest.(check int) "depth bound respected" 8 outcome.X.depth_reached
+
+let test_equivocating_sender_agreement_bounded () =
+  (* The headline check: under EVERY schedule prefix of length <= 8, a
+     two-faced sender cannot make honest nodes deliver conflicting
+     values. *)
+  let two_faced _rng ~dst v =
+    if Node_id.to_int dst < 2 then v else Abc.Value.negate v
+  in
+  let faulty =
+    [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate two_faced)) ]
+  in
+  let outcome =
+    X.run (rbc_config ~faulty ~max_depth:(Some 8) ~invariant:rbc_agreement ())
+  in
+  Alcotest.(check bool) "no violation in any schedule" true
+    (outcome.X.violation = None);
+  Alcotest.(check bool) "nontrivial space" true (outcome.X.explored > 1000)
+
+let test_silent_sender_exhausts_immediately () =
+  let faulty = [ (node 0, Behaviour.Silent) ] in
+  let outcome =
+    X.run (rbc_config ~faulty ~max_depth:None ~invariant:rbc_agreement ())
+  in
+  Alcotest.(check bool) "exhausted" true outcome.X.exhausted;
+  Alcotest.(check int) "single deadlocked state" 1 outcome.X.explored;
+  Alcotest.(check int) "counted as deadlock" 1 outcome.X.deadlocks
+
+let test_budget_respected () =
+  let outcome =
+    X.run (rbc_config ~max_states:50 ~max_depth:None ~invariant:rbc_agreement ())
+  in
+  Alcotest.(check bool) "stopped at budget" true (outcome.X.explored <= 50);
+  Alcotest.(check bool) "not exhausted" false outcome.X.exhausted
+
+(* A deliberately unsafe protocol: decide on the first value heard.
+   With different inputs, some schedule produces disagreement — the
+   checker must find it and produce a schedule. *)
+module Race = struct
+  type input = Abc.Value.t
+  type msg = Claim of Abc.Value.t
+  type output = Chose of Abc.Value.t
+  type state = { chosen : bool }
+
+  let name = "race"
+
+  let initial _ctx input = ({ chosen = false }, [ Protocol.Broadcast (Claim input) ])
+
+  let on_message _ctx state ~src:_ (Claim v) =
+    if state.chosen then (state, [], [])
+    else ({ chosen = true }, [], [ Chose v ])
+
+  let is_terminal (Chose _) = true
+  let msg_label (Claim _) = "claim"
+  let pp_msg ppf (Claim v) = Fmt.pf ppf "claim(%a)" Abc.Value.pp v
+  let pp_output ppf (Chose v) = Fmt.pf ppf "chose(%a)" Abc.Value.pp v
+end
+
+module XR = Abc_check.Explore.Make (Race)
+
+let test_finds_counterexample_in_unsafe_protocol () =
+  let agreement outputs =
+    let chosen =
+      Array.to_list outputs |> List.concat_map (List.map (fun (Race.Chose v) -> v))
+    in
+    match chosen with
+    | [] -> true
+    | v :: rest -> List.for_all (Abc.Value.equal v) rest
+  in
+  let outcome =
+    XR.run
+      {
+        XR.n = 2;
+        f = 0;
+        inputs = [| Abc.Value.Zero; Abc.Value.One |];
+        faulty = [];
+        invariant = agreement;
+        max_states = 10_000;
+        max_depth = None;
+      }
+  in
+  match outcome.XR.violation with
+  | Some v ->
+    Alcotest.(check bool) "schedule is non-empty" true (List.length v.XR.schedule > 0);
+    Alcotest.(check bool) "schedule is short" true (List.length v.XR.schedule <= 4)
+  | None -> Alcotest.fail "expected a counterexample"
+
+let test_safe_toy_exhausts () =
+  (* Same protocol with equal inputs is trivially safe and small enough
+     to exhaust completely. *)
+  let outcome =
+    XR.run
+      {
+        XR.n = 2;
+        f = 0;
+        inputs = [| Abc.Value.One; Abc.Value.One |];
+        faulty = [];
+        invariant =
+          (fun outputs ->
+            Array.for_all
+              (List.for_all (fun (Race.Chose v) -> Abc.Value.equal v Abc.Value.One))
+              outputs);
+        max_states = 10_000;
+        max_depth = None;
+      }
+  in
+  Alcotest.(check bool) "exhausted" true outcome.XR.exhausted;
+  Alcotest.(check bool) "no violation" true (outcome.XR.violation = None)
+
+let () =
+  Alcotest.run "model_check"
+    [
+      ( "rbc",
+        [
+          Alcotest.test_case "honest: agreement+validity to depth 8" `Slow
+            test_honest_rbc_agreement_and_validity_bounded;
+          Alcotest.test_case "equivocator: agreement to depth 8" `Slow
+            test_equivocating_sender_agreement_bounded;
+          Alcotest.test_case "silent sender exhausts" `Quick
+            test_silent_sender_exhausts_immediately;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "unsafe protocol caught" `Quick
+            test_finds_counterexample_in_unsafe_protocol;
+          Alcotest.test_case "safe toy exhausts" `Quick test_safe_toy_exhausts;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+(* Unit tests for the smaller core components: values, coins, the
+   consensus message vocabulary, the RBC multiplexer, BA instances and
+   payloads. *)
+
+module Node_id = Abc_net.Node_id
+module Value = Abc.Value
+module Coin = Abc.Coin
+module M = Abc.Consensus_msg
+module Mux = Abc.Rbc_mux
+module Ba = Abc.Ba_instance
+
+let node = Node_id.of_int
+
+let rng ?(seed = 1) () = Abc_prng.Stream.root ~seed
+
+(* ---- Value ---- *)
+
+let test_value_basics () =
+  Alcotest.(check int) "zero" 0 (Value.to_int Value.zero);
+  Alcotest.(check int) "one" 1 (Value.to_int Value.one);
+  Alcotest.(check bool) "negate zero" true (Value.equal (Value.negate Value.Zero) Value.One);
+  Alcotest.(check bool) "negate one" true (Value.equal (Value.negate Value.One) Value.Zero);
+  Alcotest.(check bool) "of_bool" true (Value.equal (Value.of_bool true) Value.One);
+  Alcotest.(check bool) "of_int 7" true (Value.equal (Value.of_int 7) Value.One);
+  Alcotest.(check bool) "to_bool" false (Value.to_bool Value.Zero);
+  Alcotest.(check int) "compare" (-1) (Value.compare Value.Zero Value.One);
+  Alcotest.(check string) "pp" "1" (Fmt.str "%a" Value.pp Value.One)
+
+(* ---- Coin ---- *)
+
+let test_local_coin_uses_rng () =
+  (* Same stream, same draws. *)
+  let a = rng () and b = rng () in
+  for round = 1 to 50 do
+    Alcotest.(check bool) "deterministic per stream" true
+      (Value.equal
+         (Coin.flip Coin.local ~rng:a ~round)
+         (Coin.flip Coin.local ~rng:b ~round))
+  done
+
+let test_local_coin_roughly_fair () =
+  let s = rng ~seed:3 () in
+  let ones = ref 0 in
+  for round = 1 to 10_000 do
+    if Value.equal (Coin.flip Coin.local ~rng:s ~round) Value.One then incr ones
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fair (got %d/10000)" !ones)
+    true
+    (!ones > 4800 && !ones < 5200)
+
+let test_common_coin_identical_across_nodes () =
+  let coin = Coin.common ~seed:9 in
+  for round = 1 to 100 do
+    let a = Coin.flip coin ~rng:(rng ~seed:1 ()) ~round in
+    let b = Coin.flip coin ~rng:(rng ~seed:2 ()) ~round in
+    Alcotest.(check bool) "same bit at every node" true (Value.equal a b)
+  done
+
+let test_common_coin_varies_with_round () =
+  let coin = Coin.common ~seed:9 in
+  let bits =
+    List.init 64 (fun round -> Value.to_int (Coin.flip coin ~rng:(rng ()) ~round))
+  in
+  let ones = List.fold_left ( + ) 0 bits in
+  Alcotest.(check bool)
+    (Printf.sprintf "not constant (%d ones in 64)" ones)
+    true
+    (ones > 16 && ones < 48)
+
+let test_common_coin_varies_with_seed () =
+  let flips seed =
+    List.init 64 (fun round ->
+        Value.to_int (Coin.flip (Coin.common ~seed) ~rng:(rng ()) ~round))
+  in
+  Alcotest.(check bool) "seed changes sequence" false (flips 1 = flips 2)
+
+let test_coin_labels () =
+  Alcotest.(check string) "local" "local" (Coin.label Coin.local);
+  Alcotest.(check string) "common" "common" (Coin.label (Coin.common ~seed:1))
+
+(* ---- Consensus_msg ---- *)
+
+let test_step_order () =
+  Alcotest.(check int) "s1" 1 (M.Step.to_int M.Step.S1);
+  Alcotest.(check bool) "s1 < s3" true (M.Step.compare M.Step.S1 M.Step.S3 < 0);
+  Alcotest.(check bool) "equal" true (M.Step.equal M.Step.S2 M.Step.S2)
+
+let test_key_ordering_and_pp () =
+  let k1 = { M.Key.origin = node 0; round = 1; step = M.Step.S1 } in
+  let k2 = { M.Key.origin = node 0; round = 2; step = M.Step.S1 } in
+  let k3 = { M.Key.origin = node 1; round = 1; step = M.Step.S1 } in
+  Alcotest.(check bool) "round orders" true (M.Key.compare k1 k2 < 0);
+  Alcotest.(check bool) "origin orders first" true (M.Key.compare k2 k3 < 0);
+  Alcotest.(check bool) "equal" true (M.Key.equal k1 k1);
+  Alcotest.(check string) "pp" "n0/r1/s1" (Fmt.str "%a" M.Key.pp k1)
+
+let test_vmsg_roundtrip () =
+  let key = { M.Key.origin = node 3; round = 2; step = M.Step.S3 } in
+  let payload = { M.Payload.value = Value.One; decide = true } in
+  let v = M.vmsg_of_delivery key payload in
+  Alcotest.(check bool) "key roundtrip" true (M.Key.equal key (M.key_of_vmsg v));
+  Alcotest.(check bool) "payload roundtrip" true
+    (M.Payload.equal payload (M.payload_of_vmsg v));
+  Alcotest.(check string) "pp" "n3/r2/s3=d:1" (Fmt.str "%a" M.pp_vmsg v)
+
+let test_payload_compare () =
+  let p1 = { M.Payload.value = Value.Zero; decide = false } in
+  let p2 = { M.Payload.value = Value.Zero; decide = true } in
+  let p3 = { M.Payload.value = Value.One; decide = false } in
+  Alcotest.(check bool) "decide orders" true (M.Payload.compare p1 p2 < 0);
+  Alcotest.(check bool) "value orders first" true (M.Payload.compare p2 p3 < 0)
+
+(* ---- Rbc_mux ---- *)
+
+let key ?(origin = 0) ?(round = 1) ?(step = M.Step.S1) () =
+  { M.Key.origin = node origin; round; step }
+
+let payload ?(value = Value.One) ?(decide = false) () = { M.Payload.value; decide }
+
+let test_mux_routes_to_instances () =
+  let mux = Mux.create ~n:4 ~f:1 in
+  let wire = Mux.broadcast_own (key ()) (payload ()) in
+  let mux, out, delivery = Mux.handle mux ~src:(node 0) wire in
+  Alcotest.(check int) "one instance" 1 (Mux.instances mux);
+  Alcotest.(check int) "echo emitted" 1 (List.length out);
+  Alcotest.(check bool) "echo in same instance" true
+    (M.Key.equal (List.hd out).Mux.key (key ()));
+  Alcotest.(check bool) "no delivery yet" true (delivery = None)
+
+let test_mux_separate_instances () =
+  let mux = Mux.create ~n:4 ~f:1 in
+  let w1 = Mux.broadcast_own (key ~origin:0 ()) (payload ()) in
+  let w2 = Mux.broadcast_own (key ~origin:1 ()) (payload ()) in
+  let mux, _, _ = Mux.handle mux ~src:(node 0) w1 in
+  let mux, _, _ = Mux.handle mux ~src:(node 1) w2 in
+  Alcotest.(check int) "two instances" 2 (Mux.instances mux)
+
+let test_mux_delivery () =
+  let mux = Mux.create ~n:4 ~f:1 in
+  let k = key () in
+  let ready src mux =
+    let mux, _, d = Mux.handle mux ~src { Mux.key = k; event = Mux.Rbc.Ready (payload ()) } in
+    (mux, d)
+  in
+  let mux, d1 = ready (node 0) mux in
+  let mux, d2 = ready (node 1) mux in
+  let _, d3 = ready (node 2) mux in
+  Alcotest.(check bool) "no early delivery" true (d1 = None && d2 = None);
+  match d3 with
+  | Some (dk, dp) ->
+    Alcotest.(check bool) "delivered key" true (M.Key.equal dk k);
+    Alcotest.(check bool) "delivered payload" true (M.Payload.equal dp (payload ()))
+  | None -> Alcotest.fail "expected delivery at 2f+1 readies"
+
+let test_mux_initial_from_wrong_origin_ignored () =
+  let mux = Mux.create ~n:4 ~f:1 in
+  (* node 2 sends an Initial for node 0's instance: dropped by the
+     instance's sender check. *)
+  let wire = { Mux.key = key ~origin:0 (); event = Mux.Rbc.Initial (payload ()) } in
+  let _, out, delivery = Mux.handle mux ~src:(node 2) wire in
+  Alcotest.(check int) "no echo" 0 (List.length out);
+  Alcotest.(check bool) "no delivery" true (delivery = None)
+
+(* ---- Ba_instance ---- *)
+
+let drive_ba_network ?(n = 4) ?(f = 1) ~seed inputs =
+  (* A miniature synchronous-ish executor for BA instances alone:
+     deliver wire messages FIFO among n nodes until quiescent. *)
+  let rng = Abc_prng.Stream.root ~seed in
+  let bas =
+    Array.init n (fun i ->
+        Ba.create ~n ~f ~me:(node i) ~coin:Abc.Coin.local ~validation:true)
+  in
+  let queue = Queue.create () in
+  let decisions = Array.make n None in
+  let broadcast src wires =
+    List.iter
+      (fun w -> List.iter (fun dst -> Queue.add (src, dst, w) queue) (List.init n (fun d -> d)))
+      wires
+  in
+  Array.iteri
+    (fun i input ->
+      let ba, wires, events = Ba.start bas.(i) ~rng ~input in
+      bas.(i) <- ba;
+      List.iter (fun (Ba.Decided d) -> decisions.(i) <- Some d) events;
+      broadcast i wires)
+    inputs;
+  let steps = ref 0 in
+  while (not (Queue.is_empty queue)) && !steps < 200_000 do
+    incr steps;
+    let src, dst, wire = Queue.pop queue in
+    let ba, wires, events = Ba.on_wire bas.(dst) ~rng ~src:(node src) wire in
+    bas.(dst) <- ba;
+    List.iter (fun (Ba.Decided d) -> decisions.(dst) <- Some d) events;
+    broadcast dst wires
+  done;
+  (bas, decisions)
+
+let test_ba_unanimous () =
+  let _, decisions = drive_ba_network ~seed:1 (Array.make 4 Value.One) in
+  Array.iter
+    (fun d ->
+      match d with
+      | Some d ->
+        Alcotest.(check bool) "decided One" true (Value.equal d.Abc.Decision.value Value.One)
+      | None -> Alcotest.fail "undecided")
+    decisions
+
+let test_ba_mixed_agreement () =
+  let inputs = [| Value.Zero; Value.One; Value.Zero; Value.One |] in
+  let _, decisions = drive_ba_network ~seed:2 inputs in
+  let values =
+    Array.to_list decisions
+    |> List.map (function
+         | Some d -> d.Abc.Decision.value
+         | None -> Alcotest.fail "undecided")
+  in
+  match values with
+  | first :: rest ->
+    List.iter (fun v -> Alcotest.(check bool) "agreement" true (Value.equal first v)) rest
+  | [] -> ()
+
+let test_ba_buffers_before_start () =
+  (* Node 3 starts late: wire traffic arriving before its start must be
+     buffered and replayed. *)
+  let n = 4 and f = 1 in
+  let rngs = Abc_prng.Stream.root ~seed:3 in
+  let bas =
+    Array.init n (fun i ->
+        Ba.create ~n ~f ~me:(node i) ~coin:Abc.Coin.local ~validation:true)
+  in
+  (* starts for 0..2 only *)
+  let queue = Queue.create () in
+  let broadcast src wires =
+    List.iter
+      (fun w -> List.iter (fun dst -> Queue.add (src, dst, w) queue) (List.init n (fun d -> d)))
+      wires
+  in
+  for i = 0 to 2 do
+    let ba, wires, _ = Ba.start bas.(i) ~rng:rngs ~input:Value.One in
+    bas.(i) <- ba;
+    broadcast i wires
+  done;
+  (* run some deliveries; node 3 receives but never sends (no input) *)
+  for _ = 1 to 50 do
+    if not (Queue.is_empty queue) then begin
+      let src, dst, wire = Queue.pop queue in
+      let ba, wires, _ = Ba.on_wire bas.(dst) ~rng:rngs ~src:(node src) wire in
+      bas.(dst) <- ba;
+      broadcast dst wires
+    end
+  done;
+  Alcotest.(check bool) "node 3 not started" false (Ba.started bas.(3));
+  let ba, wires, _ = Ba.start bas.(3) ~rng:rngs ~input:Value.One in
+  Alcotest.(check bool) "start emits broadcasts" true (List.length wires >= 1);
+  Alcotest.(check bool) "now started" true (Ba.started ba)
+
+let test_ba_start_idempotent () =
+  let ba = Ba.create ~n:4 ~f:1 ~me:(node 0) ~coin:Abc.Coin.local ~validation:true in
+  let ba, wires1, _ = Ba.start ba ~rng:(rng ()) ~input:Value.One in
+  let _, wires2, _ = Ba.start ba ~rng:(rng ()) ~input:Value.Zero in
+  Alcotest.(check bool) "first start broadcasts" true (List.length wires1 > 0);
+  Alcotest.(check int) "second start is a no-op" 0 (List.length wires2)
+
+(* ---- Payloads ---- *)
+
+let test_payloads () =
+  Alcotest.(check bool) "int equal" true (Abc.Payloads.Int_payload.equal 3 3);
+  Alcotest.(check bool) "int compare" true (Abc.Payloads.Int_payload.compare 1 2 < 0);
+  Alcotest.(check string) "int pp" "42" (Fmt.str "%a" Abc.Payloads.Int_payload.pp 42);
+  Alcotest.(check string) "string pp" "hi"
+    (Fmt.str "%a" Abc.Payloads.String_payload.pp "hi");
+  Alcotest.(check string) "labels" "int" Abc.Payloads.Int_payload.label
+
+(* ---- Decision ---- *)
+
+let test_decision () =
+  let d1 = { Abc.Decision.value = Value.One; round = 3 } in
+  let d2 = { Abc.Decision.value = Value.One; round = 3 } in
+  let d3 = { Abc.Decision.value = Value.Zero; round = 3 } in
+  Alcotest.(check bool) "equal" true (Abc.Decision.equal d1 d2);
+  Alcotest.(check bool) "not equal" false (Abc.Decision.equal d1 d3);
+  Alcotest.(check string) "pp" "decide(1, round 3)" (Fmt.str "%a" Abc.Decision.pp d1)
+
+let () =
+  Alcotest.run "components"
+    [
+      ("value", [ Alcotest.test_case "basics" `Quick test_value_basics ]);
+      ( "coin",
+        [
+          Alcotest.test_case "local uses rng" `Quick test_local_coin_uses_rng;
+          Alcotest.test_case "local fair" `Quick test_local_coin_roughly_fair;
+          Alcotest.test_case "common identical across nodes" `Quick
+            test_common_coin_identical_across_nodes;
+          Alcotest.test_case "common varies with round" `Quick
+            test_common_coin_varies_with_round;
+          Alcotest.test_case "common varies with seed" `Quick
+            test_common_coin_varies_with_seed;
+          Alcotest.test_case "labels" `Quick test_coin_labels;
+        ] );
+      ( "consensus_msg",
+        [
+          Alcotest.test_case "step order" `Quick test_step_order;
+          Alcotest.test_case "key ordering and pp" `Quick test_key_ordering_and_pp;
+          Alcotest.test_case "vmsg roundtrip" `Quick test_vmsg_roundtrip;
+          Alcotest.test_case "payload compare" `Quick test_payload_compare;
+        ] );
+      ( "rbc_mux",
+        [
+          Alcotest.test_case "routes to instances" `Quick test_mux_routes_to_instances;
+          Alcotest.test_case "separate instances" `Quick test_mux_separate_instances;
+          Alcotest.test_case "delivery" `Quick test_mux_delivery;
+          Alcotest.test_case "wrong-origin initial ignored" `Quick
+            test_mux_initial_from_wrong_origin_ignored;
+        ] );
+      ( "ba_instance",
+        [
+          Alcotest.test_case "unanimous" `Quick test_ba_unanimous;
+          Alcotest.test_case "mixed agreement" `Quick test_ba_mixed_agreement;
+          Alcotest.test_case "buffers before start" `Quick test_ba_buffers_before_start;
+          Alcotest.test_case "start idempotent" `Quick test_ba_start_idempotent;
+        ] );
+      ("payloads", [ Alcotest.test_case "basics" `Quick test_payloads ]);
+      ("decision", [ Alcotest.test_case "basics" `Quick test_decision ]);
+    ]

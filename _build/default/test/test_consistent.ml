@@ -1,0 +1,137 @@
+(* Tests for consistent (echo-only) broadcast — including the
+   deterministic demonstration that it lacks totality, and that the
+   same attack fails against Bracha's three-phase protocol. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Value = Abc.Value
+module Cb = Abc.Consistent_broadcast.Binary
+module CbE = Abc_net.Engine.Make (Cb)
+module Rbc = Abc.Bracha_rbc.Binary
+module RbcE = Abc_net.Engine.Make (Rbc)
+
+let node = Node_id.of_int
+
+let run_cb ?faulty ?(adversary = Adversary.uniform) ?(n = 4) ?(f = 1) ~seed () =
+  CbE.run
+    (CbE.config ?faulty ~n ~f
+       ~inputs:(Cb.inputs ~n ~sender:(node 0) Value.One)
+       ~adversary ~seed ())
+
+let deliveries result honest =
+  List.filter_map
+    (fun id ->
+      match result.CbE.outputs.(Node_id.to_int id) with
+      | [ (_, Cb.Delivered v) ] -> Some v
+      | _ -> None)
+    honest
+
+let test_honest_sender_delivers_everywhere () =
+  List.iter
+    (fun seed ->
+      let result = run_cb ~seed () in
+      let values = deliveries result (Node_id.all ~n:4) in
+      Alcotest.(check int) "all deliver" 4 (List.length values);
+      List.iter
+        (fun v -> Alcotest.(check bool) "sender's value" true (Value.equal v Value.One))
+        values)
+    [ 0; 1; 2 ]
+
+let test_cheaper_than_reliable () =
+  let cb = run_cb ~seed:0 () in
+  let rbc =
+    RbcE.run
+      (RbcE.config ~n:4 ~f:1
+         ~inputs:(Rbc.inputs ~n:4 ~sender:(node 0) Value.One)
+         ~seed:0 ())
+  in
+  let sent r = Abc_sim.Metrics.counter r "sent" in
+  Alcotest.(check bool)
+    (Printf.sprintf "echo-only cheaper (%d vs %d)"
+       (sent cb.CbE.metrics) (sent rbc.RbcE.metrics))
+    true
+    (sent cb.CbE.metrics < sent rbc.RbcE.metrics)
+
+(* The two-faced sender that starves node 3: true value to nodes 0-2,
+   negated value to node 3 — in both its initial and its echo. *)
+let starve_node3 _rng ~dst v =
+  if Node_id.to_int dst < 3 then v else Value.negate v
+
+let test_totality_failure () =
+  (* Echo-only broadcast: nodes 1 and 2 reach the echo quorum
+     {1, 2, sender}; node 3 heard a different value and never
+     delivers.  Partial delivery — exactly what totality forbids. *)
+  List.iter
+    (fun seed ->
+      let faulty =
+        [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate starve_node3)) ]
+      in
+      let result = run_cb ~faulty ~seed () in
+      let values = deliveries result [ node 1; node 2; node 3 ] in
+      Alcotest.(check string) "run drains" "quiescent"
+        (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.CbE.stop);
+      Alcotest.(check int) "only the favoured two deliver" 2 (List.length values);
+      (* consistency still holds: both delivered the same value *)
+      (match values with
+      | [ a; b ] -> Alcotest.(check bool) "consistent" true (Value.equal a b)
+      | _ -> Alcotest.fail "expected two deliveries");
+      Alcotest.(check bool) "node 3 starved" true
+        (result.CbE.outputs.(3) = []))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_ready_phase_restores_totality () =
+  (* Same attack against Bracha's reliable broadcast: the ready
+     amplification carries node 3 over the line — every honest node
+     delivers. *)
+  List.iter
+    (fun seed ->
+      let faulty =
+        [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate starve_node3)) ]
+      in
+      let result =
+        RbcE.run
+          (RbcE.config ~n:4 ~f:1
+             ~inputs:(Rbc.inputs ~n:4 ~sender:(node 0) Value.One)
+             ~faulty ~adversary:Adversary.uniform ~seed ())
+      in
+      let values =
+        List.filter_map
+          (fun i ->
+            match result.RbcE.outputs.(i) with
+            | [ (_, Rbc.Delivered v) ] -> Some v
+            | _ -> None)
+          [ 1; 2; 3 ]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all three honest deliver (seed %d)" seed)
+        3 (List.length values))
+    [ 0; 1; 2; 3; 4 ]
+
+let prop_consistency =
+  (* Under arbitrary per-recipient forgery, no two honest nodes ever
+     deliver different values. *)
+  QCheck.Test.make ~name:"consistency under random equivocation" ~count:80
+    QCheck.small_int
+    (fun seed ->
+      let forge rng ~dst:_ _v = Value.of_bool (Abc_prng.Stream.bool rng) in
+      let faulty = [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate forge)) ] in
+      let result = run_cb ~faulty ~seed () in
+      match deliveries result [ node 1; node 2; node 3 ] with
+      | [] -> true
+      | v :: rest -> List.for_all (Value.equal v) rest)
+
+let () =
+  Alcotest.run "consistent_broadcast"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "honest sender delivers" `Quick
+            test_honest_sender_delivers_everywhere;
+          Alcotest.test_case "cheaper than reliable" `Quick test_cheaper_than_reliable;
+          Alcotest.test_case "totality failure (the gap)" `Quick test_totality_failure;
+          Alcotest.test_case "ready phase restores totality" `Quick
+            test_ready_phase_restores_totality;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_consistency ]);
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the harness's verdict logic, via a tiny scripted protocol
+   whose decisions we fully control. *)
+
+module Node_id = Abc_net.Node_id
+module Protocol = Abc_net.Protocol
+module Value = Abc.Value
+
+(* Every node decides a preconfigured value upon the first message it
+   receives; node inputs are (my_vote, what_i_decide) so tests can
+   construct agreement and disagreement at will. *)
+module Scripted = struct
+  type input = { vote : Value.t; decide : Value.t; extra_decisions : int }
+  type msg = Ping
+  type output = Abc.Decision.t
+  type state = { decide : Value.t; extra : int; decided : bool }
+
+  let name = "scripted"
+
+  let initial _ctx (input : input) =
+    ( { decide = input.decide; extra = input.extra_decisions; decided = false },
+      [ Protocol.Broadcast Ping ] )
+
+  let on_message _ctx state ~src:_ Ping =
+    if state.decided then (state, [], [])
+    else begin
+      let d = { Abc.Decision.value = state.decide; round = 1 } in
+      let outputs = List.init (1 + state.extra) (fun _ -> d) in
+      ({ state with decided = true }, [], outputs)
+    end
+
+  let is_terminal _ = true
+  let msg_label Ping = "ping"
+  let pp_msg ppf Ping = Fmt.string ppf "ping"
+  let pp_output = Abc.Decision.pp
+
+  let value_of_input (input : input) = input.vote
+end
+
+module H = Abc.Harness.Make (Scripted)
+
+let run inputs ?faulty () =
+  let n = Array.length inputs in
+  H.run (H.E.config ?faulty ~n ~f:0 ~inputs ~seed:0 ())
+
+let input ?(extra = 0) vote decide =
+  { Scripted.vote; decide; extra_decisions = extra }
+
+let test_all_good () =
+  let _, v = run [| input Value.One Value.One; input Value.One Value.One |] () in
+  Alcotest.(check bool) "ok" true (Abc.Harness.ok v);
+  Alcotest.(check bool) "terminated" true v.Abc.Harness.terminated;
+  Alcotest.(check bool) "agreement" true v.Abc.Harness.agreement;
+  Alcotest.(check bool) "validity" true v.Abc.Harness.validity;
+  Alcotest.(check int) "max round" 1 v.Abc.Harness.max_round
+
+let test_disagreement_detected () =
+  let _, v = run [| input Value.One Value.One; input Value.One Value.Zero |] () in
+  Alcotest.(check bool) "agreement violated" false v.Abc.Harness.agreement;
+  Alcotest.(check bool) "not ok" false (Abc.Harness.ok v)
+
+let test_validity_violation_detected () =
+  (* unanimous One inputs, but everyone decides Zero *)
+  let _, v = run [| input Value.One Value.Zero; input Value.One Value.Zero |] () in
+  Alcotest.(check bool) "agreement fine" true v.Abc.Harness.agreement;
+  Alcotest.(check bool) "validity violated" false v.Abc.Harness.validity
+
+let test_mixed_inputs_any_value_valid () =
+  let _, v = run [| input Value.Zero Value.One; input Value.One Value.One |] () in
+  Alcotest.(check bool) "valid" true v.Abc.Harness.validity;
+  Alcotest.(check bool) "ok" true (Abc.Harness.ok v)
+
+let test_double_decision_fails_termination () =
+  let _, v =
+    run [| input ~extra:1 Value.One Value.One; input Value.One Value.One |] ()
+  in
+  Alcotest.(check bool) "double decision rejected" false v.Abc.Harness.terminated
+
+let test_faulty_nodes_excluded_from_checks () =
+  (* The faulty node decides the other value, but its output must not
+     count against agreement. *)
+  let faulty = [ (Node_id.of_int 2, Abc_net.Behaviour.Honest) ] in
+  let _, v =
+    run
+      [| input Value.One Value.One; input Value.One Value.One;
+         input Value.One Value.Zero |]
+      ~faulty ()
+  in
+  Alcotest.(check bool) "agreement over honest only" true v.Abc.Harness.agreement;
+  Alcotest.(check int) "two honest decisions" 2
+    (List.length v.Abc.Harness.decisions)
+
+let test_verdict_pp () =
+  let _, v = run [| input Value.One Value.One; input Value.One Value.One |] () in
+  let s = Fmt.str "%a" Abc.Harness.pp_verdict v in
+  Alcotest.(check bool) "mentions termination" true
+    (Astring.String.is_infix ~affix:"terminated=true" s
+     || String.length s > 0 && String.sub s 0 10 = "terminated")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "all good" `Quick test_all_good;
+          Alcotest.test_case "disagreement detected" `Quick
+            test_disagreement_detected;
+          Alcotest.test_case "validity violation detected" `Quick
+            test_validity_violation_detected;
+          Alcotest.test_case "mixed inputs: any value valid" `Quick
+            test_mixed_inputs_any_value_valid;
+          Alcotest.test_case "double decision fails termination" `Quick
+            test_double_decision_fails_termination;
+          Alcotest.test_case "faulty excluded from checks" `Quick
+            test_faulty_nodes_excluded_from_checks;
+          Alcotest.test_case "pp" `Quick test_verdict_pp;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for MMR binary agreement (Mostéfaoui–Moumen–Raynal 2014), the
+   modern descendant of Bracha's protocol, including the ablation that
+   shows the common coin is a safety requirement. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module M = Abc.Mmr_consensus
+module Value = Abc.Value
+
+module H = Abc.Harness.Make (struct
+  include M
+
+  let value_of_input = M.value_of_input
+end)
+
+let node = Node_id.of_int
+
+let common = Abc.Coin.common ~seed:7
+
+let run ?faulty ?(adversary = Adversary.uniform) ?(coin = common) ~n ~f ~seed
+    values =
+  let inputs = M.inputs ~n ~coin values in
+  snd (H.run (H.E.config ?faulty ~n ~f ~inputs ~seed ~adversary ()))
+
+let unanimous n v = Array.make n v
+
+let split n = Array.init n (fun i -> if i < n / 2 then Value.Zero else Value.One)
+
+let check_ok label verdict =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s" label (Fmt.str "%a" Abc.Harness.pp_verdict verdict))
+    true (Abc.Harness.ok verdict)
+
+let test_unanimous_decides_input () =
+  List.iter
+    (fun v ->
+      let verdict = run ~n:4 ~f:1 ~seed:1 (unanimous 4 v) in
+      check_ok "unanimous" verdict;
+      match verdict.Abc.Harness.decisions with
+      | (_, _, d) :: _ ->
+        Alcotest.(check bool) "validity" true (Value.equal d.Abc.Decision.value v)
+      | [] -> Alcotest.fail "no decisions")
+    [ Value.Zero; Value.One ]
+
+let test_split_inputs_all_adversaries () =
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun seed ->
+          check_ok
+            (Printf.sprintf "%s seed %d" adversary.Adversary.name seed)
+            (run ~n:7 ~f:2 ~adversary ~seed (split 7)))
+        [ 0; 1; 2; 3; 4 ])
+    (Adversary.all_basic ~n:7)
+
+let test_byzantine_battery () =
+  List.iter
+    (fun behaviour ->
+      List.iter
+        (fun seed ->
+          let faulty = [ (node 5, behaviour); (node 6, behaviour) ] in
+          let verdict = run ~n:7 ~f:2 ~faulty ~seed (unanimous 7 Value.One) in
+          check_ok (Printf.sprintf "byzantine seed %d" seed) verdict;
+          match verdict.Abc.Harness.decisions with
+          | (_, _, d) :: _ ->
+            Alcotest.(check bool) "validity held" true
+              (Value.equal d.Abc.Decision.value Value.One)
+          | [] -> Alcotest.fail "no decisions")
+        [ 0; 1; 2 ])
+    [
+      Behaviour.Silent;
+      Behaviour.Crash_after 4;
+      Behaviour.Mutate M.Fault.flip_value;
+      Behaviour.Equivocate (M.Fault.equivocate_by_half ~n:7);
+      Behaviour.Replay 2;
+    ]
+
+let test_constant_rounds_with_common_coin () =
+  (* Under the nastiest schedule we have, rounds stay small. *)
+  let faulty =
+    [
+      (node 0, Behaviour.Mutate M.Fault.flip_value);
+      (node 7, Behaviour.Mutate M.Fault.flip_value);
+    ]
+  in
+  List.iter
+    (fun seed ->
+      let verdict =
+        run ~faulty ~adversary:(Adversary.split ~n:8) ~n:8 ~f:2 ~seed (split 8)
+      in
+      check_ok (Printf.sprintf "seed %d" seed) verdict;
+      Alcotest.(check bool)
+        (Printf.sprintf "rounds bounded (got %d)" verdict.Abc.Harness.max_round)
+        true
+        (verdict.Abc.Harness.max_round <= 5))
+    (List.init 15 (fun i -> i))
+
+let test_cheaper_than_bracha () =
+  (* The headline improvement: one BV-broadcast + one vote per round
+     instead of three reliable broadcasts — an order of magnitude in
+     messages at n=16. *)
+  let mmr = run ~n:16 ~f:5 ~seed:3 (split 16) in
+  check_ok "mmr n=16" mmr;
+  let module B = Abc.Bracha_consensus in
+  let module BH = Abc.Harness.Make (struct
+    include B
+
+    let value_of_input = B.value_of_input
+  end) in
+  let bracha_inputs = B.inputs ~n:16 ~options:B.Options.default (split 16) in
+  let _, bracha =
+    BH.run (BH.E.config ~n:16 ~f:5 ~inputs:bracha_inputs ~seed:3 ~adversary:Adversary.uniform ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mmr %d msgs << bracha %d msgs" mmr.Abc.Harness.messages
+       bracha.Abc.Harness.messages)
+    true
+    (mmr.Abc.Harness.messages * 5 < bracha.Abc.Harness.messages)
+
+let test_local_coin_violates_agreement () =
+  (* The ablation: with local coins MMR is UNSAFE, not just slow.
+     Pinned deterministic failure (seed 7 at n=7/f=2, uniform
+     scheduler) plus a sweep showing violations occur. *)
+  let verdict = run ~coin:Abc.Coin.local ~n:7 ~f:2 ~seed:7 (split 7) in
+  Alcotest.(check bool) "pinned agreement violation" false
+    verdict.Abc.Harness.agreement;
+  let violations =
+    List.length
+      (List.filter
+         (fun seed ->
+           let v = run ~coin:Abc.Coin.local ~n:7 ~f:2 ~seed (split 7) in
+           not v.Abc.Harness.agreement)
+         (List.init 30 (fun i -> i)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "violations across seeds (%d/30)" violations)
+    true (violations > 0)
+
+let test_common_coin_never_violates () =
+  List.iter
+    (fun seed ->
+      let v = run ~n:7 ~f:2 ~seed (split 7) in
+      Alcotest.(check bool) "agreement" true v.Abc.Harness.agreement;
+      Alcotest.(check bool) "validity" true v.Abc.Harness.validity)
+    (List.init 30 (fun i -> i))
+
+let test_inputs_arity () =
+  Alcotest.check_raises "inputs arity"
+    (Invalid_argument "Mmr_consensus.inputs: values length must equal n")
+    (fun () -> ignore (M.inputs ~n:4 ~coin:common [| Value.One |]))
+
+let test_pp_msg () =
+  Alcotest.(check string) "bval" "bval(r1, 1)"
+    (Fmt.str "%a" M.pp_msg (M.Bval { round = 1; value = Value.One }));
+  Alcotest.(check string) "aux" "aux(r2, 0)"
+    (Fmt.str "%a" M.pp_msg (M.Aux { round = 2; value = Value.Zero }))
+
+let prop_ok_with_common_coin =
+  QCheck.Test.make ~name:"mmr ok across seeds and fault mixes" ~count:50
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, fault_kind) ->
+      let behaviour =
+        match fault_kind with
+        | 0 -> Behaviour.Silent
+        | 1 -> Behaviour.Crash_after 6
+        | 2 -> Behaviour.Mutate M.Fault.flip_value
+        | _ -> Behaviour.Equivocate (M.Fault.equivocate_by_half ~n:7)
+      in
+      let faulty = [ (node 1, behaviour); (node 4, behaviour) ] in
+      Abc.Harness.ok (run ~faulty ~n:7 ~f:2 ~seed (split 7)))
+
+let () =
+  Alcotest.run "mmr_consensus"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "unanimous decides input" `Quick
+            test_unanimous_decides_input;
+          Alcotest.test_case "split inputs, all adversaries" `Quick
+            test_split_inputs_all_adversaries;
+          Alcotest.test_case "byzantine battery" `Quick test_byzantine_battery;
+          Alcotest.test_case "constant rounds (common coin)" `Quick
+            test_constant_rounds_with_common_coin;
+          Alcotest.test_case "cheaper than bracha" `Quick test_cheaper_than_bracha;
+          Alcotest.test_case "inputs arity" `Quick test_inputs_arity;
+          Alcotest.test_case "pp_msg" `Quick test_pp_msg;
+        ] );
+      ( "coin ablation",
+        [
+          Alcotest.test_case "local coin violates agreement" `Slow
+            test_local_coin_violates_agreement;
+          Alcotest.test_case "common coin never violates" `Slow
+            test_common_coin_never_violates;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_ok_with_common_coin ]);
+    ]

@@ -1,0 +1,429 @@
+(* Tests for the abc_net substrate: adversary policies, behaviours and
+   the execution engine, exercised through a small gossip protocol. *)
+
+module Node_id = Abc_net.Node_id
+module Protocol = Abc_net.Protocol
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Engine = Abc_net.Engine
+
+(* A toy protocol: every node broadcasts its input once; a node
+   terminates after hearing n-f distinct values, outputting their sum.
+   Small, but it exercises broadcasts, outputs, termination and
+   fault/adversary plumbing. *)
+module Gossip = struct
+  type input = int
+  type msg = Hello of int
+  type output = Done of int
+
+  type state = { heard : int Node_id.Map.t; quorum : int; finished : bool }
+
+  let name = "gossip"
+
+  let initial ctx input =
+    ( { heard = Node_id.Map.empty; quorum = Protocol.Context.quorum ctx; finished = false },
+      [ Protocol.Broadcast (Hello input) ] )
+
+  let on_message _ctx state ~src (Hello v) =
+    if state.finished || Node_id.Map.mem src state.heard then (state, [], [])
+    else begin
+      let heard = Node_id.Map.add src v state.heard in
+      if Node_id.Map.cardinal heard >= state.quorum then
+        let sum = Node_id.Map.fold (fun _ v acc -> acc + v) heard 0 in
+        ({ state with heard; finished = true }, [], [ Done sum ])
+      else ({ state with heard }, [], [])
+    end
+
+  let is_terminal (Done _) = true
+  let msg_label (Hello _) = "hello"
+  let pp_msg ppf (Hello v) = Fmt.pf ppf "hello(%d)" v
+  let pp_output ppf (Done s) = Fmt.pf ppf "done(%d)" s
+end
+
+module Run = Engine.Make (Gossip)
+
+let node = Node_id.of_int
+
+let default_inputs n = Array.init n (fun i -> i + 1)
+
+let run ?faulty ?adversary ?seed ?max_deliveries ?trace ~n ~f () =
+  Run.run
+    (Run.config ?faulty ?adversary ?seed ?max_deliveries ?trace ~n ~f
+       ~inputs:(default_inputs n) ())
+
+let check_stop expected result =
+  Alcotest.(check string) "stop reason"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason expected)
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.Run.stop)
+
+(* Engine basics *)
+
+let test_all_terminal_no_faults () =
+  let result = run ~n:4 ~f:0 () in
+  check_stop Abc_net.Engine.All_terminal result;
+  (* With f=0 the quorum is all nodes, so every node sums everything. *)
+  Array.iter
+    (fun outputs ->
+      match outputs with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "sum" 10 sum
+      | _ -> Alcotest.fail "expected exactly one output")
+    result.Run.outputs
+
+let test_determinism () =
+  let r1 = run ~n:5 ~f:1 ~adversary:Adversary.uniform ~seed:7 () in
+  let r2 = run ~n:5 ~f:1 ~adversary:Adversary.uniform ~seed:7 () in
+  Alcotest.(check int) "same deliveries" r1.Run.deliveries r2.Run.deliveries;
+  Alcotest.(check int) "same duration" r1.Run.duration r2.Run.duration;
+  let sums r =
+    Array.to_list r.Run.outputs
+    |> List.concat_map (List.map (fun (_, Gossip.Done s) -> s))
+  in
+  Alcotest.(check (list int)) "same outputs" (sums r1) (sums r2)
+
+let test_seed_changes_schedule () =
+  let r1 = run ~n:5 ~f:1 ~adversary:Adversary.uniform ~seed:1 () in
+  let r2 = run ~n:5 ~f:1 ~adversary:Adversary.uniform ~seed:2 () in
+  (* Different schedules generally yield different quorum sums at some
+     node; at minimum the runs must both succeed. *)
+  check_stop Abc_net.Engine.All_terminal r1;
+  check_stop Abc_net.Engine.All_terminal r2
+
+let test_metrics_counts () =
+  let result = run ~n:4 ~f:0 () in
+  Alcotest.(check int) "sent = n*n" 16
+    (Abc_sim.Metrics.counter result.Run.metrics "sent");
+  Alcotest.(check int) "labelled counter" 16
+    (Abc_sim.Metrics.counter result.Run.metrics "sent.hello");
+  Alcotest.(check int) "delivered = deliveries" result.Run.deliveries
+    (Abc_sim.Metrics.counter result.Run.metrics "delivered")
+
+let test_delivery_limit () =
+  let result = run ~n:4 ~f:0 ~max_deliveries:3 () in
+  check_stop Abc_net.Engine.Delivery_limit result;
+  Alcotest.(check int) "stopped at budget" 3 result.Run.deliveries
+
+let test_quiescent_when_quorum_unreachable () =
+  (* Two silent nodes but f=1: the quorum of 3 hellos can never be
+     reached by the 2 remaining senders. *)
+  let faulty = [ (node 2, Behaviour.Silent); (node 3, Behaviour.Silent) ] in
+  let result = run ~n:4 ~f:1 ~faulty () in
+  check_stop Abc_net.Engine.Quiescent result
+
+let test_trace_records () =
+  let trace = Abc_sim.Trace.create () in
+  let _ = run ~n:4 ~f:0 ~trace () in
+  Alcotest.(check bool) "delivers traced" true
+    (List.length (Abc_sim.Trace.find_all trace ~tag:"deliver") > 0);
+  Alcotest.(check bool) "outputs traced" true
+    (List.length (Abc_sim.Trace.find_all trace ~tag:"output") > 0)
+
+let test_config_validation () =
+  Alcotest.check_raises "inputs arity"
+    (Invalid_argument "Engine.config: inputs length must equal n") (fun () ->
+      ignore (Run.config ~n:4 ~f:1 ~inputs:[| 1 |] ()));
+  Alcotest.check_raises "faulty range"
+    (Invalid_argument "Engine.config: faulty node id out of range") (fun () ->
+      ignore
+        (Run.config ~n:4 ~f:1
+           ~faulty:[ (node 9, Behaviour.Silent) ]
+           ~inputs:(default_inputs 4) ()))
+
+let test_honest_listing () =
+  let cfg =
+    Run.config ~n:4 ~f:1
+      ~faulty:[ (node 1, Behaviour.Silent) ]
+      ~inputs:(default_inputs 4) ()
+  in
+  Alcotest.(check (list int)) "honest nodes" [ 0; 2; 3 ]
+    (List.map Node_id.to_int (Run.honest cfg))
+
+(* Behaviours *)
+
+let test_silent_node_sends_nothing () =
+  let faulty = [ (node 3, Behaviour.Silent) ] in
+  let result = run ~n:4 ~f:1 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  (* 3 honest broadcasts of 4 messages each *)
+  Alcotest.(check int) "sent" 12 (Abc_sim.Metrics.counter result.Run.metrics "sent");
+  (* one suppressed logical action: the initial broadcast *)
+  Alcotest.(check int) "dropped counted" 1
+    (Abc_sim.Metrics.counter result.Run.metrics "dropped.faulty")
+
+let test_crash_after_zero_is_silent () =
+  let faulty = [ (node 3, Behaviour.Crash_after 0) ] in
+  let result = run ~n:4 ~f:1 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  Alcotest.(check int) "sent" 12 (Abc_sim.Metrics.counter result.Run.metrics "sent")
+
+let test_crash_after_one_sends_init () =
+  let faulty = [ (node 3, Behaviour.Crash_after 1) ] in
+  let result = run ~n:4 ~f:1 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  (* The initial broadcast (activation 0) goes out, nothing after. *)
+  Alcotest.(check int) "sent" 16 (Abc_sim.Metrics.counter result.Run.metrics "sent")
+
+let test_mutate_consistent_lie () =
+  (* The liar reports 100 to everyone: every node that counts the liar
+     in its quorum sees the same corrupted value. *)
+  let faulty = [ (node 0, Behaviour.Mutate (fun _rng (Gossip.Hello _) -> Gossip.Hello 100)) ] in
+  let result = run ~n:4 ~f:0 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  List.iter
+    (fun i ->
+      match result.Run.outputs.(i) with
+      | [ (_, Gossip.Done sum) ] ->
+        (* inputs 2+3+4 plus the lie 100 *)
+        Alcotest.(check int) "corrupted sum" 109 sum
+      | _ -> Alcotest.fail "expected one output")
+    [ 1; 2; 3 ]
+
+let test_equivocate_per_recipient () =
+  (* Node 0 tells each node its own id as the value. *)
+  let forge _rng ~dst (Gossip.Hello _) = Gossip.Hello (1000 * Node_id.to_int dst) in
+  let faulty = [ (node 0, Behaviour.Equivocate forge) ] in
+  let result = run ~n:4 ~f:0 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  List.iter
+    (fun i ->
+      match result.Run.outputs.(i) with
+      | [ (_, Gossip.Done sum) ] ->
+        Alcotest.(check int) "per-recipient lie" (9 + (1000 * i)) sum
+      | _ -> Alcotest.fail "expected one output")
+    [ 1; 2; 3 ]
+
+let test_replay_duplicates () =
+  let faulty = [ (node 0, Behaviour.Replay 2) ] in
+  let result = run ~n:4 ~f:0 ~faulty () in
+  check_stop Abc_net.Engine.All_terminal result;
+  (* node 0 sends 3x4 = 12, others 4 each -> 24; duplicates are ignored
+     by the dedup logic so sums stay correct. *)
+  Alcotest.(check int) "sent with replay" 24
+    (Abc_sim.Metrics.counter result.Run.metrics "sent");
+  match result.Run.outputs.(1) with
+  | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "dedup holds" 10 sum
+  | _ -> Alcotest.fail "expected one output"
+
+let test_behaviour_labels () =
+  Alcotest.(check string) "honest" "honest" (Behaviour.label Behaviour.Honest);
+  Alcotest.(check string) "silent" "silent" (Behaviour.label Behaviour.Silent);
+  Alcotest.(check string) "crash" "crash" (Behaviour.label (Behaviour.Crash_after 3));
+  Alcotest.(check string) "replay" "replay" (Behaviour.label (Behaviour.Replay 1))
+
+(* Sequence diagram *)
+
+let test_sequence_diagram () =
+  let trace = Abc_sim.Trace.create () in
+  let _ = run ~n:4 ~f:0 ~trace () in
+  let diagram = Abc_net.Sequence_diagram.render trace ~n:4 in
+  let lines = String.split_on_char '\n' diagram in
+  (* header + one line per delivery + one per output + trailing "" *)
+  Alcotest.(check bool) "has header" true
+    (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 4 = "time");
+  Alcotest.(check bool) "draws arrows" true
+    (List.exists (fun l -> String.contains l '>') lines
+    || List.exists (fun l -> String.contains l '<') lines);
+  Alcotest.(check bool) "marks outputs" true
+    (List.exists (fun l -> String.contains l '!') lines);
+  (* 16 deliveries + 4 outputs + header + trailing empty *)
+  Alcotest.(check bool)
+    (Printf.sprintf "line count plausible (%d)" (List.length lines))
+    true
+    (List.length lines >= 20)
+
+let test_sequence_diagram_window () =
+  let trace = Abc_sim.Trace.create () in
+  let _ = run ~n:4 ~f:0 ~trace () in
+  let full = Abc_net.Sequence_diagram.render trace ~n:4 in
+  let window =
+    Abc_net.Sequence_diagram.render_window trace ~n:4 ~from_time:0 ~to_time:3
+  in
+  Alcotest.(check bool) "window smaller" true
+    (String.length window < String.length full)
+
+(* Adversary policies *)
+
+let meta ~seq ~src ~dst ?(sent_at = 0) ?(priority = 0) () =
+  { Adversary.seq; src = node src; dst = node dst; sent_at; priority }
+
+let view_of_list metas =
+  let arr = Array.of_list metas in
+  let oldest () =
+    let best = ref 0 in
+    Array.iteri
+      (fun i m -> if m.Adversary.seq < arr.(!best).Adversary.seq then best := i)
+      arr;
+    !best
+  in
+  let find_seq seq =
+    let found = ref None in
+    Array.iteri (fun i m -> if m.Adversary.seq = seq then found := Some i) arr;
+    !found
+  in
+  Adversary.View.make ~length:(Array.length arr) ~get:(Array.get arr) ~oldest
+    ~find_seq
+
+(* Instantiate a policy and feed it the view's entries (as [note]
+   expects) before choosing. *)
+let choose_with policy ~rng ~now view metas =
+  let instance = policy.Adversary.instantiate () in
+  List.iter instance.Adversary.note metas;
+  instance.Adversary.choose ~rng ~now view
+
+let test_view_oldest () =
+  let v =
+    view_of_list
+      [ meta ~seq:5 ~src:0 ~dst:1 (); meta ~seq:2 ~src:1 ~dst:0 (); meta ~seq:9 ~src:2 ~dst:0 () ]
+  in
+  Alcotest.(check int) "oldest index" 1 (Adversary.View.oldest v)
+
+let test_fifo_chooses_oldest () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let metas = [ meta ~seq:3 ~src:0 ~dst:1 (); meta ~seq:1 ~src:1 ~dst:2 () ] in
+  let v = view_of_list metas in
+  Alcotest.(check int) "fifo" 1 (choose_with Adversary.fifo ~rng ~now:0 v metas)
+
+let test_latency_prefers_earliest_arrival () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let policy = Adversary.latency ~mean:5. in
+  let metas =
+    [ meta ~seq:1 ~src:0 ~dst:1 ~priority:50 (); meta ~seq:2 ~src:1 ~dst:2 ~priority:3 () ]
+  in
+  let v = view_of_list metas in
+  Alcotest.(check int) "min priority wins" 1 (choose_with policy ~rng ~now:0 v metas)
+
+let test_targeted_delay_starves_victim () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let policy = Adversary.targeted_delay ~victims:[ node 1 ] in
+  let metas = [ meta ~seq:1 ~src:0 ~dst:1 (); meta ~seq:2 ~src:0 ~dst:2 () ] in
+  let v = view_of_list metas in
+  Alcotest.(check int) "victim starved" 1 (choose_with policy ~rng ~now:0 v metas)
+
+let test_source_starve () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let policy = Adversary.source_starve ~victims:[ node 0 ] in
+  let metas = [ meta ~seq:1 ~src:0 ~dst:1 (); meta ~seq:2 ~src:1 ~dst:2 () ] in
+  let v = view_of_list metas in
+  Alcotest.(check int) "victim's messages starved" 1
+    (choose_with policy ~rng ~now:0 v metas)
+
+let test_split_starves_cross_half () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let policy = Adversary.split ~n:4 in
+  let metas =
+    [ meta ~seq:1 ~src:0 ~dst:3 (); (* cross-half *) meta ~seq:2 ~src:2 ~dst:3 () ]
+  in
+  let v = view_of_list metas in
+  Alcotest.(check int) "same-half preferred" 1 (choose_with policy ~rng ~now:0 v metas)
+
+let test_fairness_overrides_starvation () =
+  (* Under targeted-delay the victim must still terminate thanks to the
+     engine's fairness bound. *)
+  let result =
+    run ~n:4 ~f:0 ~adversary:(Adversary.targeted_delay ~victims:[ node 1 ]) ()
+  in
+  check_stop Abc_net.Engine.All_terminal result;
+  Alcotest.(check bool) "victim produced output" true
+    (List.length result.Run.outputs.(1) = 1)
+
+let test_fairness_age_bounded () =
+  (* The fairness audit: even under pure starvation the oldest message
+     is forced out at the age bound, so no delivery age can exceed the
+     bound by more than the backlog drained one-per-tick. *)
+  let result =
+    run ~n:4 ~f:0 ~adversary:(Adversary.targeted_delay ~victims:[ node 1 ]) ()
+  in
+  check_stop Abc_net.Engine.All_terminal result;
+  let bound = 32 * 4 * 4 in
+  let max_age = Abc_sim.Metrics.counter result.Run.metrics "max_delivery_age" in
+  Alcotest.(check bool)
+    (Printf.sprintf "max age %d within bound %d + backlog" max_age (bound + 64))
+    true
+    (max_age <= bound + 64)
+
+let test_rotating_eclipse_completes () =
+  (* Victim rotation must not break liveness. *)
+  List.iter
+    (fun seed ->
+      let result =
+        run ~n:5 ~f:1 ~adversary:(Adversary.rotating_eclipse ~n:5 ~period:3) ~seed ()
+      in
+      check_stop Abc_net.Engine.All_terminal result)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_rotating_eclipse_starves_current_victim () =
+  let rng = Abc_prng.Stream.root ~seed:0 in
+  let policy = Adversary.rotating_eclipse ~n:3 ~period:100 in
+  let instance = policy.Adversary.instantiate () in
+  (* Two messages: one to the initial victim (node 0), one to node 1:
+     the non-victim message must be chosen first. *)
+  let metas = [ meta ~seq:1 ~src:2 ~dst:0 (); meta ~seq:2 ~src:2 ~dst:1 () ] in
+  let v = view_of_list metas in
+  List.iter instance.Adversary.note metas;
+  Alcotest.(check int) "avoids victim" 1 (instance.Adversary.choose ~rng ~now:0 v)
+
+let test_all_policies_complete () =
+  List.iter
+    (fun adversary ->
+      let result = run ~n:7 ~f:2 ~adversary ~seed:3 () in
+      check_stop Abc_net.Engine.All_terminal result)
+    (Adversary.all_basic ~n:7)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine runs are a function of the seed" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let r1 = run ~n:4 ~f:1 ~adversary:Adversary.uniform ~seed () in
+      let r2 = run ~n:4 ~f:1 ~adversary:Adversary.uniform ~seed () in
+      r1.Run.deliveries = r2.Run.deliveries && r1.Run.duration = r2.Run.duration)
+
+let () =
+  Alcotest.run "abc_net"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "all terminal, no faults" `Quick
+            test_all_terminal_no_faults;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed changes schedule" `Quick test_seed_changes_schedule;
+          Alcotest.test_case "metrics counts" `Quick test_metrics_counts;
+          Alcotest.test_case "delivery limit" `Quick test_delivery_limit;
+          Alcotest.test_case "quiescent detection" `Quick
+            test_quiescent_when_quorum_unreachable;
+          Alcotest.test_case "trace records" `Quick test_trace_records;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "honest listing" `Quick test_honest_listing;
+          QCheck_alcotest.to_alcotest prop_engine_deterministic;
+        ] );
+      ( "behaviours",
+        [
+          Alcotest.test_case "silent" `Quick test_silent_node_sends_nothing;
+          Alcotest.test_case "crash_after 0" `Quick test_crash_after_zero_is_silent;
+          Alcotest.test_case "crash_after 1" `Quick test_crash_after_one_sends_init;
+          Alcotest.test_case "mutate" `Quick test_mutate_consistent_lie;
+          Alcotest.test_case "equivocate" `Quick test_equivocate_per_recipient;
+          Alcotest.test_case "replay" `Quick test_replay_duplicates;
+          Alcotest.test_case "labels" `Quick test_behaviour_labels;
+        ] );
+      ( "sequence diagram",
+        [
+          Alcotest.test_case "render" `Quick test_sequence_diagram;
+          Alcotest.test_case "window" `Quick test_sequence_diagram_window;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "view oldest" `Quick test_view_oldest;
+          Alcotest.test_case "fifo" `Quick test_fifo_chooses_oldest;
+          Alcotest.test_case "latency" `Quick test_latency_prefers_earliest_arrival;
+          Alcotest.test_case "targeted delay" `Quick test_targeted_delay_starves_victim;
+          Alcotest.test_case "source starve" `Quick test_source_starve;
+          Alcotest.test_case "split" `Quick test_split_starves_cross_half;
+          Alcotest.test_case "fairness override" `Quick
+            test_fairness_overrides_starvation;
+          Alcotest.test_case "all policies complete" `Quick test_all_policies_complete;
+          Alcotest.test_case "fairness age bounded" `Quick test_fairness_age_bounded;
+          Alcotest.test_case "rotating eclipse completes" `Quick
+            test_rotating_eclipse_completes;
+          Alcotest.test_case "rotating eclipse starves victim" `Quick
+            test_rotating_eclipse_starves_current_victim;
+        ] );
+    ]

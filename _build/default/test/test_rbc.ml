@@ -1,0 +1,356 @@
+(* Tests for Bracha reliable broadcast: the pure Rbc_core state machine
+   and the end-to-end protocol under Byzantine faults and adversarial
+   schedules (experiment E1's property checks in unit-test form). *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Value = Abc.Value
+module Rbc = Abc.Bracha_rbc.Binary
+module Core = Rbc.Core
+module Run = Abc_net.Engine.Make (Abc.Bracha_rbc.Binary)
+
+let node = Node_id.of_int
+
+(* ---- Pure core ---- *)
+
+let feed state events =
+  (* Feed a list of (src, event); collect broadcasts and delivery. *)
+  List.fold_left
+    (fun (state, sent, delivered) (src, event) ->
+      let state, out, d = Core.handle state ~src event in
+      (state, sent @ out, match delivered with Some _ -> delivered | None -> d))
+    (state, [], None) events
+
+let test_thresholds () =
+  (* n=4, f=1: echo threshold ⌈6/2⌉=3, amplify 2, deliver 3. *)
+  Alcotest.(check int) "echo" 3 (Core.echo_threshold ~n:4 ~f:1);
+  Alcotest.(check int) "amplify" 2 (Core.ready_amplify_threshold ~f:1);
+  Alcotest.(check int) "deliver" 3 (Core.deliver_threshold ~f:1);
+  (* n=7, f=2: ⌈10/2⌉=5 *)
+  Alcotest.(check int) "echo n7" 5 (Core.echo_threshold ~n:7 ~f:2);
+  Alcotest.(check int) "echo n10f3 (⌈14/2⌉)" 7 (Core.echo_threshold ~n:10 ~f:3)
+
+let test_initial_triggers_echo () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, delivered = Core.handle t ~src:(node 0) (Core.Initial Value.One) in
+  Alcotest.(check bool) "echo sent" true (sent = [ Core.Echo Value.One ]);
+  Alcotest.(check bool) "no delivery yet" true (delivered = None)
+
+let test_initial_from_non_sender_ignored () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let t', sent, _ = Core.handle t ~src:(node 2) (Core.Initial Value.One) in
+  Alcotest.(check bool) "no echo" true (sent = []);
+  Alcotest.(check bool) "not echoed" false (Core.echoed t');
+  ignore t'
+
+let test_second_initial_ignored () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let t, _, _ = Core.handle t ~src:(node 0) (Core.Initial Value.One) in
+  let _, sent, _ = Core.handle t ~src:(node 0) (Core.Initial Value.Zero) in
+  Alcotest.(check bool) "equivocating sender gets one echo" true (sent = [])
+
+let test_echo_quorum_triggers_ready () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, delivered =
+    feed t
+      [ (node 0, Core.Echo Value.One); (node 1, Core.Echo Value.One);
+        (node 2, Core.Echo Value.One) ]
+  in
+  Alcotest.(check bool) "ready sent" true (List.mem (Core.Ready Value.One) sent);
+  Alcotest.(check bool) "no delivery from echoes" true (delivered = None)
+
+let test_duplicate_echoes_not_counted () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, _ =
+    feed t
+      [ (node 1, Core.Echo Value.One); (node 1, Core.Echo Value.One);
+        (node 1, Core.Echo Value.One) ]
+  in
+  Alcotest.(check bool) "no ready from one echoer" true (sent = [])
+
+let test_ready_amplification () =
+  (* f+1 readies let a node turn ready without any echo quorum. *)
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, _ =
+    feed t [ (node 1, Core.Ready Value.One); (node 2, Core.Ready Value.One) ]
+  in
+  Alcotest.(check bool) "amplified ready" true (List.mem (Core.Ready Value.One) sent)
+
+let test_delivery_at_2f_plus_1_readies () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, _, delivered =
+    feed t
+      [ (node 1, Core.Ready Value.One); (node 2, Core.Ready Value.One);
+        (node 3, Core.Ready Value.One) ]
+  in
+  Alcotest.(check bool) "delivered" true (delivered = Some Value.One)
+
+let test_delivery_only_once () =
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let t, _, first =
+    feed t
+      [ (node 1, Core.Ready Value.One); (node 2, Core.Ready Value.One);
+        (node 3, Core.Ready Value.One) ]
+  in
+  Alcotest.(check bool) "first delivery" true (first = Some Value.One);
+  let _, _, second = Core.handle t ~src:(node 0) (Core.Ready Value.One) in
+  Alcotest.(check bool) "no second delivery" true (second = None)
+
+let test_split_echoes_no_ready () =
+  (* 2 echoes for One and 2 for Zero: neither reaches the threshold of
+     3, so no ready is ever sent. *)
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, _ =
+    feed t
+      [ (node 0, Core.Echo Value.One); (node 1, Core.Echo Value.One);
+        (node 2, Core.Echo Value.Zero); (node 3, Core.Echo Value.Zero) ]
+  in
+  Alcotest.(check bool) "no ready on split" true (sent = [])
+
+let test_mixed_echo_ready_path () =
+  (* A node that already readied from echoes must not ready again from
+     the amplification rule. *)
+  let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+  let _, sent, _ =
+    feed t
+      [ (node 0, Core.Echo Value.One); (node 1, Core.Echo Value.One);
+        (node 2, Core.Echo Value.One); (node 1, Core.Ready Value.One);
+        (node 2, Core.Ready Value.One) ]
+  in
+  let readies = List.filter (function Core.Ready _ -> true | _ -> false) sent in
+  Alcotest.(check int) "exactly one ready" 1 (List.length readies)
+
+(* ---- End-to-end protocol ---- *)
+
+let run_rbc ?(n = 4) ?(f = 1) ?(sender = 0) ?(value = Value.One) ?faulty ?adversary
+    ?(seed = 0) () =
+  let inputs = Rbc.inputs ~n ~sender:(node sender) value in
+  Run.run (Run.config ?faulty ?adversary ~seed ~n ~f ~inputs ())
+
+let honest_deliveries result cfg_honest =
+  List.filter_map
+    (fun id ->
+      match result.Run.outputs.(Node_id.to_int id) with
+      | [ (_, Rbc.Delivered v) ] -> Some v
+      | [] -> None
+      | _ -> Alcotest.fail "node delivered more than once")
+    cfg_honest
+
+let all_nodes n = Node_id.all ~n
+
+let test_validity_honest_sender () =
+  let result = run_rbc () in
+  let delivered = honest_deliveries result (all_nodes 4) in
+  Alcotest.(check int) "all deliver" 4 (List.length delivered);
+  List.iter
+    (fun v -> Alcotest.(check bool) "delivers sender value" true (Value.equal v Value.One))
+    delivered
+
+let test_validity_all_adversaries () =
+  List.iter
+    (fun adversary ->
+      let result = run_rbc ~n:7 ~f:2 ~adversary ~seed:5 () in
+      let delivered = honest_deliveries result (all_nodes 7) in
+      Alcotest.(check int)
+        (Printf.sprintf "all deliver under %s" adversary.Adversary.name)
+        7 (List.length delivered))
+    (Adversary.all_basic ~n:7)
+
+let test_silent_sender_no_delivery () =
+  let faulty = [ (node 0, Behaviour.Silent) ] in
+  let result = run_rbc ~faulty () in
+  (* Nothing ever happens: engine is immediately quiescent. *)
+  List.iter
+    (fun outputs -> Alcotest.(check int) "no outputs" 0 (List.length outputs))
+    (Array.to_list result.Run.outputs)
+
+let test_equivocating_sender_agreement () =
+  (* The classic attack: the sender sends One to low ids and Zero to
+     high ids.  Agreement must hold: all honest deliver the same value
+     (or none deliver). *)
+  let forge _rng ~dst v =
+    if Node_id.to_int dst < 2 then v else Value.negate v
+  in
+  List.iter
+    (fun seed ->
+      let faulty = [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate forge)) ] in
+      let result = run_rbc ~faulty ~adversary:Adversary.uniform ~seed () in
+      let delivered = honest_deliveries result [ node 1; node 2; node 3 ] in
+      match delivered with
+      | [] -> ()
+      | v :: rest ->
+        List.iter
+          (fun w ->
+            Alcotest.(check bool)
+              (Printf.sprintf "agreement under equivocation (seed %d)" seed)
+              true (Value.equal v w))
+          rest)
+    (List.init 50 (fun i -> i))
+
+let test_equivocating_relay_harmless () =
+  (* An equivocating echo relay cannot break agreement or validity. *)
+  let forge _rng ~dst v = if Node_id.to_int dst mod 2 = 0 then v else Value.negate v in
+  List.iter
+    (fun seed ->
+      let faulty = [ (node 2, Behaviour.Equivocate (Rbc.Fault.equivocate forge)) ] in
+      let result = run_rbc ~faulty ~adversary:Adversary.uniform ~seed () in
+      let delivered = honest_deliveries result [ node 0; node 1; node 3 ] in
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "validity despite lying relay" true
+            (Value.equal v Value.One))
+        delivered)
+    (List.init 50 (fun i -> i))
+
+let test_lying_relay_substitution () =
+  (* A relay that flips every payload it echoes/readies. *)
+  let flip _rng v = Value.negate v in
+  List.iter
+    (fun seed ->
+      let faulty = [ (node 3, Behaviour.Mutate (Rbc.Fault.substitute flip)) ] in
+      let result = run_rbc ~faulty ~adversary:Adversary.uniform ~seed () in
+      let delivered = honest_deliveries result [ node 0; node 1; node 2 ] in
+      Alcotest.(check int) "all honest deliver" 3 (List.length delivered);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "validity despite bit-flipping relay" true
+            (Value.equal v Value.One))
+        delivered)
+    (List.init 50 (fun i -> i))
+
+let test_crashing_relay_totality () =
+  (* A relay crashing mid-protocol: either nobody delivers or everyone
+     does.  With n=4, f=1 and only one fault, everyone must deliver. *)
+  let faulty = [ (node 1, Behaviour.Crash_after 2) ] in
+  let result = run_rbc ~faulty ~seed:3 () in
+  let delivered = honest_deliveries result [ node 0; node 2; node 3 ] in
+  Alcotest.(check int) "totality" 3 (List.length delivered)
+
+let test_larger_network () =
+  let result = run_rbc ~n:10 ~f:3 ~seed:1 ~adversary:Adversary.uniform () in
+  let delivered = honest_deliveries result (all_nodes 10) in
+  Alcotest.(check int) "n=10 delivers" 10 (List.length delivered)
+
+let test_message_complexity_quadratic () =
+  (* Per instance: initial n + echoes n^2 + readies n^2 => < 3n^2. *)
+  let result = run_rbc ~n:7 ~f:2 () in
+  let sent = Abc_sim.Metrics.counter result.Run.metrics "sent" in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(n^2) messages (got %d)" sent)
+    true
+    (sent <= 3 * 7 * 7)
+
+let prop_agreement_random_equivocation =
+  (* Property: under random per-recipient forgery by the sender and
+     random scheduling, honest nodes never deliver conflicting values. *)
+  QCheck.Test.make ~name:"agreement under random equivocation" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let forge rng ~dst:_ _v = Value.of_bool (Abc_prng.Stream.bool rng) in
+      let faulty = [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate forge)) ] in
+      let result = run_rbc ~faulty ~adversary:Adversary.uniform ~seed () in
+      let delivered = honest_deliveries result [ node 1; node 2; node 3 ] in
+      match delivered with
+      | [] -> true
+      | v :: rest -> List.for_all (Value.equal v) rest)
+
+let prop_delivery_order_independent =
+  (* The pure core is confluent: feeding the same multiset of events in
+     any order yields the same delivered value (when one is reached) —
+     counters only grow and every rule is monotone. *)
+  QCheck.Test.make ~name:"core delivery independent of event order" ~count:150
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Abc_prng.Stream.root ~seed in
+      let events =
+        List.concat_map
+          (fun src ->
+            [ (node src, Core.Echo Value.One); (node src, Core.Ready Value.One) ])
+          [ 0; 1; 2; 3 ]
+        @ [ (node 0, Core.Initial Value.One) ]
+      in
+      let arr = Array.of_list events in
+      Abc_prng.Stream.shuffle_in_place rng arr;
+      let deliver order =
+        let t = Core.create ~n:4 ~f:1 ~sender:(node 0) in
+        let _, _, d =
+          List.fold_left
+            (fun (t, sent, d) (src, e) ->
+              let t, out, d' = Core.handle t ~src e in
+              (t, sent @ out, match d with Some _ -> d | None -> d'))
+            (t, [], None) order
+        in
+        d
+      in
+      deliver (Array.to_list arr) = deliver events)
+
+let prop_validity_under_any_single_fault =
+  (* Property: with an honest sender, any single faulty relay with any
+     behaviour cannot prevent delivery of the correct value. *)
+  let behaviours =
+    [
+      Behaviour.Silent;
+      Behaviour.Crash_after 1;
+      Behaviour.Mutate (Rbc.Fault.substitute (fun _ v -> Value.negate v));
+      Behaviour.Replay 1;
+    ]
+  in
+  QCheck.Test.make ~name:"validity under any single relay fault" ~count:100
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, b) ->
+      let faulty = [ (node 2, List.nth behaviours b) ] in
+      let result = run_rbc ~faulty ~adversary:Adversary.uniform ~seed () in
+      let delivered = honest_deliveries result [ node 0; node 1; node 3 ] in
+      List.length delivered = 3
+      && List.for_all (Value.equal Value.One) delivered)
+
+let () =
+  Alcotest.run "bracha_rbc"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "thresholds" `Quick test_thresholds;
+          Alcotest.test_case "initial triggers echo" `Quick test_initial_triggers_echo;
+          Alcotest.test_case "initial from non-sender ignored" `Quick
+            test_initial_from_non_sender_ignored;
+          Alcotest.test_case "second initial ignored" `Quick test_second_initial_ignored;
+          Alcotest.test_case "echo quorum triggers ready" `Quick
+            test_echo_quorum_triggers_ready;
+          Alcotest.test_case "duplicate echoes not counted" `Quick
+            test_duplicate_echoes_not_counted;
+          Alcotest.test_case "ready amplification" `Quick test_ready_amplification;
+          Alcotest.test_case "delivery at 2f+1 readies" `Quick
+            test_delivery_at_2f_plus_1_readies;
+          Alcotest.test_case "delivery only once" `Quick test_delivery_only_once;
+          Alcotest.test_case "split echoes never ready" `Quick test_split_echoes_no_ready;
+          Alcotest.test_case "one ready across both rules" `Quick
+            test_mixed_echo_ready_path;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "validity with honest sender" `Quick
+            test_validity_honest_sender;
+          Alcotest.test_case "validity across adversaries" `Quick
+            test_validity_all_adversaries;
+          Alcotest.test_case "silent sender: nobody delivers" `Quick
+            test_silent_sender_no_delivery;
+          Alcotest.test_case "agreement under equivocation" `Quick
+            test_equivocating_sender_agreement;
+          Alcotest.test_case "equivocating relay harmless" `Quick
+            test_equivocating_relay_harmless;
+          Alcotest.test_case "lying relay: substitution" `Quick
+            test_lying_relay_substitution;
+          Alcotest.test_case "crashing relay: totality" `Quick
+            test_crashing_relay_totality;
+          Alcotest.test_case "larger network" `Quick test_larger_network;
+          Alcotest.test_case "message complexity" `Quick
+            test_message_complexity_quadratic;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_agreement_random_equivocation;
+          QCheck_alcotest.to_alcotest prop_delivery_order_independent;
+          QCheck_alcotest.to_alcotest prop_validity_under_any_single_fault;
+        ] );
+    ]

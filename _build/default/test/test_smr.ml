@@ -1,0 +1,304 @@
+(* Tests for the replicated log (state machine replication). *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Log = Abc_smr.Replicated_log
+module E = Abc_net.Engine.Make (Log)
+
+let node = Node_id.of_int
+
+let command i k = Printf.sprintf "cmd-%d.%d" i k
+
+let run ?faulty ?(adversary = Adversary.uniform) ?(coin = Abc.Coin.local) ~n ~f
+    ~slots ~seed () =
+  let inputs = Log.inputs ~n ~slots ~coin command in
+  E.run (E.config ?faulty ~n ~f ~inputs ~seed ~adversary ())
+
+let check_terminal result =
+  Alcotest.(check string) "all terminal" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.E.stop)
+
+let logs result honest =
+  List.map
+    (fun id ->
+      match Log.log_of_outputs result.E.outputs.(Node_id.to_int id) with
+      | Some log -> log
+      | None -> Alcotest.fail (Fmt.str "replica %a has no complete log" Node_id.pp id))
+    honest
+
+let test_logs_identical () =
+  let result = run ~n:4 ~f:1 ~slots:3 ~seed:1 () in
+  check_terminal result;
+  match logs result (Node_id.all ~n:4) with
+  | first :: rest ->
+    List.iter
+      (fun log -> Alcotest.(check (list string)) "identical log" first log)
+      rest;
+    (* 4 replicas x 3 slots, nobody faulty: 12 commands expected. *)
+    Alcotest.(check int) "log length" 12 (List.length first)
+  | [] -> Alcotest.fail "no logs"
+
+let test_commits_in_slot_order () =
+  let result = run ~n:4 ~f:1 ~slots:3 ~seed:2 () in
+  check_terminal result;
+  Array.iter
+    (fun outputs ->
+      let slots =
+        List.filter_map
+          (fun (_, o) ->
+            match o with
+            | Log.Committed { slot; _ } -> Some slot
+            | Log.Log_complete _ -> None)
+          outputs
+      in
+      Alcotest.(check (list int)) "slots in order" [ 0; 1; 2 ] slots)
+    result.E.outputs
+
+let test_committed_contents_sorted_by_node () =
+  let result = run ~n:4 ~f:1 ~slots:1 ~seed:3 () in
+  check_terminal result;
+  Array.iter
+    (fun outputs ->
+      List.iter
+        (fun (_, o) ->
+          match o with
+          | Log.Committed { commands; _ } ->
+            let ids = List.map (fun (id, _) -> Node_id.to_int id) commands in
+            Alcotest.(check (list int)) "sorted ids" (List.sort compare ids) ids
+          | Log.Log_complete _ -> ())
+        outputs)
+    result.E.outputs
+
+let test_faulty_replica_excluded_consistently () =
+  let faulty = [ (node 1, Behaviour.Silent) ] in
+  let result = run ~faulty ~n:4 ~f:1 ~slots:2 ~seed:4 () in
+  check_terminal result;
+  let honest = [ node 0; node 2; node 3 ] in
+  match logs result honest with
+  | first :: rest ->
+    List.iter (fun log -> Alcotest.(check (list string)) "identical" first log) rest;
+    Alcotest.(check bool) "no commands from silent replica" true
+      (List.for_all (fun c -> not (String.length c > 5 && String.sub c 0 6 = "cmd-1.")) first)
+  | [] -> Alcotest.fail "no logs"
+
+let test_lying_replica_logs_still_agree () =
+  (* A replica that flips bits inside slot messages: agreement on the
+     log must survive (the inner consensus tolerates it). *)
+  let result = run ~n:4 ~f:1 ~slots:2 ~seed:5 () in
+  check_terminal result;
+  match logs result (Node_id.all ~n:4) with
+  | first :: rest ->
+    List.iter (fun log -> Alcotest.(check (list string)) "identical" first log) rest
+  | [] -> Alcotest.fail "no logs"
+
+let test_single_slot () =
+  let result = run ~n:4 ~f:1 ~slots:1 ~seed:6 () in
+  check_terminal result;
+  match logs result (Node_id.all ~n:4) with
+  | first :: _ -> Alcotest.(check int) "one slot of 4" 4 (List.length first)
+  | [] -> Alcotest.fail "no logs"
+
+let test_larger_cluster () =
+  let result = run ~n:7 ~f:2 ~slots:2 ~seed:7 () in
+  check_terminal result;
+  match logs result (Node_id.all ~n:7) with
+  | first :: rest ->
+    List.iter (fun log -> Alcotest.(check (list string)) "identical" first log) rest
+  | [] -> Alcotest.fail "no logs"
+
+(* ---- KV state machine ---- *)
+
+module Kv = Abc_smr.Kv_store
+
+let test_kv_parse_render () =
+  let roundtrip line =
+    Alcotest.(check string) line line (Kv.render (Kv.parse line))
+  in
+  roundtrip "PUT k v";
+  roundtrip "GET k";
+  roundtrip "DEL k";
+  roundtrip "CAS k old new";
+  roundtrip "<noop>";
+  (match Kv.parse "garbage in garbage out drop table" with
+  | Kv.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Invalid");
+  match Kv.parse "  PUT   k   v " with
+  | Kv.Put { key = "k"; value = "v" } -> ()
+  | _ -> Alcotest.fail "whitespace-tolerant parse"
+
+let test_kv_apply_semantics () =
+  let store = Kv.empty in
+  let store, r = Kv.apply store (Kv.parse "GET a") in
+  Alcotest.(check bool) "missing" true (r = Kv.Missing);
+  let store, _ = Kv.apply store (Kv.parse "PUT a 1") in
+  let store, r = Kv.apply store (Kv.parse "GET a") in
+  Alcotest.(check bool) "found" true (r = Kv.Found "1");
+  let store, r = Kv.apply store (Kv.parse "CAS a 1 2") in
+  Alcotest.(check bool) "cas ok" true (r = Kv.Found "1");
+  Alcotest.(check (option string)) "cas applied" (Some "2") (Kv.find store "a");
+  let store, r = Kv.apply store (Kv.parse "CAS a 1 3") in
+  Alcotest.(check bool) "cas fail" true (r = Kv.Cas_failed (Some "2"));
+  let store, r = Kv.apply store (Kv.parse "DEL a") in
+  Alcotest.(check bool) "del" true (r = Kv.Unit);
+  let _, r = Kv.apply store (Kv.parse "DEL a") in
+  Alcotest.(check bool) "del missing" true (r = Kv.Missing)
+
+let test_kv_invalid_is_noop () =
+  let store, _ = Kv.apply Kv.empty (Kv.parse "PUT a 1") in
+  let store', r = Kv.apply store (Kv.parse ":-) byzantine garbage") in
+  Alcotest.(check bool) "no result surprise" true (r = Kv.Unit);
+  Alcotest.(check string) "state unchanged" (Kv.digest store) (Kv.digest store')
+
+let test_kv_digest_discriminates () =
+  let s1, _ = Kv.apply_log Kv.empty [ "PUT a 1"; "PUT b 2" ] in
+  let s2, _ = Kv.apply_log Kv.empty [ "PUT b 2"; "PUT a 1" ] in
+  let s3, _ = Kv.apply_log Kv.empty [ "PUT a 1"; "PUT b 3" ] in
+  Alcotest.(check string) "order-insensitive state" (Kv.digest s1) (Kv.digest s2);
+  Alcotest.(check bool) "different state, different digest" false
+    (String.equal (Kv.digest s1) (Kv.digest s3))
+
+let test_kv_replicas_converge () =
+  (* End to end: run the replicated log with realistic commands and a
+     Byzantine replica, apply each replica's log to a KV store, and
+     compare digests. *)
+  let kv_command i k =
+    match (i + k) mod 3 with
+    | 0 -> Printf.sprintf "PUT key%d v%d_%d" (k mod 2) i k
+    | 1 -> Printf.sprintf "GET key%d" (k mod 2)
+    | _ -> Printf.sprintf "DEL key%d" (k mod 2)
+  in
+  let n = 4 and f = 1 and slots = 3 in
+  let inputs = Log.inputs ~n ~slots ~coin:Abc.Coin.local kv_command in
+  let faulty = [ (node 3, Behaviour.Mutate (fun _rng m -> m)) ] in
+  let result =
+    E.run (E.config ~n ~f ~inputs ~faulty ~adversary:Adversary.uniform ~seed:9 ())
+  in
+  check_terminal result;
+  let digests =
+    List.filter_map
+      (fun i ->
+        Option.map
+          (fun log -> Kv.digest (fst (Kv.apply_log Kv.empty log)))
+          (Log.log_of_outputs result.E.outputs.(i)))
+      [ 0; 1; 2; 3 ]
+  in
+  match digests with
+  | first :: rest ->
+    Alcotest.(check int) "all replicas completed" 4 (List.length digests);
+    List.iter (fun d -> Alcotest.(check string) "converged state" first d) rest
+  | [] -> Alcotest.fail "no digests"
+
+(* ---- client sessions (exactly-once) ---- *)
+
+module Session = Abc_smr.Session
+
+let test_session_tag_roundtrip () =
+  let r = { Session.client = "alice"; request_id = 7; body = "PUT k v" } in
+  Alcotest.(check string) "wire form" "alice:7:PUT k v" (Session.tag r);
+  (match Session.parse (Session.tag r) with
+  | Some r' ->
+    Alcotest.(check string) "client" "alice" r'.Session.client;
+    Alcotest.(check int) "request" 7 r'.Session.request_id;
+    Alcotest.(check string) "body" "PUT k v" r'.Session.body
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check bool) "untagged" true (Session.parse "PUT k v" = None);
+  Alcotest.check_raises "client with colon"
+    (Invalid_argument "Session.tag: client id must not contain ':'") (fun () ->
+      ignore (Session.tag { Session.client = "a:b"; request_id = 1; body = "x" }))
+
+let test_session_exactly_once () =
+  (* The same request committed twice (client retried through another
+     replica): it must execute once. *)
+  let log =
+    [
+      "alice:1:PUT counter 1";
+      "bob:1:PUT other 5";
+      "alice:1:PUT counter 999"; (* retry duplicate: must be skipped *)
+      "alice:2:PUT counter 2";
+    ]
+  in
+  let store, dedup, stats = Session.apply_log Kv.empty Session.empty log in
+  Alcotest.(check int) "applied" 3 stats.Session.applied;
+  Alcotest.(check int) "skipped" 1 stats.Session.skipped;
+  Alcotest.(check (option string)) "final value" (Some "2") (Kv.find store "counter");
+  Alcotest.(check bool) "dedup remembers" true
+    (Session.seen dedup ~client:"alice" ~request_id:1)
+
+let test_session_anonymous_passthrough () =
+  let log = [ "PUT a 1"; "PUT a 1" ] in
+  let store, _, stats = Session.apply_log Kv.empty Session.empty log in
+  Alcotest.(check int) "anonymous both applied" 2 stats.Session.anonymous;
+  Alcotest.(check (option string)) "value" (Some "1") (Kv.find store "a")
+
+let test_session_replicas_converge_with_duplicates () =
+  (* All replicas apply the same log (with a duplicate) through the
+     session layer: identical digests. *)
+  let log =
+    [ "c1:1:PUT x 1"; "c1:2:PUT y 2"; "c1:1:PUT x HACKED"; "c2:1:DEL y" ]
+  in
+  let apply () =
+    let store, _, _ = Session.apply_log Kv.empty Session.empty log in
+    Kv.digest store
+  in
+  Alcotest.(check string) "deterministic" (apply ()) (apply ());
+  let store, _, _ = Session.apply_log Kv.empty Session.empty log in
+  Alcotest.(check (option string)) "retry did not re-execute" (Some "1")
+    (Kv.find store "x")
+
+let prop_kv_deterministic =
+  QCheck.Test.make ~name:"apply_log is deterministic" ~count:100
+    QCheck.(list (pair small_string small_string))
+    (fun pairs ->
+      let log = List.map (fun (k, v) -> Printf.sprintf "PUT k%s %s" k v) pairs in
+      let s1, _ = Kv.apply_log Kv.empty log in
+      let s2, _ = Kv.apply_log Kv.empty log in
+      String.equal (Kv.digest s1) (Kv.digest s2))
+
+let prop_identical_logs =
+  QCheck.Test.make ~name:"all replicas build the same log" ~count:15
+    QCheck.(small_int)
+    (fun seed ->
+      let result = run ~n:4 ~f:1 ~slots:2 ~seed () in
+      result.E.stop = Abc_net.Engine.All_terminal
+      &&
+      match logs result (Node_id.all ~n:4) with
+      | first :: rest -> List.for_all (fun log -> log = first) rest
+      | [] -> false)
+
+let () =
+  Alcotest.run "replicated_log"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "identical logs" `Quick test_logs_identical;
+          Alcotest.test_case "commits in slot order" `Quick test_commits_in_slot_order;
+          Alcotest.test_case "committed contents sorted" `Quick
+            test_committed_contents_sorted_by_node;
+          Alcotest.test_case "faulty replica excluded" `Quick
+            test_faulty_replica_excluded_consistently;
+          Alcotest.test_case "lying replica tolerated" `Quick
+            test_lying_replica_logs_still_agree;
+          Alcotest.test_case "single slot" `Quick test_single_slot;
+          Alcotest.test_case "larger cluster" `Slow test_larger_cluster;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "tag roundtrip" `Quick test_session_tag_roundtrip;
+          Alcotest.test_case "exactly once" `Quick test_session_exactly_once;
+          Alcotest.test_case "anonymous passthrough" `Quick
+            test_session_anonymous_passthrough;
+          Alcotest.test_case "replicas converge with duplicates" `Quick
+            test_session_replicas_converge_with_duplicates;
+        ] );
+      ( "kv store",
+        [
+          Alcotest.test_case "parse/render" `Quick test_kv_parse_render;
+          Alcotest.test_case "apply semantics" `Quick test_kv_apply_semantics;
+          Alcotest.test_case "invalid is noop" `Quick test_kv_invalid_is_noop;
+          Alcotest.test_case "digest discriminates" `Quick test_kv_digest_discriminates;
+          Alcotest.test_case "replicas converge" `Quick test_kv_replicas_converge;
+          QCheck_alcotest.to_alcotest prop_kv_deterministic;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_identical_logs ]);
+    ]

@@ -1,0 +1,155 @@
+(* Tests for the Turpin–Coan multivalued-to-binary reduction. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module TC = Abc.Turpin_coan.Make (Abc.Payloads.Int_payload)
+module E = Abc_net.Engine.Make (TC)
+
+let node = Node_id.of_int
+
+let run ?faulty ?(adversary = Adversary.uniform) ?(coin = Abc.Coin.local) ~n ~f
+    ~seed values =
+  let inputs = TC.inputs ~n ~coin values in
+  E.run (E.config ?faulty ~n ~f ~inputs ~seed ~adversary ())
+
+let check_terminal result =
+  Alcotest.(check string) "all terminal" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.E.stop)
+
+let outcomes result honest =
+  List.map
+    (fun id ->
+      match result.E.outputs.(Node_id.to_int id) with
+      | [ (_, o) ] -> o
+      | _ -> Alcotest.fail "expected exactly one outcome")
+    honest
+
+let check_agreement os =
+  match os with
+  | first :: rest ->
+    List.iter
+      (fun o -> Alcotest.(check bool) "same outcome" true (o = first))
+      rest
+  | [] -> Alcotest.fail "no outcomes"
+
+let test_max_faults () =
+  Alcotest.(check int) "n=5" 1 (TC.max_faults ~n:5);
+  Alcotest.(check int) "n=9" 2 (TC.max_faults ~n:9);
+  Alcotest.(check int) "n=13" 3 (TC.max_faults ~n:13)
+
+let test_unanimity_decides_value () =
+  List.iter
+    (fun seed ->
+      let result = run ~n:5 ~f:1 ~seed (Array.make 5 77) in
+      check_terminal result;
+      let os = outcomes result (Node_id.all ~n:5) in
+      check_agreement os;
+      match List.hd os with
+      | TC.Agreed v -> Alcotest.(check int) "unanimous value wins" 77 v
+      | TC.Fallback -> Alcotest.fail "unanimity must not fall back")
+    [ 0; 1; 2; 3; 4 ]
+
+let test_strong_majority_decides_value () =
+  (* n - 2f of the honest nodes agreeing is enough when the rest are
+     spread out. *)
+  let result = run ~n:5 ~f:1 ~seed:1 [| 7; 7; 7; 7; 3 |] in
+  check_terminal result;
+  let os = outcomes result (Node_id.all ~n:5) in
+  check_agreement os;
+  match List.hd os with
+  | TC.Agreed v -> Alcotest.(check int) "majority value" 7 v
+  | TC.Fallback -> Alcotest.fail "expected agreement on 7"
+
+let test_split_inputs_agree_on_something () =
+  (* Fully split inputs: the nodes may agree on a value or jointly fall
+     back — either way, they agree. *)
+  List.iter
+    (fun seed ->
+      let result = run ~n:9 ~f:2 ~seed [| 1; 1; 1; 2; 2; 2; 3; 3; 3 |] in
+      check_terminal result;
+      check_agreement (outcomes result (Node_id.all ~n:9)))
+    (List.init 10 (fun i -> i))
+
+let test_silent_faults_tolerated () =
+  let faulty =
+    [ (node 7, Behaviour.Silent); (node 8, Behaviour.Crash_after 3) ]
+  in
+  List.iter
+    (fun seed ->
+      let result = run ~faulty ~n:9 ~f:2 ~seed (Array.make 9 11) in
+      check_terminal result;
+      let honest = List.map node [ 0; 1; 2; 3; 4; 5; 6 ] in
+      let os = outcomes result honest in
+      check_agreement os;
+      match List.hd os with
+      | TC.Agreed v -> Alcotest.(check int) "value survives faults" 11 v
+      | TC.Fallback -> Alcotest.fail "unanimity must not fall back")
+    [ 0; 1; 2 ]
+
+let test_lying_faults_cannot_forge_agreement () =
+  (* A Byzantine node proposing a value nobody honest holds (modelled
+     through its input, since [msg] is abstract): the decided value
+     must still be the honest one. *)
+  let faulty = [ (node 8, Behaviour.Silent) ] in
+  List.iter
+    (fun seed ->
+      let result = run ~faulty ~n:9 ~f:2 ~seed [| 5; 5; 5; 5; 5; 5; 5; 5; 99 |] in
+      check_terminal result;
+      let honest = List.map node [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+      let os = outcomes result honest in
+      check_agreement os;
+      match List.hd os with
+      | TC.Agreed v -> Alcotest.(check int) "honest value" 5 v
+      | TC.Fallback -> Alcotest.fail "expected agreement")
+    [ 0; 1; 2 ]
+
+let test_all_adversaries () =
+  List.iter
+    (fun adversary ->
+      let result = run ~adversary ~n:5 ~f:1 ~seed:3 (Array.make 5 6) in
+      check_terminal result;
+      check_agreement (outcomes result (Node_id.all ~n:5)))
+    (Adversary.all_basic ~n:5)
+
+let test_inputs_arity () =
+  Alcotest.check_raises "inputs arity"
+    (Invalid_argument "Turpin_coan.inputs: values length must equal n") (fun () ->
+      ignore (TC.inputs ~n:4 ~coin:Abc.Coin.local [| 1 |]))
+
+let prop_agreement =
+  QCheck.Test.make ~name:"outcomes agree across seeds and inputs" ~count:40
+    QCheck.(pair small_int (int_range 0 2))
+    (fun (seed, pattern) ->
+      let values =
+        match pattern with
+        | 0 -> Array.make 5 4
+        | 1 -> [| 4; 4; 4; 9; 9 |]
+        | _ -> [| 1; 2; 3; 4; 5 |]
+      in
+      let result = run ~n:5 ~f:1 ~seed values in
+      result.E.stop = Abc_net.Engine.All_terminal
+      &&
+      let os = outcomes result (Node_id.all ~n:5) in
+      match os with first :: rest -> List.for_all (( = ) first) rest | [] -> false)
+
+let () =
+  Alcotest.run "turpin_coan"
+    [
+      ( "reduction",
+        [
+          Alcotest.test_case "max faults" `Quick test_max_faults;
+          Alcotest.test_case "unanimity decides" `Quick test_unanimity_decides_value;
+          Alcotest.test_case "strong majority decides" `Quick
+            test_strong_majority_decides_value;
+          Alcotest.test_case "split inputs agree" `Quick
+            test_split_inputs_agree_on_something;
+          Alcotest.test_case "silent faults tolerated" `Quick
+            test_silent_faults_tolerated;
+          Alcotest.test_case "byzantine value cannot win" `Quick
+            test_lying_faults_cannot_forge_agreement;
+          Alcotest.test_case "all adversaries" `Quick test_all_adversaries;
+          Alcotest.test_case "inputs arity" `Quick test_inputs_arity;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_agreement ]);
+    ]

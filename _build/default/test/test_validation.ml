@@ -1,0 +1,247 @@
+(* Unit tests for the message-validation ("justification") layer —
+   the mechanism that reduces Byzantine faults to fail-stop faults. *)
+
+module Node_id = Abc_net.Node_id
+module V = Abc.Validation
+module M = Abc.Consensus_msg
+module Step = M.Step
+
+let node = Node_id.of_int
+
+let vmsg ?(decide = false) ~origin ~round ~step value =
+  {
+    M.origin = node origin;
+    round;
+    step;
+    value;
+    decide;
+  }
+
+(* n=4, f=1: q = 3, majority_need = 2, n/2 = 2. *)
+let make ?(n = 4) ?(f = 1) ?(enabled = true) () = V.create ~n ~f ~enabled
+
+let submit_all v msgs =
+  List.fold_left
+    (fun (v, acc) m ->
+      let v, out = V.submit v m in
+      (v, acc @ out))
+    (v, []) msgs
+
+let test_round1_step1_always_valid () =
+  let v = make () in
+  let _, out = V.submit v (vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One) in
+  Alcotest.(check int) "validated instantly" 1 (List.length out)
+
+let test_duplicate_slot_ignored () =
+  let v = make () in
+  let v, _ = V.submit v (vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One) in
+  let _, out = V.submit v (vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.Zero) in
+  Alcotest.(check int) "second submission for same slot dropped" 0 (List.length out)
+
+let test_step2_requires_quorum_of_step1 () =
+  let v = make () in
+  let v, out =
+    submit_all v
+      [
+        vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:0 ~round:1 ~step:Step.S2 Abc.Value.One;
+      ]
+  in
+  (* Only 2 step-1 messages validated (< q=3): the step-2 message must
+     wait. *)
+  Alcotest.(check int) "two validated" 2 (List.length out);
+  Alcotest.(check int) "one buffered" 1 (V.buffered_count v);
+  (* The third step-1 message releases it. *)
+  let _, out = V.submit v (vmsg ~origin:2 ~round:1 ~step:Step.S1 Abc.Value.One) in
+  Alcotest.(check int) "cascade releases both" 2 (List.length out)
+
+let test_step2_value_must_be_majority_possible () =
+  let v = make () in
+  let v, _ =
+    submit_all v
+      [
+        vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:2 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:3 ~round:1 ~step:Step.S1 Abc.Value.One;
+      ]
+  in
+  (* All four step-1 messages say One: a step-2 claiming Zero can never
+     be the majority of any 3-subset. *)
+  let v, out = V.submit v (vmsg ~origin:3 ~round:1 ~step:Step.S2 Abc.Value.Zero) in
+  Alcotest.(check int) "lie stays buffered" 0 (List.length out);
+  Alcotest.(check int) "buffered" 1 (V.buffered_count v);
+  let _, out = V.submit v (vmsg ~origin:2 ~round:1 ~step:Step.S2 Abc.Value.One) in
+  Alcotest.(check int) "truth validates" 1 (List.length out)
+
+let test_step3_decide_needs_majority_of_n () =
+  let v = make () in
+  let v, _ =
+    submit_all v
+      [
+        vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:2 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:0 ~round:1 ~step:Step.S2 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S2 Abc.Value.One;
+      ]
+  in
+  (* Only 2 step-2 One-messages validated; a decide-flagged step-3
+     needs more than n/2 = 2. *)
+  let v, out =
+    V.submit v (vmsg ~decide:true ~origin:0 ~round:1 ~step:Step.S3 Abc.Value.One)
+  in
+  Alcotest.(check int) "decide claim buffered" 0 (List.length out);
+  let _, out = V.submit v (vmsg ~origin:2 ~round:1 ~step:Step.S2 Abc.Value.One) in
+  (* Third step-2 arrives: now 3 > 2 and the buffered decide message
+     cascades out together with it. *)
+  Alcotest.(check int) "cascade validates decide" 2 (List.length out)
+
+let test_step3_decide_for_minority_value_never_validates () =
+  let v = make () in
+  let v, _ =
+    submit_all v
+      [
+        vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:2 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:3 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:0 ~round:1 ~step:Step.S2 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S2 Abc.Value.One;
+        vmsg ~origin:2 ~round:1 ~step:Step.S2 Abc.Value.One;
+        vmsg ~origin:3 ~round:1 ~step:Step.S2 Abc.Value.One;
+      ]
+  in
+  let v, out =
+    V.submit v (vmsg ~decide:true ~origin:3 ~round:1 ~step:Step.S3 Abc.Value.Zero)
+  in
+  Alcotest.(check int) "fraudulent decide rejected" 0 (List.length out);
+  Alcotest.(check int) "still buffered" 1 (V.buffered_count v)
+
+let test_next_round_adopt_rule () =
+  let v = make () in
+  (* Round 1 fully unanimous for One, three decide-flagged step-3s. *)
+  let v, _ =
+    submit_all v
+      (List.concat_map
+         (fun origin ->
+           [
+             vmsg ~origin ~round:1 ~step:Step.S1 Abc.Value.One;
+             vmsg ~origin ~round:1 ~step:Step.S2 Abc.Value.One;
+             vmsg ~decide:true ~origin ~round:1 ~step:Step.S3 Abc.Value.One;
+           ])
+         [ 0; 1; 2 ])
+  in
+  (* f+1 = 2 decide-messages for One exist: a round-2 claim of One is
+     justified (adopt rule). *)
+  let v, out = V.submit v (vmsg ~origin:0 ~round:2 ~step:Step.S1 Abc.Value.One) in
+  Alcotest.(check int) "adopt-justified round-2 value" 1 (List.length out);
+  (* But a round-2 claim of Zero is NOT: every 3-subset of the step-3
+     messages contains 3 > f decide-One messages, so no coin was
+     possible and no adopt rule supports Zero. *)
+  let _, out = V.submit v (vmsg ~origin:1 ~round:2 ~step:Step.S1 Abc.Value.Zero) in
+  Alcotest.(check int) "contradicting round-2 value rejected" 0 (List.length out)
+
+let test_next_round_coin_rule () =
+  let v = make () in
+  (* Round 1 step 3: no decide flags at all -> coin justified, any
+     value. *)
+  let v, _ =
+    submit_all v
+      (List.concat_map
+         (fun origin ->
+           [
+             vmsg ~origin ~round:1 ~step:Step.S1 Abc.Value.One;
+             vmsg ~origin ~round:1 ~step:Step.S2 Abc.Value.One;
+             vmsg ~origin ~round:1 ~step:Step.S3 Abc.Value.One;
+           ])
+         [ 0; 1; 2 ])
+  in
+  let v, out = V.submit v (vmsg ~origin:0 ~round:2 ~step:Step.S1 Abc.Value.Zero) in
+  Alcotest.(check int) "coin-justified Zero accepted" 1 (List.length out);
+  let _, out = V.submit v (vmsg ~origin:1 ~round:2 ~step:Step.S1 Abc.Value.One) in
+  Alcotest.(check int) "coin-justified One accepted" 1 (List.length out)
+
+let test_disabled_validation_accepts_everything () =
+  let v = make ~enabled:false () in
+  let _, out =
+    submit_all v
+      [
+        vmsg ~decide:true ~origin:0 ~round:5 ~step:Step.S3 Abc.Value.Zero;
+        vmsg ~origin:1 ~round:9 ~step:Step.S2 Abc.Value.One;
+      ]
+  in
+  Alcotest.(check int) "everything validates" 2 (List.length out)
+
+let test_validated_count () =
+  let v = make () in
+  let v, _ =
+    submit_all v
+      [
+        vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One;
+        vmsg ~origin:1 ~round:1 ~step:Step.S1 Abc.Value.Zero;
+      ]
+  in
+  Alcotest.(check int) "count" 2 (V.validated_count v ~round:1 ~step:Step.S1);
+  Alcotest.(check int) "other slot empty" 0 (V.validated_count v ~round:1 ~step:Step.S2)
+
+let test_justified_exposed () =
+  let v = make () in
+  Alcotest.(check bool) "r1s1 justified" true
+    (V.justified v (vmsg ~origin:0 ~round:1 ~step:Step.S1 Abc.Value.One));
+  Alcotest.(check bool) "r1s2 not yet" false
+    (V.justified v (vmsg ~origin:0 ~round:1 ~step:Step.S2 Abc.Value.One))
+
+(* Property: validation never validates a decide-flagged message for a
+   value without majority step-2 support, no matter the submission
+   order. *)
+let prop_no_fraudulent_decide =
+  QCheck.Test.make ~name:"decide flags always majority-backed" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Abc_prng.Stream.root ~seed in
+      (* Honest messages for One, a Byzantine decide for Zero, shuffled. *)
+      let honest =
+        List.concat_map
+          (fun origin ->
+            [
+              vmsg ~origin ~round:1 ~step:Step.S1 Abc.Value.One;
+              vmsg ~origin ~round:1 ~step:Step.S2 Abc.Value.One;
+            ])
+          [ 0; 1; 2 ]
+      in
+      let attack = vmsg ~decide:true ~origin:3 ~round:1 ~step:Step.S3 Abc.Value.Zero in
+      let messages = Array.of_list (attack :: honest) in
+      Abc_prng.Stream.shuffle_in_place rng messages;
+      let _, validated = submit_all (make ()) (Array.to_list messages) in
+      not
+        (List.exists
+           (fun (m : M.vmsg) -> m.M.decide && Abc.Value.equal m.M.value Abc.Value.Zero)
+           validated))
+
+let () =
+  Alcotest.run "validation"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "round-1 step-1 always valid" `Quick
+            test_round1_step1_always_valid;
+          Alcotest.test_case "duplicate slot ignored" `Quick test_duplicate_slot_ignored;
+          Alcotest.test_case "step-2 needs step-1 quorum" `Quick
+            test_step2_requires_quorum_of_step1;
+          Alcotest.test_case "step-2 majority possibility" `Quick
+            test_step2_value_must_be_majority_possible;
+          Alcotest.test_case "decide needs >n/2 step-2" `Quick
+            test_step3_decide_needs_majority_of_n;
+          Alcotest.test_case "fraudulent decide never validates" `Quick
+            test_step3_decide_for_minority_value_never_validates;
+          Alcotest.test_case "next-round adopt rule" `Quick test_next_round_adopt_rule;
+          Alcotest.test_case "next-round coin rule" `Quick test_next_round_coin_rule;
+          Alcotest.test_case "disabled accepts everything" `Quick
+            test_disabled_validation_accepts_everything;
+          Alcotest.test_case "validated_count" `Quick test_validated_count;
+          Alcotest.test_case "justified exposed" `Quick test_justified_exposed;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_no_fraudulent_decide ]);
+    ]
