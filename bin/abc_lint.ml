@@ -1,0 +1,49 @@
+(* abc_lint: protocol-aware static analysis for this repository.
+
+   Usage: abc_lint [--allow FILE] [ROOT ...]
+
+   Scans the given roots (default: lib bin bench examples) with the
+   rules in Abc_analysis.Rules and prints every finding not covered by
+   the allowlist. Exit status: 0 when clean, 1 when findings remain,
+   2 on usage error. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage () =
+  prerr_endline "usage: abc_lint [--allow FILE] [ROOT ...]";
+  exit 2
+
+let parse_args argv =
+  let allow = ref None and roots = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--allow" :: file :: rest ->
+      allow := Some file;
+      go rest
+    | "--allow" :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | root :: rest ->
+      roots := root :: !roots;
+      go rest
+  in
+  go (List.tl (Array.to_list argv));
+  let roots = match List.rev !roots with [] -> default_roots | rs -> rs in
+  (!allow, roots)
+
+let () =
+  let allow_file, roots = parse_args Sys.argv in
+  let allow =
+    match allow_file with
+    | Some file -> Abc_analysis.Allow.load ~file
+    | None -> []
+  in
+  let report = Abc_analysis.Driver.run ~allow ~roots in
+  List.iter
+    (fun f -> Fmt.pr "%a@." Abc_analysis.Finding.pp f)
+    report.findings;
+  let n = List.length report.findings in
+  Fmt.pr "abc_lint: %d finding%s in %d files (%d allowlisted)@." n
+    (if n = 1 then "" else "s")
+    report.files report.allowed;
+  if n > 0 then exit 1

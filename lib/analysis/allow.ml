@@ -1,0 +1,51 @@
+type entry = { rule : string; path : string; snippet : string option }
+
+let parse_line line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] = '#' then None
+  else begin
+    match String.index_opt line ' ' with
+    | None -> None (* a rule with no path allows nothing; ignore *)
+    | Some i ->
+      let rule = String.sub line 0 i in
+      let rest = String.trim (String.sub line i (String.length line - i)) in
+      let path, snippet =
+        match String.index_opt rest ' ' with
+        | None -> (rest, None)
+        | Some j ->
+          ( String.sub rest 0 j,
+            Some (String.trim (String.sub rest j (String.length rest - j))) )
+      in
+      if String.length path = 0 then None else Some { rule; path; snippet }
+  end
+
+let of_string text =
+  String.split_on_char '\n' text |> List.filter_map parse_line
+
+let load ~file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    of_string text
+  end
+
+let path_matches ~entry_path ~file =
+  String.equal entry_path file
+  || begin
+    let suffix = "/" ^ entry_path in
+    let fl = String.length file and sl = String.length suffix in
+    fl >= sl && String.equal (String.sub file (fl - sl) sl) suffix
+  end
+
+let permits entries (finding : Finding.t) =
+  List.exists
+    (fun e ->
+      String.equal e.rule finding.rule
+      && path_matches ~entry_path:e.path ~file:finding.file
+      && match e.snippet with
+         | None -> true
+         | Some s -> String.equal s finding.snippet)
+    entries

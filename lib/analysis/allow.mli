@@ -1,0 +1,27 @@
+(** The lint allowlist ([lint.allow]): explicit, reviewed exceptions.
+
+    Format, one entry per line:
+
+    {v
+    # comment
+    <rule> <path> [<snippet>]
+    v}
+
+    [rule] is a rule id ([determinism], [poly-compare], [quorum],
+    [interface]); [path] is matched against the end of the finding's
+    path (so entries work regardless of the scan root); the optional
+    [snippet] — the rest of the line, verbatim — restricts the entry
+    to findings with exactly that snippet (as printed in the report).
+    An entry without a snippet allows every finding of that rule in
+    that file: prefer snippet-qualified entries. *)
+
+type entry = { rule : string; path : string; snippet : string option }
+
+val of_string : string -> entry list
+(** Parse allowlist text; blank lines and [#] comments are skipped. *)
+
+val load : file:string -> entry list
+(** [of_string] over the file's contents; a missing file is an empty
+    allowlist. *)
+
+val permits : entry list -> Finding.t -> bool

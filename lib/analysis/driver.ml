@@ -1,0 +1,44 @@
+type report = { findings : Finding.t list; allowed : int; files : int }
+
+let skip_dir name =
+  String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
+
+let source_file name =
+  (Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli")
+  && not (Filename.check_suffix name ".ml-gen")
+
+let scan_files ~roots =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc name ->
+          if skip_dir name then acc else walk acc (Filename.concat path name))
+        acc (Sys.readdir path)
+    else if source_file path then path :: acc
+    else acc
+  in
+  let files =
+    List.fold_left
+      (fun acc root -> if Sys.file_exists root then walk acc root else acc)
+      [] roots
+  in
+  List.sort String.compare files
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let run ~allow ~roots =
+  let files = scan_files ~roots in
+  let token_findings =
+    List.concat_map (fun path -> Rules.check_source ~path (read_file path)) files
+  in
+  let iface_findings = Rules.interface_coverage ~files in
+  let all = List.sort Finding.compare (token_findings @ iface_findings) in
+  let allowed, findings =
+    List.partition (fun f -> Allow.permits allow f) all
+  in
+  { findings; allowed = List.length allowed; files = List.length files }

@@ -1,0 +1,13 @@
+(** Walk source roots, apply every rule, filter through the allowlist. *)
+
+type report = {
+  findings : Finding.t list;  (** unallowlisted findings, sorted *)
+  allowed : int;  (** findings suppressed by the allowlist *)
+  files : int;  (** source files scanned *)
+}
+
+val scan_files : roots:string list -> string list
+(** All [.ml]/[.mli] files under [roots] (recursive), sorted; skips
+    [_build], [.git] and other dot-directories. *)
+
+val run : allow:Allow.entry list -> roots:string list -> report

@@ -1,0 +1,22 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  snippet : string;
+  message : string;
+}
+
+let v ~rule ~file ~line ~snippet message = { rule; file; line; snippet; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+let pp ppf t =
+  if t.line = 0 then Fmt.pf ppf "%s: [%s] %s" t.file t.rule t.message
+  else
+    Fmt.pf ppf "%s:%d: [%s] %s  (%s)" t.file t.line t.rule t.message t.snippet

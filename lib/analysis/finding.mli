@@ -1,0 +1,17 @@
+(** One linter finding: a rule violation anchored at a source line. *)
+
+type t = {
+  rule : string;  (** rule id: ["determinism"], ["poly-compare"], ["quorum"], ["interface"] *)
+  file : string;  (** path as scanned, ['/']-separated *)
+  line : int;  (** 1-based; [0] for file-level findings *)
+  snippet : string;  (** the offending tokens, normalized (allowlist key) *)
+  message : string;  (** what is wrong and what to use instead *)
+}
+
+val v : rule:string -> file:string -> line:int -> snippet:string -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule — the report order. *)
+
+val pp : t Fmt.t
+(** [file:line: [rule] message  (snippet)] — one line per finding. *)

@@ -1,0 +1,338 @@
+open Token_stream
+
+(* ----------------------------------------------------------------- *)
+(* Path scoping                                                      *)
+(* ----------------------------------------------------------------- *)
+
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* [path] contains directory fragment [frag] (e.g. "lib/core/"),
+   anchored at a component boundary. *)
+let in_dir path frag =
+  let path = "/" ^ normalize path in
+  let needle = "/" ^ frag in
+  let np = String.length needle and pp = String.length path in
+  let rec scan i = i + np <= pp && (String.sub path i np = needle || scan (i + 1)) in
+  scan 0
+
+(* ----------------------------------------------------------------- *)
+(* Token helpers                                                     *)
+(* ----------------------------------------------------------------- *)
+
+let is_lident name tok =
+  match tok with Parser.LIDENT s -> String.equal s name | _ -> false
+
+let is_uident name tok =
+  match tok with Parser.UIDENT s -> String.equal s name | _ -> false
+
+let is_dot = function Parser.DOT -> true | _ -> false
+
+let is_plus = function Parser.PLUS -> true | _ -> false
+
+let is_minus = function Parser.MINUS -> true | _ -> false
+
+let is_star = function Parser.STAR -> true | _ -> false
+
+let is_slash = function Parser.INFIXOP3 "/" -> true | _ -> false
+
+let is_any_int = function Parser.INT (_, None) -> true | _ -> false
+
+let is_int k = function
+  | Parser.INT (s, None) -> ( match int_of_string_opt s with Some v -> v = k | None -> false)
+  | _ -> false
+
+let is_paren = function Parser.LPAREN | Parser.RPAREN -> true | _ -> false
+
+let mentions toks name = Array.exists (fun t -> is_uident name t.token) toks
+
+(* Match [preds] starting at index [i], transparently skipping
+   parentheses between elements; returns the matched token indices. *)
+let match_seq toks i preds =
+  let len = Array.length toks in
+  let rec skip i = if i < len && is_paren toks.(i).token then skip (i + 1) else i in
+  let rec go i preds acc =
+    match preds with
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      let i = skip i in
+      if i < len && p toks.(i).token then go (i + 1) rest (i :: acc) else None
+  in
+  go i preds []
+
+let snippet_of toks indices =
+  String.concat " " (List.map (fun i -> toks.(i).text) indices)
+
+(* One finding per (rule, line): a line that trips a rule twice reads
+   as noise, and the allowlist keys on the first snippet. *)
+let dedup findings = List.sort_uniq Finding.compare findings
+
+(* ----------------------------------------------------------------- *)
+(* Rule 1: determinism                                               *)
+(* ----------------------------------------------------------------- *)
+
+let banned_sys = [ "time" ]
+
+let banned_unix =
+  [
+    "time"; "gettimeofday"; "gmtime"; "localtime"; "mktime"; "sleep"; "sleepf";
+    "select"; "times"; "setitimer"; "alarm";
+  ]
+
+let determinism ~path toks =
+  if in_dir path "lib/prng/" then []
+  else begin
+    let file = normalize path in
+    let find = ref [] in
+    let flag ~line ~snippet message =
+      find := Finding.v ~rule:"determinism" ~file ~line ~snippet message :: !find
+    in
+    Array.iteri
+      (fun i t ->
+        match t.token with
+        | Parser.UIDENT "Random" ->
+          flag ~line:t.line ~snippet:"Random"
+            "Stdlib.Random is nondeterministic; draw from a seeded Abc_prng.Stream \
+             instead (reproducible sims and the model checker depend on it)"
+        | Parser.UIDENT "Sys" -> (
+          match match_seq toks i [ is_uident "Sys"; is_dot; (fun tok -> List.exists (fun m -> is_lident m tok) banned_sys) ] with
+          | Some idx ->
+            flag ~line:t.line ~snippet:(snippet_of toks idx)
+              "wall-clock time is nondeterministic; use the simulator's virtual \
+               Abc_sim.Clock"
+          | None -> ())
+        | Parser.UIDENT "Unix" -> (
+          match match_seq toks i [ is_uident "Unix"; is_dot; (fun tok -> List.exists (fun m -> is_lident m tok) banned_unix) ] with
+          | Some idx ->
+            flag ~line:t.line ~snippet:(snippet_of toks idx)
+              "Unix wall-clock/timer APIs are nondeterministic; use the simulator's \
+               virtual Abc_sim.Clock"
+          | None -> ())
+        | _ -> ())
+      toks;
+    dedup !find
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Rule 2: polymorphic comparison                                    *)
+(* ----------------------------------------------------------------- *)
+
+(* Identifiers that conventionally hold an abstract Node_id in this
+   codebase; [=]/[<>] next to one is almost always a structural
+   comparison that should be Node_id.equal. *)
+let id_names = [ "src"; "dst"; "sender"; "origin"; "me"; "victim"; "proposer" ]
+
+let is_id_name tok = List.exists (fun n -> is_lident n tok) id_names
+
+(* Binding/record contexts in which [name =] is not a comparison:
+   [let x =], [{ x =], [; x =], [with x =], [~x =] (punned label in a
+   definition), [for x =]. *)
+let is_binder = function
+  | Parser.LET | Parser.REC | Parser.AND | Parser.LBRACE | Parser.SEMI
+  | Parser.WITH | Parser.VAL | Parser.METHOD | Parser.QUESTION | Parser.TILDE
+  | Parser.FOR ->
+    true
+  | _ -> false
+
+(* Record-construction context at the record's start. *)
+let is_record_open = function
+  | Parser.LBRACE | Parser.SEMI | Parser.WITH -> true
+  | _ -> false
+
+(* An expression almost never starts with these; [x = let ...] is a
+   function definition whose last parameter happens to be named like an
+   id, not a comparison. *)
+let is_defn_body = function
+  | Parser.LET | Parser.MATCH | Parser.FUN | Parser.FUNCTION | Parser.IF
+  | Parser.TRY | Parser.BEGIN ->
+    true
+  | _ -> false
+
+let poly_compare ~path toks =
+  let file = normalize path in
+  let len = Array.length toks in
+  let node_id_in_scope = mentions toks "Node_id" in
+  let find = ref [] in
+  let flag ~line ~snippet message =
+    find := Finding.v ~rule:"poly-compare" ~file ~line ~snippet message :: !find
+  in
+  (* Scan in order, tracking whether the unit has defined its own
+     [compare] yet: after [let compare = ...] a bare [compare] refers
+     to that definition, before it it is Stdlib's polymorphic one.
+     (Lexical approximation of scoping; precise enough in practice and
+     overridable via lint.allow.) *)
+  let compare_defined = ref false in
+  (* A binding head ([let f a b =], [type t =], [module M =], ...) ends
+     at its first [=]; that token is a definition, not a comparison. *)
+  let defn_eq_pending = ref false in
+  for i = 0 to len - 1 do
+    let t = toks.(i) in
+    let prev = if i > 0 then Some toks.(i - 1).token else None in
+    (match t.token with
+    | Parser.LET | Parser.AND | Parser.TYPE | Parser.MODULE | Parser.VAL
+    | Parser.METHOD | Parser.EXTERNAL ->
+      defn_eq_pending := true
+    | _ -> ());
+    (match t.token with
+    | Parser.LIDENT "compare" -> (
+      match prev with
+      | Some tok when is_dot tok -> ()
+      | Some (Parser.LET | Parser.REC | Parser.AND) | None ->
+        (* Definition site: [let compare = compare] (or
+           [= Stdlib.compare]) is itself a polymorphic alias when no
+           earlier definition exists. *)
+        (match match_seq toks (i + 1) [ (function Parser.EQUAL -> true | _ -> false); is_lident "compare" ] with
+        | Some idx when not !compare_defined ->
+          flag ~line:t.line ~snippet:("compare = " ^ snippet_of toks [ List.nth idx 1 ])
+            "polymorphic compare; use a concrete compare (Int.compare, \
+             Node_id.compare, an explicit tuple compare, ...)"
+        | Some _ | None -> ());
+        compare_defined := true
+      | Some _ ->
+        if not !compare_defined then
+          flag ~line:t.line ~snippet:"compare"
+            "bare polymorphic compare; use a concrete compare (Int.compare, \
+             Node_id.compare, an explicit tuple compare, ...)")
+    | Parser.UIDENT "Stdlib" -> (
+      match match_seq toks i [ is_uident "Stdlib"; is_dot; is_lident "compare" ] with
+      | Some idx ->
+        flag ~line:t.line ~snippet:(snippet_of toks idx)
+          "Stdlib.compare is polymorphic; use a concrete compare"
+      | None -> ())
+    | Parser.UIDENT "Hashtbl" when node_id_in_scope -> (
+      match
+        match_seq toks i
+          [ is_uident "Hashtbl"; is_dot;
+            (fun tok -> is_lident "create" tok || is_lident "hash" tok) ]
+      with
+      | Some idx ->
+        flag ~line:t.line ~snippet:(snippet_of toks idx)
+          "polymorphic hashing where an abstract id type is in scope; use \
+           Hashtbl.Make over the id's hash/equal, or a Map"
+      | None -> ())
+    | Parser.EQUAL | Parser.INFIXOP0 "<>" when node_id_in_scope ->
+      (* [M.N.field =] inside { ... } / with / ; is a qualified record
+         field, not a comparison: walk the module path backwards. *)
+      let rec path_start j =
+        if
+          j >= 2
+          && is_dot toks.(j - 1).token
+          && (match toks.(j - 2).token with Parser.UIDENT _ -> true | _ -> false)
+        then path_start (j - 2)
+        else j
+      in
+      let binder_context =
+        match t.token with
+        | Parser.EQUAL ->
+          !defn_eq_pending
+          || (i >= 2 && is_binder toks.(i - 2).token)
+          || begin
+            let s = path_start (i - 1) in
+            s < i - 1 && (s = 0 || is_record_open toks.(s - 1).token)
+          end
+        | _ -> false
+      in
+      (match t.token with Parser.EQUAL -> defn_eq_pending := false | _ -> ());
+      let defn_body = i + 1 < len && is_defn_body toks.(i + 1).token in
+      if not (binder_context || defn_body) then begin
+        let left_id = i >= 1 && is_id_name toks.(i - 1).token in
+        let right_id =
+          i + 1 < len
+          && is_id_name toks.(i + 1).token
+          && not (i + 2 < len && is_dot toks.(i + 2).token)
+        in
+        if left_id || right_id then
+          flag ~line:t.line
+            ~snippet:
+              (String.concat " "
+                 [ (if i >= 1 then toks.(i - 1).text else ""); t.text;
+                   (if i + 1 < len then toks.(i + 1).text else "") ])
+            "structural =/<> on an abstract node id; use Node_id.equal (or \
+             Node_id.compare)"
+      end
+    | _ -> ())
+  done;
+  dedup !find
+
+(* ----------------------------------------------------------------- *)
+(* Rule 3: quorum arithmetic                                         *)
+(* ----------------------------------------------------------------- *)
+
+let is_f tok = is_lident "f" tok
+
+let is_n tok = is_lident "n" tok
+
+let quorum_patterns =
+  [
+    ("f + 1 (use Quorum.one_honest / ready_amplify / adopt_support / ...)",
+     [ is_f; is_plus; is_int 1 ]);
+    ("1 + f (use Quorum.one_honest / ready_amplify / adopt_support / ...)",
+     [ is_int 1; is_plus; is_f ]);
+    ("k * f (use Quorum.ready_deliver / decide_support / decide_unanimity / ...)",
+     [ is_any_int; is_star; is_f ]);
+    ("f * k (use Quorum.ready_deliver / decide_support / decide_unanimity / ...)",
+     [ is_f; is_star; is_any_int ]);
+    ("n - f (use Quorum.completeness)", [ is_n; is_minus; is_f ]);
+    ("n - k (resilience bound; use Quorum.max_faults / honest_support)",
+     [ is_n; is_minus; is_any_int ]);
+    ("n + f (use Quorum.echo_quorum / faulty_majority)", [ is_n; is_plus; is_f ]);
+    ("f + n (use Quorum.echo_quorum / faulty_majority)", [ is_f; is_plus; is_n ]);
+    ("n / k (use Quorum.strict_majority / max_faults)", [ is_n; is_slash; is_any_int ]);
+  ]
+
+let quorum ~path toks =
+  let file = normalize path in
+  if
+    (not (in_dir path "lib/core/"))
+    || String.equal (Filename.basename file) "quorum.ml"
+  then []
+  else begin
+    let find = ref [] in
+    Array.iteri
+      (fun i t ->
+        List.iter
+          (fun (message, preds) ->
+            match match_seq toks i preds with
+            | Some idx ->
+              find :=
+                Finding.v ~rule:"quorum" ~file ~line:t.line
+                  ~snippet:(snippet_of toks idx)
+                  ("raw threshold arithmetic: " ^ message)
+                :: !find
+            | None -> ())
+          quorum_patterns)
+      toks;
+    dedup !find
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Dispatch + rule 4: interface coverage                             *)
+(* ----------------------------------------------------------------- *)
+
+let check_source ~path source =
+  if Filename.check_suffix path ".ml" then begin
+    let toks = Token_stream.of_string ~filename:path source in
+    dedup (determinism ~path toks @ poly_compare ~path toks @ quorum ~path toks)
+  end
+  else []
+
+let interface_coverage ~files =
+  let files = List.map normalize files in
+  let mli_present = List.filter (fun f -> Filename.check_suffix f ".mli") files in
+  List.filter_map
+    (fun file ->
+      if Filename.check_suffix file ".ml" && in_dir file "lib/" then begin
+        let want = file ^ "i" in
+        if List.exists (String.equal want) mli_present then None
+        else
+          Some
+            (Finding.v ~rule:"interface" ~file ~line:0 ~snippet:(Filename.basename want)
+               "every module under lib/ needs an interface: add the .mli so the \
+                public surface (and its threshold docs) stays explicit")
+      end
+      else None)
+    files
+  |> dedup

@@ -1,0 +1,43 @@
+(** The four protocol-aware rule families.
+
+    All rules are lexical (token-level), which keeps them fast,
+    dependency-free and immune to comment/string false positives; the
+    price is that they are heuristics, so every rule supports explicit
+    exceptions through the [lint.allow] file (see {!Allow}).
+
+    Scoping is path-driven and mirrors the repository layout:
+
+    - {b determinism} applies everywhere except [lib/prng/] (the one
+      module allowed to produce randomness).  The deterministic
+      simulator and the bounded model checker ([lib/check/explore.ml])
+      are only sound if protocol control flow is a pure function of
+      the seeded streams, so [Stdlib.Random], [Sys.time] and the
+      [Unix] wall-clock/timer API are banned outright.
+    - {b poly-compare} applies everywhere: bare polymorphic [compare]
+      (and [Stdlib.compare]) is always flagged; [=] / [<>] adjacent to
+      an identifier conventionally holding an abstract node id
+      ([src], [dst], [sender], [origin], [me], ...) and polymorphic
+      [Hashtbl] creation are flagged in files where [Node_id] is in
+      scope — use [Node_id.equal]/[compare] or a keyed structure.
+    - {b quorum} applies to protocol modules ([lib/core/]) except
+      [quorum.ml] itself: raw threshold arithmetic over the protocol
+      parameters [n] and [f] ([f + 1], [2 * f + 1], [n - f], [n / 3],
+      ...) must flow through the [Quorum] module so each bound carries
+      its intersection argument.
+    - {b interface} requires every [.ml] under [lib/] to have a
+      matching [.mli]. *)
+
+val determinism : path:string -> Token_stream.tok array -> Finding.t list
+
+val poly_compare : path:string -> Token_stream.tok array -> Finding.t list
+
+val quorum : path:string -> Token_stream.tok array -> Finding.t list
+
+val check_source : path:string -> string -> Finding.t list
+(** Lex [source] and apply the three token rules that are in scope for
+    [path] ([.ml] files only; [.mli] and other files yield []).
+    Findings are sorted and deduplicated per (file, line, rule). *)
+
+val interface_coverage : files:string list -> Finding.t list
+(** [interface_coverage ~files] checks every [lib/**.ml] in [files]
+    for a matching [.mli] in [files]. *)

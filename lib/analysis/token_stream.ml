@@ -1,0 +1,22 @@
+type tok = { token : Parser.token; line : int; text : string }
+
+let of_string ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  (* The compiler lexer keeps global comment/docstring state; reset it
+     per unit so scans are independent. *)
+  Lexer.init ();
+  let acc = ref [] in
+  let rec loop () =
+    match Lexer.token lexbuf with
+    | Parser.EOF -> ()
+    | Parser.COMMENT _ | Parser.DOCSTRING _ -> loop ()
+    | token ->
+      let line = lexbuf.Lexing.lex_start_p.Lexing.pos_lnum in
+      let text = Lexing.lexeme lexbuf in
+      acc := { token; line; text } :: !acc;
+      loop ()
+    | exception Lexer.Error (_, _) -> ()
+  in
+  loop ();
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,17 @@
+(** Lexical front end for the analyzer.
+
+    Sources are lexed with the compiler's own lexer
+    ([compiler-libs.common]), so the rules operate on real OCaml
+    tokens — comments and string literals can never produce false
+    positives, and no ppx or type information is required. *)
+
+type tok = {
+  token : Parser.token;  (** the compiler's token *)
+  line : int;  (** 1-based start line *)
+  text : string;  (** the lexeme as written in the source *)
+}
+
+val of_string : filename:string -> string -> tok array
+(** Lex a whole compilation unit.  Comments and docstrings are
+    dropped.  A lexer error (impossible on sources that compile) ends
+    the stream at the error point rather than raising. *)

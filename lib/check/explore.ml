@@ -150,25 +150,34 @@ module Make (P : Abc_net.Protocol.S) = struct
       pending = !pending;
     }
 
+  (* Fingerprints are strings; hash them through an explicit functor so
+     no polymorphic hashing hides in the checker's hot path. *)
+  module Fp_tbl = Hashtbl.Make (struct
+    type t = string
+
+    let equal = String.equal
+    let hash = String.hash
+  end)
+
   let run cfg =
     let start = initial_state cfg in
-    let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let visited : unit Fp_tbl.t = Fp_tbl.create 4096 in
     (* parent edge per fingerprint, for counterexample reconstruction *)
-    let parents : (string, string * (Node_id.t * Node_id.t * string)) Hashtbl.t =
-      Hashtbl.create 4096
+    let parents : (string * (Node_id.t * Node_id.t * string)) Fp_tbl.t =
+      Fp_tbl.create 4096
     in
     let queue = Queue.create () in
     let explored = ref 0 in
     let deadlocks = ref 0 in
     let violation = ref None in
     let start_fp = fingerprint start in
-    Hashtbl.add visited start_fp ();
+    Fp_tbl.add visited start_fp ();
     Queue.add (start, start_fp, 0) queue;
     let depth_reached = ref 0 in
     let truncated = ref false in
     let rebuild_schedule fp =
       let rec walk fp acc =
-        match Hashtbl.find_opt parents fp with
+        match Fp_tbl.find_opt parents fp with
         | Some (parent_fp, step) -> walk parent_fp (step :: acc)
         | None -> acc
       in
@@ -189,9 +198,9 @@ module Make (P : Abc_net.Protocol.S) = struct
             if !violation = None then begin
               let successor = deliver cfg state key in
               let successor_fp = fingerprint successor in
-              if not (Hashtbl.mem visited successor_fp) then begin
-                Hashtbl.add visited successor_fp ();
-                Hashtbl.add parents successor_fp
+              if not (Fp_tbl.mem visited successor_fp) then begin
+                Fp_tbl.add visited successor_fp ();
+                Fp_tbl.add parents successor_fp
                   (fp, (e.src, e.dst, Fmt.str "%a" P.pp_msg e.msg));
                 if not (cfg.invariant successor.outputs) then
                   violation :=

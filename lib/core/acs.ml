@@ -85,7 +85,10 @@ module Make (V : Value.PAYLOAD) = struct
           (fun i -> not (Ba_instance.started (ba state i)))
           (List.init state.n (fun i -> i))
       in
-      if ones_decided state >= state.n - state.f && unstarted <> [] then begin
+      if
+        ones_decided state >= Quorum.completeness ~n:state.n ~f:state.f
+        && unstarted <> []
+      then begin
         let state, new_actions =
           List.fold_left
             (fun (state, acc) index ->
@@ -105,7 +108,7 @@ module Make (V : Value.PAYLOAD) = struct
             Int_map.fold
               (fun i v acc -> if Value.equal v Value.One then i :: acc else acc)
               state.decisions []
-            |> List.sort compare
+            |> List.sort Int.compare
           in
           let payloads =
             List.map
@@ -129,6 +132,7 @@ module Make (V : Value.PAYLOAD) = struct
 
   let initial ctx (input : input) =
     let { Protocol.Context.me; n; f; rng = _ } = ctx in
+    Quorum.assert_resilience ~n ~f;
     let bas =
       List.fold_left
         (fun bas i -> Int_map.add i (make_ba ~n ~f ~me ~coin:input.coin) bas)

@@ -4,7 +4,9 @@ module Mode = struct
   type t = Byzantine | Crash
 
   let max_faults t ~n =
-    match t with Byzantine -> (n - 1) / 5 | Crash -> (n - 1) / 2
+    match t with
+    | Byzantine -> Quorum.max_faults ~ratio:5 ~n
+    | Crash -> Quorum.max_faults ~ratio:2 ~n
 
   let label = function Byzantine -> "byzantine" | Crash -> "crash"
 
@@ -30,7 +32,8 @@ let empty_tally = { origins = Node_id.Set.empty; c0 = 0; c1 = 0; cq = 0 }
 module Slot_map = Map.Make (struct
   type t = int * int (* round, phase as int *)
 
-  let compare = compare
+  let compare (r1, p1) (r2, p2) =
+    match Int.compare r1 r2 with 0 -> Int.compare p1 p2 | c -> c
 end)
 
 type state = {
@@ -49,20 +52,24 @@ let name = "ben-or"
 
 let phase_index = function Reporting -> 1 | Proposing -> 2
 
-let quorum state = state.n - state.f
+let quorum state = Quorum.completeness ~n:state.n ~f:state.f
 
+(* Minimum count for a report-phase majority claim (compare with >=):
+   under Byzantine faults the majority must survive f forged votes. *)
 let majority_threshold state =
   match state.mode with
-  | Mode.Byzantine -> (state.n + state.f) / 2 (* strictly-greater-than bound *)
-  | Mode.Crash -> state.n / 2
+  | Mode.Byzantine -> Quorum.faulty_majority ~n:state.n ~f:state.f
+  | Mode.Crash -> Quorum.strict_majority state.n
 
 let adopt_threshold state =
-  match state.mode with Mode.Byzantine -> state.f + 1 | Mode.Crash -> 1
+  match state.mode with
+  | Mode.Byzantine -> Quorum.adopt_support ~f:state.f
+  | Mode.Crash -> 1
 
 let decide_threshold state =
   match state.mode with
-  | Mode.Byzantine -> (3 * state.f) + 1
-  | Mode.Crash -> state.f + 1
+  | Mode.Byzantine -> Quorum.decide_unanimity ~f:state.f
+  | Mode.Crash -> Quorum.crash_decide ~f:state.f
 
 let tally state ~round ~phase =
   match Slot_map.find_opt (round, phase_index phase) state.tallies with
@@ -79,8 +86,8 @@ let own_message state =
   | Proposing ->
     let tl = tally state ~round:state.round ~phase:Reporting in
     let proposal =
-      if count tl Value.Zero > majority_threshold state then Some Value.Zero
-      else if count tl Value.One > majority_threshold state then Some Value.One
+      if count tl Value.Zero >= majority_threshold state then Some Value.Zero
+      else if count tl Value.One >= majority_threshold state then Some Value.One
       else None
     in
     Proposal { round = state.round; value = proposal }
@@ -151,6 +158,11 @@ let record state ~src msg =
   end
 
 let initial ctx (input : input) =
+  (* Floor only: the true Byzantine bound is n > 5f, deliberately not
+     enforced so the resilience sweep (E2) can run past it and measure
+     the failures; [Mode.max_faults] documents the real bound. *)
+  Quorum.assert_resilience_at ~ratio:2 ~n:ctx.Protocol.Context.n
+    ~f:ctx.Protocol.Context.f;
   let state =
     {
       n = ctx.Protocol.Context.n;

@@ -13,7 +13,8 @@ let empty_tally = { origins = Node_id.Set.empty; c0 = 0; c1 = 0; d0 = 0; d1 = 0 
 module Slot_map = Map.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare (r1, s1) (r2, s2) =
+    match Int.compare r1 r2 with 0 -> Int.compare s1 s2 | c -> c
 end)
 
 type t = {
@@ -28,7 +29,7 @@ type t = {
   tallies : tally Slot_map.t;
 }
 
-let quorum t = t.n - t.f
+let quorum t = Quorum.completeness ~n:t.n ~f:t.f
 
 let round t = t.round
 
@@ -54,8 +55,8 @@ let own_vmsg t ~step ~decide =
    messages, if any; [current] otherwise (possible only for even
    totals). *)
 let majority tl ~current =
-  if count tl Value.Zero > total tl / 2 then Value.Zero
-  else if count tl Value.One > total tl / 2 then Value.One
+  if count tl Value.Zero >= Quorum.strict_majority (total tl) then Value.Zero
+  else if count tl Value.One >= Quorum.strict_majority (total tl) then Value.One
   else current
 
 (* Once decided, a node only needs to keep broadcasting long enough for
@@ -85,8 +86,8 @@ let rec progress t ~rng acc =
          value per round can, because each origin contributes a single
          step-2 message. *)
       let flagged, value =
-        if count tl Value.Zero > t.n / 2 then (true, Value.Zero)
-        else if count tl Value.One > t.n / 2 then (true, Value.One)
+        if count tl Value.Zero >= Quorum.strict_majority t.n then (true, Value.Zero)
+        else if count tl Value.One >= Quorum.strict_majority t.n then (true, Value.One)
         else (false, t.value)
       in
       let t = { t with value; step = Step.S3 } in
@@ -97,14 +98,14 @@ let rec progress t ~rng acc =
       in
       let support = dcount tl w in
       let t, acc =
-        if support >= (2 * t.f) + 1 then begin
+        if support >= Quorum.decide_support ~f:t.f then begin
           match t.decided with
           | Some _ -> ({ t with value = w }, acc)
           | None ->
             let decision = { Decision.value = w; round = t.round } in
             ({ t with value = w; decided = Some decision }, Decide decision :: acc)
         end
-        else if support >= t.f + 1 then ({ t with value = w }, acc)
+        else if support >= Quorum.adopt_support ~f:t.f then ({ t with value = w }, acc)
         else begin
           (* Neither rule fired: flip the round coin — unless decided
              already, in which case the value is locked forever. *)
@@ -144,7 +145,7 @@ let on_validated t ~rng m =
   progress t ~rng []
 
 let create ~n ~f ~me ~coin ~input =
-  assert (n > 3 * f);
+  Quorum.assert_resilience ~n ~f;
   let t =
     {
       n;

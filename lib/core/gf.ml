@@ -38,6 +38,8 @@ let div a b = mul a (inv b)
 
 let equal = Int.equal
 
+let compare = Int.compare
+
 let pp = Fmt.int
 
 let random rng = Abc_prng.Stream.int rng ~bound:prime

@@ -35,6 +35,11 @@ val div : t -> t -> t
 (** [div a b] is [mul a (inv b)]. *)
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on canonical representatives (for sorting and sets;
+    not meaningful field-theoretically). *)
+
 val pp : t Fmt.t
 
 val random : Abc_prng.Stream.t -> t

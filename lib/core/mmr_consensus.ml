@@ -52,7 +52,7 @@ type state = {
 
 let name = "mmr-consensus"
 
-let quorum state = state.n - state.f
+let quorum state = Quorum.completeness ~n:state.n ~f:state.f
 
 let round_state state r =
   match Int_map.find_opt r state.rounds with
@@ -90,11 +90,12 @@ let bv_progress state r =
     (fun value ->
       let i = Value.to_int value in
       let support = Node_id.Set.cardinal !rs.bval_from.(i) in
-      if support >= state.f + 1 && not !rs.bval_echoed.(i) then begin
+      if support >= Quorum.ready_amplify ~f:state.f && not !rs.bval_echoed.(i)
+      then begin
         sends := Bval { round = r; value } :: !sends;
         rs := { !rs with bval_echoed = with_set !rs.bval_echoed i true }
       end;
-      if support >= (2 * state.f) + 1 && not !rs.bin_values.(i) then
+      if support >= Quorum.ready_deliver ~f:state.f && not !rs.bin_values.(i) then
         rs := { !rs with bin_values = with_set !rs.bin_values i true })
     [ Value.Zero; Value.One ];
   (* First value entering bin_values triggers the single AUX vote. *)
@@ -194,6 +195,7 @@ let rec settle state ~rng actions outputs =
   else settle state ~rng actions outputs
 
 let initial ctx (input : input) =
+  Quorum.assert_resilience ~n:ctx.Protocol.Context.n ~f:ctx.Protocol.Context.f;
   let state =
     {
       n = ctx.Protocol.Context.n;

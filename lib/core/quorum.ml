@@ -1,0 +1,42 @@
+(* The one module allowed to spell out threshold arithmetic; the
+   abc_lint quorum rule exempts this file and flags raw expressions
+   anywhere else under lib/core.  Keep every formula next to the
+   intersection argument that justifies it (see the interface). *)
+
+let assert_resilience_at ~ratio ~n ~f =
+  if f < 0 || n <= ratio * f then
+    invalid_arg
+      (Printf.sprintf "Quorum.assert_resilience: need 0 <= f and n > %d*f, got n=%d f=%d"
+         ratio n f)
+
+let assert_resilience ~n ~f = assert_resilience_at ~ratio:3 ~n ~f
+
+let max_faults ~ratio ~n = (n - 1) / ratio
+
+let completeness ~n ~f = n - f
+
+let one_honest ~f = f + 1
+
+let echo_quorum ~n ~f = (n + f + 2) / 2 (* ⌈(n+f+1)/2⌉ *)
+
+let ready_amplify ~f = one_honest ~f
+
+let ready_deliver ~f = (2 * f) + 1
+
+let coin_reveal ~f = one_honest ~f
+
+let adopt_support ~f = one_honest ~f
+
+let decide_support ~f = (2 * f) + 1
+
+let decide_unanimity ~f = (3 * f) + 1
+
+let crash_decide ~f = one_honest ~f
+
+let strict_majority q = (q / 2) + 1
+
+let faulty_majority ~n ~f = ((n + f) / 2) + 1
+
+let honest_support ~n ~f = n - (2 * f)
+
+let majority_possible ~q = (q + 1) / 2

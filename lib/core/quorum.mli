@@ -1,0 +1,105 @@
+(** Centralized quorum arithmetic for every protocol in [lib/core].
+
+    Bracha-style protocols are correct only because each threshold is
+    exactly right under the resilience assumption [n > 3f]: the echo
+    quorum must guarantee honest intersection, the ready thresholds
+    must chain amplification into totality, and the validation layer
+    must mirror the consensus rules bit-for-bit.  Scattering this
+    arithmetic across modules is how real implementations acquire
+    off-by-one safety bugs, so every threshold lives here under a
+    documented name and the [abc_lint] quorum rule flags raw [f + 1],
+    [2 * f + 1], [n - f] (and friends) in protocol modules that bypass
+    this module.
+
+    Every function returns a {e minimum count}: a rule becomes enabled
+    once the number of distinct supporting nodes is [>=] the returned
+    value (never [>] — strict comparisons are rewritten as [>=] of
+    [bound + 1] so callers compare uniformly). *)
+
+val assert_resilience : n:int -> f:int -> unit
+(** [assert_resilience ~n ~f] raises [Invalid_argument] unless
+    [0 <= f] and [n > 3f] — Bracha's bound.  Call at instance
+    construction so no protocol state machine exists outside its
+    resilience envelope. *)
+
+val assert_resilience_at : ratio:int -> n:int -> f:int -> unit
+(** Like {!assert_resilience} with an explicit bound [n > ratio * f]:
+    Turpin-Coan passes [~ratio:4], Rabin's dealer coin [~ratio:1]
+    (any minority of withholders can be tolerated), and Ben-Or
+    [~ratio:2] — a deliberate floor below its true Byzantine bound
+    [n > 5f] so the resilience-sweep experiments (E2) can drive it
+    past the bound and measure the failures. *)
+
+val max_faults : ratio:int -> n:int -> int
+(** Largest [f] with [n > ratio * f], i.e. [(n - 1) / ratio]. *)
+
+val completeness : n:int -> f:int -> int
+(** [n - f] — the completeness quorum: the most messages per slot a
+    node may await without risking a forever-block ([f] senders may
+    stay silent), and enough that any two such quorums share at least
+    [n - 2f >= f + 1] nodes. *)
+
+val one_honest : f:int -> int
+(** [f + 1] — any set of this many distinct nodes contains at least
+    one honest node.  The generic form of {!ready_amplify},
+    {!coin_reveal}, {!adopt_support} and {!crash_decide}; prefer the
+    protocol-specific name where one applies. *)
+
+val echo_quorum : n:int -> f:int -> int
+(** [⌈(n + f + 1) / 2⌉] — echoes required before sending [ready].
+    Two echo quorums overlap in more than [f] nodes, hence in an
+    honest node, so no two honest nodes ready different values. *)
+
+val ready_amplify : f:int -> int
+(** [f + 1] — readies that let a node relay [ready] without having
+    seen an echo quorum itself: at least one sender is honest, so some
+    honest node did see the quorum. *)
+
+val ready_deliver : f:int -> int
+(** [2f + 1] — readies required to deliver: at least [f + 1] are
+    honest, so every honest node eventually crosses {!ready_amplify}
+    and delivery is total. *)
+
+val coin_reveal : f:int -> int
+(** [f + 1] — verified Shamir shares required to reconstruct a round
+    coin; Byzantine nodes can withhold their shares but any [f + 1]
+    honest reveals suffice. *)
+
+val adopt_support : f:int -> int
+(** [f + 1] — matching votes that force a node to adopt the value:
+    at least one honest node backs it, so adoption preserves
+    validity. *)
+
+val decide_support : f:int -> int
+(** [2f + 1] — matching decide-flagged votes required to decide
+    (Bracha step 3): every other honest node then sees at least
+    [f + 1] of them next round and adopts, locking the value. *)
+
+val decide_unanimity : f:int -> int
+(** [3f + 1] — Ben-Or's Byzantine direct-decide threshold: so many
+    matching proposals that even after discarding [f] forgeries,
+    [2f + 1] honest nodes hold the value. *)
+
+val crash_decide : f:int -> int
+(** [f + 1] — decide threshold under crash faults, where any received
+    vote is genuine and one surviving witness suffices. *)
+
+val strict_majority : int -> int
+(** [strict_majority q = q / 2 + 1] — the least count strictly greater
+    than half of [q]. *)
+
+val faulty_majority : n:int -> f:int -> int
+(** [(n + f) / 2 + 1] — the least count strictly greater than
+    [(n + f) / 2]: a majority large enough to survive [f] faulty votes
+    (Ben-Or's report-phase majority). *)
+
+val honest_support : n:int -> f:int -> int
+(** [n - 2f] — within a {!completeness} quorum, a value backed by this
+    many entries is backed by at least [n - 3f >= 1] honest nodes, and
+    at most one value can reach it (Turpin-Coan's candidate
+    threshold). *)
+
+val majority_possible : q:int -> int
+(** [(q + 1) / 2] — the least count that makes a value a possible
+    strict majority of {e some} [q]-subset of the votes seen so far
+    (the validation layer's justification bound). *)

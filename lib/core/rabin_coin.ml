@@ -3,10 +3,12 @@ open Import
 type t = { n : int; f : int; seed : int }
 
 let create ~n ~f ~seed =
-  assert (0 <= f && f < n);
+  (* ratio 1: the dealer coin only needs f < n — any set of f
+     withholders leaves enough honest reveals. *)
+  Quorum.assert_resilience_at ~ratio:1 ~n ~f;
   { n; f; seed }
 
-let threshold t = t.f + 1
+let threshold t = Quorum.coin_reveal ~f:t.f
 
 (* The dealer's per-round polynomial, deterministic in (seed, round):
    coefficients are drawn from a stream keyed by both, so shares can be

@@ -18,7 +18,7 @@ module Make (V : Value.PAYLOAD) = struct
   }
 
   let create ~n ~f ~sender =
-    assert (n > 3 * f);
+    Quorum.assert_resilience ~n ~f;
     {
       n;
       f;
@@ -37,11 +37,13 @@ module Make (V : Value.PAYLOAD) = struct
 
   let readied t = t.readied
 
-  let echo_threshold ~n ~f = (n + f + 2) / 2 (* ⌈(n+f+1)/2⌉ *)
+  (* Thin re-exports kept for the public interface; the formulas and
+     their intersection arguments live in [Quorum]. *)
+  let echo_threshold ~n ~f = Quorum.echo_quorum ~n ~f
 
-  let ready_amplify_threshold ~f = f + 1
+  let ready_amplify_threshold ~f = Quorum.ready_amplify ~f
 
-  let deliver_threshold ~f = (2 * f) + 1
+  let deliver_threshold ~f = Quorum.ready_deliver ~f
 
   let support map v =
     match Value_map.find_opt v map with

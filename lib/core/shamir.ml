@@ -18,7 +18,7 @@ let reconstruct shares =
   (match shares with [] -> invalid_arg "Shamir.reconstruct: no shares" | _ -> ());
   let points = List.map (fun s -> (Gf.of_int s.x, s.y)) shares in
   let distinct =
-    List.length (List.sort_uniq (fun (a, _) (b, _) -> compare a b) points)
+    List.length (List.sort_uniq (fun (a, _) (b, _) -> Gf.compare a b) points)
   in
   if distinct <> List.length points then
     invalid_arg "Shamir.reconstruct: duplicate evaluation points";

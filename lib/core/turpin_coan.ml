@@ -26,9 +26,9 @@ module Make (V : Value.PAYLOAD) = struct
 
   let name = "turpin-coan"
 
-  let max_faults ~n = (n - 1) / 4
+  let max_faults ~n = Quorum.max_faults ~ratio:4 ~n
 
-  let quorum state = state.n - state.f
+  let quorum state = Quorum.completeness ~n:state.n ~f:state.f
 
   (* The value supported by at least [need] of the recorded entries;
      unique when it exists (see interface comment). *)
@@ -63,7 +63,8 @@ module Make (V : Value.PAYLOAD) = struct
       if (not state.step1_done) && Node_id.Map.cardinal state.step1 >= quorum state
       then begin
         let candidate =
-          supported ~need:(state.n - (2 * state.f)) (candidates state)
+          supported ~need:(Quorum.honest_support ~n:state.n ~f:state.f)
+            (candidates state)
         in
         actions := Protocol.Broadcast (Step2 candidate) :: !actions;
         { state with step1_done = true }
@@ -73,7 +74,10 @@ module Make (V : Value.PAYLOAD) = struct
     let state =
       if (not state.step2_done) && Node_id.Map.cardinal state.step2 >= quorum state
       then begin
-        let winner = supported ~need:(state.n - (2 * state.f)) (votes state) in
+        let winner =
+          supported ~need:(Quorum.honest_support ~n:state.n ~f:state.f)
+            (votes state)
+        in
         let vote = match winner with Some _ -> Value.One | None -> Value.Zero in
         let ba, wires, events =
           Ba_instance.start state.ba ~rng ~input:vote
@@ -99,7 +103,7 @@ module Make (V : Value.PAYLOAD) = struct
           | None -> (
             (* Recovery: f+1 matching step-2 candidates identify the
                winner even through Byzantine noise. *)
-            match supported ~need:(state.f + 1) (votes state) with
+            match supported ~need:(Quorum.one_honest ~f:state.f) (votes state) with
             | Some w -> ({ state with emitted = true }, [ Agreed w ])
             | None -> (state, [])))
         | None -> (state, [])
@@ -109,6 +113,7 @@ module Make (V : Value.PAYLOAD) = struct
 
   let initial ctx (input : input) =
     let { Protocol.Context.me; n; f; rng = _ } = ctx in
+    Quorum.assert_resilience_at ~ratio:4 ~n ~f;
     let state =
       {
         n;

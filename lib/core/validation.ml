@@ -18,7 +18,8 @@ module Slot = struct
 
   let of_vmsg m = (m.round, Step.to_int m.step)
 
-  let compare = compare
+  let compare (r1, s1) (r2, s2) =
+    match Int.compare r1 r2 with 0 -> Int.compare s1 s2 | c -> c
 end
 
 module Slot_map = Map.Make (Slot)
@@ -33,7 +34,7 @@ type t = {
 }
 
 let create ~n ~f ~enabled =
-  assert (n > 3 * f);
+  Quorum.assert_resilience ~n ~f;
   {
     n;
     f;
@@ -56,12 +57,12 @@ let total tl = tl.c0 + tl.c1
 
 let dtotal tl = tl.d0 + tl.d1
 
-let quorum t = t.n - t.f
+let quorum t = Quorum.completeness ~n:t.n ~f:t.f
 
 (* Majority-possibility threshold: v can be the (tie-tolerant strict)
    majority of some q-subset iff cnt(v) ≥ (q+1)/2 rounded down — see
    the interface comment. *)
-let majority_need q = (q + 1) / 2
+let majority_need q = Quorum.majority_possible ~q
 
 let justified t m =
   if t.enabled = false then true
@@ -72,7 +73,7 @@ let justified t m =
       if m.round = 1 then true
       else begin
         let prev = tally t ~round:(m.round - 1) ~step:Step.S3 in
-        let adopt_possible = dcount prev m.value >= t.f + 1 in
+        let adopt_possible = dcount prev m.value >= Quorum.adopt_support ~f:t.f in
         (* Coin rule: a q-subset containing at most f decide-messages
            exists, so the sender may have flipped to any value. *)
         let non_decide = total prev - dtotal prev in
@@ -87,7 +88,7 @@ let justified t m =
     | Step.S3 ->
       if m.decide then begin
         let prev = tally t ~round:m.round ~step:Step.S2 in
-        count prev m.value > t.n / 2
+        count prev m.value >= Quorum.strict_majority t.n
       end
       else begin
         let s1 = tally t ~round:m.round ~step:Step.S1 in

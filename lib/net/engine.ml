@@ -93,22 +93,28 @@ module Make (P : Protocol.S) = struct
        in [pending]; [oldest_cursor] advances monotonically, so finding
        the longest-in-flight message is O(1) amortized over the run —
        the fairness check runs on every delivery and must be cheap. *)
-    let index_of_seq : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    let module Seq_tbl = Hashtbl.Make (struct
+      type t = int
+
+      let equal = Int.equal
+      let hash = Int.hash
+    end) in
+    let index_of_seq : int Seq_tbl.t = Seq_tbl.create 256 in
     let oldest_cursor = ref 0 in
     let oldest_index () =
-      while not (Hashtbl.mem index_of_seq !oldest_cursor) do
+      while not (Seq_tbl.mem index_of_seq !oldest_cursor) do
         incr oldest_cursor;
         assert (!oldest_cursor < !next_seq)
       done;
-      Hashtbl.find index_of_seq !oldest_cursor
+      Seq_tbl.find index_of_seq !oldest_cursor
     in
     let remove_pending index =
       let envelope = Abc_sim.Vec.swap_remove pending index in
-      Hashtbl.remove index_of_seq envelope.meta.Adversary.seq;
+      Seq_tbl.remove index_of_seq envelope.meta.Adversary.seq;
       (* swap_remove moved the last entry into [index]; retarget it. *)
       if index < Abc_sim.Vec.length pending then begin
         let moved = Abc_sim.Vec.get pending index in
-        Hashtbl.replace index_of_seq moved.meta.Adversary.seq index
+        Seq_tbl.replace index_of_seq moved.meta.Adversary.seq index
       end;
       envelope
     in
@@ -166,7 +172,7 @@ module Make (P : Protocol.S) = struct
         let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
         let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
         Abc_sim.Vec.push pending { meta; payload };
-        Hashtbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
+        Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
         policy.Adversary.note meta;
         Abc_sim.Metrics.incr metrics "sent";
         Abc_sim.Metrics.incr metrics ("sent." ^ P.msg_label payload)
@@ -215,7 +221,7 @@ module Make (P : Protocol.S) = struct
         ~length:(Abc_sim.Vec.length pending)
         ~get:(fun i -> (Abc_sim.Vec.get pending i).meta)
         ~oldest:oldest_index
-        ~find_seq:(fun seq -> Hashtbl.find_opt index_of_seq seq)
+        ~find_seq:(fun seq -> Seq_tbl.find_opt index_of_seq seq)
     in
     let choose_index now =
       let v = view () in

@@ -13,7 +13,8 @@ module Make (P : Protocol.S) = struct
   module Seen = Set.Make (struct
     type t = int * int (* origin, sequence *)
 
-    let compare = compare
+    let compare (o1, s1) (o2, s2) =
+      match Int.compare o1 o2 with 0 -> Int.compare s1 s2 | c -> c
   end)
 
   type state = {

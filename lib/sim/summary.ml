@@ -5,7 +5,7 @@ let of_list samples =
   | [] -> None
   | _ ->
     let sorted = Array.of_list samples in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     let n = Array.length sorted in
     let total = Array.fold_left ( +. ) 0. sorted in
     let mean = total /. float_of_int n in

@@ -21,9 +21,10 @@ let parse line =
       | Some _ | None -> None))
 
 module Key = struct
-  type t = string * int
+  type t = string * int (* client, request id *)
 
-  let compare = compare
+  let compare (c1, r1) (c2, r2) =
+    match String.compare c1 c2 with 0 -> Int.compare r1 r2 | c -> c
 end
 
 module Key_set = Set.Make (Key)

@@ -1,0 +1,294 @@
+(* Tests for the static-analysis pass (abc_lint) and the Quorum module.
+
+   Each rule family gets a passing and a violating fixture, fed to the
+   analyzer as inline sources with a synthetic path (the rules are
+   path-scoped).  The Quorum tests check every named threshold against
+   an independent reference — including the inline arithmetic the
+   protocol modules used before centralization — over representative
+   (n, f) pairs including the n = 3f + 1 resilience boundary. *)
+
+module Rules = Abc_analysis.Rules
+module Finding = Abc_analysis.Finding
+module Allow = Abc_analysis.Allow
+module Driver = Abc_analysis.Driver
+module Quorum = Abc.Quorum
+
+let rules_of findings = List.map (fun f -> f.Finding.rule) findings
+
+let check_rules name expected ~path src =
+  Alcotest.(check (list string)) name expected (rules_of (Rules.check_source ~path src))
+
+(* ---- rule 1: determinism ---- *)
+
+let test_determinism_violations () =
+  check_rules "wall clock and Random flagged"
+    [ "determinism"; "determinism"; "determinism" ]
+    ~path:"lib/sim/latency.ml"
+    "let jitter () = Random.int 10\n\
+     let now () = Unix.gettimeofday ()\n\
+     let cpu () = Sys.time ()\n"
+
+let test_determinism_passing () =
+  (* lib/prng is the one place allowed to touch entropy primitives. *)
+  check_rules "lib/prng exempt" [] ~path:"lib/prng/stream.ml"
+    "let reseed () = Random.int 10\n";
+  check_rules "seeded stream is fine" [] ~path:"lib/sim/latency.ml"
+    "let draw s = Abc_prng.Stream.int s 10\n";
+  (* Sys/Unix calls outside the banned set stay quiet. *)
+  check_rules "Sys.readdir is fine" [] ~path:"bin/tool.ml"
+    "let ls d = Sys.readdir d\n"
+
+(* ---- rule 2: polymorphic comparison ---- *)
+
+let test_poly_compare_violations () =
+  check_rules "structural = on node ids" [ "poly-compare" ]
+    ~path:"lib/net/route.ml"
+    "type t = { src : Node_id.t; dst : Node_id.t }\n\
+     let same m = m.src = m.dst\n";
+  check_rules "bare compare" [ "poly-compare" ] ~path:"lib/net/route.ml"
+    "let sort xs = List.sort compare xs\n";
+  check_rules "compare alias" [ "poly-compare" ] ~path:"lib/net/route.ml"
+    "type t = int * int\nlet compare = compare\n";
+  check_rules "Stdlib.compare" [ "poly-compare" ] ~path:"lib/net/route.ml"
+    "let cmp = Stdlib.compare\n";
+  check_rules "polymorphic Hashtbl over ids" [ "poly-compare" ]
+    ~path:"lib/net/route.ml"
+    "let tbl : (Node_id.t, int) Hashtbl.t = Hashtbl.create 16\n"
+
+let test_poly_compare_passing () =
+  (* Qualified record construction is a binder, not a comparison. *)
+  check_rules "record field" [] ~path:"lib/net/route.ml"
+    "let ctx i = { Protocol.Context.me = Node_id.of_int i; rng = None }\n";
+  (* Punned labelled parameters in definitions. *)
+  check_rules "labelled params" [] ~path:"lib/net/route.ml"
+    "let origin_of (id : Node_id.t) = id\n\
+     let create ~n ~f ~sender = (n, f, sender)\n";
+  (* A unit that defines its own compare may use it bare afterwards. *)
+  check_rules "own compare" [] ~path:"lib/net/route.ml"
+    "let compare a b = Int.compare a b\n\
+     let max x y = if compare x y >= 0 then x else y\n";
+  (* The dedicated equality is exactly what the rule asks for. *)
+  check_rules "Node_id.equal" [] ~path:"lib/net/route.ml"
+    "let same src dst = Node_id.equal src dst\n";
+  (* Without an abstract id type in scope, =/Hashtbl stay quiet. *)
+  check_rules "no Node_id in scope" [] ~path:"lib/sim/counter.ml"
+    "let tbl = Hashtbl.create 16\nlet hit src dst = src = dst\n"
+
+(* ---- rule 3: quorum arithmetic ---- *)
+
+let test_quorum_violations () =
+  (* [2 * f] and [f + 1] both match, but findings collapse to one per
+     (rule, line) so the report stays readable. *)
+  check_rules "2f+1 inline" [ "quorum" ] ~path:"lib/core/proto.ml"
+    "let deliver ~f count = count >= 2 * f + 1\n";
+  check_rules "separate lines, separate findings" [ "quorum"; "quorum" ]
+    ~path:"lib/core/proto.ml"
+    "let amplify ~f count = count >= f + 1\n\
+     let deliver ~f count = count >= 2 * f + 1\n";
+  check_rules "n - f inline" [ "quorum" ] ~path:"lib/core/proto.ml"
+    "let quorum ~n ~f = n - f\n";
+  check_rules "n / 3 inline" [ "quorum" ] ~path:"lib/core/proto.ml"
+    "let max_faults n = n / 3\n"
+
+let test_quorum_passing () =
+  (* The rule is scoped to protocol modules: simulator code may divide. *)
+  check_rules "outside lib/core" [] ~path:"lib/sim/latency.ml"
+    "let mid n = n / 2\n";
+  (* quorum.ml itself is where the arithmetic lives. *)
+  check_rules "quorum.ml exempt" [] ~path:"lib/core/quorum.ml"
+    "let ready_deliver ~f = (2 * f) + 1\n";
+  (* Named thresholds are the fix. *)
+  check_rules "named threshold" [] ~path:"lib/core/proto.ml"
+    "let deliver state count = count >= Quorum.ready_deliver ~f:state.f\n"
+
+(* ---- rule 4: interface coverage ---- *)
+
+let test_interface_coverage () =
+  Alcotest.(check (list string))
+    "missing mli flagged" [ "interface" ]
+    (rules_of (Rules.interface_coverage ~files:[ "lib/core/foo.ml" ]));
+  Alcotest.(check (list string))
+    "present mli passes" []
+    (rules_of (Rules.interface_coverage ~files:[ "lib/core/foo.ml"; "lib/core/foo.mli" ]));
+  Alcotest.(check (list string))
+    "bin/ not required" []
+    (rules_of (Rules.interface_coverage ~files:[ "bin/main.ml" ]))
+
+(* ---- allowlist ---- *)
+
+let test_allowlist () =
+  let entries =
+    Allow.of_string
+      "# comment\n\nquorum ben_or.ml n / 2\npoly-compare adversary.ml\n"
+  in
+  Alcotest.(check int) "entries parsed" 2 (List.length entries);
+  let finding ~rule ~file ~snippet =
+    Finding.v ~rule ~file ~line:7 ~snippet "msg"
+  in
+  Alcotest.(check bool) "path suffix + snippet" true
+    (Allow.permits entries
+       (finding ~rule:"quorum" ~file:"lib/core/ben_or.ml" ~snippet:"n / 2"));
+  Alcotest.(check bool) "other snippet still fails" false
+    (Allow.permits entries
+       (finding ~rule:"quorum" ~file:"lib/core/ben_or.ml" ~snippet:"f + 1"));
+  Alcotest.(check bool) "other rule still fails" false
+    (Allow.permits entries
+       (finding ~rule:"determinism" ~file:"lib/core/ben_or.ml" ~snippet:"n / 2"));
+  Alcotest.(check bool) "suffix must be a component" false
+    (Allow.permits entries
+       (finding ~rule:"quorum" ~file:"lib/core/xben_or.ml" ~snippet:"n / 2"));
+  Alcotest.(check bool) "snippet-free entry allows the file" true
+    (Allow.permits entries
+       (finding ~rule:"poly-compare" ~file:"lib/net/adversary.ml" ~snippet:"x = y"))
+
+(* ---- end-to-end: a seeded violation makes the driver report (and the
+   CLI exit non-zero); the allowlist silences exactly it ---- *)
+
+(* Under the system temp dir so a non-sandboxed run can't litter the
+   repository (the quorum rule only needs the path to contain
+   lib/core/). *)
+let fixture_root =
+  Filename.concat (Filename.get_temp_dir_name ()) "abc_lint_fixture"
+
+let write_fixture path contents =
+  let rec mkdirs dir =
+    if not (Sys.file_exists dir) then begin
+      mkdirs (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+  in
+  mkdirs (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let test_driver_seeded_violation () =
+  let file = fixture_root ^ "/lib/core/seeded.ml" in
+  write_fixture file "let deliver ~f count = count >= 2 * f + 1\n";
+  write_fixture (file ^ "i") "val deliver : f:int -> int -> bool\n";
+  let report = Driver.run ~allow:[] ~roots:[ fixture_root ] in
+  Alcotest.(check bool)
+    "seeded violation found" true
+    (List.length report.Driver.findings > 0);
+  (* The CLI maps a non-empty report to exit code 1. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "rule" "quorum" f.Finding.rule;
+      Alcotest.(check string) "file" file f.Finding.file)
+    report.Driver.findings;
+  (* Findings collapse to one per (rule, line); a snippet-free entry for
+     the file silences it. *)
+  let allow = Allow.of_string "quorum seeded.ml\n" in
+  let silenced = Driver.run ~allow ~roots:[ fixture_root ] in
+  Alcotest.(check int) "allowlisted run is clean" 0
+    (List.length silenced.Driver.findings);
+  Alcotest.(check int) "exceptions counted" 1 silenced.Driver.allowed
+
+(* ---- Quorum: named thresholds vs the old inline arithmetic ---- *)
+
+(* Representative (n, f) pairs; the first five sit exactly on the
+   n = 3f + 1 resilience boundary. *)
+let boundary = [ (4, 1); (7, 2); (10, 3); (13, 4); (16, 5) ]
+
+let slack = [ (5, 1); (8, 2); (12, 3); (20, 6); (3, 0) ]
+
+let reps = boundary @ slack
+
+let for_reps check = List.iter (fun (n, f) -> check ~n ~f) reps
+
+let test_quorum_echo () =
+  (* Echo quorum: the smallest q such that two q-sets of n nodes
+     intersect in at least f + 1 nodes (so >= 1 honest node). *)
+  for_reps (fun ~n ~f ->
+      let q = Quorum.echo_quorum ~n ~f in
+      let ctx = Printf.sprintf "n=%d f=%d" n f in
+      Alcotest.(check bool) (ctx ^ " intersection") true ((2 * q) - n >= f + 1);
+      Alcotest.(check bool) (ctx ^ " minimal") true ((2 * (q - 1)) - n < f + 1);
+      (* and the exact inline expression rbc_core used before. *)
+      Alcotest.(check int) (ctx ^ " inline") ((n + f + 2) / 2) q)
+
+let test_quorum_inline_equivalence () =
+  for_reps (fun ~n ~f ->
+      let ctx = Printf.sprintf "n=%d f=%d " n f in
+      Alcotest.(check int) (ctx ^ "ready amplify") (f + 1) (Quorum.ready_amplify ~f);
+      Alcotest.(check int) (ctx ^ "ready deliver") ((2 * f) + 1) (Quorum.ready_deliver ~f);
+      Alcotest.(check int) (ctx ^ "one honest") (f + 1) (Quorum.one_honest ~f);
+      Alcotest.(check int) (ctx ^ "coin reveal") (f + 1) (Quorum.coin_reveal ~f);
+      Alcotest.(check int) (ctx ^ "completeness") (n - f) (Quorum.completeness ~n ~f);
+      Alcotest.(check int) (ctx ^ "adopt") (f + 1) (Quorum.adopt_support ~f);
+      Alcotest.(check int) (ctx ^ "decide") ((2 * f) + 1) (Quorum.decide_support ~f);
+      Alcotest.(check int) (ctx ^ "unanimity") ((3 * f) + 1) (Quorum.decide_unanimity ~f);
+      Alcotest.(check int) (ctx ^ "crash decide") (f + 1) (Quorum.crash_decide ~f);
+      Alcotest.(check int) (ctx ^ "honest support")
+        (n - (2 * f))
+        (Quorum.honest_support ~n ~f))
+
+let test_quorum_boundary () =
+  (* At n = 3f + 1 exactly: resilience holds, one more fault breaks it,
+     and the unanimity threshold needs every node. *)
+  List.iter
+    (fun (n, f) ->
+      Quorum.assert_resilience ~n ~f;
+      Alcotest.(check int)
+        (Printf.sprintf "max_faults n=%d" n)
+        f
+        (Quorum.max_faults ~ratio:3 ~n);
+      Alcotest.(check int)
+        (Printf.sprintf "unanimity=n at boundary n=%d" n)
+        n
+        (Quorum.decide_unanimity ~f);
+      let broken = try Quorum.assert_resilience ~n ~f:(f + 1); false with Invalid_argument _ -> true in
+      Alcotest.(check bool) (Printf.sprintf "f+1 rejected n=%d" n) true broken)
+    boundary;
+  let negative = try Quorum.assert_resilience ~n:4 ~f:(-1); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative f rejected" true negative;
+  (* Other ratios: Ben-Or byzantine (5f), crash (2f), coin dealer (f). *)
+  Quorum.assert_resilience_at ~ratio:5 ~n:16 ~f:3;
+  let past = try Quorum.assert_resilience_at ~ratio:5 ~n:16 ~f:4; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "ben-or byz bound" true past;
+  Quorum.assert_resilience_at ~ratio:2 ~n:16 ~f:5;
+  Quorum.assert_resilience_at ~ratio:1 ~n:4 ~f:3
+
+let test_quorum_majorities () =
+  (* strict_majority q is the smallest count with 2 * count > q — the
+     strict comparison the consensus cores previously inlined. *)
+  for_reps (fun ~n ~f ->
+      let q = Quorum.completeness ~n ~f in
+      for count = 0 to n do
+        let ctx = Printf.sprintf "n=%d f=%d count=%d" n f count in
+        Alcotest.(check bool) (ctx ^ " strict majority") ((2 * count) > q)
+          (count >= Quorum.strict_majority q);
+        Alcotest.(check bool) (ctx ^ " faulty majority")
+          ((2 * count) > n + f)
+          (count >= Quorum.faulty_majority ~n ~f);
+        Alcotest.(check bool) (ctx ^ " majority possible")
+          ((2 * count) >= q)
+          (count >= Quorum.majority_possible ~q)
+      done)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism: violations" `Quick test_determinism_violations;
+          Alcotest.test_case "determinism: passing" `Quick test_determinism_passing;
+          Alcotest.test_case "poly-compare: violations" `Quick test_poly_compare_violations;
+          Alcotest.test_case "poly-compare: passing" `Quick test_poly_compare_passing;
+          Alcotest.test_case "quorum: violations" `Quick test_quorum_violations;
+          Alcotest.test_case "quorum: passing" `Quick test_quorum_passing;
+          Alcotest.test_case "interface coverage" `Quick test_interface_coverage;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "seeded violation" `Quick test_driver_seeded_violation;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "echo quorum" `Quick test_quorum_echo;
+          Alcotest.test_case "inline equivalence" `Quick test_quorum_inline_equivalence;
+          Alcotest.test_case "resilience boundary" `Quick test_quorum_boundary;
+          Alcotest.test_case "majorities" `Quick test_quorum_majorities;
+        ] );
+    ]
