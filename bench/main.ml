@@ -823,6 +823,14 @@ let () =
     end
     else args
   in
+  (* Every mode emits the machine-readable BENCH_*.json run summaries
+     (see OBSERVABILITY.md); CSVs remain opt-in via the csv arg. *)
+  Abc_sim.Table.set_json_directory (Some "bench_results");
+  Abc_sim.Table.set_run_meta
+    [
+      ("harness", Abc_sim.Json.String "abc-bench");
+      ("seeds_scale", Abc_sim.Json.Float !seeds_scale);
+    ];
   let selected =
     match args with
     | [] -> experiments

@@ -44,6 +44,14 @@ let trace_arg =
     value & flag
     & info [ "trace" ] ~doc:"Dump the tail of the execution trace after the run.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the full execution trace as JSON Lines (schema abc.trace, see            OBSERVABILITY.md) to $(docv), for analysis with $(b,abc-trace).")
+
 let adversary_arg =
   let choices =
     [
@@ -138,6 +146,32 @@ let faulty_nodes ~n ~count kind mutators =
   | None -> []
   | Some b -> List.init count (fun k -> (Node_id.of_int (n - 1 - k), b))
 
+(* A deep buffer when exporting: analysis wants the whole run, not the
+   tail. *)
+let trace_capacity = 1_000_000
+
+let make_trace ~trace ~trace_out =
+  if trace || trace_out <> None then
+    Some (Abc_sim.Trace.create ~capacity:trace_capacity ())
+  else None
+
+let write_trace_out ~protocol ~n ~f ~seed trace_out tr =
+  match (trace_out, tr) with
+  | Some file, Some trace ->
+    let meta =
+      [
+        ("protocol", Abc_sim.Json.String protocol);
+        ("n", Abc_sim.Json.Int n);
+        ("f", Abc_sim.Json.Int f);
+        ("seed", Abc_sim.Json.Int seed);
+      ]
+    in
+    let oc = open_out file in
+    Abc_sim.Trace.write_jsonl ~meta oc trace;
+    close_out oc;
+    Fmt.pr "trace: %d events written to %s@." (Abc_sim.Trace.length trace) file
+  | None, _ | _, None -> ()
+
 let print_trace ?n trace =
   Fmt.pr "@.--- execution trace (tail) ---@.";
   match n with
@@ -155,7 +189,7 @@ let summarize_rounds label rounds =
 
 (* ---- rbc ---- *)
 
-let run_rbc n f seed adversary fault faulty_count trace =
+let run_rbc n f seed adversary fault faulty_count trace trace_out =
   let module Rbc = Abc.Bracha_rbc.Binary in
   let module E = Abc_net.Engine.Make (Rbc) in
   let two_faced _rng ~dst v =
@@ -173,7 +207,7 @@ let run_rbc n f seed adversary fault faulty_count trace =
     | [] -> []
     | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
   in
-  let tr = if trace then Some (Abc_sim.Trace.create ()) else None in
+  let tr = make_trace ~trace ~trace_out in
   let config =
     E.config ~n ~f
       ~inputs:(Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One)
@@ -194,12 +228,13 @@ let run_rbc n f seed adversary fault faulty_count trace =
       | [] -> Fmt.pr "  node %d: no delivery@." i
       | _ -> ())
     result.E.outputs;
-  Option.iter (print_trace ~n) tr
+  write_trace_out ~protocol:"bracha-rbc" ~n ~f ~seed trace_out tr;
+  if trace then Option.iter (print_trace ~n) tr
 
 (* ---- consensus (bracha) ---- *)
 
 let run_consensus n f seed seeds adversary fault faulty_count inputs coin
-    no_validation plain trace =
+    no_validation plain trace trace_out =
   let module H = Abc.Harness.Make (struct
     include B
 
@@ -220,7 +255,9 @@ let run_consensus n f seed seeds adversary fault faulty_count inputs coin
   let rounds = ref [] in
   let failures = ref 0 in
   for k = 0 to seeds - 1 do
-    let tr = if trace && k = 0 then Some (Abc_sim.Trace.create ()) else None in
+    let tr =
+      if k = 0 then make_trace ~trace ~trace_out else None
+    in
     let config =
       H.E.config ~n ~f
         ~inputs:(B.inputs ~n ~options values)
@@ -240,7 +277,9 @@ let run_consensus n f seed seeds adversary fault faulty_count inputs coin
           Fmt.pr "  %a: %a at t=%d@." Node_id.pp id Abc.Decision.pp d time)
         verdict.Abc.Harness.decisions
     end;
-    Option.iter print_trace tr
+    write_trace_out ~protocol:"bracha-consensus" ~n ~f ~seed:(seed + k)
+      trace_out tr;
+    if trace then Option.iter print_trace tr
   done;
   if seeds > 1 then begin
     Fmt.pr "bracha-consensus n=%d f=%d seeds=%d..%d (%a)@." n f seed
@@ -359,7 +398,7 @@ let run_acs n f seed adversary fault faulty_count =
 
 (* ---- smr ---- *)
 
-let run_smr n f seed adversary fault faulty_count slots =
+let run_smr n f seed adversary fault faulty_count slots trace trace_out =
   let module Log = Abc_smr.Replicated_log in
   let module E = Abc_net.Engine.Make (Log) in
   let mutators =
@@ -368,6 +407,7 @@ let run_smr n f seed adversary fault faulty_count slots =
       fun _rng (m : Log.msg) -> m )
   in
   let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
+  let tr = make_trace ~trace ~trace_out in
   let config =
     E.config ~n ~f
       ~inputs:
@@ -375,7 +415,7 @@ let run_smr n f seed adversary fault faulty_count slots =
              Printf.sprintf "cmd-%d.%d" i k))
       ~faulty
       ~adversary:(adversary_of ~n adversary)
-      ~seed ()
+      ~seed ?trace:tr ()
   in
   let result = E.run config in
   Fmt.pr "smr n=%d f=%d slots=%d seed=%d stop=%a messages=%d time=%d@." n f slots
@@ -388,7 +428,9 @@ let run_smr n f seed adversary fault faulty_count slots =
       | Some log ->
         Fmt.pr "  replica %d: %a@." i Fmt.(list ~sep:(any " -> ") string) log
       | None -> Fmt.pr "  replica %d: incomplete@." i)
-    result.E.outputs
+    result.E.outputs;
+  write_trace_out ~protocol:"replicated-log" ~n ~f ~seed trace_out tr;
+  if trace then Option.iter print_trace tr
 
 (* ---- check (bounded model checking) ---- *)
 
@@ -452,7 +494,7 @@ let rbc_cmd =
   let term =
     Term.(
       const run_rbc $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
-      $ faulty_count_arg $ trace_arg)
+      $ faulty_count_arg $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "rbc" ~doc:"Run one Bracha reliable broadcast.") term
 
@@ -469,7 +511,7 @@ let consensus_cmd =
     Term.(
       const run_consensus $ n_arg $ f_arg $ seed_arg $ seeds_arg $ adversary_arg
       $ fault_kind_arg $ faulty_count_arg $ inputs_arg $ coin_arg $ no_validation
-      $ plain $ trace_arg)
+      $ plain $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "consensus" ~doc:"Run Bracha's randomized Byzantine consensus.") term
 
@@ -544,7 +586,7 @@ let smr_cmd =
   let term =
     Term.(
       const run_smr $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
-      $ faulty_count_arg $ slots)
+      $ faulty_count_arg $ slots $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "smr" ~doc:"Run the replicated log.") term
 

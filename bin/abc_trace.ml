@@ -1,0 +1,103 @@
+(* abc-trace: analyzer for abc.trace JSON Lines files.
+
+     abc-trace summary   trace.jsonl
+     abc-trace instances trace.jsonl
+     abc-trace timeline  trace.jsonl --instance ba3
+     abc-trace diagram   trace.jsonl --n 4
+
+   Traces are produced by `abc-run <protocol> --trace-out FILE` (or any
+   code calling Abc_sim.Trace.write_jsonl).  The schema is documented
+   in OBSERVABILITY.md.  All output is deterministic: the same trace
+   file always renders byte-identically. *)
+
+module Trace_file = Abc_sim.Trace_file
+module Trace_report = Abc_sim.Trace_report
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"Trace file (JSON Lines, schema abc.trace).")
+
+let load file =
+  match Trace_file.read file with
+  | Ok t -> t
+  | Error msg ->
+    Fmt.epr "abc-trace: %s: %s@." file msg;
+    exit 1
+
+let run_summary file = print_string (Trace_report.summary (load file))
+
+let run_instances file =
+  match Trace_report.instances (load file) with
+  | [] -> print_endline "(no scoped instances in this trace)"
+  | instances -> List.iter print_endline instances
+
+let run_timeline file instance =
+  print_string (Trace_report.timeline ?instance (load file))
+
+let run_diagram file lanes =
+  let t = load file in
+  let n = match lanes with Some n -> n | None -> Trace_file.nodes t in
+  if n <= 0 then begin
+    Fmt.epr "abc-trace: cannot infer the node count; pass --n@.";
+    exit 1
+  end;
+  print_string
+    (Abc_net.Sequence_diagram.render_entries t.Trace_file.entries ~n)
+
+let summary_cmd =
+  let term = Term.(const run_summary $ file_arg) in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Print a deterministic overview: run metadata, entry counts, events \
+          by kind and node, quorums, coin flips and decisions.")
+    term
+
+let instances_cmd =
+  let term = Term.(const run_instances $ file_arg) in
+  Cmd.v
+    (Cmd.info "instances"
+       ~doc:"List the distinct instance paths appearing in the trace.")
+    term
+
+let timeline_cmd =
+  let instance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"PATH"
+          ~doc:
+            "Only show events of instance $(docv) (or nested below it, e.g. \
+             $(b,ba3) also shows $(b,ba3/...)).")
+  in
+  let term = Term.(const run_timeline $ file_arg $ instance) in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Print every entry in recording order, one line each.")
+    term
+
+let diagram_cmd =
+  let lanes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "nodes" ] ~docv:"N"
+          ~doc:
+            "Number of lanes.  Defaults to the trace's $(b,n) metadata \
+             (widened to cover every node id seen).")
+  in
+  let term = Term.(const run_diagram $ file_arg $ lanes) in
+  Cmd.v
+    (Cmd.info "diagram"
+       ~doc:"Render the deliveries as an ASCII message-sequence diagram.")
+    term
+
+let () =
+  let doc = "Analyze abc.trace execution traces (see OBSERVABILITY.md)" in
+  let info = Cmd.info "abc-trace" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ summary_cmd; instances_cmd; timeline_cmd; diagram_cmd ]))

@@ -64,6 +64,9 @@ module Make (P : Abc_net.Protocol.S) = struct
       n = cfg.n;
       f = cfg.f;
       rng = fresh_rng i;
+      (* Exploration never traces: states are marshalled for
+         fingerprinting and a live sink would not survive that. *)
+      sink = Abc_sim.Event.null_sink;
     }
 
   (* Canonical fingerprint of a system state.  Node states are

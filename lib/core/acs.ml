@@ -50,13 +50,21 @@ module Make (V : Value.PAYLOAD) = struct
         else { state with decisions = Int_map.add index d.Decision.value state.decisions })
       state events
 
+  (* Events of the BA for proposer [index], scoped under "ba<index>". *)
+  let ba_sink (sink : Event.sink) index =
+    if sink.Event.enabled then
+      Event.scoped sink ~instance:(Printf.sprintf "ba%d" index)
+    else sink
+
   (* Start [BA_index] with [input], folding any immediate events back
      into the state.  No-op when already started. *)
-  let start_ba state ~rng index input =
+  let start_ba state ~rng ~sink index input =
     let instance = ba state index in
     if Ba_instance.started instance then (state, [])
     else begin
-      let instance, wires, events = Ba_instance.start instance ~rng ~input in
+      let instance, wires, events =
+        Ba_instance.start ~sink:(ba_sink sink index) instance ~rng ~input
+      in
       let state = { state with bas = Int_map.add index instance state.bas } in
       let state = record_events state index events in
       (state, wrap_ba index wires)
@@ -65,7 +73,7 @@ module Make (V : Value.PAYLOAD) = struct
   (* Apply the ACS rules to fixpoint: vote 1 for delivered proposals,
      vote 0 everywhere once n-f instances accepted, emit when all
      instances are decided and the accepted payloads have arrived. *)
-  let rec settle state ~rng actions =
+  let rec settle state ~rng ~sink actions =
     (* Rule 1: proposals that arrived but whose BA has no input yet. *)
     let pending_one =
       Node_id.Map.fold
@@ -76,8 +84,8 @@ module Make (V : Value.PAYLOAD) = struct
     in
     match pending_one with
     | index :: _ ->
-      let state, new_actions = start_ba state ~rng index Value.One in
-      settle state ~rng (actions @ new_actions)
+      let state, new_actions = start_ba state ~rng ~sink index Value.One in
+      settle state ~rng ~sink (actions @ new_actions)
     | [] ->
       (* Rule 2: enough instances accepted — refuse the rest. *)
       let unstarted =
@@ -92,11 +100,11 @@ module Make (V : Value.PAYLOAD) = struct
         let state, new_actions =
           List.fold_left
             (fun (state, acc) index ->
-              let state, actions = start_ba state ~rng index Value.Zero in
+              let state, actions = start_ba state ~rng ~sink index Value.Zero in
               (state, acc @ actions))
             (state, []) unstarted
         in
-        settle state ~rng (actions @ new_actions)
+        settle state ~rng ~sink (actions @ new_actions)
       end
       else begin
         (* Rule 3: emit once everything is decided and every accepted
@@ -131,7 +139,7 @@ module Make (V : Value.PAYLOAD) = struct
       end
 
   let initial ctx (input : input) =
-    let { Protocol.Context.me; n; f; rng = _ } = ctx in
+    let { Protocol.Context.me; n; f; rng = _; sink = _ } = ctx in
     Quorum.assert_resilience ~n ~f;
     let bas =
       List.fold_left
@@ -160,10 +168,16 @@ module Make (V : Value.PAYLOAD) = struct
 
   let on_message ctx state ~src msg =
     let rng = ctx.Protocol.Context.rng in
+    let sink = ctx.Protocol.Context.sink in
     match msg with
     | Prop { origin; event } ->
       let inst = prop_instance state origin in
-      let inst, events, delivered = Prbc.handle inst ~src event in
+      let prop_sink =
+        if sink.Event.enabled then
+          Event.scoped sink ~instance:(Fmt.str "prop@%a" Node_id.pp origin)
+        else sink
+      in
+      let inst, events, delivered = Prbc.handle ~sink:prop_sink inst ~src event in
       let state =
         { state with prop_instances = Node_id.Map.add origin inst state.prop_instances }
       in
@@ -173,15 +187,22 @@ module Make (V : Value.PAYLOAD) = struct
           { state with proposals = Node_id.Map.add origin payload state.proposals }
         | Some _ | None -> state
       in
-      let state, actions, outputs = settle state ~rng (wrap_prop origin events) in
+      let state, actions, outputs =
+        settle state ~rng ~sink (wrap_prop origin events)
+      in
       (state, actions, outputs)
     | Ba { index; wire } ->
       if index < 0 || index >= state.n then (state, [], [])
       else begin
-        let instance, wires, events = Ba_instance.on_wire (ba state index) ~rng ~src wire in
+        let instance, wires, events =
+          Ba_instance.on_wire ~sink:(ba_sink sink index) (ba state index) ~rng
+            ~src wire
+        in
         let state = { state with bas = Int_map.add index instance state.bas } in
         let state = record_events state index events in
-        let state, actions, outputs = settle state ~rng (wrap_ba index wires) in
+        let state, actions, outputs =
+          settle state ~rng ~sink (wrap_ba index wires)
+        in
         (state, actions, outputs)
       end
 

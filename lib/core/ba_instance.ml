@@ -49,21 +49,21 @@ let interpret_effects effects =
 
 (* Feed a batch of validated messages into the core (buffering them
    when the instance has no input yet), collecting effects. *)
-let drive t ~rng validated =
+let drive ?(sink = Event.null_sink) t ~rng validated =
   match t.core with
   | None -> ({ t with replay = t.replay @ validated }, [], [])
   | Some core ->
     let core, effects =
       List.fold_left
         (fun (core, acc) vmsg ->
-          let core, effects = Consensus_core.on_validated core ~rng vmsg in
+          let core, effects = Consensus_core.on_validated ~sink core ~rng vmsg in
           (core, acc @ effects))
         (core, []) validated
     in
     let wires, events = interpret_effects effects in
     ({ t with core = Some core }, wires, events)
 
-let start t ~rng ~input =
+let start ?(sink = Event.null_sink) t ~rng ~input =
   match t.core with
   | Some _ -> (t, [], [])
   | None ->
@@ -73,11 +73,11 @@ let start t ~rng ~input =
     let start_wires, start_events = interpret_effects effects in
     let replay = t.replay in
     let t = { t with core = Some core; replay = [] } in
-    let t, replay_wires, replay_events = drive t ~rng replay in
+    let t, replay_wires, replay_events = drive ~sink t ~rng replay in
     (t, start_wires @ replay_wires, start_events @ replay_events)
 
-let on_wire t ~rng ~src wire =
-  let mux, outgoing, delivery = Rbc_mux.handle t.mux ~src wire in
+let on_wire ?(sink = Event.null_sink) t ~rng ~src wire =
+  let mux, outgoing, delivery = Rbc_mux.handle ~sink t.mux ~src wire in
   let t = { t with mux } in
   match delivery with
   | None -> (t, outgoing, [])
@@ -85,5 +85,5 @@ let on_wire t ~rng ~src wire =
     let vmsg = Consensus_msg.vmsg_of_delivery key payload in
     let validation, validated = Validation.submit t.validation vmsg in
     let t = { t with validation } in
-    let t, wires, events = drive t ~rng validated in
+    let t, wires, events = drive ~sink t ~rng validated in
     (t, outgoing @ wires, events)

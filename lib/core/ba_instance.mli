@@ -23,22 +23,35 @@ val create : n:int -> f:int -> me:Node_id.t -> coin:Coin.t -> validation:bool ->
 (** [create ~n ~f ~me ~coin ~validation] is an idle instance (no input
     yet).  [validation:false] disables justification (ablation E7). *)
 
-val start : t -> rng:Stream.t -> input:Value.t -> t * Rbc_mux.wire list * event list
+val start :
+  ?sink:Event.sink ->
+  t ->
+  rng:Stream.t ->
+  input:Value.t ->
+  t * Rbc_mux.wire list * event list
 (** [start t ~rng ~input] feeds this node's proposal.  Returns the wire
     broadcasts to emit (the round-1 step-1 reliable broadcast, plus
     anything unlocked by replaying messages buffered while idle) and
-    any events the replay produced.  No-op when already started. *)
+    any events the replay produced.  No-op when already started.
+    [?sink] observes protocol events from the replayed messages. *)
 
 val started : t -> bool
 (** Whether {!start} has been called. *)
 
 val on_wire :
-  t -> rng:Stream.t -> src:Node_id.t -> Rbc_mux.wire -> t * Rbc_mux.wire list * event list
+  ?sink:Event.sink ->
+  t ->
+  rng:Stream.t ->
+  src:Node_id.t ->
+  Rbc_mux.wire ->
+  t * Rbc_mux.wire list * event list
 (** [on_wire t ~rng ~src wire] processes one delivered wire message:
     routes it through the RBC multiplexer, pushes resulting deliveries
     through validation, and drives the consensus core with everything
     validated.  Returns outgoing wire broadcasts and the decision event
-    (at most once per instance). *)
+    (at most once per instance).  [?sink] observes both the RBC
+    instances' quorum events (scoped by instance key) and the core's
+    round/coin/decide events. *)
 
 val decided : t -> Decision.t option
 (** The decision, once taken. *)

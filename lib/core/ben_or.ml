@@ -94,14 +94,26 @@ let own_message state =
 
 (* Fire every enabled phase transition; the recursion advances (round,
    phase) each time, so it stops at the first missing quorum. *)
-let rec progress state ~rng acc_actions acc_outputs =
+let rec progress state ~rng ~(sink : Event.sink) acc_actions acc_outputs =
   let tl = tally state ~round:state.round ~phase:state.phase in
   if total tl < quorum state then (state, List.rev acc_actions, List.rev acc_outputs)
-  else
+  else begin
+    if sink.Event.enabled then
+      sink.Event.emit
+        (Event.make ~round:state.round
+           (Event.Quorum
+              {
+                quorum =
+                  (match state.phase with
+                  | Reporting -> "report"
+                  | Proposing -> "proposal");
+                count = total tl;
+                threshold = quorum state;
+              }));
     match state.phase with
     | Reporting ->
       let state = { state with phase = Proposing } in
-      progress state ~rng
+      progress state ~rng ~sink
         (Protocol.Broadcast (own_message state) :: acc_actions)
         acc_outputs
     | Proposing ->
@@ -115,6 +127,10 @@ let rec progress state ~rng acc_actions acc_outputs =
           | Some _ -> ({ state with value = w }, acc_outputs)
           | None ->
             let decision = { Decision.value = w; round = state.round } in
+            if sink.Event.enabled then
+              sink.Event.emit
+                (Event.make ~round:state.round
+                   (Event.Decide { value = Fmt.str "%a" Value.pp w }));
             ( { state with value = w; decided = Some decision },
               decision :: acc_outputs )
         end
@@ -124,15 +140,24 @@ let rec progress state ~rng acc_actions acc_outputs =
           let value =
             match state.decided with
             | Some d -> d.Decision.value
-            | None -> Coin.flip state.coin ~rng ~round:state.round
+            | None ->
+              let flip = Coin.flip state.coin ~rng ~round:state.round in
+              if sink.Event.enabled then
+                sink.Event.emit
+                  (Event.make ~round:state.round
+                     (Event.Coin_flip { value = Value.to_int flip }));
+              flip
           in
           ({ state with value }, acc_outputs)
         end
       in
       let state = { state with round = state.round + 1; phase = Reporting } in
-      progress state ~rng
+      if sink.Event.enabled then
+        sink.Event.emit (Event.make ~round:state.round Event.Round_advance);
+      progress state ~rng ~sink
         (Protocol.Broadcast (own_message state) :: acc_actions)
         acc_outputs
+  end
 
 let record state ~src msg =
   let slot, contribution =
@@ -180,7 +205,8 @@ let initial ctx (input : input) =
 
 let on_message ctx state ~src msg =
   let state = record state ~src msg in
-  progress state ~rng:ctx.Protocol.Context.rng [] []
+  progress state ~rng:ctx.Protocol.Context.rng ~sink:ctx.Protocol.Context.sink
+    [] []
 
 let is_terminal (_ : output) = true
 

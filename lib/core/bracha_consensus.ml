@@ -44,14 +44,14 @@ let effects_to_actions_outputs effects =
   |> fun (actions, outputs) -> (List.rev actions, List.rev outputs)
 
 let initial ctx input =
-  let { Protocol.Context.me; n; f; rng } = ctx in
+  let { Protocol.Context.me; n; f; rng; sink } = ctx in
   match input.options.Options.transport with
   | Options.Reliable ->
     let ba =
       Ba_instance.create ~n ~f ~me ~coin:input.options.Options.coin
         ~validation:input.options.Options.validation
     in
-    let ba, wires, _events = Ba_instance.start ba ~rng ~input:input.value in
+    let ba, wires, _events = Ba_instance.start ~sink ba ~rng ~input:input.value in
     (Reliable_state ba, broadcast_wires wires)
   | Options.Plain ->
     let validation =
@@ -66,9 +66,10 @@ let initial ctx input =
 
 let on_message ctx state ~src msg =
   let rng = ctx.Protocol.Context.rng in
+  let sink = ctx.Protocol.Context.sink in
   match (state, msg) with
   | Reliable_state ba, Wire wire ->
-    let ba, wires, events = Ba_instance.on_wire ba ~rng ~src wire in
+    let ba, wires, events = Ba_instance.on_wire ~sink ba ~rng ~src wire in
     let outputs = List.map (fun (Ba_instance.Decided d) -> d) events in
     (Reliable_state ba, broadcast_wires wires, outputs)
   | Plain_state plain, Direct vmsg ->
@@ -82,7 +83,7 @@ let on_message ctx state ~src msg =
       let core, effects =
         List.fold_left
           (fun (core, acc) m ->
-            let core, effects = Consensus_core.on_validated core ~rng m in
+            let core, effects = Consensus_core.on_validated ~sink core ~rng m in
             (core, acc @ effects))
           (plain.core, []) validated
       in

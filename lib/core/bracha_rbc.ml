@@ -29,8 +29,10 @@ module Make (V : Value.PAYLOAD) = struct
     in
     (state, actions)
 
-  let on_message _ctx state ~src msg =
-    let state, events, delivery = Core.handle state ~src msg in
+  let on_message ctx state ~src msg =
+    let state, events, delivery =
+      Core.handle ~sink:ctx.Protocol.Context.sink state ~src msg
+    in
     let outputs = match delivery with Some v -> [ Delivered v ] | None -> [] in
     (state, broadcast_all events, outputs)
 

@@ -72,15 +72,25 @@ let quiesced t =
 (* Take every transition enabled by the current tallies.  Each firing
    advances (round, step), so the recursion stops at the first missing
    quorum.  Effects accumulate in reverse. *)
-let rec progress t ~rng acc =
+let rec progress t ~rng ~(sink : Event.sink) acc =
   let tl = tally t ~round:t.round ~step:t.step in
   if quiesced t || total tl < quorum t then (t, List.rev acc)
-  else
+  else begin
+    if sink.Event.enabled then
+      sink.Event.emit
+        (Event.make ~round:t.round
+           (Event.Quorum
+              {
+                quorum = Printf.sprintf "step%d" (Step.to_int t.step);
+                count = total tl;
+                threshold = quorum t;
+              }));
     match t.step with
     | Step.S1 ->
       let value = majority tl ~current:t.value in
       let t = { t with value; step = Step.S2 } in
-      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S2 ~decide:false) :: acc)
+      progress t ~rng ~sink
+        (Broadcast_step (own_vmsg t ~step:Step.S2 ~decide:false) :: acc)
     | Step.S2 ->
       (* Arm the decide flag when one value exceeds n/2 — at most one
          value per round can, because each origin contributes a single
@@ -91,7 +101,8 @@ let rec progress t ~rng acc =
         else (false, t.value)
       in
       let t = { t with value; step = Step.S3 } in
-      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S3 ~decide:flagged) :: acc)
+      progress t ~rng ~sink
+        (Broadcast_step (own_vmsg t ~step:Step.S3 ~decide:flagged) :: acc)
     | Step.S3 ->
       let w =
         if dcount tl Value.Zero >= dcount tl Value.One then Value.Zero else Value.One
@@ -103,6 +114,10 @@ let rec progress t ~rng acc =
           | Some _ -> ({ t with value = w }, acc)
           | None ->
             let decision = { Decision.value = w; round = t.round } in
+            if sink.Event.enabled then
+              sink.Event.emit
+                (Event.make ~round:t.round
+                   (Event.Decide { value = Fmt.str "%a" Value.pp w }));
             ({ t with value = w; decided = Some decision }, Decide decision :: acc)
         end
         else if support >= Quorum.adopt_support ~f:t.f then ({ t with value = w }, acc)
@@ -112,13 +127,23 @@ let rec progress t ~rng acc =
           let value =
             match t.decided with
             | Some d -> d.Decision.value
-            | None -> Coin.flip t.coin ~rng ~round:t.round
+            | None ->
+              let flip = Coin.flip t.coin ~rng ~round:t.round in
+              if sink.Event.enabled then
+                sink.Event.emit
+                  (Event.make ~round:t.round
+                     (Event.Coin_flip { value = Value.to_int flip }));
+              flip
           in
           ({ t with value }, acc)
         end
       in
       let t = { t with round = t.round + 1; step = Step.S1 } in
-      progress t ~rng (Broadcast_step (own_vmsg t ~step:Step.S1 ~decide:false) :: acc)
+      if sink.Event.enabled then
+        sink.Event.emit (Event.make ~round:t.round Event.Round_advance);
+      progress t ~rng ~sink
+        (Broadcast_step (own_vmsg t ~step:Step.S1 ~decide:false) :: acc)
+  end
 
 let record t (m : vmsg) =
   let slot = (m.round, Step.to_int m.step) in
@@ -140,9 +165,9 @@ let record t (m : vmsg) =
     { t with tallies = Slot_map.add slot tl t.tallies }
   end
 
-let on_validated t ~rng m =
+let on_validated ?(sink = Event.null_sink) t ~rng m =
   let t = record t m in
-  progress t ~rng []
+  progress t ~rng ~sink []
 
 let create ~n ~f ~me ~coin ~input =
   Quorum.assert_resilience ~n ~f;

@@ -37,11 +37,19 @@ val create :
 (** [create ~n ~f ~me ~coin ~input] starts round 1 and emits the
     step-1 broadcast of [input].  Requires [n > 3f]. *)
 
-val on_validated : t -> rng:Stream.t -> Consensus_msg.vmsg -> t * effect list
+val on_validated :
+  ?sink:Event.sink -> t -> rng:Stream.t -> Consensus_msg.vmsg -> t * effect list
 (** [on_validated t ~rng m] accounts for a validated message and takes
     every transition that has become enabled (possibly several, if
     later-step quorums were already waiting).  [rng] feeds local coin
-    flips. *)
+    flips.
+
+    [?sink] (default {!Event.null_sink}) receives the protocol events
+    of each transition, all stamped with the round they occurred in: a
+    {!Event.kind.Quorum} (["step1"]/["step2"]/["step3"]) per completed
+    step, {!Event.kind.Decide} on decision, {!Event.kind.Coin_flip}
+    when neither support rule fires, and {!Event.kind.Round_advance}
+    on entering each new round. *)
 
 val round : t -> int
 (** Current round (1-based). *)

@@ -41,7 +41,7 @@ module Make (V : Value.PAYLOAD) = struct
     in
     (state, actions)
 
-  let on_message _ctx state ~src msg =
+  let on_message ctx state ~src msg =
     match msg with
     | Core.Initial v ->
       if Node_id.equal src state.sender && not state.echoed then
@@ -59,7 +59,19 @@ module Make (V : Value.PAYLOAD) = struct
         (not state.delivered)
         && Node_id.Set.cardinal supporters
            >= Core.echo_threshold ~n:state.n ~f:state.f
-      then ({ state with delivered = true }, [], [ Delivered v ])
+      then begin
+        let sink = ctx.Protocol.Context.sink in
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make
+               (Event.Quorum
+                  {
+                    quorum = "echo";
+                    count = Node_id.Set.cardinal supporters;
+                    threshold = Core.echo_threshold ~n:state.n ~f:state.f;
+                  }));
+        ({ state with delivered = true }, [], [ Delivered v ])
+      end
       else (state, [], [])
     | Core.Ready _ -> (state, [], []) (* no third phase in this primitive *)
 

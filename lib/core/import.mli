@@ -11,3 +11,4 @@ module Stream = Abc_prng.Stream
 module Metrics = Abc_sim.Metrics
 module Summary = Abc_sim.Summary
 module Trace = Abc_sim.Trace
+module Event = Abc_sim.Event

@@ -82,7 +82,7 @@ let add_share rs ~src share =
 
 (* The BV-broadcast rules plus the AUX trigger for round [r]; returns
    the messages this node must broadcast now. *)
-let bv_progress state r =
+let bv_progress state ~(sink : Event.sink) r =
   let rs = round_state state r in
   let sends = ref [] in
   let rs = ref rs in
@@ -92,11 +92,31 @@ let bv_progress state r =
       let support = Node_id.Set.cardinal !rs.bval_from.(i) in
       if support >= Quorum.ready_amplify ~f:state.f && not !rs.bval_echoed.(i)
       then begin
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make ~round:r
+               (Event.Quorum
+                  {
+                    quorum = "bval-echo";
+                    count = support;
+                    threshold = Quorum.ready_amplify ~f:state.f;
+                  }));
         sends := Bval { round = r; value } :: !sends;
         rs := { !rs with bval_echoed = with_set !rs.bval_echoed i true }
       end;
-      if support >= Quorum.ready_deliver ~f:state.f && not !rs.bin_values.(i) then
-        rs := { !rs with bin_values = with_set !rs.bin_values i true })
+      if support >= Quorum.ready_deliver ~f:state.f && not !rs.bin_values.(i)
+      then begin
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make ~round:r
+               (Event.Quorum
+                  {
+                    quorum = "bval-deliver";
+                    count = support;
+                    threshold = Quorum.ready_deliver ~f:state.f;
+                  }));
+        rs := { !rs with bin_values = with_set !rs.bin_values i true }
+      end)
     [ Value.Zero; Value.One ];
   (* First value entering bin_values triggers the single AUX vote. *)
   let rs = !rs in
@@ -134,7 +154,7 @@ let obtain_coin state ~rng rs r =
 
 (* End-of-round rule: enough AUX votes with values inside bin_values,
    then the round coin. *)
-let try_complete_round state ~rng =
+let try_complete_round state ~rng ~(sink : Event.sink) =
   let r = state.round in
   let rs = round_state state r in
   if rs.completed then (state, [], [])
@@ -146,6 +166,15 @@ let try_complete_round state ~rng =
     in
     if Node_id.Map.cardinal supported < quorum state then (state, [], [])
     else begin
+      if sink.Event.enabled then
+        sink.Event.emit
+          (Event.make ~round:r
+             (Event.Quorum
+                {
+                  quorum = "aux";
+                  count = Node_id.Map.cardinal supported;
+                  threshold = quorum state;
+                }));
       let has v =
         Node_id.Map.exists (fun _ w -> Value.equal v w) supported
       in
@@ -154,6 +183,10 @@ let try_complete_round state ~rng =
       match coin with
       | None -> (state, coin_sends, [])
       | Some coin_value ->
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make ~round:r
+               (Event.Coin_flip { value = Value.to_int coin_value }));
         let singleton =
           match (has Value.Zero, has Value.One) with
           | true, false -> Some Value.Zero
@@ -166,6 +199,10 @@ let try_complete_round state ~rng =
             let state = { state with est = v } in
             if Value.equal v coin_value && state.decided = None then begin
               let decision = { Decision.value = v; round = r } in
+              if sink.Event.enabled then
+                sink.Event.emit
+                  (Event.make ~round:r
+                     (Event.Decide { value = Fmt.str "%a" Value.pp v }));
               ({ state with decided = Some decision }, [ decision ])
             end
             else (state, [])
@@ -179,6 +216,8 @@ let try_complete_round state ~rng =
         in
         let state = set_round state r { rs with completed = true } in
         let state = { state with round = r + 1 } in
+        if sink.Event.enabled then
+          sink.Event.emit (Event.make ~round:state.round Event.Round_advance);
         (state, Bval { round = state.round; value = state.est } :: coin_sends, outputs)
     end
   end
@@ -186,13 +225,13 @@ let try_complete_round state ~rng =
 (* Fire everything that is enabled: BV rules for the current round may
    unlock the round completion, whose round switch may find the next
    round's tallies already over quorum. *)
-let rec settle state ~rng actions outputs =
-  let state, bv_sends = bv_progress state state.round in
-  let state, round_sends, round_outputs = try_complete_round state ~rng in
+let rec settle state ~rng ~sink actions outputs =
+  let state, bv_sends = bv_progress state ~sink state.round in
+  let state, round_sends, round_outputs = try_complete_round state ~rng ~sink in
   let actions = actions @ bv_sends @ round_sends in
   let outputs = outputs @ round_outputs in
   if round_sends = [] && round_outputs = [] then (state, actions, outputs)
-  else settle state ~rng actions outputs
+  else settle state ~rng ~sink actions outputs
 
 let initial ctx (input : input) =
   Quorum.assert_resilience ~n:ctx.Protocol.Context.n ~f:ctx.Protocol.Context.f;
@@ -209,7 +248,7 @@ let initial ctx (input : input) =
     }
   in
   let state, actions, _ =
-    settle state ~rng:ctx.Protocol.Context.rng
+    settle state ~rng:ctx.Protocol.Context.rng ~sink:ctx.Protocol.Context.sink
       [ Bval { round = 1; value = input.value } ]
       []
   in
@@ -236,9 +275,10 @@ let on_message ctx state ~src msg =
   (* The BV re-broadcast and AUX rules are per-round instances that
      must fire even for rounds this node has already left (stragglers
      depend on our echoes) or has not reached yet. *)
-  let state, instance_sends = bv_progress state touched in
+  let sink = ctx.Protocol.Context.sink in
+  let state, instance_sends = bv_progress state ~sink touched in
   let state, actions, outputs =
-    settle state ~rng:ctx.Protocol.Context.rng instance_sends []
+    settle state ~rng:ctx.Protocol.Context.rng ~sink instance_sends []
   in
   (state, List.map (fun m -> Protocol.Broadcast m) actions, outputs)
 

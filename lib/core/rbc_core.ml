@@ -62,7 +62,7 @@ module Make (V : Value.PAYLOAD) = struct
      the delivery rule have newly become enabled.  Each rule fires at
      most once per instance, guarded by the [echoed] / [readied] /
      [delivered] latches. *)
-  let progress t v =
+  let progress ~(sink : Event.sink) t v =
     let sends = ref [] in
     let t =
       if
@@ -70,6 +70,27 @@ module Make (V : Value.PAYLOAD) = struct
         && (support t.echoes v >= echo_threshold ~n:t.n ~f:t.f
             || support t.readies v >= ready_amplify_threshold ~f:t.f)
       then begin
+        if sink.Event.enabled then begin
+          let echoes = support t.echoes v in
+          if echoes >= echo_threshold ~n:t.n ~f:t.f then
+            sink.Event.emit
+              (Event.make
+                 (Event.Quorum
+                    {
+                      quorum = "echo";
+                      count = echoes;
+                      threshold = echo_threshold ~n:t.n ~f:t.f;
+                    }))
+          else
+            sink.Event.emit
+              (Event.make
+                 (Event.Quorum
+                    {
+                      quorum = "ready-amplify";
+                      count = support t.readies v;
+                      threshold = ready_amplify_threshold ~f:t.f;
+                    }))
+        end;
         sends := Ready v :: !sends;
         { t with readied = true }
       end
@@ -77,12 +98,23 @@ module Make (V : Value.PAYLOAD) = struct
     in
     let t, delivery =
       if t.delivered = None && support t.readies v >= deliver_threshold ~f:t.f
-      then ({ t with delivered = Some v }, Some v)
+      then begin
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make
+               (Event.Quorum
+                  {
+                    quorum = "ready";
+                    count = support t.readies v;
+                    threshold = deliver_threshold ~f:t.f;
+                  }));
+        ({ t with delivered = Some v }, Some v)
+      end
       else (t, None)
     in
     (t, List.rev !sends, delivery)
 
-  let handle t ~src event =
+  let handle ?(sink = Event.null_sink) t ~src event =
     match event with
     | Initial v ->
       (* Only the designated sender's first Initial counts; an echo is
@@ -95,10 +127,10 @@ module Make (V : Value.PAYLOAD) = struct
       end
     | Echo v ->
       let t = { t with echoes = note t.echoes v src } in
-      progress t v
+      progress ~sink t v
     | Ready v ->
       let t = { t with readies = note t.readies v src } in
-      progress t v
+      progress ~sink t v
 
   let pp_event ppf = function
     | Initial v -> Fmt.pf ppf "initial(%a)" V.pp v

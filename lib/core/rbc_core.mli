@@ -34,13 +34,19 @@ module Make (V : Value.PAYLOAD) : sig
   (** [create ~n ~f ~sender] is the starting state of an instance whose
       designated sender is [sender].  Requires [n > 3 * f]. *)
 
-  val handle : t -> src:Node_id.t -> event -> t * event list * V.t option
+  val handle :
+    ?sink:Event.sink -> t -> src:Node_id.t -> event -> t * event list * V.t option
   (** [handle t ~src event] processes the delivery of [event] from node
       [src].  Returns the new state, the events this node must now
       broadcast to every node, and [Some v] the first time the payload
       is delivered.  Duplicate events from the same source are
       deduplicated by the per-value sender sets; [Initial] events from
-      any node other than the designated sender are ignored. *)
+      any node other than the designated sender are ignored.
+
+      [?sink] (default {!Event.null_sink}) receives one
+      {!Event.kind.Quorum} event each time a threshold rule fires:
+      quorum ["echo"] or ["ready-amplify"] when the ready latch sets,
+      quorum ["ready"] when the instance delivers. *)
 
   val delivered : t -> V.t option
   (** [delivered t] is the delivered payload, if any. *)

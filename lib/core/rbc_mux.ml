@@ -13,9 +13,17 @@ let instance t (key : Consensus_msg.Key.t) =
   | Some inst -> inst
   | None -> Rbc.create ~n:t.n ~f:t.f ~sender:key.origin
 
-let handle t ~src wire =
+let handle ?(sink = Abc_sim.Event.null_sink) t ~src wire =
+  (* Scope emitted events by the instance key; the label is only built
+     when a consumer is attached. *)
+  let sink =
+    if sink.Abc_sim.Event.enabled then
+      Abc_sim.Event.scoped sink
+        ~instance:(Fmt.str "%a" Consensus_msg.Key.pp wire.key)
+    else sink
+  in
   let inst = instance t wire.key in
-  let inst, events, delivered = Rbc.handle inst ~src wire.event in
+  let inst, events, delivered = Rbc.handle ~sink inst ~src wire.event in
   let t = { t with live = Consensus_msg.Key.Map.add wire.key inst t.live } in
   let outgoing = List.map (fun event -> { key = wire.key; event }) events in
   let delivery = Option.map (fun payload -> (wire.key, payload)) delivered in

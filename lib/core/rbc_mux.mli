@@ -29,13 +29,16 @@ val broadcast_own : Consensus_msg.Key.t -> Consensus_msg.Payload.t -> wire
     broadcasts to start its own instance [key]. *)
 
 val handle :
+  ?sink:Event.sink ->
   t ->
   src:Node_id.t ->
   wire ->
   t * wire list * (Consensus_msg.Key.t * Consensus_msg.Payload.t) option
 (** [handle t ~src wire] routes [wire] into its instance.  Returns the
     new state, wire messages to broadcast (echoes/readies of the same
-    instance), and the instance's delivery when it completes. *)
+    instance), and the instance's delivery when it completes.  Quorum
+    events from the instance flow to [?sink], scoped by the rendered
+    instance key. *)
 
 val instances : t -> int
 (** Number of live instances (for resource accounting/tests). *)

@@ -55,13 +55,27 @@ module Make (V : Value.PAYLOAD) = struct
 
   let wrap_ba wires = List.map (fun w -> Protocol.Broadcast (Ba w)) wires
 
+  (* Events of the embedded binary-agreement stage, scoped under
+     "ba". *)
+  let ba_sink (sink : Event.sink) =
+    if sink.Event.enabled then Event.scoped sink ~instance:"ba" else sink
+
   (* Fire the step transitions and the output rule that have become
      enabled. *)
-  let settle state ~rng =
+  let settle state ~rng ~(sink : Event.sink) =
     let actions = ref [] in
     let state =
       if (not state.step1_done) && Node_id.Map.cardinal state.step1 >= quorum state
       then begin
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make
+               (Event.Quorum
+                  {
+                    quorum = "tc-step1";
+                    count = Node_id.Map.cardinal state.step1;
+                    threshold = quorum state;
+                  }));
         let candidate =
           supported ~need:(Quorum.honest_support ~n:state.n ~f:state.f)
             (candidates state)
@@ -74,13 +88,22 @@ module Make (V : Value.PAYLOAD) = struct
     let state =
       if (not state.step2_done) && Node_id.Map.cardinal state.step2 >= quorum state
       then begin
+        if sink.Event.enabled then
+          sink.Event.emit
+            (Event.make
+               (Event.Quorum
+                  {
+                    quorum = "tc-step2";
+                    count = Node_id.Map.cardinal state.step2;
+                    threshold = quorum state;
+                  }));
         let winner =
           supported ~need:(Quorum.honest_support ~n:state.n ~f:state.f)
             (votes state)
         in
         let vote = match winner with Some _ -> Value.One | None -> Value.Zero in
         let ba, wires, events =
-          Ba_instance.start state.ba ~rng ~input:vote
+          Ba_instance.start ~sink:(ba_sink sink) state.ba ~rng ~input:vote
         in
         actions := wrap_ba wires @ !actions;
         let ba_decision =
@@ -112,7 +135,7 @@ module Make (V : Value.PAYLOAD) = struct
     (state, List.rev !actions, outputs)
 
   let initial ctx (input : input) =
-    let { Protocol.Context.me; n; f; rng = _ } = ctx in
+    let { Protocol.Context.me; n; f; rng = _; sink = _ } = ctx in
     Quorum.assert_resilience_at ~ratio:4 ~n ~f;
     let state =
       {
@@ -132,6 +155,7 @@ module Make (V : Value.PAYLOAD) = struct
 
   let on_message ctx state ~src msg =
     let rng = ctx.Protocol.Context.rng in
+    let sink = ctx.Protocol.Context.sink in
     let state, ba_actions =
       match msg with
       | Step1 v ->
@@ -141,7 +165,9 @@ module Make (V : Value.PAYLOAD) = struct
         if Node_id.Map.mem src state.step2 then (state, [])
         else ({ state with step2 = Node_id.Map.add src c state.step2 }, [])
       | Ba wire ->
-        let ba, wires, events = Ba_instance.on_wire state.ba ~rng ~src wire in
+        let ba, wires, events =
+          Ba_instance.on_wire ~sink:(ba_sink sink) state.ba ~rng ~src wire
+        in
         let ba_decision =
           List.fold_left
             (fun _ (Ba_instance.Decided d) -> Some d.Decision.value)
@@ -149,7 +175,7 @@ module Make (V : Value.PAYLOAD) = struct
         in
         ({ state with ba; ba_decision }, wrap_ba wires)
     in
-    let state, actions, outputs = settle state ~rng in
+    let state, actions, outputs = settle state ~rng ~sink in
     (state, ba_actions @ actions, outputs)
 
   let is_terminal (_ : output) = true

@@ -16,6 +16,7 @@ module Make (P : Protocol.S) = struct
     max_deliveries : int;
     fairness_age : int;
     trace : Abc_sim.Trace.t option;
+    detail : bool;
     topology : Topology.t option;
   }
 
@@ -28,7 +29,8 @@ module Make (P : Protocol.S) = struct
   }
 
   let config ?(faulty = []) ?(adversary = Adversary.fifo) ?(seed = 0)
-      ?max_deliveries ?fairness_age ?trace ?topology ~n ~f ~inputs () =
+      ?max_deliveries ?fairness_age ?trace ?(detail = false) ?topology ~n ~f
+      ~inputs () =
     if Array.length inputs <> n then
       invalid_arg "Engine.config: inputs length must equal n";
     (match topology with
@@ -56,6 +58,7 @@ module Make (P : Protocol.S) = struct
       max_deliveries;
       fairness_age;
       trace;
+      detail;
       topology;
     }
 
@@ -123,10 +126,46 @@ module Make (P : Protocol.S) = struct
       | Some b -> b
       | None -> Behaviour.Honest
     in
-    let trace_record ~node ~tag detail =
+    (* Detailed per-protocol metrics, derived from the event stream:
+       round lengths, quorum waits and decision latencies in virtual
+       time.  Only maintained when [cfg.detail] is set. *)
+    let round_started_at = Array.make cfg.n 0 in
+    let observe_detail i (ev : Abc_sim.Event.t) =
+      let now = Abc_sim.Clock.now clock in
+      match ev.Abc_sim.Event.kind with
+      | Abc_sim.Event.Round_advance ->
+        Abc_sim.Metrics.incr metrics "rounds";
+        round_started_at.(i) <- now
+      | Abc_sim.Event.Quorum { quorum; _ } ->
+        Abc_sim.Metrics.hist metrics ("quorum_wait." ^ quorum)
+          (now - round_started_at.(i))
+      | Abc_sim.Event.Coin_flip _ -> Abc_sim.Metrics.incr metrics "coin_flips"
+      | Abc_sim.Event.Decide _ ->
+        if ev.Abc_sim.Event.round >= 0 then
+          Abc_sim.Metrics.hist metrics "rounds_to_decide" ev.Abc_sim.Event.round
+      | _ -> ()
+    in
+    (* One sink per node: stamps events with the node id and the
+       current virtual time.  [Event.null_sink] when observability is
+       completely off, so emission sites guarded by [sink.enabled]
+       allocate nothing on the disabled path. *)
+    let sink_for i =
+      match (cfg.trace, cfg.detail) with
+      | None, false -> Abc_sim.Event.null_sink
+      | trace, detail ->
+        Abc_sim.Event.sink_to (fun ev ->
+            (match trace with
+            | Some tr ->
+              Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node:i ev
+            | None -> ());
+            if detail then observe_detail i ev)
+    in
+    let sinks = Array.init cfg.n sink_for in
+    let engine_note ~tag detail =
       match cfg.trace with
       | Some tr ->
-        Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node ~tag detail
+        Abc_sim.Trace.note tr ~time:(Abc_sim.Clock.now clock) ~node:(-1) ~tag
+          detail
       | None -> ()
     in
     let make_node i =
@@ -137,6 +176,7 @@ module Make (P : Protocol.S) = struct
           n = cfg.n;
           f = cfg.f;
           rng = Abc_prng.Stream.split root ~label:i;
+          sink = sinks.(i);
         }
       in
       let state, actions = P.initial ctx cfg.inputs.(i) in
@@ -175,7 +215,21 @@ module Make (P : Protocol.S) = struct
         Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
         policy.Adversary.note meta;
         Abc_sim.Metrics.incr metrics "sent";
-        Abc_sim.Metrics.incr metrics ("sent." ^ P.msg_label payload)
+        Abc_sim.Metrics.incr metrics ("sent." ^ P.msg_label payload);
+        let src_i = Node_id.to_int src in
+        if cfg.detail then
+          Abc_sim.Metrics.incr metrics (Printf.sprintf "node%d.sent" src_i);
+        (match cfg.trace with
+        | Some tr ->
+          Abc_sim.Trace.record tr ~time:now ~node:src_i
+            (Abc_sim.Event.make
+               (Abc_sim.Event.Send
+                  {
+                    dst = Node_id.to_int dst;
+                    label = P.msg_label payload;
+                    detail = "";
+                  }))
+        | None -> ())
         end
       in
       match action with
@@ -195,10 +249,17 @@ module Make (P : Protocol.S) = struct
     in
     let record_outputs node outputs =
       let now = Abc_sim.Clock.now clock in
+      let node_i = Node_id.to_int node.id in
       let note o =
         node.outputs <- (now, o) :: node.outputs;
-        trace_record ~node:(Node_id.to_int node.id) ~tag:"output"
-          (Fmt.str "%a" P.pp_output o);
+        (match cfg.trace with
+        | Some tr ->
+          Abc_sim.Trace.record tr ~time:now ~node:node_i
+            (Abc_sim.Event.make
+               (Abc_sim.Event.Output { label = Fmt.str "%a" P.pp_output o }))
+        | None -> ());
+        if cfg.detail then
+          Abc_sim.Metrics.incr metrics (Printf.sprintf "node%d.outputs" node_i);
         if P.is_terminal o then node.terminal <- true
       in
       List.iter note outputs
@@ -250,9 +311,22 @@ module Make (P : Protocol.S) = struct
         let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
         incr deliveries;
         Abc_sim.Metrics.incr metrics "delivered";
-        trace_record ~node:(Node_id.to_int node.id) ~tag:"deliver"
-          (Fmt.str "%a -> %a : %a" Node_id.pp envelope.meta.Adversary.src
-             Node_id.pp envelope.meta.Adversary.dst P.pp_msg envelope.payload);
+        if cfg.detail then
+          Abc_sim.Metrics.incr metrics
+            (Printf.sprintf "node%d.delivered" (Node_id.to_int node.id));
+        (match cfg.trace with
+        | Some tr ->
+          (* The payload rendering is only built when tracing is on —
+             the disabled path allocates nothing here. *)
+          Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int node.id)
+            (Abc_sim.Event.make
+               (Abc_sim.Event.Deliver
+                  {
+                    src = Node_id.to_int envelope.meta.Adversary.src;
+                    label = P.msg_label envelope.payload;
+                    detail = Fmt.str "%a" P.pp_msg envelope.payload;
+                  }))
+        | None -> ());
         let state, actions, outputs =
           P.on_message node.ctx node.state ~src:envelope.meta.Adversary.src
             envelope.payload
@@ -264,6 +338,7 @@ module Make (P : Protocol.S) = struct
       end
     done;
     let stop = match !stop with Some s -> s | None -> assert false in
+    engine_note ~tag:"stop" (Fmt.str "%a" pp_stop_reason stop);
     {
       outputs = Array.map (fun node -> List.rev node.outputs) nodes;
       stop;

@@ -34,7 +34,20 @@ module Make (P : Protocol.S) : sig
     fairness_age : int;
         (** a message older than this many ticks is delivered next,
             overriding the adversary — the "eventual delivery" bound *)
-    trace : Abc_sim.Trace.t option;  (** optional execution trace *)
+    trace : Abc_sim.Trace.t option;
+        (** optional execution trace; when set, every send, delivery,
+            output and protocol event (quorums, coin flips, round
+            advances, decisions) is recorded as a typed
+            {!Abc_sim.Event.t} stamped with node and virtual time *)
+    detail : bool;
+        (** when [true], maintain detailed per-protocol metrics derived
+            from the event stream: ["rounds"], ["coin_flips"] and
+            per-node ["node<i>.sent"/"node<i>.delivered"/
+            "node<i>.outputs"] counters plus ["rounds_to_decide"] and
+            ["quorum_wait.<name>"] histograms (virtual ticks from the
+            node's last round advance to the quorum).  Costs one
+            closure call per event; [false] (the default) keeps the
+            disabled path allocation-free *)
     topology : Topology.t option;
         (** communication graph; [None] means complete.  Messages along
             non-edges are dropped (counted as ["dropped.topology"]);
@@ -63,6 +76,7 @@ module Make (P : Protocol.S) : sig
     ?max_deliveries:int ->
     ?fairness_age:int ->
     ?trace:Abc_sim.Trace.t ->
+    ?detail:bool ->
     ?topology:Topology.t ->
     n:int ->
     f:int ->

@@ -1,7 +1,13 @@
 type 'msg action = Broadcast of 'msg | Send of Node_id.t * 'msg
 
 module Context = struct
-  type t = { me : Node_id.t; n : int; f : int; rng : Abc_prng.Stream.t }
+  type t = {
+    me : Node_id.t;
+    n : int;
+    f : int;
+    rng : Abc_prng.Stream.t;
+    sink : Abc_sim.Event.sink;
+  }
 
   let quorum ctx = ctx.n - ctx.f
 end

@@ -23,6 +23,14 @@ module Context : sig
     n : int;  (** total number of nodes *)
     f : int;  (** resilience parameter the protocol must tolerate *)
     rng : Abc_prng.Stream.t;  (** this node's private random stream *)
+    sink : Abc_sim.Event.sink;
+        (** where this node's protocol events go.  The engine stamps
+            each emitted event with the node id and virtual time; when
+            tracing is off this is {!Abc_sim.Event.null_sink} and
+            emission sites must guard with [sink.enabled] so disabled
+            runs allocate nothing.  The sink holds a closure — protocol
+            code must never store it (or the whole context) inside its
+            marshalable [state]. *)
   }
 
   val quorum : t -> int

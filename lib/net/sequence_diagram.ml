@@ -1,13 +1,5 @@
 let lane_width = 5
 
-(* The engine formats deliveries as "nA -> nB : payload". *)
-let parse_delivery detail =
-  match String.index_opt detail ' ' with
-  | None -> None
-  | Some _ -> (
-    try Scanf.sscanf detail "n%d -> n%d : %[^\255]" (fun a b rest -> Some (a, b, rest))
-    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
-
 let header n =
   let buffer = Buffer.create 64 in
   Buffer.add_string buffer "time  ";
@@ -42,37 +34,41 @@ let delivery_line ~n ~time src dst label =
   Buffer.add_string buffer "\n";
   Buffer.contents buffer
 
-let output_line ~n ~time node label =
+let mark_line ~n ~time node mark label =
   let buffer = Buffer.create 80 in
   Buffer.add_string buffer (Printf.sprintf "%04d  " time);
   for i = 0 to n - 1 do
     let cell = Bytes.make lane_width ' ' in
-    if i = node then Bytes.set cell 0 '!';
+    if i = node then Bytes.set cell 0 mark;
     Buffer.add_bytes buffer cell
   done;
-  Buffer.add_string buffer " output: ";
+  Buffer.add_string buffer " ";
   Buffer.add_string buffer label;
   Buffer.add_string buffer "\n";
   Buffer.contents buffer
+
+let entry_line ~n (entry : Abc_sim.Trace.entry) =
+  let time = entry.Abc_sim.Trace.time in
+  let node = entry.Abc_sim.Trace.node in
+  let in_range i = i >= 0 && i < n in
+  match entry.Abc_sim.Trace.event.Abc_sim.Event.kind with
+  | Abc_sim.Event.Deliver { src; label; detail } when in_range src && in_range node ->
+    let text = if String.length detail > 0 then detail else label in
+    Some (delivery_line ~n ~time src node text)
+  | Abc_sim.Event.Output { label } when in_range node ->
+    Some (mark_line ~n ~time node '!' ("output: " ^ label))
+  | Abc_sim.Event.Decide { value } when in_range node ->
+    Some (mark_line ~n ~time node '#' ("decide: " ^ value))
+  | _ -> None
 
 let render_entries entries ~n =
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer (header n);
   List.iter
-    (fun (entry : Abc_sim.Trace.entry) ->
-      match entry.Abc_sim.Trace.tag with
-      | "deliver" -> (
-        match parse_delivery entry.Abc_sim.Trace.detail with
-        | Some (src, dst, label) when src < n && dst < n ->
-          Buffer.add_string buffer
-            (delivery_line ~n ~time:entry.Abc_sim.Trace.time src dst label)
-        | Some _ | None -> ())
-      | "output" ->
-        if entry.Abc_sim.Trace.node >= 0 && entry.Abc_sim.Trace.node < n then
-          Buffer.add_string buffer
-            (output_line ~n ~time:entry.Abc_sim.Trace.time entry.Abc_sim.Trace.node
-               entry.Abc_sim.Trace.detail)
-      | _ -> ())
+    (fun entry ->
+      match entry_line ~n entry with
+      | Some line -> Buffer.add_string buffer line
+      | None -> ())
     entries;
   Buffer.contents buffer
 

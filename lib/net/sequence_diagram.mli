@@ -1,8 +1,8 @@
 (** ASCII message-sequence diagrams from execution traces.
 
-    Turns the engine's {!Abc_sim.Trace} into the classic
-    lane-per-node diagram — the fastest way to see {e why} a particular
-    seed produced a weird run:
+    Turns typed {!Abc_sim.Trace} entries into the classic lane-per-node
+    diagram — the fastest way to see {e why} a particular seed produced
+    a weird run:
 
     {v
     time   n0   n1   n2   n3
@@ -11,13 +11,21 @@
     0012         !               output: delivered(1)
     v}
 
-    Deliveries are parsed from the engine's ["deliver"] entries and
-    outputs from its ["output"] entries, so any traced run can be
-    rendered after the fact. *)
+    {!Abc_sim.Event.kind.Deliver} entries draw an arrow from the sender
+    lane to the receiver lane, {!Abc_sim.Event.kind.Output} marks the
+    node with [!] and {!Abc_sim.Event.kind.Decide} with [#]; all other
+    event kinds are skipped.  Any traced run — live or re-read from a
+    JSONL file via {!Abc_sim.Trace_file} — can be rendered after the
+    fact. *)
+
+val render_entries : Abc_sim.Trace.entry list -> n:int -> string
+(** [render_entries entries ~n] draws the given entries in order.  [n]
+    fixes the number of lanes; entries naming nodes outside
+    [0..n-1] are skipped. *)
 
 val render : Abc_sim.Trace.t -> n:int -> string
-(** [render trace ~n] draws every retained trace entry, oldest first.
-    Unparseable entries are skipped.  [n] fixes the number of lanes. *)
+(** [render trace ~n] draws every retained trace entry, oldest
+    first. *)
 
 val render_window :
   Abc_sim.Trace.t -> n:int -> from_time:int -> to_time:int -> string

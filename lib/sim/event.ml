@@ -1,0 +1,93 @@
+type kind =
+  | Send of { dst : int; label : string; detail : string }
+  | Deliver of { src : int; label : string; detail : string }
+  | Quorum of { quorum : string; count : int; threshold : int }
+  | Coin_flip of { value : int }
+  | Round_advance
+  | Decide of { value : string }
+  | Output of { label : string }
+  | Note of { tag : string; detail : string }
+
+type t = { kind : kind; instance : string; round : int }
+
+let make ?(instance = "") ?(round = -1) kind = { kind; instance; round }
+
+let kind_label = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Quorum _ -> "quorum"
+  | Coin_flip _ -> "coin"
+  | Round_advance -> "round"
+  | Decide _ -> "decide"
+  | Output _ -> "output"
+  | Note _ -> "note"
+
+let kind_equal a b =
+  match (a, b) with
+  | Send a, Send b ->
+    Int.equal a.dst b.dst && String.equal a.label b.label
+    && String.equal a.detail b.detail
+  | Deliver a, Deliver b ->
+    Int.equal a.src b.src && String.equal a.label b.label
+    && String.equal a.detail b.detail
+  | Quorum a, Quorum b ->
+    String.equal a.quorum b.quorum && Int.equal a.count b.count
+    && Int.equal a.threshold b.threshold
+  | Coin_flip a, Coin_flip b -> Int.equal a.value b.value
+  | Round_advance, Round_advance -> true
+  | Decide a, Decide b -> String.equal a.value b.value
+  | Output a, Output b -> String.equal a.label b.label
+  | Note a, Note b -> String.equal a.tag b.tag && String.equal a.detail b.detail
+  | ( ( Send _ | Deliver _ | Quorum _ | Coin_flip _ | Round_advance | Decide _
+      | Output _ | Note _ ),
+      _ ) ->
+    false
+
+let equal a b =
+  kind_equal a.kind b.kind
+  && String.equal a.instance b.instance
+  && Int.equal a.round b.round
+
+let pp_kind ppf = function
+  | Send { dst; label; detail } ->
+    if String.length detail = 0 then Fmt.pf ppf "send -> n%d %s" dst label
+    else Fmt.pf ppf "send -> n%d %s" dst detail
+  | Deliver { src; label; detail } ->
+    if String.length detail = 0 then Fmt.pf ppf "deliver <- n%d %s" src label
+    else Fmt.pf ppf "deliver <- n%d %s" src detail
+  | Quorum { quorum; count; threshold } ->
+    Fmt.pf ppf "quorum %s %d/%d" quorum count threshold
+  | Coin_flip { value } -> Fmt.pf ppf "coin %d" value
+  | Round_advance -> Fmt.string ppf "round-advance"
+  | Decide { value } -> Fmt.pf ppf "decide %s" value
+  | Output { label } -> Fmt.pf ppf "output: %s" label
+  | Note { tag; detail } -> Fmt.pf ppf "%s %s" tag detail
+
+let pp ppf t =
+  if String.length t.instance > 0 then Fmt.pf ppf "[%s] " t.instance;
+  if t.round >= 0 then Fmt.pf ppf "r%d " t.round;
+  pp_kind ppf t.kind
+
+(* ----------------------------------------------------------------- *)
+(* Sinks                                                             *)
+(* ----------------------------------------------------------------- *)
+
+type sink = { enabled : bool; emit : t -> unit }
+
+let null_sink = { enabled = false; emit = ignore }
+
+let sink_to emit = { enabled = true; emit }
+
+let scoped sink ~instance =
+  if not sink.enabled then sink
+  else
+    {
+      sink with
+      emit =
+        (fun e ->
+          let instance =
+            if String.length e.instance = 0 then instance
+            else instance ^ "/" ^ e.instance
+          in
+          sink.emit { e with instance });
+    }

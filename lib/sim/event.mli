@@ -1,0 +1,80 @@
+(** Typed protocol events.
+
+    The vocabulary of the structured observability layer: the engine
+    and every protocol module report progress as values of {!t}, which
+    {!Trace} buffers, the JSONL exporter serializes (schema documented
+    in [OBSERVABILITY.md]) and the [abc-trace] analyzer consumes.
+
+    Events are deliberately protocol-agnostic: quorum names, message
+    labels and decision values are short strings so one event type (and
+    one stable schema) covers Bracha RBC, the consensus family, ACS and
+    the replicated log alike. *)
+
+type kind =
+  | Send of { dst : int; label : string; detail : string }
+      (** a point-to-point transmission was enqueued ([detail] may be
+          empty — sends are high-volume) *)
+  | Deliver of { src : int; label : string; detail : string }
+      (** a message was delivered to this node; [detail] is the
+          pretty-printed payload *)
+  | Quorum of { quorum : string; count : int; threshold : int }
+      (** a named quorum rule fired with [count >= threshold] (e.g.
+          ["echo"], ["ready"], ["decide"]) *)
+  | Coin_flip of { value : int }  (** the round coin came up [value] *)
+  | Round_advance  (** the node entered round [round] (see {!t}) *)
+  | Decide of { value : string }  (** irrevocable decision on [value] *)
+  | Output of { label : string }
+      (** an externally visible protocol output was emitted *)
+  | Note of { tag : string; detail : string }
+      (** free-form escape hatch for events outside the vocabulary *)
+
+type t = {
+  kind : kind;
+  instance : string;
+      (** protocol sub-instance path (e.g. ["ba.3"], ["n2@r1s2"]); [""]
+          for the top-level protocol *)
+  round : int;  (** protocol round the event belongs to; [-1] when n/a *)
+}
+
+val make : ?instance:string -> ?round:int -> kind -> t
+(** [make kind] is an event with [instance ""] and [round (-1)] unless
+    overridden. *)
+
+val kind_label : kind -> string
+(** Stable one-word name of the event kind — the JSONL ["kind"] field:
+    ["send"], ["deliver"], ["quorum"], ["coin"], ["round"], ["decide"],
+    ["output"] or ["note"]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (used by the JSONL round-trip tests). *)
+
+val pp : t Fmt.t
+(** Human-readable one-line rendering. *)
+
+(** {1 Sinks}
+
+    A sink is the cheap hook protocol code emits events into.  The
+    [enabled] flag lets call sites skip event construction entirely
+    when observability is off — the contract is
+
+    {[ if sink.enabled then sink.emit (Event.make ...) ]}
+
+    so a disabled run performs one boolean test per potential event and
+    allocates nothing. *)
+
+type sink = {
+  enabled : bool;  (** whether [emit] does anything *)
+  emit : t -> unit;  (** deliver one event (stamps time/node upstream) *)
+}
+
+val null_sink : sink
+(** The disabled sink: [enabled = false], [emit = ignore]. *)
+
+val sink_to : (t -> unit) -> sink
+(** [sink_to f] is an enabled sink forwarding to [f]. *)
+
+val scoped : sink -> instance:string -> sink
+(** [scoped sink ~instance] prefixes [instance] onto the instance path
+    of every event emitted (["outer/inner"] when nested).  Returns
+    [sink] unchanged when disabled, so scoping costs nothing on the
+    disabled path. *)

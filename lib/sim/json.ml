@@ -1,0 +1,286 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ----------------------------------------------------------------- *)
+(* Printing                                                          *)
+(* ----------------------------------------------------------------- *)
+
+let add_escaped buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let rec add_json buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float v ->
+    (* %.17g round-trips every float; trailing ".0" keeps the value a
+       float on re-parse. *)
+    let s = Printf.sprintf "%.17g" v in
+    Buffer.add_string buffer s;
+    if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+      Buffer.add_string buffer ".0"
+  | String s -> add_escaped buffer s
+  | List items ->
+    Buffer.add_char buffer '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buffer ',';
+        add_json buffer item)
+      items;
+    Buffer.add_char buffer ']'
+  | Obj fields ->
+    Buffer.add_char buffer '{';
+    List.iteri
+      (fun i (name, value) ->
+        if i > 0 then Buffer.add_char buffer ',';
+        add_escaped buffer name;
+        Buffer.add_char buffer ':';
+        add_json buffer value)
+      fields;
+    Buffer.add_char buffer '}'
+
+let to_string json =
+  let buffer = Buffer.create 128 in
+  add_json buffer json;
+  Buffer.contents buffer
+
+(* ----------------------------------------------------------------- *)
+(* Parsing                                                           *)
+(* ----------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> parse_error "expected %c at offset %d, got %c" ch c.pos got
+  | None -> parse_error "expected %c at offset %d, got end of input" ch c.pos
+
+let parse_literal c word value =
+  let len = String.length word in
+  if
+    c.pos + len <= String.length c.text
+    && String.equal (String.sub c.text c.pos len) word
+  then begin
+    c.pos <- c.pos + len;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buffer = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string at offset %d" c.pos
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buffer '"'
+      | Some '\\' -> Buffer.add_char buffer '\\'
+      | Some '/' -> Buffer.add_char buffer '/'
+      | Some 'b' -> Buffer.add_char buffer '\b'
+      | Some 'f' -> Buffer.add_char buffer '\012'
+      | Some 'n' -> Buffer.add_char buffer '\n'
+      | Some 'r' -> Buffer.add_char buffer '\r'
+      | Some 't' -> Buffer.add_char buffer '\t'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.text then
+          parse_error "truncated \\u escape at offset %d" c.pos;
+        let hex = String.sub c.text (c.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code when code < 0x80 -> Buffer.add_char buffer (Char.chr code)
+        | Some code ->
+          (* Minimal UTF-8 encoding for the BMP; traces only emit
+             ASCII, this is for robustness on foreign input. *)
+          if code < 0x800 then begin
+            Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | None -> parse_error "bad \\u escape at offset %d" c.pos);
+        c.pos <- c.pos + 4
+      | Some e -> parse_error "bad escape \\%c at offset %d" e c.pos
+      | None -> parse_error "truncated escape at offset %d" c.pos);
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char buffer ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buffer
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some v -> Float v
+    | None -> parse_error "bad number %S at offset %d" s start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input at offset %d" c.pos
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let name = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let value = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((name, value) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((name, value) :: acc)
+        | Some ch -> parse_error "expected , or } at offset %d, got %c" c.pos ch
+        | None -> parse_error "unterminated object at offset %d" c.pos
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let value = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (value :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (value :: acc)
+        | Some ch -> parse_error "expected , or ] at offset %d, got %c" c.pos ch
+        | None -> parse_error "unterminated array at offset %d" c.pos
+      in
+      List (items [])
+    end
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string text =
+  let c = { text; pos = 0 } in
+  match parse_value c with
+  | value ->
+    skip_ws c;
+    if c.pos = String.length text then Ok value
+    else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+  | exception Parse_error m -> Error m
+
+(* ----------------------------------------------------------------- *)
+(* Accessors                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function Float v -> Some v | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let to_obj = function Obj fields -> Some fields | _ -> None
+
+let int_member ?default name json =
+  match member name json with
+  | Some v -> to_int v
+  | None -> default
+
+let string_member ?default name json =
+  match member name json with
+  | Some v -> to_str v
+  | None -> default
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Obj x, Obj y ->
+    List.equal
+      (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && equal v1 v2)
+      x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -1,0 +1,54 @@
+(** Minimal JSON values, printing and parsing.
+
+    The observability layer ({!Trace} JSONL export, {!Trace_file}
+    ingestion, bench run summaries) needs a small, dependency-free JSON
+    implementation; this is it.  Printing is compact and deterministic
+    (fields appear in the order given), parsing accepts any
+    standards-conforming document.  Not a general-purpose JSON library:
+    no streaming, no number-precision guarantees beyond OCaml's [int]
+    and [float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in serialization order *)
+
+val to_string : t -> string
+(** [to_string v] is the compact (single-line, no spaces) rendering of
+    [v].  Object fields keep their list order, so equal values render
+    to equal strings — the property the golden-trace tests rely on. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses one JSON document occupying the whole string.
+    [Error msg] carries a byte-offset diagnostic. *)
+
+val member : string -> t -> t option
+(** [member name v] is field [name] of object [v]; [None] when [v] is
+    not an object or lacks the field. *)
+
+val to_int : t -> int option
+(** [to_int v] is [Some i] iff [v] is [Int i]. *)
+
+val to_float : t -> float option
+(** [to_float v] is the numeric value of [Int] or [Float]. *)
+
+val to_str : t -> string option
+(** [to_str v] is [Some s] iff [v] is [String s]. *)
+
+val to_obj : t -> (string * t) list option
+(** [to_obj v] is the field list iff [v] is an object. *)
+
+val int_member : ?default:int -> string -> t -> int option
+(** [int_member name v] is the integer field [name]; [default] when the
+    field is absent (a present non-integer field is [None]). *)
+
+val string_member : ?default:string -> string -> t -> string option
+(** [string_member name v] is the string field [name]; [default] when
+    the field is absent. *)
+
+val equal : t -> t -> bool
+(** Structural equality (object fields must match in order). *)

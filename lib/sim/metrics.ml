@@ -1,9 +1,19 @@
 type t = {
+  enabled : bool;
   counters : (string, int ref) Hashtbl.t;
   series : (string, float list ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+let create ?(enabled = true) () =
+  {
+    enabled;
+    counters = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+    hists = Hashtbl.create 8;
+  }
+
+let enabled t = t.enabled
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -13,11 +23,13 @@ let counter_ref t name =
     Hashtbl.add t.counters name r;
     r
 
-let incr t name = Stdlib.incr (counter_ref t name)
+let incr t name = if t.enabled then Stdlib.incr (counter_ref t name)
 
 let add t name k =
-  let r = counter_ref t name in
-  r := !r + k
+  if t.enabled then begin
+    let r = counter_ref t name in
+    r := !r + k
+  end
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -31,8 +43,10 @@ let series_ref t name =
     r
 
 let observe t name v =
-  let r = series_ref t name in
-  r := v :: !r
+  if t.enabled then begin
+    let r = series_ref t name in
+    r := v :: !r
+  end
 
 let series t name =
   match Hashtbl.find_opt t.series name with
@@ -40,6 +54,25 @@ let series t name =
   | None -> []
 
 let summarize t name = Summary.of_list (series t name)
+
+let hist t name v =
+  if t.enabled then begin
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.add t.hists name h;
+        h
+    in
+    Histogram.add h v
+  end
+
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
@@ -56,4 +89,7 @@ let pp ppf t =
     | Some s -> Fmt.pf ppf "%-32s %a@." name Summary.pp s
     | None -> ()
   in
-  List.iter pp_series series_names
+  List.iter pp_series series_names;
+  List.iter
+    (fun (name, h) -> Fmt.pf ppf "%s (histogram):@.%s" name (Histogram.render h))
+    (histograms t)

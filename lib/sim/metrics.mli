@@ -1,15 +1,24 @@
-(** Named counters and value series for instrumenting simulations.
+(** Named counters, value series and histograms for instrumenting
+    simulations.
 
     A [Metrics.t] is attached to each engine run.  Protocol code and
     the engine bump counters ([incr]) and append observations
-    ([observe]); experiment harnesses read them back as totals or
-    {!Summary.t} aggregates. *)
+    ([observe], [hist]); experiment harnesses read them back as totals,
+    {!Summary.t} aggregates or {!Histogram.t} distributions.
+
+    A registry created with [~enabled:false] turns every mutator into a
+    single-branch no-op — the zero-cost-when-disabled contract the
+    engine's detailed instrumentation relies on. *)
 
 type t
 (** A mutable metrics registry. *)
 
-val create : unit -> t
-(** [create ()] is an empty registry. *)
+val create : ?enabled:bool -> unit -> t
+(** [create ()] is an empty registry; [~enabled:false] (default
+    [true]) makes every mutator a no-op while reads keep working. *)
+
+val enabled : t -> bool
+(** Whether mutators record anything. *)
 
 val incr : t -> string -> unit
 (** [incr t name] adds 1 to counter [name], creating it at 0. *)
@@ -31,8 +40,19 @@ val series : t -> string -> float list
 val summarize : t -> string -> Summary.t option
 (** [summarize t name] is the summary of series [name]. *)
 
+val hist : t -> string -> int -> unit
+(** [hist t name v] records integer observation [v] into histogram
+    [name], creating it empty.  Used for distributions the experiment
+    harness renders directly (rounds-to-decide, quorum waits). *)
+
+val histogram : t -> string -> Histogram.t option
+(** [histogram t name] is histogram [name], if ever touched. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
 val pp : t Fmt.t
-(** Render all counters and series summaries, one per line. *)
+(** Render all counters, series summaries and histograms. *)

@@ -58,6 +58,28 @@ let csv_directory = ref None
 
 let set_csv_directory dir = csv_directory := dir
 
+let json_directory = ref None
+
+let set_json_directory dir = json_directory := dir
+
+let run_meta = ref []
+
+let set_run_meta meta = run_meta := meta
+
+let bench_schema_version = 1
+
+let to_json t =
+  let row cells = Json.List (List.map (fun c -> Json.String c) cells) in
+  Json.Obj
+    [
+      ("schema", Json.String "abc.bench");
+      ("version", Json.Int bench_schema_version);
+      ("title", Json.String t.title);
+      ("columns", row t.columns);
+      ("rows", Json.List (List.map row (List.rev t.rows)));
+      ("meta", Json.Obj !run_meta);
+    ]
+
 let slug title =
   String.map
     (fun c ->
@@ -66,16 +88,23 @@ let slug title =
       | _ -> '_')
     (String.sub title 0 (min 40 (String.length title)))
 
+let write_file dir name contents =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc contents;
+  close_out oc
+
 let print t =
   print_string (render t);
-  match !csv_directory with
+  (match !csv_directory with
+  | None -> ()
+  | Some dir -> write_file dir (slug t.title ^ ".csv") (csv t));
+  match !json_directory with
   | None -> ()
   | Some dir ->
-    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    let path = Filename.concat dir (slug t.title ^ ".csv") in
-    let oc = open_out path in
-    output_string oc (csv t);
-    close_out oc
+    write_file dir
+      ("BENCH_" ^ slug t.title ^ ".json")
+      (Json.to_string (to_json t) ^ "\n")
 
 let cell_int = string_of_int
 

@@ -1,33 +1,40 @@
-type entry = { time : int; node : int; tag : string; detail : string }
+type entry = { time : int; node : int; event : Event.t }
 
 type t = {
   capacity : int;
   buffer : entry option array;
   mutable start : int;
   mutable size : int;
-  mutable dropped : int;
+  mutable recorded : int;
 }
+
+let schema_version = 1
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
-  { capacity; buffer = Array.make capacity None; start = 0; size = 0; dropped = 0 }
+  { capacity; buffer = Array.make capacity None; start = 0; size = 0; recorded = 0 }
 
-let record t ~time ~node ~tag detail =
-  let entry = { time; node; tag; detail } in
+let record t ~time ~node event =
+  let entry = { time; node; event } in
+  t.recorded <- t.recorded + 1;
   if t.size = t.capacity then begin
     (* Overwrite the oldest slot. *)
     t.buffer.(t.start) <- Some entry;
-    t.start <- (t.start + 1) mod t.capacity;
-    t.dropped <- t.dropped + 1
+    t.start <- (t.start + 1) mod t.capacity
   end
   else begin
     t.buffer.((t.start + t.size) mod t.capacity) <- Some entry;
     t.size <- t.size + 1
   end
 
+let note t ~time ~node ~tag detail =
+  record t ~time ~node (Event.make (Event.Note { tag; detail }))
+
 let length t = t.size
 
-let dropped t = t.dropped
+let recorded t = t.recorded
+
+let dropped t = t.recorded - t.size
 
 let to_list t =
   let rec collect i acc =
@@ -39,10 +46,133 @@ let to_list t =
   in
   collect (t.size - 1) []
 
-let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (to_list t)
+let find_kind t ~label =
+  List.filter
+    (fun e -> String.equal (Event.kind_label e.event.Event.kind) label)
+    (to_list t)
 
 let pp_entry ppf e =
-  Fmt.pf ppf "[t=%06d node=%02d] %-12s %s" e.time e.node e.tag e.detail
+  Fmt.pf ppf "[t=%06d node=%02d] %a" e.time e.node Event.pp e.event
 
 let dump ppf t =
   List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (to_list t)
+
+(* ----------------------------------------------------------------- *)
+(* JSONL (schema in OBSERVABILITY.md)                                *)
+(* ----------------------------------------------------------------- *)
+
+let entry_to_json e =
+  let base = [ ("t", Json.Int e.time); ("node", Json.Int e.node) ] in
+  let kind label = ("kind", Json.String label) in
+  let common =
+    (if String.length e.event.Event.instance > 0 then
+       [ ("instance", Json.String e.event.Event.instance) ]
+     else [])
+    @ if e.event.Event.round >= 0 then [ ("round", Json.Int e.event.Event.round) ] else []
+  in
+  let specific =
+    match e.event.Event.kind with
+    | Event.Send { dst; label; detail } ->
+      [ kind "send"; ("dst", Json.Int dst); ("label", Json.String label) ]
+      @ if String.length detail > 0 then [ ("detail", Json.String detail) ] else []
+    | Event.Deliver { src; label; detail } ->
+      [ kind "deliver"; ("src", Json.Int src); ("label", Json.String label) ]
+      @ if String.length detail > 0 then [ ("detail", Json.String detail) ] else []
+    | Event.Quorum { quorum; count; threshold } ->
+      [
+        kind "quorum";
+        ("quorum", Json.String quorum);
+        ("count", Json.Int count);
+        ("threshold", Json.Int threshold);
+      ]
+    | Event.Coin_flip { value } -> [ kind "coin"; ("value", Json.Int value) ]
+    | Event.Round_advance -> [ kind "round" ]
+    | Event.Decide { value } -> [ kind "decide"; ("value", Json.String value) ]
+    | Event.Output { label } -> [ kind "output"; ("label", Json.String label) ]
+    | Event.Note { tag; detail } ->
+      [ kind "note"; ("tag", Json.String tag); ("detail", Json.String detail) ]
+  in
+  Json.Obj (base @ specific @ common)
+
+let entry_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let require name to_v =
+    match Option.bind (Json.member name json) to_v with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace entry: missing or bad %S field" name)
+  in
+  let str_field name ~default =
+    match Json.string_member ~default name json with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "trace entry: bad %S field" name)
+  in
+  let* time = require "t" Json.to_int in
+  let* node = require "node" Json.to_int in
+  let* kind_name = require "kind" Json.to_str in
+  let* instance = str_field "instance" ~default:"" in
+  let* round =
+    match Json.int_member ~default:(-1) "round" json with
+    | Some r -> Ok r
+    | None -> Error "trace entry: bad \"round\" field"
+  in
+  let* kind =
+    match kind_name with
+    | "send" ->
+      let* dst = require "dst" Json.to_int in
+      let* label = require "label" Json.to_str in
+      let* detail = str_field "detail" ~default:"" in
+      Ok (Event.Send { dst; label; detail })
+    | "deliver" ->
+      let* src = require "src" Json.to_int in
+      let* label = require "label" Json.to_str in
+      let* detail = str_field "detail" ~default:"" in
+      Ok (Event.Deliver { src; label; detail })
+    | "quorum" ->
+      let* quorum = require "quorum" Json.to_str in
+      let* count = require "count" Json.to_int in
+      let* threshold = require "threshold" Json.to_int in
+      Ok (Event.Quorum { quorum; count; threshold })
+    | "coin" ->
+      let* value = require "value" Json.to_int in
+      Ok (Event.Coin_flip { value })
+    | "round" -> Ok Event.Round_advance
+    | "decide" ->
+      let* value = require "value" Json.to_str in
+      Ok (Event.Decide { value })
+    | "output" ->
+      let* label = require "label" Json.to_str in
+      Ok (Event.Output { label })
+    | "note" ->
+      let* tag = require "tag" Json.to_str in
+      let* detail = require "detail" Json.to_str in
+      Ok (Event.Note { tag; detail })
+    | other -> Error (Printf.sprintf "trace entry: unknown kind %S" other)
+  in
+  Ok { time; node; event = { Event.kind; instance; round } }
+
+let header_json ?(meta = []) t =
+  Json.Obj
+    [
+      ("schema", Json.String "abc.trace");
+      ("version", Json.Int schema_version);
+      ("recorded", Json.Int t.recorded);
+      ("retained", Json.Int t.size);
+      ("dropped", Json.Int (dropped t));
+      ("meta", Json.Obj meta);
+    ]
+
+let add_jsonl ?meta buffer t =
+  Buffer.add_string buffer (Json.to_string (header_json ?meta t));
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buffer (Json.to_string (entry_to_json e));
+      Buffer.add_char buffer '\n')
+    (to_list t)
+
+let to_jsonl_string ?meta t =
+  let buffer = Buffer.create 4096 in
+  add_jsonl ?meta buffer t;
+  Buffer.contents buffer
+
+let write_jsonl ?meta oc t = output_string oc (to_jsonl_string ?meta t)

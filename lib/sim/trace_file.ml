@@ -1,0 +1,95 @@
+type t = {
+  version : int;
+  recorded : int;
+  dropped : int;
+  meta : (string * Json.t) list;
+  entries : Trace.entry list;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let parse_header line =
+  let* json =
+    Result.map_error (fun m -> "header: " ^ m) (Json.of_string line)
+  in
+  let* () =
+    match Json.string_member "schema" json with
+    | Some "abc.trace" -> Ok ()
+    | Some other -> Error (Printf.sprintf "not an abc.trace file (schema %S)" other)
+    | None -> Error "not an abc.trace file (no schema field)"
+  in
+  let* version =
+    match Json.int_member "version" json with
+    | Some v -> Ok v
+    | None -> Error "header: missing version"
+  in
+  let* () =
+    if version > Trace.schema_version then
+      Error
+        (Printf.sprintf "trace schema version %d is newer than supported %d"
+           version Trace.schema_version)
+    else Ok ()
+  in
+  let meta =
+    match Option.bind (Json.member "meta" json) Json.to_obj with
+    | Some fields -> fields
+    | None -> []
+  in
+  let field name = Option.value ~default:0 (Json.int_member ~default:0 name json) in
+  Ok (version, field "recorded", field "dropped", meta)
+
+let of_lines lines =
+  match lines with
+  | [] -> Error "empty trace file"
+  | header :: rest ->
+    let* version, recorded, dropped, meta = parse_header header in
+    let* entries =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* acc = acc in
+          if String.length (String.trim line) = 0 then Ok acc
+          else begin
+            let* json =
+              Result.map_error
+                (fun m -> Printf.sprintf "line %d: %s" lineno m)
+                (Json.of_string line)
+            in
+            let* entry =
+              Result.map_error
+                (fun m -> Printf.sprintf "line %d: %s" lineno m)
+                (Trace.entry_of_json json)
+            in
+            Ok (entry :: acc)
+          end)
+        (Ok [])
+        (List.mapi (fun i line -> (i + 2, line)) rest)
+    in
+    Ok { version; recorded; dropped; meta; entries = List.rev entries }
+
+let of_string text =
+  of_lines (String.split_on_char '\n' text)
+
+let read path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        of_lines (List.rev !lines))
+
+let meta_int t name = Option.bind (List.assoc_opt name t.meta) Json.to_int
+
+let meta_string t name = Option.bind (List.assoc_opt name t.meta) Json.to_str
+
+let nodes t =
+  List.fold_left
+    (fun acc (e : Trace.entry) -> if e.Trace.node >= acc then e.Trace.node + 1 else acc)
+    (match meta_int t "n" with Some n -> n | None -> 0)
+    t.entries

@@ -1,0 +1,41 @@
+(** Reader for the [abc.trace] JSON Lines format.
+
+    Parses trace files written by {!Trace.write_jsonl} back into typed
+    {!Trace.entry} values: one header object (schema name, version,
+    counts, run metadata) followed by one entry object per line.  The
+    format is documented in [OBSERVABILITY.md]; the [abc-trace] CLI is
+    built on this module. *)
+
+type t = {
+  version : int;  (** schema version declared by the header *)
+  recorded : int;  (** entries ever recorded by the producing run *)
+  dropped : int;  (** entries evicted before export *)
+  meta : (string * Json.t) list;  (** run metadata from the header *)
+  entries : Trace.entry list;  (** retained entries, oldest first *)
+}
+
+val read : string -> (t, string) result
+(** [read path] loads and parses the trace file at [path].  Errors
+    (unreadable file, malformed JSON, unknown schema, version newer
+    than {!Trace.schema_version}) are returned as human-readable
+    messages prefixed with the offending line number. *)
+
+val of_string : string -> (t, string) result
+(** [of_string text] parses an in-memory JSONL document. *)
+
+val of_lines : string list -> (t, string) result
+(** [of_lines lines] parses a list of lines — the first is the header,
+    the rest are entries; blank lines are ignored. *)
+
+val meta_int : t -> string -> int option
+(** [meta_int t name] reads an integer run-metadata field (["n"],
+    ["f"], ["seed"], ...). *)
+
+val meta_string : t -> string -> string option
+(** [meta_string t name] reads a string run-metadata field
+    (["protocol"], ...). *)
+
+val nodes : t -> int
+(** [nodes t] is the node count: the ["n"] metadata field when
+    present, widened to cover any larger node id appearing in the
+    entries. *)

@@ -1,0 +1,136 @@
+let tally tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let sorted_tally tbl cmp =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let meta_line meta =
+  let fields =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) meta
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k (Json.to_string v))
+  in
+  String.concat " " fields
+
+let in_instance filter (e : Trace.entry) =
+  match filter with
+  | None -> true
+  | Some wanted ->
+    let inst = e.Trace.event.Event.instance in
+    String.equal inst wanted
+    || (String.length inst > String.length wanted
+       && String.length wanted > 0
+       && String.starts_with ~prefix:(wanted ^ "/") inst)
+
+let summary (file : Trace_file.t) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "trace: abc.trace v%d" file.Trace_file.version;
+  if List.length file.Trace_file.meta > 0 then
+    line "meta: %s" (meta_line file.Trace_file.meta);
+  let retained = List.length file.Trace_file.entries in
+  line "entries: retained=%d recorded=%d dropped=%d" retained
+    file.Trace_file.recorded file.Trace_file.dropped;
+  (* Events by kind. *)
+  let by_kind = Hashtbl.create 8 in
+  let by_node = Hashtbl.create 8 in
+  let quorums = Hashtbl.create 8 in
+  let thresholds = Hashtbl.create 8 in
+  let coin_values = Hashtbl.create 8 in
+  let decisions = ref [] in
+  let max_round = ref (-1) in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let ev = e.Trace.event in
+      tally by_kind (Event.kind_label ev.Event.kind);
+      tally by_node e.Trace.node;
+      if ev.Event.round > !max_round then max_round := ev.Event.round;
+      match ev.Event.kind with
+      | Event.Quorum { quorum; threshold; _ } ->
+        tally quorums quorum;
+        if not (Hashtbl.mem thresholds quorum) then
+          Hashtbl.add thresholds quorum threshold
+      | Event.Coin_flip { value } -> tally coin_values value
+      | Event.Decide { value } ->
+        if
+          not
+            (List.exists
+               (fun (node, _, _, _) -> Int.equal node e.Trace.node)
+               !decisions)
+        then
+          decisions :=
+            (e.Trace.node, ev.Event.round, value, e.Trace.time) :: !decisions
+      | _ -> ())
+    file.Trace_file.entries;
+  if Hashtbl.length by_kind > 0 then begin
+    line "events by kind:";
+    List.iter
+      (fun (kind, count) -> line "  %-8s %d" kind count)
+      (sorted_tally by_kind String.compare)
+  end;
+  if Hashtbl.length by_node > 0 then begin
+    line "events by node:";
+    List.iter
+      (fun (node, count) -> line "  node %d: %d" node count)
+      (sorted_tally by_node Int.compare)
+  end;
+  if Hashtbl.length quorums > 0 then begin
+    line "quorums reached:";
+    List.iter
+      (fun (name, count) ->
+        let threshold =
+          match Hashtbl.find_opt thresholds name with Some k -> k | None -> 0
+        in
+        line "  %-16s %d (threshold %d)" name count threshold)
+      (sorted_tally quorums String.compare)
+  end;
+  if Hashtbl.length coin_values > 0 then begin
+    let flips =
+      List.fold_left (fun acc (_, c) -> acc + c) 0
+        (sorted_tally coin_values Int.compare)
+    in
+    let values =
+      sorted_tally coin_values Int.compare
+      |> List.map (fun (v, c) -> Printf.sprintf "%d:%d" v c)
+      |> String.concat " "
+    in
+    line "coin flips: %d (%s)" flips values
+  end;
+  if !max_round >= 0 then line "max round: %d" !max_round;
+  let decided =
+    List.sort
+      (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b)
+      !decisions
+  in
+  let total_nodes = Trace_file.nodes file in
+  if List.length decided > 0 || total_nodes > 0 then
+    line "decided: %d/%d nodes" (List.length decided) total_nodes;
+  List.iter
+    (fun (node, round, value, time) ->
+      if round >= 0 then
+        line "  node %d: value=%s round=%d t=%d" node value round time
+      else line "  node %d: value=%s t=%d" node value time)
+    decided;
+  Buffer.contents b
+
+let instances (file : Trace_file.t) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      let inst = e.Trace.event.Event.instance in
+      if String.length inst > 0 && not (Hashtbl.mem seen inst) then
+        Hashtbl.add seen inst ())
+    file.Trace_file.entries;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
+
+let timeline ?instance (file : Trace_file.t) =
+  let b = Buffer.create 1024 in
+  let entries = List.filter (in_instance instance) file.Trace_file.entries in
+  List.iter
+    (fun (e : Trace.entry) ->
+      Buffer.add_string b (Fmt.str "%a@." Trace.pp_entry e))
+    entries;
+  if List.length entries = 0 then Buffer.add_string b "(no matching entries)\n";
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Deterministic plain-text reports over parsed traces.
+
+    Every function renders with sorted keys and stable formatting, so
+    two runs with the same seed produce byte-identical output — the
+    property the golden tests and the CI trace-smoke job rely on. *)
+
+val summary : Trace_file.t -> string
+(** [summary file] is a multi-line overview: schema version, run
+    metadata, entry counts, events tallied by kind and by node, quorums
+    reached (with thresholds), coin-flip statistics, the highest round
+    observed and per-node decisions. *)
+
+val instances : Trace_file.t -> string list
+(** [instances file] is the sorted list of distinct non-empty instance
+    paths appearing in the trace (e.g. ["rbc@n2"],
+    ["acs/rbc@n0/key"]). *)
+
+val timeline : ?instance:string -> Trace_file.t -> string
+(** [timeline ?instance file] renders one line per entry in recording
+    order.  With [~instance] only entries whose instance path equals
+    the filter, or nests below it ([filter ^ "/..."]), are shown. *)

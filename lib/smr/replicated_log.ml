@@ -1,5 +1,6 @@
 module Node_id = Abc_net.Node_id
 module Protocol = Abc_net.Protocol
+module Event = Abc_sim.Event
 module Int_map = Map.Make (Int)
 
 (* Each slot runs one ACS over string proposals. *)
@@ -40,6 +41,18 @@ let wrap slot actions =
       | Protocol.Send (dst, inner) -> Protocol.Send (dst, Slot { slot; inner }))
     actions
 
+(* Scope a slot's observability under "slot<k>" so concurrent slot
+   agreements stay distinguishable in traces (see OBSERVABILITY.md). *)
+let slot_ctx (ctx : Protocol.Context.t) slot =
+  if ctx.Protocol.Context.sink.Event.enabled then
+    {
+      ctx with
+      Protocol.Context.sink =
+        Event.scoped ctx.Protocol.Context.sink
+          ~instance:(Printf.sprintf "slot%d" slot);
+    }
+  else ctx
+
 (* Open slot [slot]'s agreement (idempotent): instantiates the inner
    ACS with this replica's proposal, which broadcasts it. *)
 let open_slot ctx state slot =
@@ -49,7 +62,7 @@ let open_slot ctx state slot =
     let inner_input =
       { Slot_acs.proposal = proposal state slot; coin = state.coin }
     in
-    let inner_state, actions = Slot_acs.initial ctx inner_input in
+    let inner_state, actions = Slot_acs.initial (slot_ctx ctx slot) inner_input in
     ({ state with instances = Int_map.add slot inner_state state.instances },
      wrap slot actions)
   end
@@ -108,7 +121,7 @@ let on_message ctx state ~src msg =
     let state, open_actions = open_slot ctx state slot in
     let inner_state = Int_map.find slot state.instances in
     let inner_state, inner_actions, inner_outputs =
-      Slot_acs.on_message ctx inner_state ~src inner
+      Slot_acs.on_message (slot_ctx ctx slot) inner_state ~src inner
     in
     let state =
       { state with instances = Int_map.add slot inner_state state.instances }

@@ -113,9 +113,9 @@ let test_trace_records () =
   let trace = Abc_sim.Trace.create () in
   let _ = run ~n:4 ~f:0 ~trace () in
   Alcotest.(check bool) "delivers traced" true
-    (List.length (Abc_sim.Trace.find_all trace ~tag:"deliver") > 0);
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"deliver") > 0);
   Alcotest.(check bool) "outputs traced" true
-    (List.length (Abc_sim.Trace.find_all trace ~tag:"output") > 0)
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"output") > 0)
 
 let test_config_validation () =
   Alcotest.check_raises "inputs arity"

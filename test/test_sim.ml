@@ -131,33 +131,42 @@ let test_clock () =
 
 (* Trace *)
 
+let note_detail (e : Trace.entry) =
+  match e.Trace.event.Abc_sim.Event.kind with
+  | Abc_sim.Event.Note { detail; _ } -> detail
+  | _ -> Alcotest.fail "expected a note entry"
+
 let test_trace_basic () =
   let t = Trace.create ~capacity:10 () in
-  Trace.record t ~time:1 ~node:0 ~tag:"a" "first";
-  Trace.record t ~time:2 ~node:1 ~tag:"b" "second";
+  Trace.note t ~time:1 ~node:0 ~tag:"a" "first";
+  Trace.note t ~time:2 ~node:1 ~tag:"b" "second";
   Alcotest.(check int) "length" 2 (Trace.length t);
   let entries = Trace.to_list t in
   Alcotest.(check (list string)) "order"
     [ "first"; "second" ]
-    (List.map (fun e -> e.Trace.detail) entries)
+    (List.map note_detail entries)
 
 let test_trace_eviction () =
   let t = Trace.create ~capacity:3 () in
   for i = 1 to 5 do
-    Trace.record t ~time:i ~node:0 ~tag:"x" (string_of_int i)
+    Trace.note t ~time:i ~node:0 ~tag:"x" (string_of_int i)
   done;
   Alcotest.(check int) "bounded" 3 (Trace.length t);
   Alcotest.(check int) "dropped" 2 (Trace.dropped t);
+  Alcotest.(check int) "recorded" 5 (Trace.recorded t);
   Alcotest.(check (list string)) "keeps newest"
     [ "3"; "4"; "5" ]
-    (List.map (fun e -> e.Trace.detail) (Trace.to_list t))
+    (List.map note_detail (Trace.to_list t))
 
-let test_trace_find_all () =
+let test_trace_find_kind () =
   let t = Trace.create () in
-  Trace.record t ~time:1 ~node:0 ~tag:"deliver" "m1";
-  Trace.record t ~time:2 ~node:0 ~tag:"output" "o1";
-  Trace.record t ~time:3 ~node:0 ~tag:"deliver" "m2";
-  Alcotest.(check int) "two delivers" 2 (List.length (Trace.find_all t ~tag:"deliver"))
+  let deliver src = Abc_sim.Event.Deliver { src; label = "m"; detail = "" } in
+  Trace.record t ~time:1 ~node:0 (Abc_sim.Event.make (deliver 1));
+  Trace.record t ~time:2 ~node:0
+    (Abc_sim.Event.make (Abc_sim.Event.Output { label = "o1" }));
+  Trace.record t ~time:3 ~node:0 (Abc_sim.Event.make (deliver 2));
+  Alcotest.(check int) "two delivers" 2
+    (List.length (Trace.find_kind t ~label:"deliver"))
 
 (* Summary *)
 
@@ -326,7 +335,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_trace_basic;
           Alcotest.test_case "eviction" `Quick test_trace_eviction;
-          Alcotest.test_case "find_all" `Quick test_trace_find_all;
+          Alcotest.test_case "find_all" `Quick test_trace_find_kind;
         ] );
       ( "summary",
         [

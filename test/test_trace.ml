@@ -1,0 +1,268 @@
+(* Tests for the structured observability layer: JSONL round-trips of
+   typed events, exact trace eviction accounting, detailed metrics
+   checked against a hand-computed Bracha RBC run, and a golden-output
+   test for the abc-trace summary report. *)
+
+module Event = Abc_sim.Event
+module Trace = Abc_sim.Trace
+module Trace_file = Abc_sim.Trace_file
+module Trace_report = Abc_sim.Trace_report
+module Json = Abc_sim.Json
+module Metrics = Abc_sim.Metrics
+module Node_id = Abc_net.Node_id
+module Adversary = Abc_net.Adversary
+
+(* ---- JSONL round-trip ---- *)
+
+(* One representative of every event kind, with and without the
+   optional instance/round fields. *)
+let sample_entries : Trace.entry list =
+  let e ?instance ?round ~time ~node kind =
+    { Trace.time; node; event = Event.make ?instance ?round kind }
+  in
+  [
+    e ~time:0 ~node:0 (Event.Send { dst = 3; label = "echo"; detail = "" });
+    e ~time:1 ~node:3
+      (Event.Deliver { src = 0; label = "echo"; detail = "echo(1)" });
+    e ~time:2 ~node:3 ~instance:"n0/r1/s1"
+      (Event.Quorum { quorum = "echo"; count = 3; threshold = 3 });
+    e ~time:3 ~node:1 ~round:2 (Event.Coin_flip { value = 1 });
+    e ~time:4 ~node:1 ~round:3 Event.Round_advance;
+    e ~time:5 ~node:2 ~round:3 (Event.Decide { value = "1" });
+    e ~time:6 ~node:2 (Event.Output { label = "decided" });
+    e ~time:7 ~node:(-1) (Event.Note { tag = "stop"; detail = "all terminal" });
+  ]
+
+let entry_equal (a : Trace.entry) (b : Trace.entry) =
+  a.Trace.time = b.Trace.time
+  && a.Trace.node = b.Trace.node
+  && Event.equal a.Trace.event b.Trace.event
+
+let test_entry_round_trip () =
+  List.iter
+    (fun entry ->
+      let text = Json.to_string (Trace.entry_to_json entry) in
+      match Json.of_string text with
+      | Error msg -> Alcotest.fail ("reparse failed: " ^ msg)
+      | Ok json -> (
+        match Trace.entry_of_json json with
+        | Error msg -> Alcotest.fail ("decode failed: " ^ msg)
+        | Ok entry' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip %s" text)
+            true (entry_equal entry entry')))
+    sample_entries
+
+let test_file_round_trip () =
+  let t = Trace.create ~capacity:100 () in
+  List.iter
+    (fun e -> Trace.record t ~time:e.Trace.time ~node:e.Trace.node e.Trace.event)
+    sample_entries;
+  let meta =
+    [ ("protocol", Json.String "sample"); ("n", Json.Int 4); ("seed", Json.Int 7) ]
+  in
+  match Trace_file.of_string (Trace.to_jsonl_string ~meta t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok file ->
+    Alcotest.(check int) "version" Trace.schema_version file.Trace_file.version;
+    Alcotest.(check int) "recorded" (List.length sample_entries)
+      file.Trace_file.recorded;
+    Alcotest.(check int) "dropped" 0 file.Trace_file.dropped;
+    Alcotest.(check (option string)) "meta protocol" (Some "sample")
+      (Trace_file.meta_string file "protocol");
+    Alcotest.(check (option int)) "meta n" (Some 4) (Trace_file.meta_int file "n");
+    Alcotest.(check (option int)) "meta seed" (Some 7)
+      (Trace_file.meta_int file "seed");
+    Alcotest.(check int) "entries" (List.length sample_entries)
+      (List.length file.Trace_file.entries);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool) "entry preserved" true (entry_equal a b))
+      sample_entries file.Trace_file.entries
+
+let test_reader_rejects_garbage () =
+  let fail_of = function Error msg -> msg | Ok _ -> Alcotest.fail "accepted" in
+  Alcotest.(check bool) "empty input rejected" true
+    (String.length (fail_of (Trace_file.of_string "")) > 0);
+  Alcotest.(check bool) "wrong schema rejected" true
+    (String.length (fail_of (Trace_file.of_string "{\"schema\":\"other\"}")) > 0);
+  let future =
+    Printf.sprintf "{\"schema\":\"abc.trace\",\"version\":%d}"
+      (Trace.schema_version + 1)
+  in
+  Alcotest.(check bool) "future version rejected" true
+    (String.length (fail_of (Trace_file.of_string future)) > 0)
+
+(* ---- eviction accounting ---- *)
+
+let test_eviction_exact () =
+  let capacity = 4 in
+  let t = Trace.create ~capacity () in
+  for i = 1 to 11 do
+    Trace.note t ~time:i ~node:0 ~tag:"tick" (string_of_int i);
+    (* The books must balance after every single record. *)
+    Alcotest.(check int)
+      (Printf.sprintf "invariant after %d" i)
+      (Trace.recorded t)
+      (Trace.length t + Trace.dropped t)
+  done;
+  Alcotest.(check int) "recorded" 11 (Trace.recorded t);
+  Alcotest.(check int) "length" capacity (Trace.length t);
+  Alcotest.(check int) "dropped" 7 (Trace.dropped t);
+  (* The header advertises the same accounting. *)
+  let header = Trace.header_json t in
+  Alcotest.(check (option int)) "header recorded" (Some 11)
+    (Json.int_member "recorded" header);
+  Alcotest.(check (option int)) "header retained" (Some capacity)
+    (Json.int_member "retained" header);
+  Alcotest.(check (option int)) "header dropped" (Some 7)
+    (Json.int_member "dropped" header);
+  (* ... and survives the JSONL round-trip. *)
+  match Trace_file.of_string (Trace.to_jsonl_string t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok file ->
+    Alcotest.(check int) "file recorded" 11 file.Trace_file.recorded;
+    Alcotest.(check int) "file dropped" 7 file.Trace_file.dropped;
+    Alcotest.(check int) "file entries" capacity
+      (List.length file.Trace_file.entries)
+
+(* ---- detailed metrics vs a hand-computed RBC run ---- *)
+
+(* n=4, f=1, fifo schedule, all honest, sender node 0.  Every node
+   receives the Initial (4 point-to-point sends from node 0), echoes
+   (4 nodes x 4 destinations = 16 echo sends), reaches the echo quorum
+   of 3 and broadcasts Ready (16 ready sends), then delivers on the
+   2f+1 = 3 ready quorum.  Totals are exact, not statistical. *)
+module Rbc = Abc.Bracha_rbc.Binary
+module Rbc_run = Abc_net.Engine.Make (Rbc)
+
+let rbc_run () =
+  let trace = Trace.create ~capacity:10_000 () in
+  let config =
+    Rbc_run.config ~n:4 ~f:1
+      ~inputs:(Rbc.inputs ~n:4 ~sender:(Node_id.of_int 0) Abc.Value.One)
+      ~adversary:Adversary.fifo ~seed:0 ~trace ~detail:true ()
+  in
+  (Rbc_run.run config, trace)
+
+let test_rbc_metrics_hand_computed () =
+  let result, _ = rbc_run () in
+  let m = result.Rbc_run.metrics in
+  Alcotest.(check int) "sent.initial" 4 (Metrics.counter m "sent.initial");
+  Alcotest.(check int) "sent.echo" 16 (Metrics.counter m "sent.echo");
+  Alcotest.(check int) "sent.ready" 16 (Metrics.counter m "sent.ready");
+  Alcotest.(check int) "sent total" 36 (Metrics.counter m "sent");
+  (* Each node delivers on its 3rd Ready and the run stops when all
+     are terminal, so the 4th Ready to every node is never consumed:
+     36 sends - 4 undelivered = 32. *)
+  Alcotest.(check int) "delivered" 32 (Metrics.counter m "delivered");
+  (* Node 0 sends its Initial broadcast on top of echo + ready. *)
+  Alcotest.(check int) "node0.sent" 12 (Metrics.counter m "node0.sent");
+  Alcotest.(check int) "node1.sent" 8 (Metrics.counter m "node1.sent");
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "node%d.outputs" i)
+        1
+        (Metrics.counter m (Printf.sprintf "node%d.outputs" i)))
+    result.Rbc_run.outputs
+
+let test_rbc_trace_quorums () =
+  let _, trace = rbc_run () in
+  (* Each of the 4 nodes latches Ready exactly once (echo quorum or
+     f+1 amplification) and delivers exactly once: 8 quorum events. *)
+  let quorums = Trace.find_kind trace ~label:"quorum" in
+  Alcotest.(check int) "quorum events" 8 (List.length quorums);
+  let count name =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.Trace.event.Event.kind with
+           | Event.Quorum { quorum; _ } -> String.equal quorum name
+           | _ -> false)
+         quorums)
+  in
+  Alcotest.(check int) "ready latches" 4
+    (count "echo" + count "ready-amplify");
+  Alcotest.(check int) "deliver quorums" 4 (count "ready");
+  (* Outputs are traced too: one delivery per node. *)
+  Alcotest.(check int) "output events" 4
+    (List.length (Trace.find_kind trace ~label:"output"))
+
+(* ---- golden summary ---- *)
+
+(* The same run the CI trace-smoke job performs through the abc-run and
+   abc-trace binaries: Bracha consensus, n=7 f=2 seed=42, uniform
+   adversary, split inputs, default options.  The rendered summary must
+   match test/golden/smoke_summary.txt byte for byte. *)
+let consensus_summary () =
+  let module B = Abc.Bracha_consensus in
+  let module H = Abc.Harness.Make (struct
+    include B
+
+    let value_of_input = B.value_of_input
+  end) in
+  let n = 7 and f = 2 and seed = 42 in
+  let values =
+    Array.init n (fun i -> if i < n / 2 then Abc.Value.Zero else Abc.Value.One)
+  in
+  let trace = Trace.create ~capacity:1_000_000 () in
+  let config =
+    H.E.config ~n ~f
+      ~inputs:(B.inputs ~n ~options:B.Options.default values)
+      ~adversary:Adversary.uniform ~seed ~trace ()
+  in
+  let _ = H.run config in
+  let meta =
+    [
+      ("protocol", Json.String "bracha-consensus");
+      ("n", Json.Int n);
+      ("f", Json.Int f);
+      ("seed", Json.Int seed);
+    ]
+  in
+  match Trace_file.of_string (Trace.to_jsonl_string ~meta trace) with
+  | Error msg -> Alcotest.fail msg
+  | Ok file -> Trace_report.summary file
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_summary () =
+  let golden = read_file "golden/smoke_summary.txt" in
+  Alcotest.(check string) "summary matches golden" golden (consensus_summary ())
+
+let test_summary_deterministic () =
+  Alcotest.(check string) "same seed, same summary" (consensus_summary ())
+    (consensus_summary ())
+
+(* ---- suite ---- *)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "entry round-trip" `Quick test_entry_round_trip;
+          Alcotest.test_case "file round-trip" `Quick test_file_round_trip;
+          Alcotest.test_case "reader rejects garbage" `Quick
+            test_reader_rejects_garbage;
+        ] );
+      ( "eviction",
+        [ Alcotest.test_case "exact accounting" `Quick test_eviction_exact ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "hand-computed rbc" `Quick
+            test_rbc_metrics_hand_computed;
+          Alcotest.test_case "rbc quorum events" `Quick test_rbc_trace_quorums;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "summary matches golden" `Quick test_golden_summary;
+          Alcotest.test_case "summary deterministic" `Quick
+            test_summary_deterministic;
+        ] );
+    ]
