@@ -106,7 +106,7 @@ let experiment_e1 () =
                   Table.cell_float
                     (float_of_int !msgs /. float_of_int (seeds * n * n));
                 ])
-            [ Adversary.fifo; Adversary.uniform; Adversary.split ~n ])
+            (Adversary.all_basic ~n))
         [ No_fault; Silent; Crash; Flip; Equivocate ])
     [ (4, 1); (7, 2); (10, 3) ];
   Table.print table;
@@ -790,6 +790,86 @@ let experiment_e13 () =
   Table.print table;
   print_newline ()
 
+(* ----------------------------------------------------------------- *)
+(* E14: lossy links — raw Bracha vs the reliable-channel transport    *)
+(* ----------------------------------------------------------------- *)
+
+module BRL = Abc_net.Reliable_link.Make (B)
+
+module BRLH = Abc.Harness.Make (struct
+  include BRL
+
+  let value_of_input = B.value_of_input
+end)
+
+(* The paper's network is reliable by assumption; this experiment
+   measures what that assumption is worth.  Raw Bracha over a lossy
+   network goes quiescent once a quorum message is dropped (no node
+   ever re-sends), while the same protocol behind [Reliable_link]
+   masks loss with acks and timer-driven retransmission and keeps
+   deciding — at a bounded retransmission cost. *)
+let experiment_e14 () =
+  let n = 5 and f = 1 in
+  let seeds = scaled 20 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14. Lossy links: raw Bracha vs reliable-channel transport \
+            (n=%d f=%d, uniform adversary, %d seeds)"
+           n f seeds)
+      ~columns:
+        [ "loss"; "raw ok"; "raw stalled"; "rl ok"; "rl rounds";
+          "retx/seed"; "acks/seed"; "timeouts/seed" ]
+  in
+  let values = split_inputs n in
+  let inputs = B.inputs ~n ~options:B.Options.default values in
+  List.iter
+    (fun loss ->
+      let plan = Abc_net.Link_faults.make ~name:"loss" ~drop:loss () in
+      let raw_ok = ref 0 and raw_stalled = ref 0 in
+      for seed = 0 to seeds - 1 do
+        let config =
+          BH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
+            ~link_faults:plan ~max_deliveries:200_000 ()
+        in
+        let _, verdict = BH.run config in
+        if Abc.Harness.ok verdict then incr raw_ok;
+        if not verdict.Abc.Harness.terminated then incr raw_stalled
+      done;
+      let rl_ok = ref 0 and retx = ref 0 and acks = ref 0 and tos = ref 0 in
+      let rounds = ref [] in
+      for seed = 0 to seeds - 1 do
+        let config =
+          BRLH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
+            ~link_faults:plan ~max_deliveries:400_000 ()
+        in
+        let result, verdict = BRLH.run config in
+        if Abc.Harness.ok verdict then begin
+          incr rl_ok;
+          rounds := float_of_int verdict.Abc.Harness.max_round :: !rounds
+        end;
+        let c = Abc_sim.Metrics.counter result.BRLH.E.metrics in
+        retx := !retx + c "sent.rl.retx";
+        acks := !acks + c "sent.rl.ack";
+        tos := !tos + c "timer.fired"
+      done;
+      let per_seed v = float_of_int v /. float_of_int seeds in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:2 loss;
+          Table.cell_percent (per_seed !raw_ok);
+          Table.cell_percent (per_seed !raw_stalled);
+          Table.cell_percent (per_seed !rl_ok);
+          Table.cell_float (mean_or (Summary.of_list !rounds) 0.);
+          Table.cell_float ~decimals:0 (per_seed !retx);
+          Table.cell_float ~decimals:0 (per_seed !acks);
+          Table.cell_float ~decimals:0 (per_seed !tos);
+        ])
+    [ 0.0; 0.1; 0.2; 0.3 ];
+  Table.print table;
+  print_newline ()
+
 let experiments =
   [
     ("E1", "reliable broadcast correctness", experiment_e1);
@@ -805,6 +885,7 @@ let experiments =
     ("E11", "idealized vs implemented common coin", experiment_e11);
     ("E12", "connectivity threshold over flooding", experiment_e12);
     ("E13", "turpin-coan vs acs multivalued", experiment_e13);
+    ("E14", "lossy links vs reliable transport", experiment_e14);
   ]
 
 let () =

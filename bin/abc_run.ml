@@ -14,8 +14,10 @@
 module Node_id = Abc_net.Node_id
 module Behaviour = Abc_net.Behaviour
 module Adversary = Abc_net.Adversary
+module Link_faults = Abc_net.Link_faults
 module B = Abc.Bracha_consensus
 module BO = Abc.Ben_or
+module Rbc = Abc.Bracha_rbc.Binary
 open Cmdliner
 
 (* ---- shared argument vocabulary ---- *)
@@ -146,6 +148,95 @@ let faulty_nodes ~n ~count kind mutators =
   | None -> []
   | Some b -> List.init count (fun k -> (Node_id.of_int (n - 1 - k), b))
 
+(* ---- link faults and the reliable transport ---- *)
+
+let loss_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Drop each point-to-point message independently with probability \
+              $(docv) (deterministic in --seed).")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Duplicate each delivered message with probability $(docv); the \
+              copy is re-enqueued and never re-duplicated.")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "partition" ] ~docv:"SPEC"
+        ~doc:
+          "Sever all links crossing an island boundary during a tick window.          $(docv) is $(i,FROM:UNTIL:id,id,...) — e.g. $(b,10:80:0,1) cuts          nodes 0,1 off from the rest while 10 <= t < 80.")
+
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "Wrap the protocol in the reliable-channel transport          (sequencing, acks, timer-driven retransmission with backoff).          Restricts --fault to message-agnostic kinds: none, silent,          crash, replay.")
+
+let parse_partition ~n spec =
+  let fail () =
+    Fmt.epr "abc-run: bad --partition %S (want FROM:UNTIL:id,id,...)@." spec;
+    exit 2
+  in
+  match String.split_on_char ':' spec with
+  | [ from_s; until_s; ids_s ] -> (
+    match (int_of_string_opt from_s, int_of_string_opt until_s) with
+    | Some from_tick, Some until_tick when 0 <= from_tick && from_tick <= until_tick
+      ->
+      let ids =
+        String.split_on_char ',' ids_s
+        |> List.map (fun s ->
+               match int_of_string_opt (String.trim s) with
+               | Some i when 0 <= i && i < n -> Node_id.of_int i
+               | Some _ | None -> fail ())
+      in
+      Link_faults.cut ~from_tick ~until_tick ids
+    | _ -> fail ())
+  | _ -> fail ()
+
+let link_faults_of ~n ~loss ~dup ~partition =
+  if loss < 0.0 || loss > 1.0 || dup < 0.0 || dup > 1.0 then begin
+    Fmt.epr "abc-run: --loss and --dup must lie in [0,1]@.";
+    exit 2
+  end;
+  let cuts =
+    match partition with None -> [] | Some spec -> [ parse_partition ~n spec ]
+  in
+  let plan = Link_faults.make ~drop:loss ~dup ~cuts () in
+  if Link_faults.active plan then Some plan else None
+
+(* Under --reliable the wrapped message type is opaque to the CLI, so
+   only behaviours that never inspect payloads are available. *)
+let msg_agnostic_faulty ~n ~count fault =
+  let behaviour =
+    match fault with
+    | `None -> None
+    | `Silent -> Some Behaviour.Silent
+    | `Crash -> Some (Behaviour.Crash_after 5)
+    | `Replay -> Some (Behaviour.Replay 2)
+    | `Flip | `Equivocate | `Force_decide ->
+      Fmt.epr
+        "abc-run: --reliable supports only message-agnostic faults (none, silent, crash, replay)@.";
+      exit 2
+  in
+  match behaviour with
+  | None -> []
+  | Some b -> List.init count (fun k -> (Node_id.of_int (n - 1 - k), b))
+
+let print_link_stats metrics =
+  let c = Abc_sim.Metrics.counter metrics in
+  Fmt.pr "  links: dropped=%d (loss %d, partition %d) duplicated=%d retx=%d acks=%d timeouts=%d@."
+    (c "dropped.link") (c "dropped.link.loss") (c "dropped.link.partition")
+    (c "duplicated.link") (c "sent.rl.retx") (c "sent.rl.ack") (c "timer.fired")
+
 (* A deep buffer when exporting: analysis wants the whole run, not the
    tail. *)
 let trace_capacity = 1_000_000
@@ -189,57 +280,119 @@ let summarize_rounds label rounds =
 
 (* ---- rbc ---- *)
 
-let run_rbc n f seed adversary fault faulty_count trace trace_out =
-  let module Rbc = Abc.Bracha_rbc.Binary in
-  let module E = Abc_net.Engine.Make (Rbc) in
-  let two_faced _rng ~dst v =
-    if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
-  in
-  let mutators =
-    ( Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v),
-      Rbc.Fault.equivocate two_faced,
-      Rbc.Fault.substitute (fun _ v -> v) )
-  in
-  (* The designated sender is node 0; faults apply there first when
-     requested so the interesting case (faulty sender) is default. *)
-  let faulty =
-    match faulty_nodes ~n ~count:faulty_count fault mutators with
-    | [] -> []
-    | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
-  in
-  let tr = make_trace ~trace ~trace_out in
-  let config =
-    E.config ~n ~f
-      ~inputs:(Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One)
-      ~faulty
-      ~adversary:(adversary_of ~n adversary)
-      ~seed ?trace:tr ()
-  in
-  let result = E.run config in
-  Fmt.pr "bracha-rbc n=%d f=%d seed=%d stop=%a messages=%d time=%d@." n f seed
-    Abc_net.Engine.pp_stop_reason result.E.stop
-    (Abc_sim.Metrics.counter result.E.metrics "sent")
-    result.E.duration;
-  Array.iteri
-    (fun i outputs ->
-      match outputs with
-      | [ (time, Rbc.Delivered v) ] ->
-        Fmt.pr "  node %d: delivered %a at t=%d@." i Abc.Value.pp v time
-      | [] -> Fmt.pr "  node %d: no delivery@." i
-      | _ -> ())
-    result.E.outputs;
-  write_trace_out ~protocol:"bracha-rbc" ~n ~f ~seed trace_out tr;
-  if trace then Option.iter (print_trace ~n) tr
+module Rbc_runner
+    (P : Abc_net.Protocol.S
+           with type input = Rbc.input
+            and type output = Rbc.output) =
+struct
+  let go ~label ~n ~f ~seed ~adversary ~faulty ~link_faults ~trace ~trace_out =
+    let module E = Abc_net.Engine.Make (P) in
+    let tr = make_trace ~trace ~trace_out in
+    let config =
+      E.config ~n ~f
+        ~inputs:(Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One)
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed ?link_faults ?trace:tr ()
+    in
+    let result = E.run config in
+    Fmt.pr "%s n=%d f=%d seed=%d stop=%a messages=%d time=%d@." label n f seed
+      Abc_net.Engine.pp_stop_reason result.E.stop
+      (Abc_sim.Metrics.counter result.E.metrics "sent")
+      result.E.duration;
+    if link_faults <> None then print_link_stats result.E.metrics;
+    Array.iteri
+      (fun i outputs ->
+        match outputs with
+        | [ (time, Rbc.Delivered v) ] ->
+          Fmt.pr "  node %d: delivered %a at t=%d@." i Abc.Value.pp v time
+        | [] -> Fmt.pr "  node %d: no delivery@." i
+        | _ -> ())
+      result.E.outputs;
+    write_trace_out ~protocol:label ~n ~f ~seed trace_out tr;
+    if trace then Option.iter (print_trace ~n) tr
+end
+
+let run_rbc n f seed adversary fault faulty_count loss dup partition reliable
+    trace trace_out =
+  let link_faults = link_faults_of ~n ~loss ~dup ~partition in
+  if reliable then begin
+    let module RL = Abc_net.Reliable_link.Make (Rbc) in
+    let module R = Rbc_runner (RL) in
+    let faulty =
+      match msg_agnostic_faulty ~n ~count:faulty_count fault with
+      | [] -> []
+      | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
+    in
+    R.go ~label:"bracha-rbc+rl" ~n ~f ~seed ~adversary ~faulty ~link_faults
+      ~trace ~trace_out
+  end
+  else begin
+    let module R = Rbc_runner (Rbc) in
+    let two_faced _rng ~dst v =
+      if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
+    in
+    let mutators =
+      ( Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v),
+        Rbc.Fault.equivocate two_faced,
+        Rbc.Fault.substitute (fun _ v -> v) )
+    in
+    (* The designated sender is node 0; faults apply there first when
+       requested so the interesting case (faulty sender) is default. *)
+    let faulty =
+      match faulty_nodes ~n ~count:faulty_count fault mutators with
+      | [] -> []
+      | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
+    in
+    R.go ~label:"bracha-rbc" ~n ~f ~seed ~adversary ~faulty ~link_faults ~trace
+      ~trace_out
+  end
 
 (* ---- consensus (bracha) ---- *)
 
-let run_consensus n f seed seeds adversary fault faulty_count inputs coin
-    no_validation plain trace trace_out =
-  let module H = Abc.Harness.Make (struct
-    include B
+module Consensus_runner (P : Abc.Harness.CONSENSUS with type input = B.input) =
+struct
+  let go ~label ~n ~f ~seed ~seeds ~adversary ~faulty ~link_faults ~options
+      ~values ~trace ~trace_out =
+    let module H = Abc.Harness.Make (P) in
+    let rounds = ref [] in
+    let failures = ref 0 in
+    for k = 0 to seeds - 1 do
+      let tr = if k = 0 then make_trace ~trace ~trace_out else None in
+      let config =
+        H.E.config ~n ~f
+          ~inputs:(B.inputs ~n ~options values)
+          ~faulty
+          ~adversary:(adversary_of ~n adversary)
+          ~seed:(seed + k) ?link_faults ?trace:tr ()
+      in
+      let result, verdict = H.run config in
+      if Abc.Harness.ok verdict then
+        rounds := verdict.Abc.Harness.max_round :: !rounds
+      else incr failures;
+      if seeds = 1 then begin
+        Fmt.pr "%s n=%d f=%d seed=%d (%a)@." label n f (seed + k) B.Options.pp
+          options;
+        Fmt.pr "  %a@." Abc.Harness.pp_verdict verdict;
+        if link_faults <> None then print_link_stats result.H.E.metrics;
+        List.iter
+          (fun (id, time, d) ->
+            Fmt.pr "  %a: %a at t=%d@." Node_id.pp id Abc.Decision.pp d time)
+          verdict.Abc.Harness.decisions
+      end;
+      write_trace_out ~protocol:label ~n ~f ~seed:(seed + k) trace_out tr;
+      if trace then Option.iter print_trace tr
+    done;
+    if seeds > 1 then begin
+      Fmt.pr "%s n=%d f=%d seeds=%d..%d (%a)@." label n f seed
+        (seed + seeds - 1) B.Options.pp options;
+      Fmt.pr "  ok %d/%d, failures %d@." (List.length !rounds) seeds !failures;
+      summarize_rounds "  " !rounds
+    end
+end
 
-    let value_of_input = B.value_of_input
-  end) in
+let run_consensus n f seed seeds adversary fault faulty_count inputs coin
+    no_validation plain loss dup partition reliable trace trace_out =
   let options =
     {
       B.Options.coin = coin_of coin;
@@ -247,45 +400,31 @@ let run_consensus n f seed seeds adversary fault faulty_count inputs coin
       transport = (if plain then B.Options.Plain else B.Options.Reliable);
     }
   in
-  let mutators =
-    (B.Fault.flip_value, B.Fault.equivocate_by_half ~n, B.Fault.force_decide)
-  in
-  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
   let values = values_of ~n inputs in
-  let rounds = ref [] in
-  let failures = ref 0 in
-  for k = 0 to seeds - 1 do
-    let tr =
-      if k = 0 then make_trace ~trace ~trace_out else None
+  let link_faults = link_faults_of ~n ~loss ~dup ~partition in
+  if reliable then begin
+    let module RL = Abc_net.Reliable_link.Make (B) in
+    let module R = Consensus_runner (struct
+      include RL
+
+      let value_of_input = B.value_of_input
+    end) in
+    R.go ~label:"bracha-consensus+rl" ~n ~f ~seed ~seeds ~adversary
+      ~faulty:(msg_agnostic_faulty ~n ~count:faulty_count fault)
+      ~link_faults ~options ~values ~trace ~trace_out
+  end
+  else begin
+    let module R = Consensus_runner (struct
+      include B
+
+      let value_of_input = B.value_of_input
+    end) in
+    let mutators =
+      (B.Fault.flip_value, B.Fault.equivocate_by_half ~n, B.Fault.force_decide)
     in
-    let config =
-      H.E.config ~n ~f
-        ~inputs:(B.inputs ~n ~options values)
-        ~faulty
-        ~adversary:(adversary_of ~n adversary)
-        ~seed:(seed + k) ?trace:tr ()
-    in
-    let _, verdict = H.run config in
-    if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
-    else incr failures;
-    if seeds = 1 then begin
-      Fmt.pr "bracha-consensus n=%d f=%d seed=%d (%a)@." n f (seed + k)
-        B.Options.pp options;
-      Fmt.pr "  %a@." Abc.Harness.pp_verdict verdict;
-      List.iter
-        (fun (id, time, d) ->
-          Fmt.pr "  %a: %a at t=%d@." Node_id.pp id Abc.Decision.pp d time)
-        verdict.Abc.Harness.decisions
-    end;
-    write_trace_out ~protocol:"bracha-consensus" ~n ~f ~seed:(seed + k)
-      trace_out tr;
-    if trace then Option.iter print_trace tr
-  done;
-  if seeds > 1 then begin
-    Fmt.pr "bracha-consensus n=%d f=%d seeds=%d..%d (%a)@." n f seed
-      (seed + seeds - 1) B.Options.pp options;
-    Fmt.pr "  ok %d/%d, failures %d@." (List.length !rounds) seeds !failures;
-    summarize_rounds "  " !rounds
+    R.go ~label:"bracha-consensus" ~n ~f ~seed ~seeds ~adversary
+      ~faulty:(faulty_nodes ~n ~count:faulty_count fault mutators)
+      ~link_faults ~options ~values ~trace ~trace_out
   end
 
 (* ---- benor ---- *)
@@ -398,39 +537,65 @@ let run_acs n f seed adversary fault faulty_count =
 
 (* ---- smr ---- *)
 
-let run_smr n f seed adversary fault faulty_count slots trace trace_out =
+module Smr_runner
+    (P : Abc_net.Protocol.S
+           with type input = Abc_smr.Replicated_log.input
+            and type output = Abc_smr.Replicated_log.output) =
+struct
+  module Log = Abc_smr.Replicated_log
+
+  let go ~label ~n ~f ~seed ~adversary ~faulty ~link_faults ~slots ~trace
+      ~trace_out =
+    let module E = Abc_net.Engine.Make (P) in
+    let tr = make_trace ~trace ~trace_out in
+    let config =
+      E.config ~n ~f
+        ~inputs:
+          (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
+               Printf.sprintf "cmd-%d.%d" i k))
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed ?link_faults ?trace:tr ()
+    in
+    let result = E.run config in
+    Fmt.pr "%s n=%d f=%d slots=%d seed=%d stop=%a messages=%d time=%d@." label n
+      f slots seed Abc_net.Engine.pp_stop_reason result.E.stop
+      (Abc_sim.Metrics.counter result.E.metrics "sent")
+      result.E.duration;
+    if link_faults <> None then print_link_stats result.E.metrics;
+    Array.iteri
+      (fun i outputs ->
+        match Log.log_of_outputs outputs with
+        | Some log ->
+          Fmt.pr "  replica %d: %a@." i Fmt.(list ~sep:(any " -> ") string) log
+        | None -> Fmt.pr "  replica %d: incomplete@." i)
+      result.E.outputs;
+    write_trace_out ~protocol:label ~n ~f ~seed trace_out tr;
+    if trace then Option.iter print_trace tr
+end
+
+let run_smr n f seed adversary fault faulty_count slots loss dup partition
+    reliable trace trace_out =
   let module Log = Abc_smr.Replicated_log in
-  let module E = Abc_net.Engine.Make (Log) in
-  let mutators =
-    ( (fun _rng (m : Log.msg) -> m),
-      (fun _rng ~dst:_ (m : Log.msg) -> m),
-      fun _rng (m : Log.msg) -> m )
-  in
-  let faulty = faulty_nodes ~n ~count:faulty_count fault mutators in
-  let tr = make_trace ~trace ~trace_out in
-  let config =
-    E.config ~n ~f
-      ~inputs:
-        (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
-             Printf.sprintf "cmd-%d.%d" i k))
-      ~faulty
-      ~adversary:(adversary_of ~n adversary)
-      ~seed ?trace:tr ()
-  in
-  let result = E.run config in
-  Fmt.pr "smr n=%d f=%d slots=%d seed=%d stop=%a messages=%d time=%d@." n f slots
-    seed Abc_net.Engine.pp_stop_reason result.E.stop
-    (Abc_sim.Metrics.counter result.E.metrics "sent")
-    result.E.duration;
-  Array.iteri
-    (fun i outputs ->
-      match Log.log_of_outputs outputs with
-      | Some log ->
-        Fmt.pr "  replica %d: %a@." i Fmt.(list ~sep:(any " -> ") string) log
-      | None -> Fmt.pr "  replica %d: incomplete@." i)
-    result.E.outputs;
-  write_trace_out ~protocol:"replicated-log" ~n ~f ~seed trace_out tr;
-  if trace then Option.iter print_trace tr
+  let link_faults = link_faults_of ~n ~loss ~dup ~partition in
+  if reliable then begin
+    let module RL = Abc_net.Reliable_link.Make (Log) in
+    let module R = Smr_runner (RL) in
+    R.go ~label:"smr+rl" ~n ~f ~seed ~adversary
+      ~faulty:(msg_agnostic_faulty ~n ~count:faulty_count fault)
+      ~link_faults ~slots ~trace ~trace_out
+  end
+  else begin
+    let module R = Smr_runner (Log) in
+    let mutators =
+      ( (fun _rng (m : Log.msg) -> m),
+        (fun _rng ~dst:_ (m : Log.msg) -> m),
+        fun _rng (m : Log.msg) -> m )
+    in
+    R.go ~label:"smr" ~n ~f ~seed ~adversary
+      ~faulty:(faulty_nodes ~n ~count:faulty_count fault mutators)
+      ~link_faults ~slots ~trace ~trace_out
+  end
 
 (* ---- check (bounded model checking) ---- *)
 
@@ -471,6 +636,7 @@ let run_check n f seed depth max_states fault =
         invariant = agreement;
         max_states;
         max_depth = (if depth = 0 then None else Some depth);
+        drop_plan = None;
       }
   in
   Fmt.pr
@@ -494,7 +660,8 @@ let rbc_cmd =
   let term =
     Term.(
       const run_rbc $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
-      $ faulty_count_arg $ trace_arg $ trace_out_arg)
+      $ faulty_count_arg $ loss_arg $ dup_arg $ partition_arg $ reliable_arg
+      $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "rbc" ~doc:"Run one Bracha reliable broadcast.") term
 
@@ -511,7 +678,8 @@ let consensus_cmd =
     Term.(
       const run_consensus $ n_arg $ f_arg $ seed_arg $ seeds_arg $ adversary_arg
       $ fault_kind_arg $ faulty_count_arg $ inputs_arg $ coin_arg $ no_validation
-      $ plain $ trace_arg $ trace_out_arg)
+      $ plain $ loss_arg $ dup_arg $ partition_arg $ reliable_arg $ trace_arg
+      $ trace_out_arg)
   in
   Cmd.v (Cmd.info "consensus" ~doc:"Run Bracha's randomized Byzantine consensus.") term
 
@@ -586,7 +754,8 @@ let smr_cmd =
   let term =
     Term.(
       const run_smr $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
-      $ faulty_count_arg $ slots $ trace_arg $ trace_out_arg)
+      $ faulty_count_arg $ slots $ loss_arg $ dup_arg $ partition_arg
+      $ reliable_arg $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "smr" ~doc:"Run the replicated log.") term
 

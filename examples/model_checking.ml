@@ -46,6 +46,7 @@ let () =
         invariant = rbc_agreement;
         max_states = 500_000;
         max_depth = Some 9;
+        drop_plan = None;
       }
   in
   Fmt.pr
@@ -70,6 +71,7 @@ module Race = struct
     if state.chosen then (state, [], []) else ({ chosen = true }, [], [ Chose v ])
 
   let is_terminal (Chose _) = true
+  let on_timeout = Protocol.no_timeout
   let msg_label (Claim _) = "claim"
   let pp_msg ppf (Claim v) = Fmt.pf ppf "claim(%a)" Abc.Value.pp v
   let pp_output ppf (Chose v) = Fmt.pf ppf "chose(%a)" Abc.Value.pp v
@@ -97,6 +99,7 @@ let () =
         invariant = agreement;
         max_states = 10_000;
         max_depth = None;
+        drop_plan = None;
       }
   in
   match outcome.Check_race.violation with

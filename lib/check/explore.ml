@@ -11,6 +11,7 @@ module Make (P : Abc_net.Protocol.S) = struct
     invariant : P.output list array -> bool;
     max_states : int;
     max_depth : int option;
+    drop_plan : (src:Node_id.t -> dst:Node_id.t -> nth:int -> bool) option;
   }
 
   type violation = {
@@ -33,11 +34,26 @@ module Make (P : Abc_net.Protocol.S) = struct
 
   type entry = { src : Node_id.t; dst : Node_id.t; msg : P.msg; count : int }
 
+  (* Pending timers are a multiset of (node, timer id): exploration is
+     time-abstract, so a pending timer may fire at any point — a sound
+     over-approximation of the engine's due-tick semantics. *)
+  module Timer_map = Map.Make (struct
+    type t = int * int
+
+    let compare (n1, i1) (n2, i2) =
+      match Int.compare n1 n2 with 0 -> Int.compare i1 i2 | c -> c
+  end)
+
   type sys_state = {
     nodes : P.state array;
     activations : int array;
     outputs : P.output list array; (* oldest first *)
     pending : entry Pending_map.t;
+    timers : int Timer_map.t; (* (node, id) -> count *)
+    sent : int array;
+        (* per-link send counts feeding the drop plan, row-major
+           [src * n + dst]; empty (and so fingerprint-neutral) when no
+           plan is configured *)
   }
 
   let entry_key src dst msg = Marshal.to_string (src, dst, msg) []
@@ -52,6 +68,17 @@ module Make (P : Abc_net.Protocol.S) = struct
     match Pending_map.find_opt key pending with
     | Some e when e.count > 1 -> Pending_map.add key { e with count = e.count - 1 } pending
     | Some _ -> Pending_map.remove key pending
+    | None -> assert false
+
+  let add_timer timers key =
+    Timer_map.add key
+      (1 + Option.value ~default:0 (Timer_map.find_opt key timers))
+      timers
+
+  let remove_timer timers key =
+    match Timer_map.find_opt key timers with
+    | Some c when c > 1 -> Timer_map.add key (c - 1) timers
+    | Some _ -> Timer_map.remove key timers
     | None -> assert false
 
   (* A fresh stream per call: deterministic protocols never draw from
@@ -85,7 +112,50 @@ module Make (P : Abc_net.Protocol.S) = struct
         Buffer.add_string buffer key;
         Buffer.add_string buffer (string_of_int e.count))
       state.pending;
+    Timer_map.iter
+      (fun (node, id) count ->
+        Buffer.add_string buffer (Printf.sprintf "T%d.%d=%d" node id count))
+      state.timers;
+    Array.iter (fun c -> Buffer.add_string buffer (string_of_int c)) state.sent;
     Digest.string (Buffer.contents buffer)
+
+  (* Put one transmission into the pool — unless the configured drop
+     plan kills it at send time.  [sent] is the successor's private
+     copy of the per-link counters ([nth] is 0-based). *)
+  let transmit cfg sent pending src dst msg =
+    match cfg.drop_plan with
+    | None -> add_pending pending src dst msg
+    | Some plan ->
+      let cell = (Node_id.to_int src * cfg.n) + Node_id.to_int dst in
+      let nth = sent.(cell) in
+      sent.(cell) <- nth + 1;
+      if plan ~src ~dst ~nth then pending else add_pending pending src dst msg
+
+  (* Fold one node's emitted actions into the pool and timer multiset. *)
+  let apply_actions cfg ~actor sent (pending, timers) actions =
+    List.fold_left
+      (fun (pending, timers) action ->
+        match action with
+        | Protocol.Broadcast msg ->
+          ( List.fold_left
+              (fun pending dst -> transmit cfg sent pending actor dst msg)
+              pending (Node_id.all ~n:cfg.n),
+            timers )
+        | Protocol.Send (dst, msg) ->
+          (transmit cfg sent pending actor dst msg, timers)
+        | Protocol.Set_timer { id; after = _ } ->
+          (* Durations are abstracted away: the timer just becomes
+             eligible to fire at any later step. *)
+          (pending, add_timer timers (Node_id.to_int actor, id)))
+      (pending, timers) actions
+
+  let behaviour_filter cfg ~id ~activation actions =
+    match List.assoc_opt id cfg.faulty with
+    | None -> actions
+    | Some b ->
+      Behaviour.apply b
+        ~rng:(fresh_rng (1000 + Node_id.to_int id))
+        ~n:cfg.n ~activation actions
 
   (* [deliver cfg state key] returns the successor state. *)
   let deliver cfg state key =
@@ -96,61 +166,66 @@ module Make (P : Abc_net.Protocol.S) = struct
       P.on_message ctx state.nodes.(i) ~src:e.src e.msg
     in
     let activation = state.activations.(i) in
-    let actions =
-      match List.assoc_opt e.dst cfg.faulty with
-      | None -> actions
-      | Some b ->
-        Behaviour.apply b ~rng:(fresh_rng (1000 + i)) ~n:cfg.n ~activation actions
-    in
+    let actions = behaviour_filter cfg ~id:e.dst ~activation actions in
     let nodes = Array.copy state.nodes in
     nodes.(i) <- node_state;
     let activations = Array.copy state.activations in
     activations.(i) <- activation + 1;
     let outputs = Array.copy state.outputs in
     outputs.(i) <- state.outputs.(i) @ new_outputs;
+    let sent = Array.copy state.sent in
     let pending = remove_pending state.pending key in
-    let pending =
-      List.fold_left
-        (fun pending action ->
-          match action with
-          | Protocol.Broadcast msg ->
-            List.fold_left
-              (fun pending dst -> add_pending pending e.dst dst msg)
-              pending (Node_id.all ~n:cfg.n)
-          | Protocol.Send (dst, msg) -> add_pending pending e.dst dst msg)
-        pending actions
+    let pending, timers =
+      apply_actions cfg ~actor:e.dst sent (pending, state.timers) actions
     in
-    { nodes; activations; outputs; pending }
+    { nodes; activations; outputs; pending; timers; sent }
+
+  (* [fire cfg state (node, id)] is the successor in which that pending
+     timer fires next. *)
+  let fire cfg state ((node_i, id) as tkey) =
+    let ctx = context cfg node_i in
+    let node_state, actions, new_outputs =
+      P.on_timeout ctx state.nodes.(node_i) ~id
+    in
+    let actor = Node_id.of_int node_i in
+    let activation = state.activations.(node_i) in
+    let actions = behaviour_filter cfg ~id:actor ~activation actions in
+    let nodes = Array.copy state.nodes in
+    nodes.(node_i) <- node_state;
+    let activations = Array.copy state.activations in
+    activations.(node_i) <- activation + 1;
+    let outputs = Array.copy state.outputs in
+    outputs.(node_i) <- state.outputs.(node_i) @ new_outputs;
+    let sent = Array.copy state.sent in
+    let timers = remove_timer state.timers tkey in
+    let pending, timers =
+      apply_actions cfg ~actor sent (state.pending, timers) actions
+    in
+    { nodes; activations; outputs; pending; timers; sent }
 
   let initial_state cfg =
     let nodes = Array.make cfg.n (fst (P.initial (context cfg 0) cfg.inputs.(0))) in
-    let pending = ref Pending_map.empty in
+    let sent =
+      Array.make (match cfg.drop_plan with Some _ -> cfg.n * cfg.n | None -> 0) 0
+    in
+    let pool = ref (Pending_map.empty, Timer_map.empty) in
     for i = 0 to cfg.n - 1 do
       let ctx = context cfg i in
       let node_state, actions = P.initial ctx cfg.inputs.(i) in
       nodes.(i) <- node_state;
       let actions =
-        match List.assoc_opt (Node_id.of_int i) cfg.faulty with
-        | None -> actions
-        | Some b ->
-          Behaviour.apply b ~rng:(fresh_rng (1000 + i)) ~n:cfg.n ~activation:0 actions
+        behaviour_filter cfg ~id:(Node_id.of_int i) ~activation:0 actions
       in
-      List.iter
-        (fun action ->
-          match action with
-          | Protocol.Broadcast msg ->
-            List.iter
-              (fun dst -> pending := add_pending !pending (Node_id.of_int i) dst msg)
-              (Node_id.all ~n:cfg.n)
-          | Protocol.Send (dst, msg) ->
-            pending := add_pending !pending (Node_id.of_int i) dst msg)
-        actions
+      pool := apply_actions cfg ~actor:(Node_id.of_int i) sent !pool actions
     done;
+    let pending, timers = !pool in
     {
       nodes;
       activations = Array.make cfg.n 1;
       outputs = Array.make cfg.n [];
-      pending = !pending;
+      pending;
+      timers;
+      sent;
     }
 
   (* Fingerprints are strings; hash them through an explicit functor so
@@ -192,30 +267,41 @@ module Make (P : Abc_net.Protocol.S) = struct
       let state, fp, depth = Queue.pop queue in
       incr explored;
       depth_reached := max !depth_reached depth;
-      if Pending_map.is_empty state.pending then incr deadlocks
+      if Pending_map.is_empty state.pending && Timer_map.is_empty state.timers
+      then incr deadlocks
       else if (match cfg.max_depth with Some d -> depth >= d | None -> false) then
         truncated := true
-      else
+      else begin
+        let visit successor step =
+          let successor_fp = fingerprint successor in
+          if not (Fp_tbl.mem visited successor_fp) then begin
+            Fp_tbl.add visited successor_fp ();
+            Fp_tbl.add parents successor_fp (fp, step);
+            if not (cfg.invariant successor.outputs) then
+              violation :=
+                Some
+                  {
+                    schedule = rebuild_schedule successor_fp;
+                    outputs = successor.outputs;
+                  }
+            else Queue.add (successor, successor_fp, depth + 1) queue
+          end
+        in
         Pending_map.iter
           (fun key e ->
-            if !violation = None then begin
-              let successor = deliver cfg state key in
-              let successor_fp = fingerprint successor in
-              if not (Fp_tbl.mem visited successor_fp) then begin
-                Fp_tbl.add visited successor_fp ();
-                Fp_tbl.add parents successor_fp
-                  (fp, (e.src, e.dst, Fmt.str "%a" P.pp_msg e.msg));
-                if not (cfg.invariant successor.outputs) then
-                  violation :=
-                    Some
-                      {
-                        schedule = rebuild_schedule successor_fp;
-                        outputs = successor.outputs;
-                      }
-                else Queue.add (successor, successor_fp, depth + 1) queue
-              end
-            end)
-          state.pending
+            if !violation = None then
+              visit (deliver cfg state key)
+                (e.src, e.dst, Fmt.str "%a" P.pp_msg e.msg))
+          state.pending;
+        (* Every pending timer may fire next, too. *)
+        Timer_map.iter
+          (fun ((node_i, id) as tkey) _count ->
+            if !violation = None then
+              let actor = Node_id.of_int node_i in
+              visit (fire cfg state tkey)
+                (actor, actor, Printf.sprintf "timeout#%d" id))
+          state.timers
+      end
     done;
     {
       explored = !explored;

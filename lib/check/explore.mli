@@ -33,15 +33,27 @@ module Make (P : Abc_net.Protocol.S) : sig
             node has produced so far (oldest first) *)
     max_states : int;  (** exploration budget *)
     max_depth : int option;
-        (** bound on schedule length (deliveries); [None] explores to
-            quiescence.  A bounded run that finds no violation verifies
-            safety for {e every} schedule prefix up to that depth. *)
+        (** bound on schedule length (deliveries and timer firings);
+            [None] explores to quiescence.  A bounded run that finds no
+            violation verifies safety for {e every} schedule prefix up
+            to that depth. *)
+    drop_plan :
+      (src:Abc_net.Node_id.t -> dst:Abc_net.Node_id.t -> nth:int -> bool)
+      option;
+        (** deterministic link-fault plan, applied at {e send} time:
+            the [nth] (0-based) message sent on the [src -> dst] link
+            is discarded when the predicate says so.  Exploration then
+            covers every schedule of the surviving messages — this is
+            how transport-layer protocols ([Reliable_link]) are checked
+            against lossy links.  [None] keeps the reliable network
+            (and the exact state space of previous versions). *)
   }
 
   type violation = {
     schedule : (Abc_net.Node_id.t * Abc_net.Node_id.t * string) list;
-        (** the delivery sequence (src, dst, printed message) leading
-            to the bad state, oldest first *)
+        (** the step sequence (src, dst, printed message) leading to
+            the bad state, oldest first; a timer firing appears as
+            (node, node, ["timeout#<id>"]) *)
     outputs : P.output list array;  (** outputs in the bad state *)
   }
 
@@ -49,7 +61,8 @@ module Make (P : Abc_net.Protocol.S) : sig
     explored : int;  (** distinct states visited *)
     exhausted : bool;  (** whole reachable space covered *)
     deadlocks : int;
-        (** states with no in-flight messages (not violations per se —
+        (** states with no in-flight messages and no pending timers
+            (not violations per se —
             liveness is out of scope for safety checking — but reported
             for diagnostics) *)
     depth_reached : int;  (** longest schedule prefix explored *)

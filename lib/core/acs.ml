@@ -207,6 +207,7 @@ module Make (V : Value.PAYLOAD) = struct
       end
 
   let is_terminal (Accepted _) = true
+  let on_timeout = Protocol.no_timeout
 
   let msg_label = function
     | Prop { event; _ } -> "prop." ^ Prbc.event_label event

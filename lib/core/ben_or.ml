@@ -209,6 +209,7 @@ let on_message ctx state ~src msg =
     [] []
 
 let is_terminal (_ : output) = true
+let on_timeout = Protocol.no_timeout
 
 let msg_label = function Report _ -> "report" | Proposal _ -> "proposal"
 

@@ -96,6 +96,7 @@ let on_message ctx state ~src msg =
     (state, [], [])
 
 let is_terminal (_ : output) = true
+let on_timeout = Protocol.no_timeout
 
 let msg_label = function
   | Wire wire -> Rbc_mux.wire_label wire

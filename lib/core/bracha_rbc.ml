@@ -37,6 +37,7 @@ module Make (V : Value.PAYLOAD) = struct
     (state, broadcast_all events, outputs)
 
   let is_terminal (Delivered _) = true
+  let on_timeout = Protocol.no_timeout
 
   let msg_label = Core.event_label
 

@@ -76,6 +76,7 @@ module Make (V : Value.PAYLOAD) = struct
     | Core.Ready _ -> (state, [], []) (* no third phase in this primitive *)
 
   let is_terminal (Delivered _) = true
+  let on_timeout = Protocol.no_timeout
 
   let msg_label = Core.event_label
 

@@ -283,6 +283,7 @@ let on_message ctx state ~src msg =
   (state, List.map (fun m -> Protocol.Broadcast m) actions, outputs)
 
 let is_terminal (_ : output) = true
+let on_timeout = Protocol.no_timeout
 
 let msg_label = function Bval _ -> "bval" | Aux _ -> "aux" | Share _ -> "share"
 

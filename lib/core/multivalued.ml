@@ -27,6 +27,10 @@ module Make (V : Value.PAYLOAD) = struct
     let state, actions, outputs = Underlying.on_message ctx state ~src msg in
     (state, actions, translate outputs)
 
+  let on_timeout ctx state ~id =
+    let state, actions, outputs = Underlying.on_timeout ctx state ~id in
+    (state, actions, translate outputs)
+
   let is_terminal (Decided _) = true
 
   let msg_label = Underlying.msg_label

@@ -179,6 +179,7 @@ module Make (V : Value.PAYLOAD) = struct
     (state, ba_actions @ actions, outputs)
 
   let is_terminal (_ : output) = true
+  let on_timeout = Protocol.no_timeout
 
   let msg_label = function
     | Step1 _ -> "step1"

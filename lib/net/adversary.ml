@@ -213,4 +213,6 @@ let all_basic ~n =
     latency ~mean:8.;
     targeted_delay ~victims:[ Node_id.of_int 0 ];
     split ~n;
+    source_starve ~victims:[ Node_id.of_int 0 ];
+    rotating_eclipse ~n ~period:(2 * n);
   ]

@@ -108,4 +108,5 @@ val starve : name:string -> disfavoured:(meta -> bool) -> t
 
 val all_basic : n:int -> t list
 (** The standard policy battery used by the experiments: fifo, uniform,
-    latency (mean 8), targeted-delay on node 0, split. *)
+    latency (mean 8), targeted-delay on node 0, split, source-starve on
+    node 0 and rotating-eclipse with period [2n] — all seven policies. *)

@@ -25,6 +25,7 @@ let rec apply b ~rng ~n ~activation actions =
     let corrupt_action = function
       | Protocol.Broadcast msg -> Protocol.Broadcast (corrupt rng msg)
       | Protocol.Send (dst, msg) -> Protocol.Send (dst, corrupt rng msg)
+      | Protocol.Set_timer _ as a -> a (* timers are node-local, not wire *)
     in
     List.map corrupt_action actions
   | Equivocate corrupt ->
@@ -34,8 +35,16 @@ let rec apply b ~rng ~n ~activation actions =
           (fun dst -> Protocol.Send (dst, corrupt rng ~dst msg))
           (Node_id.all ~n)
       | Protocol.Send (dst, msg) -> [ Protocol.Send (dst, corrupt rng ~dst msg) ]
+      | Protocol.Set_timer _ as a -> [ a ]
     in
     List.concat_map corrupt_action actions
-  | Replay k -> List.concat_map (fun a -> List.init (1 + k) (fun _ -> a)) actions
+  | Replay k ->
+    List.concat_map
+      (fun a ->
+        match a with
+        | Protocol.Set_timer _ -> [ a ] (* replaying a timer arm is meaningless *)
+        | Protocol.Broadcast _ | Protocol.Send _ ->
+          List.init (1 + k) (fun _ -> a))
+      actions
   | Corrupt_after (k, inner) ->
     if activation < k then actions else apply inner ~rng ~n ~activation actions

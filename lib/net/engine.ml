@@ -18,6 +18,7 @@ module Make (P : Protocol.S) = struct
     trace : Abc_sim.Trace.t option;
     detail : bool;
     topology : Topology.t option;
+    link_faults : Link_faults.t option;
   }
 
   type result = {
@@ -29,8 +30,8 @@ module Make (P : Protocol.S) = struct
   }
 
   let config ?(faulty = []) ?(adversary = Adversary.fifo) ?(seed = 0)
-      ?max_deliveries ?fairness_age ?trace ?(detail = false) ?topology ~n ~f
-      ~inputs () =
+      ?max_deliveries ?fairness_age ?trace ?(detail = false) ?topology
+      ?link_faults ~n ~f ~inputs () =
     if Array.length inputs <> n then
       invalid_arg "Engine.config: inputs length must equal n";
     (match topology with
@@ -60,6 +61,7 @@ module Make (P : Protocol.S) = struct
       trace;
       detail;
       topology;
+      link_faults;
     }
 
   let honest cfg =
@@ -71,6 +73,7 @@ module Make (P : Protocol.S) = struct
   type envelope = {
     meta : Adversary.meta;
     payload : P.msg;
+    copy : bool;  (* a link-fault duplicate; exempt from re-duplication *)
   }
 
   type node = {
@@ -87,10 +90,23 @@ module Make (P : Protocol.S) = struct
   let run cfg =
     let root = Abc_prng.Stream.root ~seed:cfg.seed in
     let adversary_rng = Abc_prng.Stream.split root ~label:cfg.n in
+    (* Link-fault decisions draw from a dedicated stream (labels 0..n-1
+       are the nodes, n the adversary, n+1..2n the behaviours), and the
+       stream only exists when the plan can bite — so a run with faults
+       disabled is bit-identical to one with no plan at all. *)
+    let link_plan =
+      match cfg.link_faults with
+      | Some plan when Link_faults.active plan ->
+        Some (plan, Abc_prng.Stream.split root ~label:((2 * cfg.n) + 1))
+      | Some _ | None -> None
+    in
     let policy = cfg.adversary.Adversary.instantiate () in
     let metrics = Abc_sim.Metrics.create () in
     let clock = Abc_sim.Clock.create () in
     let pending : envelope Abc_sim.Vec.t = Abc_sim.Vec.create () in
+    (* Virtual timers: (node, timer id) payloads ordered by due tick;
+       the heap's stable tie-breaking keeps firing order deterministic. *)
+    let timers : (int * int) Abc_sim.Heap.t = Abc_sim.Heap.create () in
     let next_seq = ref 0 in
     (* [index_of_seq] maps a live sequence number to its current index
        in [pending]; [oldest_cursor] advances monotonically, so finding
@@ -211,7 +227,7 @@ module Make (P : Protocol.S) = struct
         let now = Abc_sim.Clock.now clock in
         let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
         let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
-        Abc_sim.Vec.push pending { meta; payload };
+        Abc_sim.Vec.push pending { meta; payload; copy = false };
         Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
         policy.Adversary.note meta;
         Abc_sim.Metrics.incr metrics "sent";
@@ -236,6 +252,16 @@ module Make (P : Protocol.S) = struct
       | Protocol.Broadcast payload ->
         List.iter (fun dst -> dispatch dst payload) (Node_id.all ~n:cfg.n)
       | Protocol.Send (dst, payload) -> dispatch dst payload
+      | Protocol.Set_timer { id; after } ->
+        let now = Abc_sim.Clock.now clock in
+        let due = now + max 1 after in
+        Abc_sim.Heap.push timers ~priority:due (Node_id.to_int src, id);
+        Abc_sim.Metrics.incr metrics "timer.set";
+        (match cfg.trace with
+        | Some tr ->
+          Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int src)
+            (Abc_sim.Event.make (Abc_sim.Event.Timer_set { id; due }))
+        | None -> ())
     in
     let emit_actions node actions =
       let before = List.length actions in
@@ -292,49 +318,148 @@ module Make (P : Protocol.S) = struct
       else policy.Adversary.choose ~rng:adversary_rng ~now v
     in
     let deliveries = ref 0 in
+    (* The budget counts loop iterations — protocol deliveries, link
+       drops and timer firings alike — so a lossy run whose transport
+       keeps retransmitting into a dead link still terminates. *)
+    let iterations = ref 0 in
+    let fire_timer (node_i, id) =
+      let now = Abc_sim.Clock.now clock in
+      let node = nodes.(node_i) in
+      Abc_sim.Metrics.incr metrics "timer.fired";
+      (match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr ~time:now ~node:node_i
+          (Abc_sim.Event.make (Abc_sim.Event.Timer_fire { id }))
+      | None -> ());
+      let state, actions, outputs = P.on_timeout node.ctx node.state ~id in
+      node.state <- state;
+      emit_actions node actions;
+      node.activations <- node.activations + 1;
+      record_outputs node outputs
+    in
+    let deliver now envelope =
+      let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
+      incr deliveries;
+      Abc_sim.Metrics.incr metrics "delivered";
+      if cfg.detail then
+        Abc_sim.Metrics.incr metrics
+          (Printf.sprintf "node%d.delivered" (Node_id.to_int node.id));
+      (match cfg.trace with
+      | Some tr ->
+        (* The payload rendering is only built when tracing is on —
+           the disabled path allocates nothing here. *)
+        Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int node.id)
+          (Abc_sim.Event.make
+             (Abc_sim.Event.Deliver
+                {
+                  src = Node_id.to_int envelope.meta.Adversary.src;
+                  label = P.msg_label envelope.payload;
+                  detail = Fmt.str "%a" P.pp_msg envelope.payload;
+                }))
+      | None -> ());
+      let state, actions, outputs =
+        P.on_message node.ctx node.state ~src:envelope.meta.Adversary.src
+          envelope.payload
+      in
+      node.state <- state;
+      emit_actions node actions;
+      node.activations <- node.activations + 1;
+      record_outputs node outputs
+    in
+    (* Re-enqueue a duplicate copy of [envelope] as a fresh in-flight
+       message (new sequence number, scheduled by the adversary like
+       any other).  Copies are marked so they are never duplicated
+       again — duplication is bounded, not a traffic amplifier. *)
+    let enqueue_duplicate now envelope =
+      let src = envelope.meta.Adversary.src in
+      let dst = envelope.meta.Adversary.dst in
+      let seq = !next_seq in
+      next_seq := seq + 1;
+      let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
+      let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
+      Abc_sim.Vec.push pending { meta; payload = envelope.payload; copy = true };
+      Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
+      policy.Adversary.note meta;
+      Abc_sim.Metrics.incr metrics "duplicated.link";
+      match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int src)
+          (Abc_sim.Event.make
+             (Abc_sim.Event.Link_dup
+                {
+                  src = Node_id.to_int src;
+                  dst = Node_id.to_int dst;
+                  label = P.msg_label envelope.payload;
+                }))
+      | None -> ()
+    in
+    let drop_envelope now envelope reason =
+      Abc_sim.Metrics.incr metrics "dropped.link";
+      Abc_sim.Metrics.incr metrics ("dropped.link." ^ reason);
+      match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr
+          ~time:now
+          ~node:(Node_id.to_int envelope.meta.Adversary.dst)
+          (Abc_sim.Event.make
+             (Abc_sim.Event.Link_drop
+                {
+                  src = Node_id.to_int envelope.meta.Adversary.src;
+                  dst = Node_id.to_int envelope.meta.Adversary.dst;
+                  label = P.msg_label envelope.payload;
+                  reason;
+                }))
+      | None -> ()
+    in
     let stop = ref None in
     while !stop = None do
       if all_honest_terminal () then stop := Some All_terminal
-      else if Abc_sim.Vec.is_empty pending then stop := Some Quiescent
-      else if !deliveries >= cfg.max_deliveries then stop := Some Delivery_limit
+      else if Abc_sim.Vec.is_empty pending && Abc_sim.Heap.is_empty timers then
+        stop := Some Quiescent
+      else if !iterations >= cfg.max_deliveries then stop := Some Delivery_limit
       else begin
+        incr iterations;
         let now = Abc_sim.Clock.tick clock in
-        let index = choose_index now in
-        let envelope = remove_pending index in
-        (* Record the delivery age so tests can audit the fairness
-           guarantee: no message older than the bound is ever passed
-           over. *)
-        let age = now - envelope.meta.Adversary.sent_at in
-        if age > Abc_sim.Metrics.counter metrics "max_delivery_age" then
-          Abc_sim.Metrics.add metrics "max_delivery_age"
-            (age - Abc_sim.Metrics.counter metrics "max_delivery_age");
-        let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
-        incr deliveries;
-        Abc_sim.Metrics.incr metrics "delivered";
-        if cfg.detail then
-          Abc_sim.Metrics.incr metrics
-            (Printf.sprintf "node%d.delivered" (Node_id.to_int node.id));
-        (match cfg.trace with
-        | Some tr ->
-          (* The payload rendering is only built when tracing is on —
-             the disabled path allocates nothing here. *)
-          Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int node.id)
-            (Abc_sim.Event.make
-               (Abc_sim.Event.Deliver
-                  {
-                    src = Node_id.to_int envelope.meta.Adversary.src;
-                    label = P.msg_label envelope.payload;
-                    detail = Fmt.str "%a" P.pp_msg envelope.payload;
-                  }))
-        | None -> ());
-        let state, actions, outputs =
-          P.on_message node.ctx node.state ~src:envelope.meta.Adversary.src
-            envelope.payload
+        (* Timers due by now fire before any delivery; when only timers
+           remain the clock jumps forward to the next due time instead
+           of reporting Quiescent. *)
+        let fire_due =
+          match Abc_sim.Heap.peek timers with
+          | Some (due, _) -> due <= now || Abc_sim.Vec.is_empty pending
+          | None -> false
         in
-        node.state <- state;
-        emit_actions node actions;
-        node.activations <- node.activations + 1;
-        record_outputs node outputs
+        if fire_due then begin
+          match Abc_sim.Heap.pop timers with
+          | None -> assert false
+          | Some (due, target) ->
+            if due > now then Abc_sim.Clock.advance_to clock due;
+            fire_timer target
+        end
+        else begin
+          let index = choose_index now in
+          let envelope = remove_pending index in
+          (* Record the delivery age so tests can audit the fairness
+             guarantee: no message older than the bound is ever passed
+             over.  Link-fault drops still count — the age measures the
+             scheduler, which did pick the message. *)
+          let age = now - envelope.meta.Adversary.sent_at in
+          if age > Abc_sim.Metrics.counter metrics "max_delivery_age" then
+            Abc_sim.Metrics.add metrics "max_delivery_age"
+              (age - Abc_sim.Metrics.counter metrics "max_delivery_age");
+          let verdict =
+            match link_plan with
+            | None -> Link_faults.Deliver
+            | Some (plan, rng) ->
+              Link_faults.judge plan rng ~now ~src:envelope.meta.Adversary.src
+                ~dst:envelope.meta.Adversary.dst ~can_dup:(not envelope.copy)
+          in
+          match verdict with
+          | Link_faults.Drop reason -> drop_envelope now envelope reason
+          | Link_faults.Deliver -> deliver now envelope
+          | Link_faults.Duplicate ->
+            enqueue_duplicate now envelope;
+            deliver now envelope
+        end
       end
     done;
     let stop = match !stop with Some s -> s | None -> assert false in

@@ -13,9 +13,10 @@ type stop_reason =
   | All_terminal
       (** every honest node emitted a terminal output — success *)
   | Quiescent
-      (** no messages in flight but some honest node is not terminal:
-          the protocol deadlocked (or was configured beyond its
-          resilience) *)
+      (** no messages in flight, no timers pending, but some honest
+          node is not terminal: the protocol deadlocked (or was
+          configured beyond its resilience, or its messages were
+          killed by link faults with no transport layer to retry) *)
   | Delivery_limit  (** the configured delivery budget ran out *)
 
 val pp_stop_reason : stop_reason Fmt.t
@@ -30,7 +31,9 @@ module Make (P : Protocol.S) : sig
             honest *)
     adversary : Adversary.t;  (** message scheduling policy *)
     seed : int;  (** root seed: equal seeds give equal runs *)
-    max_deliveries : int;  (** hard stop for non-terminating setups *)
+    max_deliveries : int;
+        (** hard stop for non-terminating setups; counts engine steps
+            (deliveries, link-fault drops and timer firings) *)
     fairness_age : int;
         (** a message older than this many ticks is delivered next,
             overriding the adversary — the "eventual delivery" bound *)
@@ -52,13 +55,24 @@ module Make (P : Protocol.S) : sig
         (** communication graph; [None] means complete.  Messages along
             non-edges are dropped (counted as ["dropped.topology"]);
             the self-channel always exists *)
+    link_faults : Link_faults.t option;
+        (** per-link fault plan applied at delivery time; [None] (or an
+            inactive plan) is the paper's reliable network.  Drops are
+            counted as ["dropped.link"] (plus ["dropped.link.loss"] /
+            ["dropped.link.partition"]), duplicates as
+            ["duplicated.link"], and both are traced as typed events.
+            Fault decisions draw from a dedicated PRNG stream, so runs
+            without faults are unaffected by the feature existing *)
   }
 
   type result = {
     outputs : (int * P.output) list array;
         (** per node: (virtual time, output) pairs in emission order *)
     stop : stop_reason;
-    deliveries : int;  (** total messages delivered *)
+    deliveries : int;
+        (** messages actually delivered to protocol code (link-fault
+            drops and timer firings consume the delivery budget but are
+            not counted here) *)
     duration : int;  (** final virtual time *)
     metrics : Abc_sim.Metrics.t;
         (** counters: ["sent"] and ["sent.<label>"] count point-to-point
@@ -78,6 +92,7 @@ module Make (P : Protocol.S) : sig
     ?trace:Abc_sim.Trace.t ->
     ?detail:bool ->
     ?topology:Topology.t ->
+    ?link_faults:Link_faults.t ->
     n:int ->
     f:int ->
     inputs:P.input array ->

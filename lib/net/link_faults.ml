@@ -1,0 +1,48 @@
+type cut = { from_tick : int; until_tick : int; island : Node_id.Set.t }
+
+type t = { name : string; drop : float; dup : float; cuts : cut list }
+
+let check_prob what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Link_faults: %s probability %g not in [0,1]" what p)
+
+let cut ~from_tick ~until_tick island =
+  if from_tick < 0 || until_tick < from_tick then
+    invalid_arg "Link_faults.cut: need 0 <= from_tick <= until_tick";
+  { from_tick; until_tick; island = Node_id.Set.of_list island }
+
+let make ?(name = "link-faults") ?(drop = 0.0) ?(dup = 0.0) ?(cuts = []) () =
+  check_prob "drop" drop;
+  check_prob "dup" dup;
+  { name; drop; dup; cuts }
+
+let none = make ~name:"none" ()
+
+let active t = t.drop > 0.0 || t.dup > 0.0 || t.cuts <> []
+
+let name t = t.name
+
+(* A cut severs src -> dst during [from_tick, until_tick) when exactly
+   one endpoint is inside the island — traffic within the island (and
+   within its complement) still flows, matching a network partition. *)
+let severed t ~now ~src ~dst =
+  List.exists
+    (fun c ->
+      now >= c.from_tick && now < c.until_tick
+      && not
+           (Bool.equal (Node_id.Set.mem src c.island)
+              (Node_id.Set.mem dst c.island)))
+    t.cuts
+
+type verdict = Deliver | Drop of string | Duplicate
+
+let judge t rng ~now ~src ~dst ~can_dup =
+  if Node_id.equal src dst then Deliver
+  else if severed t ~now ~src ~dst then Drop "partition"
+  else if t.drop > 0.0 && Abc_prng.Stream.bernoulli rng ~p:t.drop then Drop "loss"
+  else if can_dup && t.dup > 0.0 && Abc_prng.Stream.bernoulli rng ~p:t.dup then
+    Duplicate
+  else Deliver
+
+let pp ppf t =
+  Fmt.pf ppf "%s(drop=%g dup=%g cuts=%d)" t.name t.drop t.dup (List.length t.cuts)

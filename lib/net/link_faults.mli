@@ -1,0 +1,71 @@
+(** Deterministic per-link fault plans.
+
+    Bracha's model {e assumes} reliable authenticated channels; this
+    module is how the engine withdraws that assumption.  A plan
+    describes message-level faults — random loss, random duplication,
+    and scheduled partitions that heal — and the engine applies it at
+    delivery time, so the adversarial scheduler still controls ordering
+    and the fault plan controls survival.
+
+    Everything is a deterministic function of the run seed: fault
+    decisions draw from a dedicated PRNG stream split off the engine's
+    root (see [Engine]), so the same seed replays the same drops,
+    duplicates and timer firings.  Faults never apply to a node's
+    self-channel (a node can always talk to itself). *)
+
+type cut
+(** One scheduled partition interval. *)
+
+val cut : from_tick:int -> until_tick:int -> Node_id.t list -> cut
+(** [cut ~from_tick ~until_tick island] severs every link crossing the
+    boundary between [island] and its complement during the virtual
+    time interval [\[from_tick, until_tick)] — the partition heals at
+    [until_tick].  Traffic within either side still flows.  Requires
+    [0 <= from_tick <= until_tick]. *)
+
+type t
+(** A per-link fault plan. *)
+
+val make : ?name:string -> ?drop:float -> ?dup:float -> ?cuts:cut list -> unit -> t
+(** [make ()] is the fault-free plan.  [drop] is the per-delivery loss
+    probability, [dup] the probability a delivered message is also
+    re-enqueued as a duplicate copy (duplicates are never themselves
+    duplicated), [cuts] the partition schedule.  Raises [Invalid_argument]
+    on probabilities outside [0, 1]. *)
+
+val none : t
+(** The fault-free plan ([active none = false]). *)
+
+val active : t -> bool
+(** [active t] is [true] when [t] can affect any delivery.  An engine
+    configured with an inactive plan behaves bit-identically to one
+    configured with no plan at all. *)
+
+val name : t -> string
+
+val severed : t -> now:int -> src:Node_id.t -> dst:Node_id.t -> bool
+(** [severed t ~now ~src ~dst] is [true] when a cut currently severs
+    the [src -> dst] link. *)
+
+(** The fate of one attempted delivery. *)
+type verdict =
+  | Deliver  (** deliver normally *)
+  | Drop of string  (** discard; the string is ["loss"] or ["partition"] *)
+  | Duplicate  (** deliver normally {e and} re-enqueue a duplicate copy *)
+
+val judge :
+  t ->
+  Abc_prng.Stream.t ->
+  now:int ->
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  can_dup:bool ->
+  verdict
+(** [judge t rng ~now ~src ~dst ~can_dup] decides the fate of a message
+    about to be delivered.  Partition cuts are checked first (no
+    randomness), then loss, then duplication.  [can_dup:false] marks a
+    message that is already a duplicate copy, which is exempt from
+    further duplication.  Self-channel messages ([src = dst]) are
+    always delivered. *)
+
+val pp : t Fmt.t

@@ -1,4 +1,7 @@
-type 'msg action = Broadcast of 'msg | Send of Node_id.t * 'msg
+type 'msg action =
+  | Broadcast of 'msg
+  | Send of Node_id.t * 'msg
+  | Set_timer of { id : int; after : int }
 
 module Context = struct
   type t = {
@@ -24,8 +27,13 @@ module type S = sig
   val on_message :
     Context.t -> state -> src:Node_id.t -> msg -> state * msg action list * output list
 
+  val on_timeout :
+    Context.t -> state -> id:int -> state * msg action list * output list
+
   val is_terminal : output -> bool
   val msg_label : msg -> string
   val pp_msg : msg Fmt.t
   val pp_output : output Fmt.t
 end
+
+let no_timeout _ctx state ~id:_ = (state, [], [])

@@ -16,6 +16,15 @@ type 'msg action =
           self-copy travels through the network like any other message,
           which only strengthens the adversary. *)
   | Send of Node_id.t * 'msg  (** Transmit to a single node. *)
+  | Set_timer of { id : int; after : int }
+      (** Arm a virtual timer: the engine calls {!S.on_timeout} on this
+          node with [id] once [after] ticks of virtual time have
+          elapsed (at least one).  Timers are node-local — they never
+          cross the network — and are not cancellable: a protocol that
+          no longer cares about a timeout simply ignores the firing.
+          The engine will not report [Quiescent] while timers are
+          pending, which is what lets transport protocols retransmit
+          into silence. *)
 
 module Context : sig
   type t = {
@@ -63,6 +72,12 @@ module type S = sig
   (** [on_message ctx state ~src msg] reacts to the delivery of [msg]
       sent by [src]. *)
 
+  val on_timeout :
+    Context.t -> state -> id:int -> state * msg action list * output list
+  (** [on_timeout ctx state ~id] reacts to the firing of a timer this
+      node armed earlier with {!Set_timer}.  Protocols that never arm
+      timers should use {!no_timeout}. *)
+
   val is_terminal : output -> bool
   (** [is_terminal o] is [true] when [o] marks this node as done (the
       engine stops once every honest node has emitted a terminal
@@ -74,3 +89,8 @@ module type S = sig
   val pp_msg : msg Fmt.t
   val pp_output : output Fmt.t
 end
+
+val no_timeout :
+  Context.t -> 'state -> id:int -> 'state * 'msg action list * 'output list
+(** Default {!S.on_timeout} for protocols that never arm timers:
+    ignores the firing and changes nothing. *)

@@ -32,15 +32,22 @@ module Make (P : Protocol.S) = struct
   let wrap me state actions =
     List.fold_left
       (fun (state, wrapped) action ->
-        let sequence = state.next_sequence in
-        let state = { state with next_sequence = sequence + 1 } in
-        let envelope =
-          match action with
-          | Protocol.Broadcast inner -> { origin = me; sequence; target = None; inner }
-          | Protocol.Send (dst, inner) ->
-            { origin = me; sequence; target = Some dst; inner }
-        in
-        (state, Protocol.Broadcast envelope :: wrapped))
+        match action with
+        | Protocol.Set_timer { id; after } ->
+          (* Timers are node-local: nothing to flood. *)
+          (state, Protocol.Set_timer { id; after } :: wrapped)
+        | Protocol.Broadcast _ | Protocol.Send _ ->
+          let sequence = state.next_sequence in
+          let state = { state with next_sequence = sequence + 1 } in
+          let envelope =
+            match action with
+            | Protocol.Broadcast inner ->
+              { origin = me; sequence; target = None; inner }
+            | Protocol.Send (dst, inner) ->
+              { origin = me; sequence; target = Some dst; inner }
+            | Protocol.Set_timer _ -> assert false
+          in
+          (state, Protocol.Broadcast envelope :: wrapped))
       (state, []) actions
     |> fun (state, wrapped) -> (state, List.rev wrapped)
 
@@ -74,6 +81,14 @@ module Make (P : Protocol.S) = struct
         (state, forward :: wrapped, outputs)
       end
     end
+
+  let on_timeout ctx state ~id =
+    let inner_state, inner_actions, outputs =
+      P.on_timeout ctx state.inner_state ~id
+    in
+    let state = { state with inner_state } in
+    let state, wrapped = wrap ctx.Protocol.Context.me state inner_actions in
+    (state, wrapped, outputs)
 
   let is_terminal = P.is_terminal
 

@@ -1,0 +1,41 @@
+(** Reliable channels, implemented rather than assumed.
+
+    Bracha (PODC 1984) assumes reliable authenticated point-to-point
+    channels.  [Make (P)] {e implements} that assumption on top of the
+    lossy network of {!Link_faults}: every logical message of [P] is
+    carried in a sequenced envelope, receivers acknowledge cumulatively
+    and deliver in order (deduplicating engine-level copies and
+    retransmissions), and senders retransmit everything unacknowledged
+    on a timer with capped exponential backoff.  As long as each link
+    delivers {e some} copy eventually — i.e. loss probability below 1
+    and partitions that heal — the wrapped protocol observes exactly
+    the reliable-FIFO channel abstraction of the paper.
+
+    The transformer is transparent: [input], [output], terminality and
+    output pretty-printing are [P]'s, so harnesses compose (for a
+    consensus protocol, [Harness.Make] over the wrapped module works
+    unchanged).  Wire labels become ["rl.data"], ["rl.retx"] and
+    ["rl.ack"], so the engine's ["sent.<label>"] counters report
+    transport overhead for free; retransmissions additionally emit
+    typed {!Abc_sim.Event.Retransmit} events.
+
+    Timer ids [0..n-1] are reserved by the transformer (one
+    retransmission clock per destination); the wrapped protocol's own
+    timer ids are shifted up by [n] and handed back shifted down, so
+    timer-using protocols nest correctly. *)
+
+module Make (P : Protocol.S) : sig
+  type msg =
+    | Data of { seq : int; retx : bool; inner : P.msg }
+        (** sequenced envelope carrying one logical message; [retx]
+            marks retransmitted copies (label ["rl.retx"]) *)
+    | Ack of { upto : int }
+        (** cumulative acknowledgement of every [Data] with
+            [seq <= upto] *)
+
+  include
+    Protocol.S
+      with type input = P.input
+       and type output = P.output
+       and type msg := msg
+end

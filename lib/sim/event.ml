@@ -7,6 +7,11 @@ type kind =
   | Decide of { value : string }
   | Output of { label : string }
   | Note of { tag : string; detail : string }
+  | Link_drop of { src : int; dst : int; label : string; reason : string }
+  | Link_dup of { src : int; dst : int; label : string }
+  | Timer_set of { id : int; due : int }
+  | Timer_fire of { id : int }
+  | Retransmit of { dst : int; seq : int }
 
 type t = { kind : kind; instance : string; round : int }
 
@@ -21,6 +26,11 @@ let kind_label = function
   | Decide _ -> "decide"
   | Output _ -> "output"
   | Note _ -> "note"
+  | Link_drop _ -> "link-drop"
+  | Link_dup _ -> "link-dup"
+  | Timer_set _ -> "timer-set"
+  | Timer_fire _ -> "timeout"
+  | Retransmit _ -> "retransmit"
 
 let kind_equal a b =
   match (a, b) with
@@ -38,8 +48,19 @@ let kind_equal a b =
   | Decide a, Decide b -> String.equal a.value b.value
   | Output a, Output b -> String.equal a.label b.label
   | Note a, Note b -> String.equal a.tag b.tag && String.equal a.detail b.detail
+  | Link_drop a, Link_drop b ->
+    Int.equal a.src b.src && Int.equal a.dst b.dst
+    && String.equal a.label b.label
+    && String.equal a.reason b.reason
+  | Link_dup a, Link_dup b ->
+    Int.equal a.src b.src && Int.equal a.dst b.dst
+    && String.equal a.label b.label
+  | Timer_set a, Timer_set b -> Int.equal a.id b.id && Int.equal a.due b.due
+  | Timer_fire a, Timer_fire b -> Int.equal a.id b.id
+  | Retransmit a, Retransmit b -> Int.equal a.dst b.dst && Int.equal a.seq b.seq
   | ( ( Send _ | Deliver _ | Quorum _ | Coin_flip _ | Round_advance | Decide _
-      | Output _ | Note _ ),
+      | Output _ | Note _ | Link_drop _ | Link_dup _ | Timer_set _
+      | Timer_fire _ | Retransmit _ ),
       _ ) ->
     false
 
@@ -62,6 +83,13 @@ let pp_kind ppf = function
   | Decide { value } -> Fmt.pf ppf "decide %s" value
   | Output { label } -> Fmt.pf ppf "output: %s" label
   | Note { tag; detail } -> Fmt.pf ppf "%s %s" tag detail
+  | Link_drop { src; dst; label; reason } ->
+    Fmt.pf ppf "link-drop n%d -> n%d %s (%s)" src dst label reason
+  | Link_dup { src; dst; label } ->
+    Fmt.pf ppf "link-dup n%d -> n%d %s" src dst label
+  | Timer_set { id; due } -> Fmt.pf ppf "timer-set #%d due t=%d" id due
+  | Timer_fire { id } -> Fmt.pf ppf "timeout #%d" id
+  | Retransmit { dst; seq } -> Fmt.pf ppf "retransmit -> n%d seq=%d" dst seq
 
 let pp ppf t =
   if String.length t.instance > 0 then Fmt.pf ppf "[%s] " t.instance;

@@ -27,6 +27,17 @@ type kind =
       (** an externally visible protocol output was emitted *)
   | Note of { tag : string; detail : string }
       (** free-form escape hatch for events outside the vocabulary *)
+  | Link_drop of { src : int; dst : int; label : string; reason : string }
+      (** the link-fault model discarded an in-flight message; [reason]
+          is ["loss"] (random drop) or ["partition"] (severed link) *)
+  | Link_dup of { src : int; dst : int; label : string }
+      (** the link-fault model re-enqueued a duplicate copy of a
+          delivered message *)
+  | Timer_set of { id : int; due : int }
+      (** the node armed a virtual timer [id] firing at tick [due] *)
+  | Timer_fire of { id : int }  (** timer [id] fired on this node *)
+  | Retransmit of { dst : int; seq : int }
+      (** a transport layer re-sent an unacknowledged envelope *)
 
 type t = {
   kind : kind;
@@ -43,7 +54,8 @@ val make : ?instance:string -> ?round:int -> kind -> t
 val kind_label : kind -> string
 (** Stable one-word name of the event kind — the JSONL ["kind"] field:
     ["send"], ["deliver"], ["quorum"], ["coin"], ["round"], ["decide"],
-    ["output"] or ["note"]. *)
+    ["output"], ["note"], ["link-drop"], ["link-dup"], ["timer-set"],
+    ["timeout"] or ["retransmit"]. *)
 
 val equal : t -> t -> bool
 (** Structural equality (used by the JSONL round-trip tests). *)

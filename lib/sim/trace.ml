@@ -8,7 +8,7 @@ type t = {
   mutable recorded : int;
 }
 
-let schema_version = 1
+let schema_version = 2
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
@@ -91,6 +91,26 @@ let entry_to_json e =
     | Event.Output { label } -> [ kind "output"; ("label", Json.String label) ]
     | Event.Note { tag; detail } ->
       [ kind "note"; ("tag", Json.String tag); ("detail", Json.String detail) ]
+    | Event.Link_drop { src; dst; label; reason } ->
+      [
+        kind "link-drop";
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("label", Json.String label);
+        ("reason", Json.String reason);
+      ]
+    | Event.Link_dup { src; dst; label } ->
+      [
+        kind "link-dup";
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("label", Json.String label);
+      ]
+    | Event.Timer_set { id; due } ->
+      [ kind "timer-set"; ("id", Json.Int id); ("due", Json.Int due) ]
+    | Event.Timer_fire { id } -> [ kind "timeout"; ("id", Json.Int id) ]
+    | Event.Retransmit { dst; seq } ->
+      [ kind "retransmit"; ("dst", Json.Int dst); ("seq", Json.Int seq) ]
   in
   Json.Obj (base @ specific @ common)
 
@@ -146,6 +166,28 @@ let entry_of_json json =
       let* tag = require "tag" Json.to_str in
       let* detail = require "detail" Json.to_str in
       Ok (Event.Note { tag; detail })
+    | "link-drop" ->
+      let* src = require "src" Json.to_int in
+      let* dst = require "dst" Json.to_int in
+      let* label = require "label" Json.to_str in
+      let* reason = require "reason" Json.to_str in
+      Ok (Event.Link_drop { src; dst; label; reason })
+    | "link-dup" ->
+      let* src = require "src" Json.to_int in
+      let* dst = require "dst" Json.to_int in
+      let* label = require "label" Json.to_str in
+      Ok (Event.Link_dup { src; dst; label })
+    | "timer-set" ->
+      let* id = require "id" Json.to_int in
+      let* due = require "due" Json.to_int in
+      Ok (Event.Timer_set { id; due })
+    | "timeout" ->
+      let* id = require "id" Json.to_int in
+      Ok (Event.Timer_fire { id })
+    | "retransmit" ->
+      let* dst = require "dst" Json.to_int in
+      let* seq = require "seq" Json.to_int in
+      Ok (Event.Retransmit { dst; seq })
     | other -> Error (Printf.sprintf "trace entry: unknown kind %S" other)
   in
   Ok { time; node; event = { Event.kind; instance; round } }

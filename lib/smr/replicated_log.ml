@@ -38,7 +38,11 @@ let wrap slot actions =
     (fun action ->
       match action with
       | Protocol.Broadcast inner -> Protocol.Broadcast (Slot { slot; inner })
-      | Protocol.Send (dst, inner) -> Protocol.Send (dst, Slot { slot; inner }))
+      | Protocol.Send (dst, inner) -> Protocol.Send (dst, Slot { slot; inner })
+      | Protocol.Set_timer { id; after } ->
+        (* Slot agreements never arm timers today; if one ever does,
+           the id must be slot-demultiplexed rather than forwarded. *)
+        Protocol.Set_timer { id; after })
     actions
 
 (* Scope a slot's observability under "slot<k>" so concurrent slot
@@ -138,6 +142,7 @@ let on_message ctx state ~src msg =
   end
 
 let is_terminal = function Log_complete _ -> true | Committed _ -> false
+let on_timeout = Protocol.no_timeout
 
 let msg_label (Slot { inner; _ }) = "slot." ^ Slot_acs.msg_label inner
 

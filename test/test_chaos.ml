@@ -194,6 +194,164 @@ let chaos_acs =
       | first :: rest -> List.for_all (( = ) first) rest
       | [] -> false)
 
+(* ---- link-fault campaigns ---- *)
+
+module Link_faults = Abc_net.Link_faults
+
+(* Randomized link-fault plans: bounded loss and duplication plus an
+   optional healing partition.  Cuts must heal — a link that stays dead
+   forever defeats any transport, so permanent cuts belong to the
+   targeted tests, not the liveness campaign. *)
+type lossy_scenario = {
+  ln : int;
+  lf : int;
+  faults : int;
+  silent : bool;
+  loss_pct : int; (* 0..20 *)
+  dup_pct : int; (* 0..20 *)
+  cut : (int * int * int) option; (* from, length, island node *)
+  lseed : int;
+}
+
+let lossy_gen ~max_n ~max_pct =
+  QCheck.Gen.(
+    int_range 4 max_n >>= fun ln ->
+    int_range 0 ((ln - 1) / 3) >>= fun lf ->
+    int_range 0 lf >>= fun faults ->
+    bool >>= fun silent ->
+    int_range 0 max_pct >>= fun loss_pct ->
+    int_range 0 max_pct >>= fun dup_pct ->
+    bool >>= fun with_cut ->
+    int_range 0 50 >>= fun cut_from ->
+    int_range 1 200 >>= fun cut_len ->
+    int_range 0 (ln - 1) >>= fun cut_node ->
+    int_range 0 1000 >>= fun lseed ->
+    return
+      {
+        ln;
+        lf;
+        faults;
+        silent;
+        loss_pct;
+        dup_pct;
+        cut = (if with_cut then Some (cut_from, cut_len, cut_node) else None);
+        lseed;
+      })
+
+let print_lossy s =
+  Printf.sprintf "{n=%d f=%d faults=%d silent=%b loss=%d%% dup=%d%% cut=%s seed=%d}"
+    s.ln s.lf s.faults s.silent s.loss_pct s.dup_pct
+    (match s.cut with
+    | None -> "none"
+    | Some (a, len, v) -> Printf.sprintf "[%d,%d)@%d" a (a + len) v)
+    s.lseed
+
+let lossy_arbitrary = QCheck.make ~print:print_lossy (lossy_gen ~max_n:7 ~max_pct:20)
+
+(* ACS multiplies n broadcast instances by n binary agreements, so
+   heavy loss plus duplication inflates its retransmission traffic well
+   past the default delivery budget.  The campaign stays milder (and
+   gets explicit budget headroom) — the point is correctness under
+   faults, not a stress race against the iteration cap. *)
+let lossy_arbitrary_mild =
+  QCheck.make ~print:print_lossy (lossy_gen ~max_n:5 ~max_pct:10)
+
+let plan_of s =
+  let cuts =
+    match s.cut with
+    | None -> []
+    | Some (from_tick, len, v) ->
+      [ Link_faults.cut ~from_tick ~until_tick:(from_tick + len) [ node v ] ]
+  in
+  Link_faults.make
+    ~drop:(float_of_int s.loss_pct /. 100.)
+    ~dup:(float_of_int s.dup_pct /. 100.)
+    ~cuts ()
+
+(* Faults stay message-agnostic: the wrapper's message type is the
+   transport envelope, which payload mutators know nothing about. *)
+let lossy_faulty s =
+  let behaviour =
+    if s.silent then Behaviour.Silent else Behaviour.Crash_after (s.lseed mod 7)
+  in
+  List.init s.faults (fun k -> (node (s.ln - 1 - k), behaviour))
+
+module BRL = Abc_net.Reliable_link.Make (B)
+
+module BRLH = Abc.Harness.Make (struct
+  include BRL
+
+  let value_of_input = B.value_of_input
+end)
+
+let chaos_bracha_reliable_lossy =
+  QCheck.Test.make
+    ~name:"reliable-link bracha decides under loss, dup and healing cuts"
+    ~count:40 lossy_arbitrary
+    (fun s ->
+      let values =
+        Array.init s.ln (fun i -> if i < s.ln / 2 then Value.Zero else Value.One)
+      in
+      let inputs = B.inputs ~n:s.ln ~options:B.Options.default values in
+      let cfg =
+        BRLH.E.config ~n:s.ln ~f:s.lf ~inputs ~faulty:(lossy_faulty s)
+          ~adversary:Adversary.uniform ~seed:s.lseed ~link_faults:(plan_of s)
+          ~max_deliveries:4_000_000 ()
+      in
+      Abc.Harness.ok (snd (BRLH.run cfg)))
+
+let chaos_bracha_raw_lossy_safe =
+  (* Without the transport a lossy network may (and does) kill
+     liveness, but it must never break safety: whatever subset of nodes
+     decides still agrees, and validity still binds decisions to
+     honest inputs. *)
+  QCheck.Test.make ~name:"raw bracha stays safe under loss (no agreement break)"
+    ~count:60 lossy_arbitrary
+    (fun s ->
+      let values =
+        Array.init s.ln (fun i -> if i < s.ln / 2 then Value.Zero else Value.One)
+      in
+      let inputs = B.inputs ~n:s.ln ~options:B.Options.default values in
+      let cfg =
+        BH.E.config ~n:s.ln ~f:s.lf ~inputs ~faulty:(lossy_faulty s)
+          ~adversary:Adversary.uniform ~seed:s.lseed ~link_faults:(plan_of s) ()
+      in
+      let verdict = snd (BH.run cfg) in
+      verdict.Abc.Harness.agreement && verdict.Abc.Harness.validity)
+
+module RGossipAcs = Abc_net.Reliable_link.Make (Acs)
+module RAcsE = Abc_net.Engine.Make (RGossipAcs)
+
+let chaos_acs_reliable_lossy =
+  QCheck.Test.make
+    ~name:"reliable-link acs agrees on a common subset under lossy links"
+    ~count:15 lossy_arbitrary_mild
+    (fun s ->
+      let inputs =
+        Acs.inputs ~n:s.ln ~coin:Abc.Coin.local (Array.init s.ln (fun i -> 100 + i))
+      in
+      let cfg =
+        RAcsE.config ~n:s.ln ~f:s.lf ~inputs ~faulty:(lossy_faulty s)
+          ~adversary:Adversary.uniform ~seed:s.lseed ~link_faults:(plan_of s)
+          ~max_deliveries:4_000_000 ()
+      in
+      let result = RAcsE.run cfg in
+      result.RAcsE.stop = Abc_net.Engine.All_terminal
+      &&
+      let honest_subsets =
+        List.filter_map
+          (fun i ->
+            if i >= s.ln - s.faults then None
+            else
+              match result.RAcsE.outputs.(i) with
+              | [ (_, Acs.Accepted subset) ] -> Some subset
+              | _ -> None)
+          (List.init s.ln (fun i -> i))
+      in
+      match honest_subsets with
+      | first :: rest -> List.for_all (( = ) first) rest
+      | [] -> false)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -204,5 +362,11 @@ let () =
           QCheck_alcotest.to_alcotest chaos_mmr_rabin;
           QCheck_alcotest.to_alcotest chaos_benor;
           QCheck_alcotest.to_alcotest chaos_acs;
+        ] );
+      ( "link faults",
+        [
+          QCheck_alcotest.to_alcotest chaos_bracha_reliable_lossy;
+          QCheck_alcotest.to_alcotest chaos_bracha_raw_lossy_safe;
+          QCheck_alcotest.to_alcotest chaos_acs_reliable_lossy;
         ] );
     ]

@@ -34,6 +34,7 @@ let rbc_config ?(faulty = []) ?(max_states = 400_000) ?(max_depth = None)
     invariant;
     max_states;
     max_depth;
+    drop_plan = None;
   }
 
 let test_honest_rbc_agreement_and_validity_bounded () =
@@ -98,6 +99,7 @@ module Race = struct
     else ({ chosen = true }, [], [ Chose v ])
 
   let is_terminal (Chose _) = true
+  let on_timeout = Protocol.no_timeout
   let msg_label (Claim _) = "claim"
   let pp_msg ppf (Claim v) = Fmt.pf ppf "claim(%a)" Abc.Value.pp v
   let pp_output ppf (Chose v) = Fmt.pf ppf "chose(%a)" Abc.Value.pp v
@@ -124,6 +126,7 @@ let test_finds_counterexample_in_unsafe_protocol () =
         invariant = agreement;
         max_states = 10_000;
         max_depth = None;
+        drop_plan = None;
       }
   in
   match outcome.XR.violation with
@@ -149,10 +152,72 @@ let test_safe_toy_exhausts () =
               outputs);
         max_states = 10_000;
         max_depth = None;
+        drop_plan = None;
       }
   in
   Alcotest.(check bool) "exhausted" true outcome.XR.exhausted;
   Alcotest.(check bool) "no violation" true (outcome.XR.violation = None)
+
+(* ---- lossy links: deterministic drop plans ---- *)
+
+let test_rbc_lossy_links_stay_safe () =
+  (* Raw reliable broadcast with the sender's INIT to node 1 discarded:
+     node 1 can only deliver through echo amplification.  Totality may
+     suffer (that is the transport's job), but no schedule over the
+     surviving messages may break agreement or validity. *)
+  let drop_plan =
+    Some
+      (fun ~src ~dst ~nth ->
+        Node_id.to_int src = 0 && Node_id.to_int dst = 1 && nth = 0)
+  in
+  let outcome =
+    X.run
+      {
+        X.n = 4;
+        f = 1;
+        inputs = Rbc.inputs ~n:4 ~sender:(node 0) Abc.Value.One;
+        faulty = [];
+        invariant = (fun o -> rbc_agreement o && rbc_validity o);
+        max_states = 400_000;
+        max_depth = Some 8;
+        drop_plan;
+      }
+  in
+  Alcotest.(check bool) "no violation" true (outcome.X.violation = None);
+  Alcotest.(check bool) "nontrivial space" true (outcome.X.explored > 100)
+
+module RlRbc = Abc_net.Reliable_link.Make (Rbc)
+module XRL = Abc_check.Explore.Make (RlRbc)
+
+let test_reliable_link_rbc_checked_over_drops () =
+  (* The transport under the model checker: every schedule prefix of
+     the wrapped protocol — deliveries AND timer firings, with the
+     first two copies on the 0->1 link deterministically dropped — must
+     preserve agreement and validity.  This exercises retransmission
+     paths that no single seeded run pins down. *)
+  let drop_plan =
+    Some
+      (fun ~src ~dst ~nth ->
+        Node_id.to_int src = 0 && Node_id.to_int dst = 1 && nth < 2)
+  in
+  let outcome =
+    XRL.run
+      {
+        XRL.n = 4;
+        f = 1;
+        inputs = Rbc.inputs ~n:4 ~sender:(node 0) Abc.Value.One;
+        faulty = [];
+        invariant = (fun o -> rbc_agreement o && rbc_validity o);
+        max_states = 150_000;
+        max_depth = Some 5;
+        drop_plan;
+      }
+  in
+  Alcotest.(check bool) "no violation" true (outcome.XRL.violation = None);
+  Alcotest.(check bool) "nontrivial space" true (outcome.XRL.explored > 1000);
+  (* With pending retransmission timers the lossy system must never
+     deadlock inside the depth bound. *)
+  Alcotest.(check int) "no deadlock" 0 outcome.XRL.deadlocks
 
 let () =
   Alcotest.run "model_check"
@@ -166,6 +231,13 @@ let () =
           Alcotest.test_case "silent sender exhausts" `Quick
             test_silent_sender_exhausts_immediately;
           Alcotest.test_case "budget respected" `Quick test_budget_respected;
+        ] );
+      ( "lossy links",
+        [
+          Alcotest.test_case "raw rbc safe under deterministic drops" `Slow
+            test_rbc_lossy_links_stay_safe;
+          Alcotest.test_case "reliable-link rbc checked over drops" `Slow
+            test_reliable_link_rbc_checked_over_drops;
         ] );
       ( "counterexamples",
         [

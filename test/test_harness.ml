@@ -29,6 +29,7 @@ module Scripted = struct
     end
 
   let is_terminal _ = true
+  let on_timeout = Protocol.no_timeout
   let msg_label Ping = "ping"
   let pp_msg ppf Ping = Fmt.string ppf "ping"
   let pp_output = Abc.Decision.pp

@@ -35,6 +35,7 @@ module Gossip = struct
     end
 
   let is_terminal (Done _) = true
+  let on_timeout = Protocol.no_timeout
   let msg_label (Hello _) = "hello"
   let pp_msg ppf (Hello v) = Fmt.pf ppf "hello(%d)" v
   let pp_output ppf (Done s) = Fmt.pf ppf "done(%d)" s
@@ -361,6 +362,294 @@ let test_rotating_eclipse_starves_current_victim () =
   List.iter instance.Adversary.note metas;
   Alcotest.(check int) "avoids victim" 1 (instance.Adversary.choose ~rng ~now:0 v)
 
+(* Link faults: deterministic drop/dup/partition plans *)
+
+module Link_faults = Abc_net.Link_faults
+
+let counter result name = Abc_sim.Metrics.counter result.Run.metrics name
+
+let run_faults ?adversary ?(seed = 0) ~link_faults ~n ~f () =
+  Run.run
+    (Run.config ?adversary ~seed ~link_faults ~n ~f ~inputs:(default_inputs n) ())
+
+let test_drop_all_counts () =
+  (* drop=1.0: 4 broadcasts x 4 recipients = 16 sends; the 4
+     self-deliveries survive (a node's channel to itself is never
+     faulty) and all 12 cross-link messages drop, so nobody reaches the
+     quorum of 3 and the run goes quiescent. *)
+  let plan = Link_faults.make ~drop:1.0 () in
+  let result = run_faults ~link_faults:plan ~n:4 ~f:1 () in
+  check_stop Abc_net.Engine.Quiescent result;
+  Alcotest.(check int) "sent" 16 (counter result "sent");
+  Alcotest.(check int) "dropped" 12 (counter result "dropped.link");
+  Alcotest.(check int) "dropped by loss" 12 (counter result "dropped.link.loss");
+  Alcotest.(check int) "delivered" 4 result.Run.deliveries;
+  Array.iter
+    (fun outputs -> Alcotest.(check int) "no outputs" 0 (List.length outputs))
+    result.Run.outputs
+
+let test_dup_all_counts () =
+  (* dup=1.0 under fifo: all 16 originals are delivered in send order,
+     each of the 12 cross-link deliveries enqueues exactly one copy
+     (copies are never re-duplicated), and the run reaches all-terminal
+     before any copy is delivered.  Gossip dedups, so sums are exact. *)
+  let plan = Link_faults.make ~dup:1.0 () in
+  let result =
+    run_faults ~link_faults:plan ~adversary:Adversary.fifo ~n:4 ~f:0 ()
+  in
+  check_stop Abc_net.Engine.All_terminal result;
+  Alcotest.(check int) "duplicated" 12 (counter result "duplicated.link");
+  Alcotest.(check int) "delivered" 16 result.Run.deliveries;
+  Array.iter
+    (fun outputs ->
+      match outputs with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "sum" 10 sum
+      | _ -> Alcotest.fail "expected exactly one output")
+    result.Run.outputs
+
+let test_partition_isolates_island () =
+  (* A never-healing cut around node 0: its 3 outbound and 3 inbound
+     cross messages drop; the island complement {1,2,3} still reaches
+     quorum (3 = n-f) among themselves and sums 2+3+4. *)
+  let cuts = [ Link_faults.cut ~from_tick:0 ~until_tick:max_int [ node 0 ] ] in
+  let plan = Link_faults.make ~cuts () in
+  let result = run_faults ~link_faults:plan ~n:4 ~f:1 () in
+  check_stop Abc_net.Engine.Quiescent result;
+  Alcotest.(check int) "partition drops" 6 (counter result "dropped.link.partition");
+  Alcotest.(check int) "no loss drops" 0 (counter result "dropped.link.loss");
+  Alcotest.(check int) "node 0 isolated" 0 (List.length result.Run.outputs.(0));
+  List.iter
+    (fun i ->
+      match result.Run.outputs.(i) with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "mainland sum" 9 sum
+      | _ -> Alcotest.fail "mainland node should finish")
+    [ 1; 2; 3 ]
+
+let test_partition_heals () =
+  (* Cut around node 0 for ticks [0,5) under fifo.  Deliveries happen
+     at ticks 1..16 in send order, so exactly node 0's three cross
+     sends (ticks 2,3,4) are severed; everything from tick 5 on flows.
+     Node 0 then hears itself plus nodes 1,2 (quorum 3): 1+2+3 = 6. *)
+  let cuts = [ Link_faults.cut ~from_tick:0 ~until_tick:5 [ node 0 ] ] in
+  let plan = Link_faults.make ~cuts () in
+  let result =
+    run_faults ~link_faults:plan ~adversary:Adversary.fifo ~n:4 ~f:1 ()
+  in
+  check_stop Abc_net.Engine.All_terminal result;
+  Alcotest.(check int) "partition drops" 3 (counter result "dropped.link.partition");
+  (match result.Run.outputs.(0) with
+  | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "healed sum" 6 sum
+  | _ -> Alcotest.fail "node 0 should finish after the heal");
+  List.iter
+    (fun i ->
+      match result.Run.outputs.(i) with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "mainland sum" 9 sum
+      | _ -> Alcotest.fail "mainland node should finish")
+    [ 1; 2; 3 ]
+
+let test_link_events_traced () =
+  let trace = Abc_sim.Trace.create () in
+  let plan = Link_faults.make ~drop:0.5 ~dup:0.4 () in
+  let _ =
+    Run.run
+      (Run.config ~n:4 ~f:1 ~inputs:(default_inputs 4) ~link_faults:plan
+         ~adversary:Adversary.uniform ~seed:1 ~trace ())
+  in
+  Alcotest.(check bool) "drops traced" true
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"link-drop") > 0);
+  Alcotest.(check bool) "dups traced" true
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"link-dup") > 0)
+
+let test_inactive_plan_is_identity () =
+  (* An all-zero plan must not even perturb the PRNG: the run is
+     bit-identical to one with no plan at all. *)
+  let r1 = run ~n:5 ~f:1 ~adversary:Adversary.uniform ~seed:11 () in
+  let r2 =
+    run_faults ~link_faults:(Link_faults.make ()) ~adversary:Adversary.uniform
+      ~seed:11 ~n:5 ~f:1 ()
+  in
+  Alcotest.(check int) "deliveries" r1.Run.deliveries r2.Run.deliveries;
+  Alcotest.(check int) "duration" r1.Run.duration r2.Run.duration
+
+let prop_link_faults_deterministic =
+  QCheck.Test.make ~name:"lossy runs are a function of the seed" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let cuts = [ Link_faults.cut ~from_tick:3 ~until_tick:9 [ node 1 ] ] in
+      let plan = Link_faults.make ~drop:0.2 ~dup:0.1 ~cuts () in
+      let go () =
+        run_faults ~link_faults:plan ~adversary:Adversary.uniform ~seed ~n:4
+          ~f:1 ()
+      in
+      let r1 = go () and r2 = go () in
+      r1.Run.deliveries = r2.Run.deliveries
+      && r1.Run.duration = r2.Run.duration
+      && counter r1 "dropped.link" = counter r2 "dropped.link"
+      && counter r1 "duplicated.link" = counter r2 "duplicated.link")
+
+(* Virtual timers *)
+
+(* A message-free protocol driven entirely by timeouts: counts [input]
+   timer firings 4 ticks apart, terminating at zero. *)
+module Ticker = struct
+  type input = int
+
+  (* never constructed: the protocol is message-free *)
+  type msg = Never [@warning "-37"]
+  type output = Fired of int
+
+  type state = int
+
+  let name = "ticker"
+
+  let initial _ctx k =
+    ((k : state), if k > 0 then [ Protocol.Set_timer { id = 3; after = 4 } ] else [])
+
+  let on_message _ctx state ~src:_ Never = (state, [], [])
+
+  let on_timeout _ctx state ~id =
+    Alcotest.(check int) "timer id" 3 id;
+    let state = state - 1 in
+    ( state,
+      (if state > 0 then [ Protocol.Set_timer { id = 3; after = 4 } ] else []),
+      [ Fired state ] )
+
+  let is_terminal (Fired k) = k = 0
+
+  let msg_label Never = "never"
+
+  let pp_msg ppf Never = Fmt.string ppf "never"
+
+  let pp_output ppf (Fired k) = Fmt.pf ppf "fired(%d)" k
+end
+
+module TickRun = Engine.Make (Ticker)
+
+let test_timers_drive_quiet_network () =
+  (* No messages at all: the clock must jump to each due tick (4, then
+     8) instead of declaring quiescence. *)
+  let result =
+    TickRun.run (TickRun.config ~n:1 ~f:0 ~inputs:[| 2 |] ())
+  in
+  Alcotest.(check string) "stop" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.TickRun.stop);
+  Alcotest.(check int) "duration" 8 result.TickRun.duration;
+  Alcotest.(check int) "timers set" 2
+    (Abc_sim.Metrics.counter result.TickRun.metrics "timer.set");
+  Alcotest.(check int) "timers fired" 2
+    (Abc_sim.Metrics.counter result.TickRun.metrics "timer.fired");
+  Alcotest.(check int) "no deliveries" 0 result.TickRun.deliveries;
+  match result.TickRun.outputs.(0) with
+  | [ (t1, Ticker.Fired 1); (t2, Ticker.Fired 0) ] ->
+    Alcotest.(check int) "first firing" 4 t1;
+    Alcotest.(check int) "second firing" 8 t2
+  | _ -> Alcotest.fail "expected two firings"
+
+let test_no_timers_means_quiescent () =
+  let result = TickRun.run (TickRun.config ~n:1 ~f:0 ~inputs:[| 0 |] ()) in
+  Alcotest.(check string) "stop" "quiescent"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.TickRun.stop);
+  Alcotest.(check int) "duration" 0 result.TickRun.duration
+
+let test_timer_events_traced () =
+  let trace = Abc_sim.Trace.create () in
+  let _ =
+    TickRun.run (TickRun.config ~n:1 ~f:0 ~inputs:[| 2 |] ~trace ())
+  in
+  Alcotest.(check int) "timer-set traced" 2
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"timer-set"));
+  Alcotest.(check int) "timeout traced" 2
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"timeout"))
+
+(* The reliable-channel transport *)
+
+module RGossip = Abc_net.Reliable_link.Make (Gossip)
+module RRun = Engine.Make (RGossip)
+
+let test_reliable_link_transparent () =
+  (* Over a faultless network the wrapper is invisible: same outputs as
+     the raw protocol, no retransmissions. *)
+  let result =
+    RRun.run
+      (RRun.config ~n:4 ~f:0 ~inputs:(default_inputs 4)
+         ~adversary:Adversary.uniform ~seed:7 ())
+  in
+  Alcotest.(check string) "stop" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.RRun.stop);
+  Alcotest.(check int) "no retransmissions" 0
+    (Abc_sim.Metrics.counter result.RRun.metrics "sent.rl.retx");
+  Array.iter
+    (fun outputs ->
+      match outputs with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "sum" 10 sum
+      | _ -> Alcotest.fail "expected exactly one output")
+    result.RRun.outputs
+
+let test_reliable_link_retransmission_schedule () =
+  (* Hand-computed ARQ run: two nodes behind a partition around node 0
+     that heals at tick 40, fifo scheduling, initial rto 8n^2 = 32.
+
+     t1-t6: the two self Data and their Acks flow; both cross Data
+     (ticks 2,3) are severed.  t=32: node 0's self channel is acked,
+     its timer disarms.  t=33,34: both cross channels time out and
+     retransmit; the copies (ticks 36,37) are still severed.  rto
+     doubles to 64: the next firings at t=97,98 retransmit again, and
+     those copies (ticks 99,100) land after the heal — each peer
+     delivers the other's Hello and terminates. *)
+  let cuts = [ Link_faults.cut ~from_tick:0 ~until_tick:40 [ node 0 ] ] in
+  let plan = Link_faults.make ~cuts () in
+  let result =
+    RRun.run
+      (RRun.config ~n:2 ~f:0 ~inputs:(default_inputs 2)
+         ~adversary:Adversary.fifo ~link_faults:plan ())
+  in
+  let c = Abc_sim.Metrics.counter result.RRun.metrics in
+  Alcotest.(check string) "stop" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.RRun.stop);
+  Alcotest.(check int) "partition drops" 4 (c "dropped.link");
+  Alcotest.(check int) "retransmissions" 4 (c "sent.rl.retx");
+  Alcotest.(check int) "timers fired" 6 (c "timer.fired");
+  Alcotest.(check int) "timers set" 8 (c "timer.set");
+  Alcotest.(check int) "deliveries" 6 result.RRun.deliveries;
+  Alcotest.(check int) "duration" 100 result.RRun.duration;
+  Array.iter
+    (fun outputs ->
+      match outputs with
+      | [ (_, Gossip.Done sum) ] -> Alcotest.(check int) "sum" 3 sum
+      | _ -> Alcotest.fail "expected exactly one output")
+    result.RRun.outputs
+
+let test_reliable_link_retransmit_events_traced () =
+  let trace = Abc_sim.Trace.create () in
+  let cuts = [ Link_faults.cut ~from_tick:0 ~until_tick:40 [ node 0 ] ] in
+  let plan = Link_faults.make ~cuts () in
+  let _ =
+    RRun.run
+      (RRun.config ~n:2 ~f:0 ~inputs:(default_inputs 2)
+         ~adversary:Adversary.fifo ~link_faults:plan ~trace ())
+  in
+  Alcotest.(check int) "retransmit events" 4
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"retransmit"))
+
+let test_reliable_link_masks_loss () =
+  (* 30% loss: the raw protocol generally goes quiescent short of
+     quorum; the wrapped one must still complete on every seed. *)
+  List.iter
+    (fun seed ->
+      let plan = Link_faults.make ~drop:0.3 () in
+      let result =
+        RRun.run
+          (RRun.config ~n:4 ~f:1 ~inputs:(default_inputs 4)
+             ~adversary:Adversary.uniform ~seed ~link_faults:plan ())
+      in
+      Alcotest.(check string) "stop" "all-terminal"
+        (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.RRun.stop);
+      Array.iter
+        (fun outputs ->
+          Alcotest.(check int) "one output" 1 (List.length outputs))
+        result.RRun.outputs)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
 let test_all_policies_complete () =
   List.iter
     (fun adversary ->
@@ -425,5 +714,35 @@ let () =
             test_rotating_eclipse_completes;
           Alcotest.test_case "rotating eclipse starves victim" `Quick
             test_rotating_eclipse_starves_current_victim;
+        ] );
+      ( "link faults",
+        [
+          Alcotest.test_case "drop all: exact counts" `Quick test_drop_all_counts;
+          Alcotest.test_case "dup all: exact counts" `Quick test_dup_all_counts;
+          Alcotest.test_case "partition isolates island" `Quick
+            test_partition_isolates_island;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "link events traced" `Quick test_link_events_traced;
+          Alcotest.test_case "inactive plan is identity" `Quick
+            test_inactive_plan_is_identity;
+          QCheck_alcotest.to_alcotest prop_link_faults_deterministic;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "timers drive a quiet network" `Quick
+            test_timers_drive_quiet_network;
+          Alcotest.test_case "no timers means quiescent" `Quick
+            test_no_timers_means_quiescent;
+          Alcotest.test_case "timer events traced" `Quick test_timer_events_traced;
+        ] );
+      ( "reliable link",
+        [
+          Alcotest.test_case "transparent when faultless" `Quick
+            test_reliable_link_transparent;
+          Alcotest.test_case "retransmission schedule (hand-computed)" `Quick
+            test_reliable_link_retransmission_schedule;
+          Alcotest.test_case "retransmit events traced" `Quick
+            test_reliable_link_retransmit_events_traced;
+          Alcotest.test_case "masks 30% loss" `Quick test_reliable_link_masks_loss;
         ] );
     ]

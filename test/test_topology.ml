@@ -105,6 +105,7 @@ module Gossip = struct
     end
 
   let is_terminal (Done _) = true
+  let on_timeout = Protocol.no_timeout
   let msg_label (Hello _) = "hello"
   let pp_msg ppf (Hello v) = Fmt.pf ppf "hello(%d)" v
   let pp_output ppf (Done s) = Fmt.pf ppf "done(%d)" s

@@ -31,6 +31,14 @@ let sample_entries : Trace.entry list =
     e ~time:5 ~node:2 ~round:3 (Event.Decide { value = "1" });
     e ~time:6 ~node:2 (Event.Output { label = "decided" });
     e ~time:7 ~node:(-1) (Event.Note { tag = "stop"; detail = "all terminal" });
+    e ~time:8 ~node:2
+      (Event.Link_drop { src = 0; dst = 2; label = "echo"; reason = "loss" });
+    e ~time:9 ~node:1
+      (Event.Link_drop { src = 1; dst = 3; label = "rl.data"; reason = "partition" });
+    e ~time:10 ~node:0 (Event.Link_dup { src = 0; dst = 3; label = "ready" });
+    e ~time:11 ~node:3 (Event.Timer_set { id = 2; due = 43 });
+    e ~time:43 ~node:3 (Event.Timer_fire { id = 2 });
+    e ~time:44 ~node:3 (Event.Retransmit { dst = 1; seq = 5 });
   ]
 
 let entry_equal (a : Trace.entry) (b : Trace.entry) =
