@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick chaos examples doc clean
+.PHONY: all build test lint bench bench-quick chaos golden examples doc clean
 
 all: build
 
@@ -28,6 +28,22 @@ bench-quick:
 QCHECK_SEED ?= 421984
 chaos:
 	QCHECK_SEED=$(QCHECK_SEED) dune exec test/test_chaos.exe
+
+# Regenerate the checked-in golden analyzer summaries from the same
+# seeded runs CI replays, then re-run the test suite: if the goldens
+# and the code disagree after regeneration, something nondeterministic
+# crept in.  Golden drift is this one command instead of hand-editing.
+golden:
+	dune build bin/abc_run.exe bin/abc_trace.exe
+	dune exec bin/abc_run.exe -- consensus -n 7 -f 2 --seed 42 \
+	  --trace-out _build/smoke_trace.jsonl
+	dune exec bin/abc_trace.exe -- summary _build/smoke_trace.jsonl \
+	  > test/golden/smoke_summary.txt
+	dune exec bin/abc_run.exe -- consensus -n 5 -f 1 --reliable --loss 0.2 \
+	  --seed 7 --trace-out _build/lossy_trace.jsonl
+	dune exec bin/abc_trace.exe -- summary _build/lossy_trace.jsonl \
+	  > test/golden/lossy_summary.txt
+	dune runtest
 
 examples:
 	dune exec examples/quickstart.exe

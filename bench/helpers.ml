@@ -6,6 +6,7 @@ module Behaviour = Abc_net.Behaviour
 module Adversary = Abc_net.Adversary
 module Summary = Abc_sim.Summary
 module Table = Abc_sim.Table
+module Pool = Abc_exec.Pool
 module B = Abc.Bracha_consensus
 module BO = Abc.Ben_or
 
@@ -99,6 +100,13 @@ let run_benor ?(mode = BO.Mode.Byzantine) ?(coin = Abc.Coin.local)
 
 (* Sampling helpers *)
 
+(* Run one job per seed on the pool and return the per-seed results in
+   seed order.  The job closure must build all engine/PRNG/trace state
+   itself (the runners above do: Engine.run allocates everything per
+   call from the seed), so nothing is shared across domains and the
+   merged list is byte-identical at any worker count. *)
+let sweep_seeds pool ~seeds f = Array.to_list (Pool.map pool seeds f)
+
 type sample = {
   ok_rate : float;
   rounds : Summary.t option; (* over successful runs *)
@@ -116,14 +124,16 @@ let collect verdicts =
     durations = pick (fun v -> float_of_int v.Abc.Harness.duration);
   }
 
-let sample_bracha ?options ?adversary ?faulty ?max_deliveries ~n ~f ~seeds values =
+let sample_bracha ?options ?adversary ?faulty ?max_deliveries ~pool ~n ~f ~seeds
+    values =
   collect
-    (List.init seeds (fun seed ->
+    (sweep_seeds pool ~seeds (fun seed ->
          run_bracha ?options ?adversary ?faulty ?max_deliveries ~n ~f ~seed values))
 
-let sample_benor ?mode ?coin ?adversary ?faulty ?max_deliveries ~n ~f ~seeds values =
+let sample_benor ?mode ?coin ?adversary ?faulty ?max_deliveries ~pool ~n ~f ~seeds
+    values =
   collect
-    (List.init seeds (fun seed ->
+    (sweep_seeds pool ~seeds (fun seed ->
          run_benor ?mode ?coin ?adversary ?faulty ?max_deliveries ~n ~f ~seed values))
 
 let mean_or summary default =

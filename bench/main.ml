@@ -37,14 +37,19 @@ let rbc_fault ~n kind =
   | Equivocate -> [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate two_faced)) ]
   | Force_decide -> []
 
-let experiment_e1 () =
+(* One E1 cell is a seed sweep: each seed is an independent pool job
+   returning that run's message count and the honest delivered values;
+   the property fold below runs on the merged, seed-ordered list so
+   every cell is byte-identical at any worker count.  [e1_table] is
+   parameterized so E15 (and the determinism CI check) can rebuild an
+   arbitrary slice of the battery. *)
+let e1_table ~pool ~title ~pairs ~faults ~seeds () =
   let table =
-    Table.create ~title:"E1. Reliable broadcast correctness (seeds per cell: 20)"
+    Table.create ~title
       ~columns:
         [ "n"; "f"; "fault"; "adversary"; "honest delivered"; "agreement";
           "validity"; "totality"; "msgs/n^2" ]
   in
-  let seeds = scaled 20 in
   List.iter
     (fun (n, f) ->
       List.iter
@@ -58,40 +63,48 @@ let experiment_e1 () =
                   (fun id -> not (List.exists (Node_id.equal id) faulty_ids))
                   (Node_id.all ~n)
               in
+              let runs =
+                sweep_seeds pool ~seeds (fun seed ->
+                    let config =
+                      RbcE.config ~n ~f
+                        ~inputs:(Rbc.inputs ~n ~sender:(node 0) Abc.Value.One)
+                        ~faulty ~adversary ~seed ()
+                    in
+                    let result = RbcE.run config in
+                    let values =
+                      List.filter_map
+                        (fun id ->
+                          match result.RbcE.outputs.(Node_id.to_int id) with
+                          | [ (_, Rbc.Delivered v) ] -> Some v
+                          | _ -> None)
+                        honest
+                    in
+                    (Abc_sim.Metrics.counter result.RbcE.metrics "sent", values))
+              in
               let delivered = ref 0 and total = ref 0 in
               let agreement = ref true and validity = ref true in
               let totality = ref true in
               let msgs = ref 0 in
-              for seed = 0 to seeds - 1 do
-                let config =
-                  RbcE.config ~n ~f
-                    ~inputs:(Rbc.inputs ~n ~sender:(node 0) Abc.Value.One)
-                    ~faulty ~adversary ~seed ()
-                in
-                let result = RbcE.run config in
-                msgs := !msgs + Abc_sim.Metrics.counter result.RbcE.metrics "sent";
-                let values =
-                  List.filter_map
-                    (fun id ->
-                      match result.RbcE.outputs.(Node_id.to_int id) with
-                      | [ (_, Rbc.Delivered v) ] -> Some v
-                      | _ -> None)
-                    honest
-                in
-                total := !total + List.length honest;
-                delivered := !delivered + List.length values;
-                (* totality: within one run, all honest deliver or none *)
-                if List.length values > 0 && List.length values < List.length honest
-                then totality := false;
-                (match values with
-                | v :: rest ->
-                  if not (List.for_all (Abc.Value.equal v) rest) then agreement := false
-                | [] -> ());
-                (* validity only applies when the sender is honest *)
-                if fault = No_fault || fault = Flip then
-                  if not (List.for_all (Abc.Value.equal Abc.Value.One) values) then
-                    validity := false
-              done;
+              List.iter
+                (fun (sent, values) ->
+                  msgs := !msgs + sent;
+                  total := !total + List.length honest;
+                  delivered := !delivered + List.length values;
+                  (* totality: within one run, all honest deliver or none *)
+                  if
+                    List.length values > 0
+                    && List.length values < List.length honest
+                  then totality := false;
+                  (match values with
+                  | v :: rest ->
+                    if not (List.for_all (Abc.Value.equal v) rest) then
+                      agreement := false
+                  | [] -> ());
+                  (* validity only applies when the sender is honest *)
+                  if fault = No_fault || fault = Flip then
+                    if not (List.for_all (Abc.Value.equal Abc.Value.One) values)
+                    then validity := false)
+                runs;
               Table.add_row table
                 [
                   Table.cell_int n;
@@ -107,8 +120,17 @@ let experiment_e1 () =
                     (float_of_int !msgs /. float_of_int (seeds * n * n));
                 ])
             (Adversary.all_basic ~n))
-        [ No_fault; Silent; Crash; Flip; Equivocate ])
-    [ (4, 1); (7, 2); (10, 3) ];
+        faults)
+    pairs;
+  table
+
+let experiment_e1 pool =
+  let table =
+    e1_table ~pool ~title:"E1. Reliable broadcast correctness (seeds per cell: 20)"
+      ~pairs:[ (4, 1); (7, 2); (10, 3) ]
+      ~faults:[ No_fault; Silent; Crash; Flip; Equivocate ]
+      ~seeds:(scaled 20) ()
+  in
   Table.print table;
   print_newline ()
 
@@ -116,7 +138,7 @@ let experiment_e1 () =
 (* E2: resilience boundary — Bracha (n>3f) vs Ben-Or (n>5f)          *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e2 () =
+let experiment_e2 pool =
   let n = 16 in
   let seeds = scaled 12 in
   let table =
@@ -136,12 +158,12 @@ let experiment_e2 () =
       let bracha =
         sample_bracha
           ~faulty:(bracha_faults ~n ~count:f Flip)
-          ~max_deliveries:cap ~n ~f ~seeds values
+          ~max_deliveries:cap ~pool ~n ~f ~seeds values
       in
       let benor =
         sample_benor
           ~faulty:(benor_faults ~n ~count:f Flip)
-          ~max_deliveries:cap ~n ~f ~seeds values
+          ~max_deliveries:cap ~pool ~n ~f ~seeds values
       in
       Table.add_row table
         [
@@ -157,7 +179,7 @@ let experiment_e2 () =
 (* E3: rounds to decide vs n at maximum resilience (local coin)      *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e3 () =
+let experiment_e3 pool =
   let seeds = scaled 30 in
   let table =
     Table.create
@@ -175,7 +197,7 @@ let experiment_e3 () =
         sample_bracha
           ~adversary:(Adversary.split ~n)
           ~faulty:(balanced_flip_liars ~n ~count:f)
-          ~n ~f ~seeds (split_inputs n)
+          ~pool ~n ~f ~seeds (split_inputs n)
       in
       Table.add_row table
         [
@@ -194,7 +216,7 @@ let experiment_e3 () =
 (* E4: constant expected rounds when f = O(sqrt n)                   *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e4 () =
+let experiment_e4 pool =
   let seeds = scaled 20 in
   let table =
     Table.create
@@ -213,7 +235,7 @@ let experiment_e4 () =
         sample_bracha
           ~adversary:(Adversary.split ~n)
           ~faulty:(balanced_flip_liars ~n ~count:f)
-          ~n ~f ~seeds (split_inputs n)
+          ~pool ~n ~f ~seeds (split_inputs n)
       in
       Table.add_row table
         [
@@ -232,7 +254,7 @@ let experiment_e4 () =
 (* E5: message complexity — O(n^2) per RBC, O(n^3) per round         *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e5 () =
+let experiment_e5 _pool =
   let table =
     Table.create
       ~title:
@@ -279,7 +301,7 @@ let experiment_e5 () =
 (* E6: local coin vs common coin                                     *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e6 () =
+let experiment_e6 pool =
   let seeds = scaled 40 in
   let table =
     Table.create
@@ -297,11 +319,13 @@ let experiment_e6 () =
       let f = bracha_max_f n in
       let faulty = balanced_flip_liars ~n ~count:f in
       let adversary = Adversary.split ~n in
-      let local = sample_bracha ~adversary ~faulty ~n ~f ~seeds (split_inputs n) in
+      let local =
+        sample_bracha ~adversary ~faulty ~pool ~n ~f ~seeds (split_inputs n)
+      in
       let common =
         sample_bracha
           ~options:(B.Options.with_common_coin ~seed:7)
-          ~adversary ~faulty ~n ~f ~seeds (split_inputs n)
+          ~adversary ~faulty ~pool ~n ~f ~seeds (split_inputs n)
       in
       Table.add_row table
         [
@@ -322,11 +346,13 @@ let experiment_e6 () =
   let faulty = balanced_flip_liars ~n ~count:f in
   let adversary = Adversary.split ~n in
   let rounds options =
+    (* Runs fan out over the pool; the histogram is filled from the
+       merged seed-ordered list so buckets never depend on scheduling. *)
     let h = Abc_sim.Histogram.create () in
-    for seed = 0 to seeds - 1 do
-      let v = run_bracha ~options ~adversary ~faulty ~n ~f ~seed (split_inputs n) in
-      if Abc.Harness.ok v then Abc_sim.Histogram.add h v.Abc.Harness.max_round
-    done;
+    sweep_seeds pool ~seeds (fun seed ->
+        run_bracha ~options ~adversary ~faulty ~n ~f ~seed (split_inputs n))
+    |> List.iter (fun v ->
+           if Abc.Harness.ok v then Abc_sim.Histogram.add h v.Abc.Harness.max_round);
     h
   in
   Printf.printf "rounds-to-decide distribution at n=16 (local coin):\n%s"
@@ -339,7 +365,7 @@ let experiment_e6 () =
 (* E7: validation / reliable-broadcast ablation                      *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e7 () =
+let experiment_e7 pool =
   let n = 7 and f = 2 in
   let seeds = scaled 30 in
   let table =
@@ -364,7 +390,7 @@ let experiment_e7 () =
         (fun validation ->
           let options = { B.Options.default with B.Options.transport; validation } in
           let s =
-            sample_bracha ~options ~faulty ~max_deliveries:cap ~n ~f ~seeds
+            sample_bracha ~options ~faulty ~max_deliveries:cap ~pool ~n ~f ~seeds
               (unanimous n Abc.Value.Zero)
           in
           Table.add_row table
@@ -386,7 +412,7 @@ let experiment_e7 () =
 module Log = Abc_smr.Replicated_log
 module LogE = Abc_net.Engine.Make (Log)
 
-let experiment_e9 () =
+let experiment_e9 pool =
   let seeds = scaled 5 in
   let slots = 3 in
   let table =
@@ -403,22 +429,27 @@ let experiment_e9 () =
     (fun n ->
       let f = bracha_max_f n in
       let commands = ref 0 and msgs = ref 0 and time = ref 0 in
-      for seed = 0 to seeds - 1 do
-        let config =
-          LogE.config ~n ~f
-            ~inputs:
-              (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
-                   Printf.sprintf "cmd-%d.%d" i k))
-            ~faulty:[ (node (n - 1), Behaviour.Silent) ]
-            ~adversary:Adversary.uniform ~seed ()
-        in
-        let result = LogE.run config in
-        (match Log.log_of_outputs result.LogE.outputs.(0) with
-        | Some log -> commands := !commands + List.length log
-        | None -> ());
-        msgs := !msgs + Abc_sim.Metrics.counter result.LogE.metrics "sent";
-        time := !time + result.LogE.duration
-      done;
+      sweep_seeds pool ~seeds (fun seed ->
+          let config =
+            LogE.config ~n ~f
+              ~inputs:
+                (Log.inputs ~n ~slots ~coin:Abc.Coin.local (fun i k ->
+                     Printf.sprintf "cmd-%d.%d" i k))
+              ~faulty:[ (node (n - 1), Behaviour.Silent) ]
+              ~adversary:Adversary.uniform ~seed ()
+          in
+          let result = LogE.run config in
+          let cmds =
+            match Log.log_of_outputs result.LogE.outputs.(0) with
+            | Some log -> List.length log
+            | None -> 0
+          in
+          (cmds, Abc_sim.Metrics.counter result.LogE.metrics "sent",
+           result.LogE.duration))
+      |> List.iter (fun (cmds, sent, duration) ->
+             commands := !commands + cmds;
+             msgs := !msgs + sent;
+             time := !time + duration);
       let per_cmd v = float_of_int v /. float_of_int (max 1 !commands) in
       Table.add_row table
         [
@@ -486,7 +517,7 @@ let bechamel_tests () =
   Test.make_grouped ~name:"abc"
     [ rbc_handle; validation_submit; full_rbc_run; full_consensus_run; full_benor_run ]
 
-let experiment_e8 () =
+let experiment_e8 _pool =
   let open Bechamel in
   let open Toolkit in
   print_endline "E8. Wall-clock microbenchmarks (ns/run, OLS fit)";
@@ -526,7 +557,7 @@ let run_mmr ?(coin = Abc.Coin.common ~seed:7) ?(adversary = Adversary.uniform)
   let inputs = Mmr.inputs ~n ~coin values in
   snd (MmrH.run (MmrH.E.config ~n ~f ~inputs ~faulty ~adversary ~seed ()))
 
-let experiment_e10 () =
+let experiment_e10 pool =
   let seeds = scaled 25 in
   let table =
     Table.create
@@ -546,7 +577,7 @@ let experiment_e10 () =
       let bracha =
         sample_bracha ~adversary
           ~faulty:(balanced_flip_liars ~n ~count:f)
-          ~n ~f ~seeds (split_inputs n)
+          ~pool ~n ~f ~seeds (split_inputs n)
       in
       let mmr_faulty =
         List.init f (fun k ->
@@ -555,7 +586,7 @@ let experiment_e10 () =
       in
       let mmr =
         collect
-          (List.init seeds (fun seed ->
+          (sweep_seeds pool ~seeds (fun seed ->
                run_mmr ~adversary ~faulty:mmr_faulty ~n ~f ~seed (split_inputs n)))
       in
       let ratio = mean_or bracha.messages 0. /. mean_or mmr.messages 1. in
@@ -574,12 +605,11 @@ let experiment_e10 () =
   (* The safety ablation: MMR with a local coin loses agreement. *)
   let seeds = scaled 40 in
   let violations coin =
-    List.length
-      (List.filter
-         (fun seed ->
-           let v = run_mmr ~coin ~n:7 ~f:2 ~seed (split_inputs 7) in
-           not (v.Abc.Harness.agreement && v.Abc.Harness.validity))
-         (List.init seeds (fun i -> i)))
+    sweep_seeds pool ~seeds (fun seed ->
+        let v = run_mmr ~coin ~n:7 ~f:2 ~seed (split_inputs 7) in
+        not (v.Abc.Harness.agreement && v.Abc.Harness.validity))
+    |> List.filter (fun violated -> violated)
+    |> List.length
   in
   Printf.printf
     "coin safety ablation (n=7, f=2, split inputs, %d seeds):\n\
@@ -594,7 +624,7 @@ let experiment_e10 () =
 (* E11: the price of implementing the coin — idealized vs Rabin      *)
 (* ----------------------------------------------------------------- *)
 
-let experiment_e11 () =
+let experiment_e11 pool =
   let seeds = scaled 25 in
   let table =
     Table.create
@@ -617,7 +647,7 @@ let experiment_e11 () =
       in
       let sample inputs =
         let runs =
-          List.init seeds (fun seed ->
+          sweep_seeds pool ~seeds (fun seed ->
               let cfg =
                 MmrH.E.config ~n ~f ~inputs ~faulty ~adversary:Adversary.uniform
                   ~seed ()
@@ -667,7 +697,7 @@ module RMH = Abc.Harness.Make (struct
   let value_of_input = Mmr.value_of_input
 end)
 
-let experiment_e12 () =
+let experiment_e12 pool =
   let n = 8 in
   let f = 2 in
   let seeds = scaled 10 in
@@ -697,7 +727,7 @@ let experiment_e12 () =
         List.map (fun i -> (node i, Behaviour.Crash_after 0)) cut
       in
       let verdicts =
-        List.init seeds (fun seed ->
+        sweep_seeds pool ~seeds (fun seed ->
             let values = split_inputs n in
             let inputs = Mmr.inputs ~n ~coin:(Abc.Coin.common ~seed:7) values in
             let cfg =
@@ -730,7 +760,7 @@ module TcE = Abc_net.Engine.Make (Tc)
 module Mv = Abc.Multivalued.Make (Abc.Payloads.Int_payload)
 module MvE = Abc_net.Engine.Make (Mv)
 
-let experiment_e13 () =
+let experiment_e13 pool =
   let seeds = scaled 10 in
   let table =
     Table.create
@@ -752,28 +782,34 @@ let experiment_e13 () =
       let acs_faulty = [ (node (n - 1), Behaviour.Silent) ] in
       let tc_msgs = ref 0 and tc_agreed = ref 0 in
       let acs_msgs = ref 0 and acs_agreed = ref 0 in
-      for seed = 0 to seeds - 1 do
-        let tc_result =
-          TcE.run
-            (TcE.config ~n ~f:tc_f
-               ~inputs:(Tc.inputs ~n ~coin:Abc.Coin.local proposals)
-               ~faulty:tc_faulty ~adversary:Adversary.uniform ~seed ())
-        in
-        tc_msgs := !tc_msgs + Abc_sim.Metrics.counter tc_result.TcE.metrics "sent";
-        (match tc_result.TcE.outputs.(0) with
-        | [ (_, Tc.Agreed _) ] -> incr tc_agreed
-        | _ -> ());
-        let acs_result =
-          MvE.run
-            (MvE.config ~n ~f:acs_f
-               ~inputs:(Mv.inputs ~n ~coin:Abc.Coin.local proposals)
-               ~faulty:acs_faulty ~adversary:Adversary.uniform ~seed ())
-        in
-        acs_msgs := !acs_msgs + Abc_sim.Metrics.counter acs_result.MvE.metrics "sent";
-        match acs_result.MvE.outputs.(0) with
-        | [ (_, _) ] -> incr acs_agreed
-        | _ -> ()
-      done;
+      sweep_seeds pool ~seeds (fun seed ->
+          let tc_result =
+            TcE.run
+              (TcE.config ~n ~f:tc_f
+                 ~inputs:(Tc.inputs ~n ~coin:Abc.Coin.local proposals)
+                 ~faulty:tc_faulty ~adversary:Adversary.uniform ~seed ())
+          in
+          let tc_ok =
+            match tc_result.TcE.outputs.(0) with
+            | [ (_, Tc.Agreed _) ] -> true
+            | _ -> false
+          in
+          let acs_result =
+            MvE.run
+              (MvE.config ~n ~f:acs_f
+                 ~inputs:(Mv.inputs ~n ~coin:Abc.Coin.local proposals)
+                 ~faulty:acs_faulty ~adversary:Adversary.uniform ~seed ())
+          in
+          let acs_ok =
+            match acs_result.MvE.outputs.(0) with [ (_, _) ] -> true | _ -> false
+          in
+          ( Abc_sim.Metrics.counter tc_result.TcE.metrics "sent", tc_ok,
+            Abc_sim.Metrics.counter acs_result.MvE.metrics "sent", acs_ok ))
+      |> List.iter (fun (tc_sent, tc_ok, acs_sent, acs_ok) ->
+             tc_msgs := !tc_msgs + tc_sent;
+             if tc_ok then incr tc_agreed;
+             acs_msgs := !acs_msgs + acs_sent;
+             if acs_ok then incr acs_agreed);
       let per_seed v = float_of_int v /. float_of_int seeds in
       Table.add_row table
         [
@@ -808,7 +844,7 @@ end)
    ever re-sends), while the same protocol behind [Reliable_link]
    masks loss with acks and timer-driven retransmission and keeps
    deciding — at a bounded retransmission cost. *)
-let experiment_e14 () =
+let experiment_e14 pool =
   let n = 5 and f = 1 in
   let seeds = scaled 20 in
   let table =
@@ -828,32 +864,35 @@ let experiment_e14 () =
     (fun loss ->
       let plan = Abc_net.Link_faults.make ~name:"loss" ~drop:loss () in
       let raw_ok = ref 0 and raw_stalled = ref 0 in
-      for seed = 0 to seeds - 1 do
-        let config =
-          BH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
-            ~link_faults:plan ~max_deliveries:200_000 ()
-        in
-        let _, verdict = BH.run config in
-        if Abc.Harness.ok verdict then incr raw_ok;
-        if not verdict.Abc.Harness.terminated then incr raw_stalled
-      done;
+      sweep_seeds pool ~seeds (fun seed ->
+          let config =
+            BH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
+              ~link_faults:plan ~max_deliveries:200_000 ()
+          in
+          let _, verdict = BH.run config in
+          (Abc.Harness.ok verdict, verdict.Abc.Harness.terminated))
+      |> List.iter (fun (ok, terminated) ->
+             if ok then incr raw_ok;
+             if not terminated then incr raw_stalled);
       let rl_ok = ref 0 and retx = ref 0 and acks = ref 0 and tos = ref 0 in
       let rounds = ref [] in
-      for seed = 0 to seeds - 1 do
-        let config =
-          BRLH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
-            ~link_faults:plan ~max_deliveries:400_000 ()
-        in
-        let result, verdict = BRLH.run config in
-        if Abc.Harness.ok verdict then begin
-          incr rl_ok;
-          rounds := float_of_int verdict.Abc.Harness.max_round :: !rounds
-        end;
-        let c = Abc_sim.Metrics.counter result.BRLH.E.metrics in
-        retx := !retx + c "sent.rl.retx";
-        acks := !acks + c "sent.rl.ack";
-        tos := !tos + c "timer.fired"
-      done;
+      sweep_seeds pool ~seeds (fun seed ->
+          let config =
+            BRLH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
+              ~link_faults:plan ~max_deliveries:400_000 ()
+          in
+          let result, verdict = BRLH.run config in
+          let c = Abc_sim.Metrics.counter result.BRLH.E.metrics in
+          ( Abc.Harness.ok verdict, verdict.Abc.Harness.max_round,
+            c "sent.rl.retx", c "sent.rl.ack", c "timer.fired" ))
+      |> List.iter (fun (ok, max_round, r, a, t) ->
+             if ok then begin
+               incr rl_ok;
+               rounds := float_of_int max_round :: !rounds
+             end;
+             retx := !retx + r;
+             acks := !acks + a;
+             tos := !tos + t);
       let per_seed v = float_of_int v /. float_of_int seeds in
       Table.add_row table
         [
@@ -867,6 +906,64 @@ let experiment_e14 () =
           Table.cell_float ~decimals:0 (per_seed !tos);
         ])
     [ 0.0; 0.1; 0.2; 0.3 ];
+  Table.print table;
+  print_newline ()
+
+(* ----------------------------------------------------------------- *)
+(* E15: sweep throughput vs worker count, with a determinism check    *)
+(* ----------------------------------------------------------------- *)
+
+(* The sweep scaling experiment: rebuild the same small E1 slice at
+   jobs ∈ {1, 2, 4, 8} and report seeds/sec.  The merged CSV must be
+   byte-identical to the jobs=1 output at every worker count — that is
+   the pool's determinism contract, asserted here and again by the CI
+   jobs-matrix.  Wall-clock speedup tracks the host's core count; on a
+   single-core runner every row measures ~1x, which is itself the
+   jobs=1 fallback working. *)
+let experiment_e15 _pool =
+  let pairs = [ (4, 1); (7, 2) ] in
+  let faults = [ No_fault; Flip ] in
+  let seeds = scaled 20 in
+  let cells =
+    List.fold_left
+      (fun acc (n, _) -> acc + (List.length faults * List.length (Adversary.all_basic ~n)))
+      0 pairs
+  in
+  let total_seeds = cells * seeds in
+  let slice jobs =
+    e1_table
+      ~pool:(Abc_exec.Pool.create ~jobs ())
+      ~title:"E15 slice (internal)" ~pairs ~faults ~seeds ()
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E15. Parallel sweep throughput over an E1 slice (%d cells x %d seeds = \
+            %d runs; host reports %d recommended domains)"
+           cells seeds total_seeds
+           (Domain.recommended_domain_count ()))
+      ~columns:[ "jobs"; "seconds"; "seeds/sec"; "speedup"; "csv = jobs1" ]
+  in
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    let csv = Table.csv (slice jobs) in
+    let dt = Unix.gettimeofday () -. t0 in
+    (csv, dt)
+  in
+  let reference_csv, t1 = timed 1 in
+  let row jobs (csv, dt) =
+    Table.add_row table
+      [
+        Table.cell_int jobs;
+        Table.cell_float ~decimals:3 dt;
+        Table.cell_float ~decimals:0 (float_of_int total_seeds /. dt);
+        Table.cell_ratio (t1 /. dt);
+        (if String.equal csv reference_csv then "yes" else "DIVERGED");
+      ]
+  in
+  row 1 (reference_csv, t1);
+  List.iter (fun jobs -> row jobs (timed jobs)) [ 2; 4; 8 ];
   Table.print table;
   print_newline ()
 
@@ -886,6 +983,7 @@ let experiments =
     ("E12", "connectivity threshold over flooding", experiment_e12);
     ("E13", "turpin-coan vs acs multivalued", experiment_e13);
     ("E14", "lossy links vs reliable transport", experiment_e14);
+    ("E15", "parallel sweep throughput + determinism", experiment_e15);
   ]
 
 let () =
@@ -904,6 +1002,21 @@ let () =
     end
     else args
   in
+  (* --jobs N overrides the worker count (ABC_JOBS, else cores - 1). *)
+  let jobs, args =
+    let rec extract acc = function
+      | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | Some _ | None ->
+          prerr_endline "bench: --jobs expects a positive integer";
+          exit 2)
+      | a :: rest -> extract (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    extract [] args
+  in
+  let pool = Abc_exec.Pool.create ?jobs () in
   (* Every mode emits the machine-readable BENCH_*.json run summaries
      (see OBSERVABILITY.md); CSVs remain opt-in via the csv arg. *)
   Abc_sim.Table.set_json_directory (Some "bench_results");
@@ -911,6 +1024,7 @@ let () =
     [
       ("harness", Abc_sim.Json.String "abc-bench");
       ("seeds_scale", Abc_sim.Json.Float !seeds_scale);
+      ("jobs", Abc_sim.Json.Int (Abc_exec.Pool.jobs pool));
     ];
   let selected =
     match args with
@@ -919,9 +1033,9 @@ let () =
   in
   Printf.printf
     "Asynchronous Byzantine Consensus (PODC 1984) — experiment harness\n\
-     Deterministic: every cell is a function of its seeds.\n\n";
+     Deterministic: every cell is a function of its seeds (at any --jobs).\n\n";
   List.iter
     (fun (id, label, run) ->
       Printf.printf "--- %s: %s ---\n" id label;
-      run ())
+      run pool)
     selected

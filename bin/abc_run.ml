@@ -599,7 +599,7 @@ let run_smr n f seed adversary fault faulty_count slots loss dup partition
 
 (* ---- check (bounded model checking) ---- *)
 
-let run_check n f seed depth max_states fault =
+let run_check n f seed depth max_states fault jobs =
   ignore seed;
   let module Rbc = Abc.Bracha_rbc.Binary in
   let module X = Abc_check.Explore.Make (Rbc) in
@@ -626,18 +626,26 @@ let run_check n f seed depth max_states fault =
     | [] -> true
     | v :: rest -> List.for_all (Abc.Value.equal v) rest
   in
+  let cfg =
+    {
+      X.n;
+      f;
+      inputs = Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One;
+      faulty;
+      invariant = agreement;
+      max_states;
+      max_depth = (if depth = 0 then None else Some depth);
+      drop_plan = None;
+    }
+  in
+  (* jobs = 1 keeps the historical sequential search (and its exact
+     explored/deadlock counts); anything else fans the top-level
+     branches out over a domain pool. *)
   let outcome =
-    X.run
-      {
-        X.n;
-        f;
-        inputs = Rbc.inputs ~n ~sender:(Node_id.of_int 0) Abc.Value.One;
-        faulty;
-        invariant = agreement;
-        max_states;
-        max_depth = (if depth = 0 then None else Some depth);
-        drop_plan = None;
-      }
+    match jobs with
+    | Some 1 -> X.run cfg
+    | Some j -> X.run_parallel ~pool:(Abc_exec.Pool.create ~jobs:j ()) cfg
+    | None -> X.run cfg
   in
   Fmt.pr
     "model-check rbc n=%d f=%d depth<=%s: explored=%d exhausted=%b deadlocks=%d      depth_reached=%d@."
@@ -737,10 +745,20 @@ let check_cmd =
       & opt int 500_000
       & info [ "states" ] ~docv:"K" ~doc:"Exploration budget in states.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Worker domains for the branch fan-out (default 1: the exact \
+             sequential search).  Parallel runs explore the same space but \
+             report per-branch state counts.")
+  in
   let term =
     Term.(
       const run_check $ n_arg $ f_arg $ seed_arg $ depth $ max_states
-      $ fault_kind_arg)
+      $ fault_kind_arg $ jobs)
   in
   Cmd.v
     (Cmd.info "check"

@@ -309,13 +309,98 @@ let quorum ~path toks =
   end
 
 (* ----------------------------------------------------------------- *)
-(* Dispatch + rule 4: interface coverage                             *)
+(* Rule 4: top-level mutable state                                   *)
+(* ----------------------------------------------------------------- *)
+
+(* Module-level mutable containers.  [Array.make] and [Bytes.create]
+   are deliberately excluded: top-level arrays in this codebase are
+   precomputed constant tables, while refs and growable containers are
+   the state that leaks across Exec.Pool domains. *)
+let mutable_makers =
+  [
+    ("Hashtbl", "create"); ("Queue", "create"); ("Buffer", "create");
+    ("Stack", "create"); ("Atomic", "make");
+  ]
+
+let is_mutable_rhs toks i =
+  match match_seq toks i [ is_lident "ref" ] with
+  | Some idx -> Some idx
+  | None ->
+    List.find_map
+      (fun (m, fn) -> match_seq toks i [ is_uident m; is_dot; is_lident fn ])
+      mutable_makers
+
+(* Flag [let x = ref ...] (and Hashtbl.create & co) at column 0 in the
+   engine-adjacent libraries: every Exec.Pool job must build its own
+   run state, so process-global mutable state there is shared across
+   domains without synchronization.  Survivors (main-domain-only output
+   configuration) are reviewed into lint.allow.  Only value bindings
+   are matched — a [let f () = ... ref ...] allocates per call and is
+   fine — and the column test keeps [let]s inside functions or
+   submodules out of scope. *)
+let mutable_global ~path toks =
+  if
+    not
+      (in_dir path "lib/sim/" || in_dir path "lib/net/"
+      || in_dir path "lib/exec/")
+  then []
+  else begin
+    let file = normalize path in
+    let len = Array.length toks in
+    let find = ref [] in
+    for i = 0 to len - 1 do
+      let t = toks.(i) in
+      if t.token = Parser.LET && t.col = 0 && i + 1 < len then begin
+        match toks.(i + 1).token with
+        | Parser.LIDENT name ->
+          (* Accept [let x = rhs] and [let x : ty = rhs]; anything else
+             after the name (parameters, tuples) is a function or
+             destructuring, not a plain global. *)
+          let eq =
+            if i + 2 >= len then None
+            else begin
+              match toks.(i + 2).token with
+              | Parser.EQUAL -> Some (i + 2)
+              | Parser.COLON ->
+                let rec seek j =
+                  if j >= len || j > i + 16 then None
+                  else if toks.(j).token = Parser.EQUAL then Some j
+                  else seek (j + 1)
+                in
+                seek (i + 3)
+              | _ -> None
+            end
+          in
+          (match eq with
+          | None -> ()
+          | Some j -> (
+            match is_mutable_rhs toks (j + 1) with
+            | None -> ()
+            | Some idx ->
+              find :=
+                Finding.v ~rule:"mutable-global" ~file ~line:t.line
+                  ~snippet:("let " ^ name ^ " = " ^ snippet_of toks idx)
+                  "top-level mutable state in an engine library: Exec.Pool \
+                   jobs run concurrently across domains, so run state must \
+                   be allocated per run (pass it through config/context) or \
+                   reviewed into lint.allow as main-domain-only"
+                :: !find))
+        | _ -> ()
+      end
+    done;
+    dedup !find
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Dispatch + rule 5: interface coverage                             *)
 (* ----------------------------------------------------------------- *)
 
 let check_source ~path source =
   if Filename.check_suffix path ".ml" then begin
     let toks = Token_stream.of_string ~filename:path source in
-    dedup (determinism ~path toks @ poly_compare ~path toks @ quorum ~path toks)
+    dedup
+      (determinism ~path toks @ poly_compare ~path toks @ quorum ~path toks
+      @ mutable_global ~path toks)
   end
   else []
 

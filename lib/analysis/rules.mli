@@ -24,6 +24,14 @@
       parameters [n] and [f] ([f + 1], [2 * f + 1], [n - f], [n / 3],
       ...) must flow through the [Quorum] module so each bound carries
       its intersection argument.
+    - {b mutable-global} applies to the engine-adjacent libraries
+      ([lib/sim/], [lib/net/], [lib/exec/]): a top-level (column-0)
+      value binding whose right-hand side allocates a mutable
+      container ([ref], [Hashtbl.create], [Queue.create],
+      [Buffer.create], [Stack.create], [Atomic.make]) is flagged —
+      [Exec.Pool] jobs run engines concurrently across domains, so
+      run state must be allocated per run; reviewed main-domain-only
+      survivors live in [lint.allow].
     - {b interface} requires every [.ml] under [lib/] to have a
       matching [.mli]. *)
 
@@ -32,6 +40,8 @@ val determinism : path:string -> Token_stream.tok array -> Finding.t list
 val poly_compare : path:string -> Token_stream.tok array -> Finding.t list
 
 val quorum : path:string -> Token_stream.tok array -> Finding.t list
+
+val mutable_global : path:string -> Token_stream.tok array -> Finding.t list
 
 val check_source : path:string -> string -> Finding.t list
 (** Lex [source] and apply the three token rules that are in scope for

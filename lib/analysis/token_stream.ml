@@ -1,4 +1,4 @@
-type tok = { token : Parser.token; line : int; text : string }
+type tok = { token : Parser.token; line : int; col : int; text : string }
 
 let of_string ~filename source =
   let lexbuf = Lexing.from_string source in
@@ -12,9 +12,11 @@ let of_string ~filename source =
     | Parser.EOF -> ()
     | Parser.COMMENT _ | Parser.DOCSTRING _ -> loop ()
     | token ->
-      let line = lexbuf.Lexing.lex_start_p.Lexing.pos_lnum in
+      let start = lexbuf.Lexing.lex_start_p in
+      let line = start.Lexing.pos_lnum in
+      let col = start.Lexing.pos_cnum - start.Lexing.pos_bol in
       let text = Lexing.lexeme lexbuf in
-      acc := { token; line; text } :: !acc;
+      acc := { token; line; col; text } :: !acc;
       loop ()
     | exception Lexer.Error (_, _) -> ()
   in

@@ -8,6 +8,8 @@
 type tok = {
   token : Parser.token;  (** the compiler's token *)
   line : int;  (** 1-based start line *)
+  col : int;  (** 0-based start column; 0 means flush against the
+                  margin, i.e. a top-level construct *)
   text : string;  (** the lexeme as written in the source *)
 }
 

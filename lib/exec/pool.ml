@@ -1,0 +1,62 @@
+type t = { jobs : int }
+
+let default_jobs () =
+  match Sys.getenv_opt "ABC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  { jobs }
+
+let sequential = { jobs = 1 }
+
+let jobs t = t.jobs
+
+(* The work queue is an index cursor under a mutex: claiming a job is
+   [take]'s critical section and nothing else is shared between
+   workers — each result lands in its own preallocated slot, so the
+   merge needs no synchronization beyond the final joins. *)
+let map t count f =
+  if count <= 0 then [||]
+  else if t.jobs = 1 || count = 1 then Array.init count f
+  else begin
+    let results : 'a option array = Array.make count None in
+    let errors : exn option array = Array.make count None in
+    let next = ref 0 in
+    let lock = Mutex.create () in
+    let take () =
+      Mutex.lock lock;
+      let i = !next in
+      if i < count then incr next;
+      Mutex.unlock lock;
+      if i < count then Some i else None
+    in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        (match f i with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some e);
+        worker ()
+    in
+    let spawned =
+      Array.init (min (t.jobs - 1) (count - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* Re-raise the failure of the lowest job index, so which error a
+       caller sees does not depend on domain scheduling. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* every index claimed *))
+      results
+  end
+
+let map_list t f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map t (Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,67 @@
+(** Domain-parallel job pool with a deterministic merge contract.
+
+    A pool executes a batch of independent, index-identified jobs
+    across a fixed number of OCaml 5 domains and merges their results
+    into an array ordered by job index.  Because results are keyed by
+    index — never by completion order — the merged output is
+    byte-identical regardless of the worker count or how the runtime
+    schedules the domains.  That is the contract the seed sweeps in
+    [bench/], the chaos campaigns and the model checker's branch
+    fan-out build on: [jobs = 1] and [jobs = 8] must produce the same
+    tables, the same BENCH_*.json and the same golden summaries.
+
+    {2 Job requirements}
+
+    Jobs run concurrently on separate domains, so each job must build
+    every piece of mutable state it touches — engine configs, PRNG
+    streams, [Trace.t] buffers, [Metrics.t] — inside the job function.
+    The simulator is structured for this: {!Abc_net.Engine.Make.run}
+    allocates all run state (metrics, clock, sinks, adversary policy)
+    per call from the seed, and the only process-global mutable state
+    in [lib/sim] is the {!Abc_sim.Table} output configuration, which
+    is written once at startup and read only on the main domain (the
+    [mutable-global] lint rule keeps it that way).  Jobs must not
+    write to shared tables, global refs, or [stdout]; produce a value
+    and let the caller render after the merge.
+
+    A job function is called for each index exactly once across all
+    workers.  If a job raises, the batch completes (other jobs still
+    run) and the exception of the {e lowest} failing index is
+    re-raised on the caller's domain — again independent of
+    scheduling. *)
+
+type t
+(** A pool configuration: a fixed worker count.  Workers are spawned
+    per batch and joined before {!map} returns, so a pool value is
+    cheap, immutable and safe to share. *)
+
+val default_jobs : unit -> int
+(** Worker count used by {!create} when none is given: the [ABC_JOBS]
+    environment variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1], floored at 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] is a pool running batches on [max 1 jobs]
+    workers; defaults to {!default_jobs}. *)
+
+val sequential : t
+(** The one-worker pool: {!map} degenerates to an in-process
+    [Array.init]-style loop with no domains spawned — the reference
+    against which parallel output is byte-compared. *)
+
+val jobs : t -> int
+(** The pool's worker count. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool count f] computes [[| f 0; f 1; ...; f (count - 1) |]].
+    With [jobs pool = 1] (or [count <= 1]) jobs run sequentially in
+    the calling domain, in index order.  Otherwise [jobs pool - 1]
+    worker domains are spawned and the calling domain joins the work:
+    each worker repeatedly takes the next unclaimed index from a
+    lock-protected queue and stores [f i] at slot [i] of a
+    preallocated result array.  Results are merged by index, so the
+    returned array is identical for every worker count. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs] is [List.map f xs] with the applications of
+    [f] distributed over the pool; order is preserved. *)

@@ -1,9 +1,16 @@
 (* Chaos campaign: randomized configurations across every protocol in
    the library, asserting the consensus properties whenever the
    configuration is within the protocol's design bounds.  This is the
-   wide-net complement to the targeted suites: qcheck draws the
-   parameters, the engine's determinism makes any failure replayable
-   from the printed counterexample. *)
+   wide-net complement to the targeted suites: qcheck generators draw
+   the parameters, the engine's determinism makes any failure
+   replayable from the printed counterexample.
+
+   Campaigns run on the Exec.Pool: scenarios are generated up front on
+   the main domain from a pinned seed (QCHECK_SEED, default 421984),
+   then evaluated as independent pool jobs — each job builds its own
+   engine from the scenario, so worker count never changes which
+   scenarios run or how they behave, only how fast the campaign
+   finishes.  Override the worker count with ABC_JOBS. *)
 
 module Node_id = Abc_net.Node_id
 module Behaviour = Abc_net.Behaviour
@@ -12,8 +19,34 @@ module Value = Abc.Value
 module B = Abc.Bracha_consensus
 module M = Abc.Mmr_consensus
 module BO = Abc.Ben_or
+module Pool = Abc_exec.Pool
 
 let node = Node_id.of_int
+
+let pool = Pool.create ()
+
+let campaign_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some seed -> seed
+  | None -> 421984
+
+(* Generate [count] scenarios sequentially (Random.State is not domain
+   safe), evaluate them on the pool, and report every failing scenario
+   so a red run is replayable without shrinking. *)
+let campaign ~name ~count gen print prop =
+  Alcotest.test_case name `Slow (fun () ->
+      let rand = Random.State.make [| campaign_seed |] in
+      let scenarios = List.init count (fun _ -> QCheck.Gen.generate1 ~rand gen) in
+      let verdicts = Pool.map_list pool (fun s -> prop s) scenarios in
+      let failures =
+        List.filter_map
+          (fun (s, ok) -> if ok then None else Some (print s))
+          (List.combine scenarios verdicts)
+      in
+      if failures <> [] then
+        Alcotest.failf "%d/%d scenarios failed (QCHECK_SEED=%d): %s"
+          (List.length failures) count campaign_seed
+          (String.concat " " failures))
 
 (* ---- randomized configuration vocabulary ---- *)
 
@@ -42,9 +75,6 @@ let scenario_gen ~max_f_of =
 let print_scenario s =
   Printf.sprintf "{n=%d f=%d faults=%d kind=%d adv=%d inputs=%d seed=%d}" s.n s.f
     s.actual_faults s.fault_kind s.adversary_kind s.input_pattern s.seed
-
-let arbitrary ~max_f_of =
-  QCheck.make ~print:print_scenario (scenario_gen ~max_f_of)
 
 let adversary_of s =
   match s.adversary_kind with
@@ -81,8 +111,9 @@ module BH = Abc.Harness.Make (struct
 end)
 
 let chaos_bracha =
-  QCheck.Test.make ~name:"bracha consensus survives arbitrary scenarios" ~count:120
-    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+  campaign ~name:"bracha consensus survives arbitrary scenarios" ~count:120
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 3))
+    print_scenario
     (fun s ->
       let faulty =
         faulty_of s ~flip:B.Fault.flip_value
@@ -102,8 +133,9 @@ module MH = Abc.Harness.Make (struct
 end)
 
 let chaos_mmr =
-  QCheck.Test.make ~name:"mmr consensus survives arbitrary scenarios" ~count:120
-    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+  campaign ~name:"mmr consensus survives arbitrary scenarios" ~count:120
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 3))
+    print_scenario
     (fun s ->
       let faulty =
         faulty_of s ~flip:M.Fault.flip_value
@@ -117,9 +149,9 @@ let chaos_mmr =
       Abc.Harness.ok (snd (MH.run cfg)))
 
 let chaos_mmr_rabin =
-  QCheck.Test.make ~name:"mmr over the rabin coin survives arbitrary scenarios"
-    ~count:60
-    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+  campaign ~name:"mmr over the rabin coin survives arbitrary scenarios" ~count:60
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 3))
+    print_scenario
     (fun s ->
       let faulty =
         faulty_of s ~flip:M.Fault.flip_value
@@ -139,8 +171,9 @@ module BOH = Abc.Harness.Make (struct
 end)
 
 let chaos_benor =
-  QCheck.Test.make ~name:"ben-or survives arbitrary in-bound scenarios" ~count:80
-    (arbitrary ~max_f_of:(fun n -> (n - 1) / 5))
+  campaign ~name:"ben-or survives arbitrary in-bound scenarios" ~count:80
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 5))
+    print_scenario
     (fun s ->
       let faulty =
         faulty_of s ~flip:BO.Fault.flip_value
@@ -159,9 +192,9 @@ module AcsE = Abc_net.Engine.Make (Acs)
 let chaos_acs =
   (* Faults restricted to silence/crash here: the ACS message type is
      abstract, so payload mutators come from inner protocols only. *)
-  QCheck.Test.make ~name:"acs produces a common subset in arbitrary scenarios"
-    ~count:40
-    (arbitrary ~max_f_of:(fun n -> (n - 1) / 3))
+  campaign ~name:"acs produces a common subset in arbitrary scenarios" ~count:40
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 3))
+    print_scenario
     (fun s ->
       let behaviour =
         if s.fault_kind mod 2 = 0 then Behaviour.Silent
@@ -246,16 +279,6 @@ let print_lossy s =
     | Some (a, len, v) -> Printf.sprintf "[%d,%d)@%d" a (a + len) v)
     s.lseed
 
-let lossy_arbitrary = QCheck.make ~print:print_lossy (lossy_gen ~max_n:7 ~max_pct:20)
-
-(* ACS multiplies n broadcast instances by n binary agreements, so
-   heavy loss plus duplication inflates its retransmission traffic well
-   past the default delivery budget.  The campaign stays milder (and
-   gets explicit budget headroom) — the point is correctness under
-   faults, not a stress race against the iteration cap. *)
-let lossy_arbitrary_mild =
-  QCheck.make ~print:print_lossy (lossy_gen ~max_n:5 ~max_pct:10)
-
 let plan_of s =
   let cuts =
     match s.cut with
@@ -285,9 +308,10 @@ module BRLH = Abc.Harness.Make (struct
 end)
 
 let chaos_bracha_reliable_lossy =
-  QCheck.Test.make
-    ~name:"reliable-link bracha decides under loss, dup and healing cuts"
-    ~count:40 lossy_arbitrary
+  campaign ~name:"reliable-link bracha decides under loss, dup and healing cuts"
+    ~count:40
+    (lossy_gen ~max_n:7 ~max_pct:20)
+    print_lossy
     (fun s ->
       let values =
         Array.init s.ln (fun i -> if i < s.ln / 2 then Value.Zero else Value.One)
@@ -305,8 +329,9 @@ let chaos_bracha_raw_lossy_safe =
      liveness, but it must never break safety: whatever subset of nodes
      decides still agrees, and validity still binds decisions to
      honest inputs. *)
-  QCheck.Test.make ~name:"raw bracha stays safe under loss (no agreement break)"
-    ~count:60 lossy_arbitrary
+  campaign ~name:"raw bracha stays safe under loss (no agreement break)" ~count:60
+    (lossy_gen ~max_n:7 ~max_pct:20)
+    print_lossy
     (fun s ->
       let values =
         Array.init s.ln (fun i -> if i < s.ln / 2 then Value.Zero else Value.One)
@@ -322,10 +347,16 @@ let chaos_bracha_raw_lossy_safe =
 module RGossipAcs = Abc_net.Reliable_link.Make (Acs)
 module RAcsE = Abc_net.Engine.Make (RGossipAcs)
 
+(* ACS multiplies n broadcast instances by n binary agreements, so
+   heavy loss plus duplication inflates its retransmission traffic well
+   past the default delivery budget.  The campaign stays milder (and
+   gets explicit budget headroom) — the point is correctness under
+   faults, not a stress race against the iteration cap. *)
 let chaos_acs_reliable_lossy =
-  QCheck.Test.make
-    ~name:"reliable-link acs agrees on a common subset under lossy links"
-    ~count:15 lossy_arbitrary_mild
+  campaign ~name:"reliable-link acs agrees on a common subset under lossy links"
+    ~count:15
+    (lossy_gen ~max_n:5 ~max_pct:10)
+    print_lossy
     (fun s ->
       let inputs =
         Acs.inputs ~n:s.ln ~coin:Abc.Coin.local (Array.init s.ln (fun i -> 100 + i))
@@ -356,17 +387,11 @@ let () =
   Alcotest.run "chaos"
     [
       ( "campaigns",
-        [
-          QCheck_alcotest.to_alcotest chaos_bracha;
-          QCheck_alcotest.to_alcotest chaos_mmr;
-          QCheck_alcotest.to_alcotest chaos_mmr_rabin;
-          QCheck_alcotest.to_alcotest chaos_benor;
-          QCheck_alcotest.to_alcotest chaos_acs;
-        ] );
+        [ chaos_bracha; chaos_mmr; chaos_mmr_rabin; chaos_benor; chaos_acs ] );
       ( "link faults",
         [
-          QCheck_alcotest.to_alcotest chaos_bracha_reliable_lossy;
-          QCheck_alcotest.to_alcotest chaos_bracha_raw_lossy_safe;
-          QCheck_alcotest.to_alcotest chaos_acs_reliable_lossy;
+          chaos_bracha_reliable_lossy;
+          chaos_bracha_raw_lossy_safe;
+          chaos_acs_reliable_lossy;
         ] );
     ]

@@ -158,6 +158,76 @@ let test_safe_toy_exhausts () =
   Alcotest.(check bool) "exhausted" true outcome.XR.exhausted;
   Alcotest.(check bool) "no violation" true (outcome.XR.violation = None)
 
+(* ---- parallel branch fan-out ---- *)
+
+let test_parallel_matches_any_worker_count () =
+  (* run_parallel's outcome must be a pure function of the config:
+     identical at 1, 2 and 4 workers, and in agreement with the
+     sequential search on everything but the per-branch state counts. *)
+  let cfg = rbc_config ~max_depth:(Some 6) ~invariant:rbc_agreement () in
+  let outcome_of jobs =
+    X.run_parallel ~pool:(Abc_exec.Pool.create ~jobs ()) cfg
+  in
+  let o1 = outcome_of 1 in
+  let o2 = outcome_of 2 in
+  let o4 = outcome_of 4 in
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (o1 = o2);
+  Alcotest.(check bool) "jobs 2 = jobs 4" true (o2 = o4);
+  let sequential = X.run cfg in
+  Alcotest.(check bool) "no violation either way" true
+    (sequential.X.violation = None && o4.X.violation = None);
+  Alcotest.(check int) "same depth" sequential.X.depth_reached o4.X.depth_reached;
+  Alcotest.(check bool) "at least the sequential coverage" true
+    (o4.X.explored >= sequential.X.explored)
+
+let test_parallel_finds_counterexample () =
+  let agreement outputs =
+    let chosen =
+      Array.to_list outputs |> List.concat_map (List.map (fun (Race.Chose v) -> v))
+    in
+    match chosen with
+    | [] -> true
+    | v :: rest -> List.for_all (Abc.Value.equal v) rest
+  in
+  let cfg =
+    {
+      XR.n = 2;
+      f = 0;
+      inputs = [| Abc.Value.Zero; Abc.Value.One |];
+      faulty = [];
+      invariant = agreement;
+      max_states = 10_000;
+      max_depth = None;
+      drop_plan = None;
+    }
+  in
+  let outcome = XR.run_parallel ~pool:(Abc_exec.Pool.create ~jobs:4 ()) cfg in
+  match outcome.XR.violation with
+  | Some v ->
+    Alcotest.(check bool) "schedule is non-empty" true (List.length v.XR.schedule > 0);
+    Alcotest.(check bool) "schedule is short" true (List.length v.XR.schedule <= 4)
+  | None -> Alcotest.fail "expected a counterexample"
+
+let test_parallel_quiescent_start () =
+  let faulty = [ (node 0, Behaviour.Silent) ] in
+  let outcome =
+    XR.run_parallel
+      ~pool:(Abc_exec.Pool.create ~jobs:4 ())
+      {
+        XR.n = 1;
+        f = 0;
+        inputs = [| Abc.Value.One |];
+        faulty;
+        invariant = (fun _ -> true);
+        max_states = 100;
+        max_depth = None;
+        drop_plan = None;
+      }
+  in
+  Alcotest.(check bool) "exhausted" true outcome.XR.exhausted;
+  Alcotest.(check int) "one deadlocked state" 1 outcome.XR.deadlocks;
+  Alcotest.(check int) "only the start state" 1 outcome.XR.explored
+
 (* ---- lossy links: deterministic drop plans ---- *)
 
 let test_rbc_lossy_links_stay_safe () =
@@ -244,5 +314,13 @@ let () =
           Alcotest.test_case "unsafe protocol caught" `Quick
             test_finds_counterexample_in_unsafe_protocol;
           Alcotest.test_case "safe toy exhausts" `Quick test_safe_toy_exhausts;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "outcome independent of worker count" `Slow
+            test_parallel_matches_any_worker_count;
+          Alcotest.test_case "counterexample found in parallel" `Quick
+            test_parallel_finds_counterexample;
+          Alcotest.test_case "quiescent start" `Quick test_parallel_quiescent_start;
         ] );
     ]

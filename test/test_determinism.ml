@@ -1,0 +1,128 @@
+(* Determinism regression for the Exec.Pool merge contract: the same
+   seeds swept at jobs=1 and jobs=4 must produce byte-identical
+   artifacts — both the analyzer-level trace summaries and the CSV
+   bytes of a bench-style table.  Any divergence means per-run state
+   leaked across domains or the merge lost its index ordering. *)
+
+module Node_id = Abc_net.Node_id
+module Behaviour = Abc_net.Behaviour
+module Adversary = Abc_net.Adversary
+module Trace = Abc_sim.Trace
+module Trace_file = Abc_sim.Trace_file
+module Trace_report = Abc_sim.Trace_report
+module Table = Abc_sim.Table
+module Pool = Abc_exec.Pool
+module B = Abc.Bracha_consensus
+
+module BH = Abc.Harness.Make (struct
+  include B
+
+  let value_of_input = B.value_of_input
+end)
+
+let node = Node_id.of_int
+
+let split_inputs n =
+  Array.init n (fun i -> if i < n / 2 then Abc.Value.Zero else Abc.Value.One)
+
+(* One traced consensus run per seed; the job returns the analyzer
+   summary of its own trace, so each domain exercises the full
+   engine -> trace -> jsonl -> parser -> report pipeline. *)
+let traced_summary ~n ~f ~seed =
+  let trace = Trace.create () in
+  let inputs = B.inputs ~n ~options:B.Options.default (split_inputs n) in
+  let faulty = [ (node (n - 1), Behaviour.Mutate B.Fault.flip_value) ] in
+  let cfg = BH.E.config ~n ~f ~inputs ~faulty ~seed ~trace () in
+  let _ = BH.run cfg in
+  match Trace_file.of_string (Trace.to_jsonl_string ~meta:[] trace) with
+  | Ok file -> Trace_report.summary file
+  | Error e -> Printf.sprintf "parse error: %s" e
+
+let sweep_summaries pool seeds =
+  Pool.map_list pool (fun seed -> traced_summary ~n:7 ~f:2 ~seed) seeds
+
+(* A miniature E1: per-seed verdict cells folded into a table, same
+   shape as the bench harness builds, rendered to CSV. *)
+let e1_slice_csv pool =
+  let table =
+    Table.create ~title:"determinism slice"
+      ~columns:[ "n"; "f"; "fault"; "ok"; "mean msgs" ]
+  in
+  List.iter
+    (fun (n, f, faulty, label) ->
+      let seeds = List.init 10 (fun s -> 1000 + s) in
+      let verdicts =
+        Pool.map_list pool
+          (fun seed ->
+            let inputs = B.inputs ~n ~options:B.Options.default (split_inputs n) in
+            let cfg = BH.E.config ~n ~f ~inputs ~faulty ~seed ~adversary:Adversary.uniform () in
+            snd (BH.run cfg))
+          seeds
+      in
+      let oks = List.filter Abc.Harness.ok verdicts in
+      let msgs =
+        List.fold_left (fun a v -> a + v.Abc.Harness.messages) 0 verdicts
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int f;
+          label;
+          Printf.sprintf "%d/%d" (List.length oks) (List.length verdicts);
+          Table.cell_float (float_of_int msgs /. 10.);
+        ])
+    [
+      (4, 1, [], "none");
+      (7, 2, [ (node 6, Behaviour.Mutate B.Fault.flip_value) ], "flip");
+      (7, 2, [ (node 6, Behaviour.Silent) ], "silent");
+    ];
+  Table.csv table
+
+let jobs1 = Pool.create ~jobs:1 ()
+
+let jobs4 = Pool.create ~jobs:4 ()
+
+let test_trace_summaries_identical () =
+  let seeds = List.init 8 (fun s -> 42 + s) in
+  let sequential = sweep_summaries jobs1 seeds in
+  let parallel = sweep_summaries jobs4 seeds in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "summary for seed %d" (42 + i))
+        a b)
+    (List.combine sequential parallel)
+
+let test_e1_slice_csv_identical () =
+  Alcotest.(check string) "csv bytes" (e1_slice_csv jobs1) (e1_slice_csv jobs4)
+
+let test_pool_map_order () =
+  (* The merge keys by job index even when workers race: a job that
+     sleeps on low indices cannot displace their slots. *)
+  let squares = Pool.map jobs4 64 (fun i -> i * i) in
+  Alcotest.(check (array int))
+    "indexed merge"
+    (Array.init 64 (fun i -> i * i))
+    squares
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "job failure surfaces" (Failure "job 3") (fun () ->
+      ignore (Pool.map jobs4 8 (fun i -> if i = 3 then failwith "job 3" else i)))
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "indexed merge" `Quick test_pool_map_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+        ] );
+      ( "jobs=1 vs jobs=4",
+        [
+          Alcotest.test_case "trace summaries identical" `Slow
+            test_trace_summaries_identical;
+          Alcotest.test_case "E1-slice csv identical" `Slow
+            test_e1_slice_csv_identical;
+        ] );
+    ]

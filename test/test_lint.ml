@@ -51,8 +51,10 @@ let test_poly_compare_violations () =
     "type t = int * int\nlet compare = compare\n";
   check_rules "Stdlib.compare" [ "poly-compare" ] ~path:"lib/net/route.ml"
     "let cmp = Stdlib.compare\n";
-  check_rules "polymorphic Hashtbl over ids" [ "poly-compare" ]
-    ~path:"lib/net/route.ml"
+  (* A top-level polymorphic table over ids trips both rules: the
+     hashing is structural AND the state is process-global. *)
+  check_rules "polymorphic Hashtbl over ids"
+    [ "mutable-global"; "poly-compare" ] ~path:"lib/net/route.ml"
     "let tbl : (Node_id.t, int) Hashtbl.t = Hashtbl.create 16\n"
 
 let test_poly_compare_passing () =
@@ -70,9 +72,10 @@ let test_poly_compare_passing () =
   (* The dedicated equality is exactly what the rule asks for. *)
   check_rules "Node_id.equal" [] ~path:"lib/net/route.ml"
     "let same src dst = Node_id.equal src dst\n";
-  (* Without an abstract id type in scope, =/Hashtbl stay quiet. *)
+  (* Without an abstract id type in scope, =/Hashtbl stay quiet (the
+     table is function-local so mutable-global stays quiet too). *)
   check_rules "no Node_id in scope" [] ~path:"lib/sim/counter.ml"
-    "let tbl = Hashtbl.create 16\nlet hit src dst = src = dst\n"
+    "let tbl () = Hashtbl.create 16\nlet hit src dst = src = dst\n"
 
 (* ---- rule 3: quorum arithmetic ---- *)
 
@@ -101,7 +104,36 @@ let test_quorum_passing () =
   check_rules "named threshold" [] ~path:"lib/core/proto.ml"
     "let deliver state count = count >= Quorum.ready_deliver ~f:state.f\n"
 
-(* ---- rule 4: interface coverage ---- *)
+(* ---- rule 4: mutable-global ---- *)
+
+let test_mutable_global_violations () =
+  check_rules "top-level refs and containers flagged"
+    [ "mutable-global"; "mutable-global"; "mutable-global" ]
+    ~path:"lib/sim/sink.ml"
+    "let current = ref None\n\
+     let registry = Hashtbl.create 16\n\
+     let pending : int Queue.t = Queue.create ()\n";
+  check_rules "lib/net in scope" [ "mutable-global" ] ~path:"lib/net/wires.ml"
+    "let flips = Atomic.make 0\n"
+
+let test_mutable_global_passing () =
+  (* Allocation inside functions is per-call, not process-global. *)
+  check_rules "function-local state fine" [] ~path:"lib/sim/metrics.ml"
+    "let create () = { counters = Hashtbl.create 16 }\n\
+     let fresh () =\n\
+     \  let cell = ref 0 in\n\
+     \  cell\n";
+  (* Indented (nested) bindings are out of scope for the heuristic. *)
+  check_rules "nested let fine" [] ~path:"lib/sim/metrics.ml"
+    "module Inner = struct\n  let hidden = ref 0\nend\n";
+  (* Other directories keep their idioms. *)
+  check_rules "lib/core out of scope" [] ~path:"lib/core/proto.ml"
+    "let cache = ref None\n";
+  (* Immutable top-level values never trip. *)
+  check_rules "plain values fine" [] ~path:"lib/sim/clock.ml"
+    "let origin = 0\nlet label = \"tick\"\n"
+
+(* ---- rule 5: interface coverage ---- *)
 
 let test_interface_coverage () =
   Alcotest.(check (list string))
@@ -277,6 +309,10 @@ let () =
           Alcotest.test_case "poly-compare: passing" `Quick test_poly_compare_passing;
           Alcotest.test_case "quorum: violations" `Quick test_quorum_violations;
           Alcotest.test_case "quorum: passing" `Quick test_quorum_passing;
+          Alcotest.test_case "mutable-global: violations" `Quick
+            test_mutable_global_violations;
+          Alcotest.test_case "mutable-global: passing" `Quick
+            test_mutable_global_passing;
           Alcotest.test_case "interface coverage" `Quick test_interface_coverage;
         ] );
       ( "driver",
