@@ -280,6 +280,59 @@ let summarize_rounds label rounds =
 
 (* ---- rbc ---- *)
 
+let protocol_arg =
+  let choices = [ ("bracha", `Bracha); ("coded", `Coded); ("ir", `Ir) ] in
+  Arg.(
+    value
+    & opt (enum choices) `Bracha
+    & info [ "protocol" ] ~docv:"P"
+        ~doc:
+          "Broadcast protocol: $(b,bracha) (3-phase, f < n/3), $(b,coded) \
+           (erasure-coded AVID-style dispersal, f < n/3, O(|m|/n) bytes per \
+           link) or $(b,ir) (Imbs-Raynal 2-phase, f < n/5, n2+n messages).")
+
+let payload_bytes_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "payload-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Broadcast a synthetic payload of $(docv) bytes and report the \
+           byte-level bandwidth counters.  0 (the default) keeps the \
+           classic single-bit payload for $(b,bracha).")
+
+let synthetic_payload ~bytes ~seed =
+  String.init bytes (fun i -> Char.chr ((seed + (131 * i)) land 0xFF))
+
+(* A tiny FNV-1a digest so delivered payloads can be compared at a
+   glance without printing kilobytes. *)
+let payload_digest s =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let print_byte_counters ~n metrics =
+  let c = Abc_sim.Metrics.counter metrics in
+  Fmt.pr "  bytes: sent=%d delivered=%d per-node=%d@." (c "bytes.sent")
+    (c "bytes.delivered")
+    (c "bytes.sent" / n);
+  let prefix = "bytes.sent." in
+  let pl = String.length prefix in
+  let labelled =
+    Abc_sim.Metrics.counters metrics
+    |> List.filter_map (fun (name, v) ->
+           if String.length name > pl && String.sub name 0 pl = prefix then
+             Some (String.sub name pl (String.length name - pl), v)
+           else None)
+  in
+  if labelled <> [] then begin
+    Fmt.pr "  bytes by label:";
+    List.iter (fun (l, v) -> Fmt.pr " %s=%d" l v) labelled;
+    Fmt.pr "@."
+  end
+
 module Rbc_runner
     (P : Abc_net.Protocol.S
            with type input = Rbc.input
@@ -313,10 +366,162 @@ struct
     if trace then Option.iter (print_trace ~n) tr
 end
 
+(* One runner for every string-payload broadcast (bracha over strings,
+   the coded dispersal, imbs-raynal).  [B] fixes the protocol's input
+   and output shapes; [P] is either the protocol itself or its
+   reliable-link wrapping. *)
+module Payload_rbc_runner
+    (B : sig
+      type input
+      type output
+
+      val inputs : n:int -> sender:Node_id.t -> string -> input array
+      val delivered : output -> string
+    end)
+    (P : Abc_net.Protocol.S with type input = B.input and type output = B.output) =
+struct
+  let go ~label ~n ~f ~seed ~adversary ~faulty ~link_faults ~payload ~trace
+      ~trace_out =
+    let module E = Abc_net.Engine.Make (P) in
+    let tr = make_trace ~trace ~trace_out in
+    let config =
+      E.config ~n ~f
+        ~inputs:(B.inputs ~n ~sender:(Node_id.of_int 0) payload)
+        ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed ?link_faults ?trace:tr ()
+    in
+    let result = E.run config in
+    Fmt.pr "%s n=%d f=%d payload=%dB seed=%d stop=%a messages=%d time=%d@."
+      label n f (String.length payload) seed Abc_net.Engine.pp_stop_reason
+      result.E.stop
+      (Abc_sim.Metrics.counter result.E.metrics "sent")
+      result.E.duration;
+    print_byte_counters ~n result.E.metrics;
+    if link_faults <> None then print_link_stats result.E.metrics;
+    Array.iteri
+      (fun i outputs ->
+        match outputs with
+        | [ (time, out) ] ->
+          let p = B.delivered out in
+          Fmt.pr "  node %d: delivered %dB (fnv %08x) at t=%d@." i
+            (String.length p) (payload_digest p) time
+        | [] -> Fmt.pr "  node %d: no delivery@." i
+        | _ -> ())
+      result.E.outputs;
+    write_trace_out ~protocol:label ~n ~f ~seed trace_out tr;
+    if trace then Option.iter (print_trace ~n) tr
+end
+
+module Bracha_str = Abc.Bracha_rbc.Make (Abc.Payloads.String_payload)
+module Ir_str = Abc.Ir_rbc.Make (Abc.Payloads.String_payload)
+
+module Bracha_str_base = struct
+  type input = Bracha_str.input
+  type output = Bracha_str.output
+
+  let inputs = Bracha_str.inputs
+  let delivered (Bracha_str.Delivered p) = p
+end
+
+module Coded_base = struct
+  type input = Abc.Coded_rbc.input
+  type output = Abc.Coded_rbc.output
+
+  let inputs = Abc.Coded_rbc.inputs
+  let delivered (Abc.Coded_rbc.Delivered p) = p
+end
+
+module Ir_base = struct
+  type input = Ir_str.input
+  type output = Ir_str.output
+
+  let inputs = Ir_str.inputs
+  let delivered (Ir_str.Delivered p) = p
+end
+
+let garble s = String.map (fun c -> Char.chr (Char.code c lxor 0x5A)) s
+
+let run_payload_rbc ~protocol ~n ~f ~seed ~adversary ~fault ~faulty_count
+    ~link_faults ~reliable ~payload ~trace ~trace_out =
+  let sender_first faults =
+    match faults with
+    | [] -> []
+    | faults -> (Node_id.of_int 0, snd (List.hd faults)) :: List.tl faults
+  in
+  let two_faced_str _rng ~dst s =
+    if Node_id.to_int dst < n / 2 then s else garble s
+  in
+  match protocol with
+  | `Bracha ->
+    if reliable then begin
+      let module RL = Abc_net.Reliable_link.Make (Bracha_str) in
+      let module R = Payload_rbc_runner (Bracha_str_base) (RL) in
+      let faulty = sender_first (msg_agnostic_faulty ~n ~count:faulty_count fault) in
+      R.go ~label:"bracha-rbc+rl" ~n ~f ~seed ~adversary ~faulty ~link_faults
+        ~payload ~trace ~trace_out
+    end
+    else begin
+      let module R = Payload_rbc_runner (Bracha_str_base) (Bracha_str) in
+      let mutators =
+        ( Bracha_str.Fault.substitute (fun _ s -> garble s),
+          Bracha_str.Fault.equivocate two_faced_str,
+          Bracha_str.Fault.substitute (fun _ s -> s) )
+      in
+      let faulty = sender_first (faulty_nodes ~n ~count:faulty_count fault mutators) in
+      R.go ~label:"bracha-rbc" ~n ~f ~seed ~adversary ~faulty ~link_faults
+        ~payload ~trace ~trace_out
+    end
+  | `Coded ->
+    if reliable then begin
+      let module RL = Abc_net.Reliable_link.Make (Abc.Coded_rbc) in
+      let module R = Payload_rbc_runner (Coded_base) (RL) in
+      let faulty = sender_first (msg_agnostic_faulty ~n ~count:faulty_count fault) in
+      R.go ~label:"coded-rbc+rl" ~n ~f ~seed ~adversary ~faulty ~link_faults
+        ~payload ~trace ~trace_out
+    end
+    else begin
+      let module R = Payload_rbc_runner (Coded_base) (Abc.Coded_rbc) in
+      let mutators =
+        ( Abc.Coded_rbc.Fault.tamper,
+          Abc.Coded_rbc.Fault.equivocate,
+          Abc.Coded_rbc.Fault.tamper )
+      in
+      let faulty = sender_first (faulty_nodes ~n ~count:faulty_count fault mutators) in
+      R.go ~label:"coded-rbc" ~n ~f ~seed ~adversary ~faulty ~link_faults
+        ~payload ~trace ~trace_out
+    end
+  | `Ir ->
+    if reliable then begin
+      let module RL = Abc_net.Reliable_link.Make (Ir_str) in
+      let module R = Payload_rbc_runner (Ir_base) (RL) in
+      let faulty = sender_first (msg_agnostic_faulty ~n ~count:faulty_count fault) in
+      R.go ~label:"ir-rbc+rl" ~n ~f ~seed ~adversary ~faulty ~link_faults
+        ~payload ~trace ~trace_out
+    end
+    else begin
+      let module R = Payload_rbc_runner (Ir_base) (Ir_str) in
+      let mutators =
+        ( Ir_str.Fault.substitute (fun _ s -> garble s),
+          Ir_str.Fault.equivocate two_faced_str,
+          Ir_str.Fault.substitute (fun _ s -> s) )
+      in
+      let faulty = sender_first (faulty_nodes ~n ~count:faulty_count fault mutators) in
+      R.go ~label:"ir-rbc" ~n ~f ~seed ~adversary ~faulty ~link_faults ~payload
+        ~trace ~trace_out
+    end
+
 let run_rbc n f seed adversary fault faulty_count loss dup partition reliable
-    trace trace_out =
+    protocol payload_bytes trace trace_out =
   let link_faults = link_faults_of ~n ~loss ~dup ~partition in
-  if reliable then begin
+  if protocol <> `Bracha || payload_bytes > 0 then begin
+    (* String-payload path: synthetic payload, byte-counter report. *)
+    let bytes = if payload_bytes > 0 then payload_bytes else 32 in
+    let payload = synthetic_payload ~bytes ~seed in
+    run_payload_rbc ~protocol ~n ~f ~seed ~adversary ~fault ~faulty_count
+      ~link_faults ~reliable ~payload ~trace ~trace_out
+  end
+  else if reliable then begin
     let module RL = Abc_net.Reliable_link.Make (Rbc) in
     let module R = Rbc_runner (RL) in
     let faulty =
@@ -669,9 +874,14 @@ let rbc_cmd =
     Term.(
       const run_rbc $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
       $ faulty_count_arg $ loss_arg $ dup_arg $ partition_arg $ reliable_arg
-      $ trace_arg $ trace_out_arg)
+      $ protocol_arg $ payload_bytes_arg $ trace_arg $ trace_out_arg)
   in
-  Cmd.v (Cmd.info "rbc" ~doc:"Run one Bracha reliable broadcast.") term
+  Cmd.v
+    (Cmd.info "rbc"
+       ~doc:
+         "Run one reliable broadcast (bracha, coded or ir; see --protocol and \
+          --payload-bytes).")
+    term
 
 let consensus_cmd =
   let no_validation =

@@ -73,6 +73,7 @@ module Race = struct
   let is_terminal (Chose _) = true
   let on_timeout = Protocol.no_timeout
   let msg_label (Claim _) = "claim"
+  let msg_bytes (Claim _) = 2
   let pp_msg ppf (Claim v) = Fmt.pf ppf "claim(%a)" Abc.Value.pp v
   let pp_output ppf (Chose v) = Fmt.pf ppf "chose(%a)" Abc.Value.pp v
 end

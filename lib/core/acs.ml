@@ -213,6 +213,12 @@ module Make (V : Value.PAYLOAD) = struct
     | Prop { event; _ } -> "prop." ^ Prbc.event_label event
     | Ba { wire; _ } -> "ba." ^ Rbc_mux.wire_label wire
 
+  let msg_bytes =
+    let open Protocol.Wire_size in
+    function
+    | Prop { origin = _; event } -> tag + node_id + Prbc.event_bytes event
+    | Ba { index = _; wire } -> tag + int + Rbc_mux.wire_bytes wire
+
   let pp_msg ppf = function
     | Prop { origin; event } ->
       Fmt.pf ppf "prop[%a]:%a" Node_id.pp origin Prbc.pp_event event

@@ -213,6 +213,12 @@ let on_timeout = Protocol.no_timeout
 
 let msg_label = function Report _ -> "report" | Proposal _ -> "proposal"
 
+let msg_bytes =
+  let open Protocol.Wire_size in
+  function
+  | Report { round = _; value } -> tag + int + Value.bytes value
+  | Proposal { round = _; value } -> tag + int + option Value.bytes value
+
 let pp_msg ppf = function
   | Report { round; value } -> Fmt.pf ppf "report(r%d, %a)" round Value.pp value
   | Proposal { round; value = Some v } -> Fmt.pf ppf "proposal(r%d, %a)" round Value.pp v

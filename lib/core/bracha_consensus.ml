@@ -102,6 +102,10 @@ let msg_label = function
   | Wire wire -> Rbc_mux.wire_label wire
   | Direct _ -> "direct"
 
+let msg_bytes = function
+  | Wire wire -> Protocol.Wire_size.tag + Rbc_mux.wire_bytes wire
+  | Direct vmsg -> Protocol.Wire_size.tag + Consensus_msg.vmsg_bytes vmsg
+
 let pp_msg ppf = function
   | Wire wire -> Rbc_mux.pp_wire ppf wire
   | Direct vmsg -> Consensus_msg.pp_vmsg ppf vmsg

@@ -41,6 +41,8 @@ module Make (V : Value.PAYLOAD) = struct
 
   let msg_label = Core.event_label
 
+  let msg_bytes = Core.event_bytes
+
   let pp_msg = Core.pp_event
 
   let pp_output ppf (Delivered v) = Fmt.pf ppf "delivered(%a)" V.pp v

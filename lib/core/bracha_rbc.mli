@@ -2,6 +2,14 @@ open Import
 
 (** Bracha reliable broadcast as a runnable network protocol.
 
+    Paper source: Bracha, "An asynchronous [(n-1)/3]-resilient
+    consensus protocol" (PODC 1984), the broadcast primitive.
+    Resilience [f <= (n-1)/3]; three message types
+    ([Initial]/[Echo]/[Ready], see {!Rbc_core.Make.event}) over three
+    phases, [2n^2 + n] messages per broadcast, each carrying the full
+    payload — the [O(n |m|)] per-node bandwidth that {!Coded_rbc}
+    attacks with erasure coding.
+
     [Make (V)] wraps one {!Rbc_core} instance into an
     {!Abc_net.Protocol.S} so the engine can execute it: node inputs
     name the designated sender (the same one at every node) and carry

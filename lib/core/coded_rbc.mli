@@ -1,0 +1,90 @@
+open Import
+
+(** Erasure-coded reliable broadcast (AVID / HoneyBadgerBFT style).
+
+    Paper source: the broadcast of Cachin and Tessaro, "Asynchronous
+    verifiable information dispersal" (DSN 2005), in the simplified
+    form used by HoneyBadgerBFT (Miller, Xia, Croman, Shi, Song,
+    CCS 2016, §4.1).  Resilience is Bracha's [f < n/3]; the gain is
+    bandwidth.  Bracha re-broadcasts the full payload in all three
+    phases, costing [O(n |m|)] bytes per node; here every message
+    carries at most one Reed–Solomon fragment of [|m| / (n - 2f)]
+    bytes plus a [⌈log₂ n⌉]-deep Merkle proof, for
+    [O(|m|/n + λ log n)] bytes per link ([λ] =
+    {!Rs.Merkle.hash_bytes}).
+
+    The flow, with [k = n - 2f] ({!Quorum.honest_support}) data
+    shards:
+
+    - the sender Reed–Solomon-encodes the payload into [n] fragments
+      ({!Rs.encode}), commits to them with a Merkle tree and sends
+      node [i] its fragment and branch as [Val];
+    - on a verified [Val] from the sender, a node broadcasts its own
+      fragment as [Echo] (once);
+    - on [n - f] ({!Quorum.completeness}) verified echoes, a node
+      decodes, {e re-encodes and recommits}; only if the recomputed
+      root matches does it broadcast [Ready] (the interpolation check
+      that makes the dispersal verifiable — an inconsistent sender is
+      caught here);
+    - on [f + 1] ({!Quorum.ready_amplify}) readies, a node that has
+      not sent [Ready] joins in;
+    - on [2f + 1] ({!Quorum.ready_deliver}) readies {e and} at least
+      [k] verified echoes, a node decodes (with the same re-encode
+      check) and delivers.
+
+    Fragments are bound to node ids: the leaf index of a fragment is
+    the only id allowed to echo it, so Byzantine echoers cannot stuff
+    the reconstruction tally with forged shards. *)
+
+type input = { sender : Node_id.t; payload : string option }
+(** [payload] is [Some bytes] at the designated sender, [None]
+    elsewhere.  All nodes must agree on [sender]. *)
+
+type output = Delivered of string
+
+type msg =
+  | Val of {
+      root : Rs.Merkle.root;
+      len : int;
+      branch : Rs.Merkle.branch;
+      fragment : Rs.fragment;
+    }
+  | Echo of {
+      root : Rs.Merkle.root;
+      len : int;
+      branch : Rs.Merkle.branch;
+      fragment : Rs.fragment;
+    }
+  | Ready of { root : Rs.Merkle.root }
+
+include
+  Protocol.S
+    with type input := input
+     and type output := output
+     and type msg := msg
+
+val data_shards : n:int -> f:int -> int
+(** [n - 2f] — the reconstruction threshold [k]: any [k] verified
+    fragments decode the payload, and each fragment carries
+    [⌈|m| / k⌉] payload bytes (plus the 4/3 field-packing overhead,
+    see {!Rs.symbol_wire_bytes}). *)
+
+(** Fragment-level corruption for Byzantine behaviours.  Unlike
+    Bracha's payload substitution, a coded forger tampers with shards
+    and digests — the Merkle verification is what keeps this
+    harmless. *)
+module Fault : sig
+  val tamper : Stream.t -> msg -> msg
+  (** Corrupt one random symbol of the carried fragment (or bump the
+      digest of a [Ready]): a polluting relay.  Use with
+      {!Abc_net.Behaviour.Mutate}. *)
+
+  val equivocate : Stream.t -> dst:Node_id.t -> msg -> msg
+  (** Send clean messages to even-numbered nodes and tampered ones to
+      the rest: a two-faced sender.  Use with
+      {!Abc_net.Behaviour.Equivocate}. *)
+end
+
+val inputs : n:int -> sender:Node_id.t -> string -> input array
+(** [inputs ~n ~sender payload] is the standard input vector:
+    [payload] at [sender], [None] elsewhere. *)

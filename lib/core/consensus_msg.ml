@@ -26,6 +26,8 @@ module Payload = struct
     if decide then Fmt.pf ppf "d:%a" Value.pp value else Value.pp ppf value
 
   let label = "step"
+
+  let bytes { value; decide = _ } = Value.bytes value + Protocol.Wire_size.tag
 end
 
 module Key = struct
@@ -43,6 +45,9 @@ module Key = struct
 
   let pp ppf { origin; round; step } =
     Fmt.pf ppf "%a/r%d/%a" Node_id.pp origin round Step.pp step
+
+  let bytes (_ : t) =
+    Protocol.Wire_size.node_id + Protocol.Wire_size.int + Protocol.Wire_size.tag
 
   module Map = Map.Make (struct
     type nonrec t = t
@@ -71,6 +76,8 @@ let vmsg_of_delivery (key : Key.t) (payload : Payload.t) =
 let key_of_vmsg v = { Key.origin = v.origin; round = v.round; step = v.step }
 
 let payload_of_vmsg v = { Payload.value = v.value; decide = v.decide }
+
+let vmsg_bytes v = Key.bytes (key_of_vmsg v) + Payload.bytes (payload_of_vmsg v)
 
 let pp_vmsg ppf v =
   Fmt.pf ppf "%a=%a" Key.pp (key_of_vmsg v) Payload.pp (payload_of_vmsg v)

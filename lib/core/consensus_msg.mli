@@ -40,6 +40,9 @@ module Key : sig
   val compare : t -> t -> int
   val pp : t Fmt.t
 
+  val bytes : t -> int
+  (** Wire size of a key: origin, round and step. *)
+
   module Map : Map.S with type key = t
 end
 
@@ -58,4 +61,8 @@ val vmsg_of_delivery : Key.t -> Payload.t -> vmsg
 
 val key_of_vmsg : vmsg -> Key.t
 val payload_of_vmsg : vmsg -> Payload.t
+
+val vmsg_bytes : vmsg -> int
+(** Wire size of a step message: its key plus its payload. *)
+
 val pp_vmsg : vmsg Fmt.t

@@ -1,0 +1,75 @@
+open Import
+
+(** Imbs–Raynal two-phase reliable broadcast.
+
+    Paper source: Imbs and Raynal, "Trading off t-resilience for
+    efficiency in asynchronous Byzantine reliable broadcast" (Parallel
+    Processing Letters, 2016; arXiv:1510.06882).  The protocol trades
+    resilience for communication: it tolerates only [f < n/5]
+    Byzantine nodes (Bracha tolerates [f < n/3]) but needs one message
+    phase less — two broadcast steps instead of three, for [n² + n]
+    messages per broadcast against Bracha's [2n² + n].
+
+    The rules, with [INIT]/[WITNESS] the two message types:
+
+    - the designated sender broadcasts [Init v];
+    - on the {e first} [Init v] from the sender, broadcast
+      [Witness v] (if not already done for [v]);
+    - on [Witness v] from [n − 2f] distinct nodes
+      ({!Quorum.honest_support}), broadcast [Witness v] if not already
+      done for [v] — the amplification is guarded {e per value}, not
+      by a global once-latch, which is what makes totality go through
+      under an equivocating sender;
+    - on [Witness v] from [n − f] distinct nodes
+      ({!Quorum.completeness}), deliver [v] (once).
+
+    Agreement sketch at [n > 5f] with [b <= f] actual Byzantine nodes:
+    if honest nodes deliver [v] and [v'], each value's honest
+    supporters of size [>= n − f − b] must include honest nodes whose
+    {e first} amplification cause traces back to disjoint honest
+    INIT-witness sets, forcing [2(n − 2f − b) <= n − b], i.e.
+    [n <= 4f + b <= 5f] — contradicting the resilience bound. *)
+
+module Make (V : Value.PAYLOAD) : sig
+  type input = { sender : Node_id.t; payload : V.t option }
+  (** [payload] is [Some v] at the designated sender, [None]
+      elsewhere.  All nodes must agree on [sender]. *)
+
+  type output = Delivered of V.t
+
+  type msg = Init of V.t | Witness of V.t
+
+  include
+    Protocol.S
+      with type input := input
+       and type output := output
+       and type msg := msg
+
+  val max_faults : n:int -> int
+  (** Largest [f] inside the [n > 5f] resilience bound. *)
+
+  (** Forged messages for Byzantine senders and relays (same shape as
+      {!Bracha_rbc.Make.Fault}). *)
+  module Fault : sig
+    val substitute : (Stream.t -> V.t -> V.t) -> Stream.t -> msg -> msg
+    (** [substitute forge] rewrites the payload of every outgoing
+        message with [forge]: a lying sender or relay. *)
+
+    val equivocate :
+      (Stream.t -> dst:Node_id.t -> V.t -> V.t) ->
+      Stream.t ->
+      dst:Node_id.t ->
+      msg ->
+      msg
+    (** Per-recipient payload substitution: the two-faced sender. *)
+  end
+
+  val inputs : n:int -> sender:Node_id.t -> V.t -> input array
+  (** [inputs ~n ~sender v] is the standard input vector: [v] at
+      [sender], [None] elsewhere. *)
+end
+
+(** Ready-made instance broadcasting a single bit. *)
+module Binary : sig
+  include module type of Make (Value)
+end

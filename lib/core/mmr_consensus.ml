@@ -287,6 +287,13 @@ let on_timeout = Protocol.no_timeout
 
 let msg_label = function Bval _ -> "bval" | Aux _ -> "aux" | Share _ -> "share"
 
+let msg_bytes =
+  let open Protocol.Wire_size in
+  function
+  | Bval { round = _; value } | Aux { round = _; value } ->
+    tag + int + Value.bytes value
+  | Share _ -> tag + int + int + int (* round, share.x, share.y *)
+
 let pp_msg ppf = function
   | Bval { round; value } -> Fmt.pf ppf "bval(r%d, %a)" round Value.pp value
   | Aux { round; value } -> Fmt.pf ppf "aux(r%d, %a)" round Value.pp value

@@ -35,6 +35,8 @@ module Make (V : Value.PAYLOAD) = struct
 
   let msg_label = Underlying.msg_label
 
+  let msg_bytes = Underlying.msg_bytes
+
   let pp_msg = Underlying.pp_msg
 
   let pp_output ppf (Decided { value; subset }) =

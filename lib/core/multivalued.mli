@@ -2,6 +2,10 @@ open Import
 
 (** Multivalued consensus, packaged.
 
+    Paper source: the ACS-to-consensus collapse used by HoneyBadgerBFT
+    (Miller et al., CCS 2016) over Bracha's primitives; resilience
+    [f <= (n-1)/3], messages are the underlying {!Acs} wire type.
+
     The thin layer over {!Acs} that most applications want: every node
     proposes an arbitrary payload, every honest node decides the
     {e same single payload}, and the decision was proposed by some node

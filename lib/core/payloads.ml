@@ -5,6 +5,7 @@ module Int_payload = struct
   let compare = Int.compare
   let pp = Fmt.int
   let label = "int"
+  let bytes (_ : t) = 8
 end
 
 module String_payload = struct
@@ -14,4 +15,5 @@ module String_payload = struct
   let compare = String.compare
   let pp = Fmt.string
   let label = "string"
+  let bytes = String.length
 end

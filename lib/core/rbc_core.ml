@@ -141,4 +141,9 @@ module Make (V : Value.PAYLOAD) = struct
     | Initial _ -> "initial"
     | Echo _ -> "echo"
     | Ready _ -> "ready"
+
+  (* Every phase of Bracha's RBC re-sends the full payload — the
+     O(n·|m|) per-node cost the erasure-coded variant attacks. *)
+  let event_bytes = function
+    | Initial v | Echo v | Ready v -> Protocol.Wire_size.tag + V.bytes v
 end

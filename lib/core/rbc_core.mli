@@ -74,4 +74,8 @@ module Make (V : Value.PAYLOAD) : sig
 
   val pp_event : event Fmt.t
   val event_label : event -> string
+
+  val event_bytes : event -> int
+  (** Wire size of an event: a tag plus the full payload — every phase
+      of Bracha's protocol re-sends the whole message. *)
 end

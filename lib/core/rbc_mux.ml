@@ -35,3 +35,6 @@ let pp_wire ppf { key; event } =
   Fmt.pf ppf "%a:%a" Consensus_msg.Key.pp key Rbc.pp_event event
 
 let wire_label { event; _ } = Rbc.event_label event
+
+let wire_bytes { key; event } =
+  Consensus_msg.Key.bytes key + Rbc.event_bytes event

@@ -45,3 +45,6 @@ val instances : t -> int
 
 val pp_wire : wire Fmt.t
 val wire_label : wire -> string
+
+val wire_bytes : wire -> int
+(** Wire size of a multiplexed message: instance key plus event. *)

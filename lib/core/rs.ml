@@ -1,0 +1,249 @@
+(* Reed-Solomon erasure coding over GF(2^31 - 1), plus the Merkle
+   commitment the coded broadcast uses to bind fragments together.
+
+   Layout: the payload string is packed into field symbols at
+   [symbol_bytes] payload bytes per symbol (3 bytes < 2^31 - 1, so
+   packing never overflows the field), then striped into blocks of [k]
+   symbols.  Each block defines the unique degree < k polynomial
+   passing through (1, s_1) ... (k, s_k); fragment [i] carries the
+   evaluations of every block's polynomial at x = i + 1.  Fragments
+   0 .. k-1 therefore reproduce the data symbols verbatim (the code is
+   systematic) and any k distinct fragments reconstruct every block by
+   Lagrange interpolation. *)
+
+open Import
+
+let symbol_bytes = 3
+
+(* Wire cost of one symbol: field elements are 31-bit, so they travel
+   as 4-byte words even though each carries only 3 payload bytes. *)
+let symbol_wire_bytes = 4
+
+type fragment = { index : int; data : Gf.t array }
+
+let fragment_wire_bytes fragment =
+  Protocol.Wire_size.int + (symbol_wire_bytes * Array.length fragment.data)
+
+(* ----------------------------------------------------------------- *)
+(* Packing                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let symbols_of_string payload =
+  let len = String.length payload in
+  let count = (len + symbol_bytes - 1) / symbol_bytes in
+  Array.init count (fun s ->
+      let acc = ref 0 in
+      for b = 0 to symbol_bytes - 1 do
+        let pos = (s * symbol_bytes) + b in
+        let byte = if pos < len then Char.code payload.[pos] else 0 in
+        acc := (!acc lsl 8) lor byte
+      done;
+      Gf.of_int !acc)
+
+let string_of_symbols symbols ~len =
+  let bytes = Bytes.make len '\000' in
+  Array.iteri
+    (fun s symbol ->
+      let v = Gf.to_int symbol in
+      for b = 0 to symbol_bytes - 1 do
+        let pos = (s * symbol_bytes) + b in
+        if pos < len then
+          Bytes.set bytes pos
+            (Char.chr ((v lsr (8 * (symbol_bytes - 1 - b))) land 0xFF))
+      done)
+    symbols;
+  Bytes.to_string bytes
+
+(* ----------------------------------------------------------------- *)
+(* Interpolation                                                     *)
+(* ----------------------------------------------------------------- *)
+
+(* Lagrange weights for evaluating at [x] the unique degree < k
+   polynomial through the points with abscissae [xs]:
+   w_i = prod_{j <> i} (x - x_j) / (x_i - x_j).  The weights depend
+   only on the abscissae, so they are computed once per (fragment-set,
+   target) pair and shared across every block — evaluation is then a
+   dot product per block. *)
+let lagrange_weights ~xs ~x =
+  let k = Array.length xs in
+  let xg = Gf.of_int x in
+  Array.init k (fun i ->
+      let xi = Gf.of_int xs.(i) in
+      let w = ref Gf.one in
+      for j = 0 to k - 1 do
+        if j <> i then begin
+          let xj = Gf.of_int xs.(j) in
+          w := Gf.mul !w (Gf.div (Gf.sub xg xj) (Gf.sub xi xj))
+        end
+      done;
+      !w)
+
+let dot weights k get =
+  let acc = ref Gf.zero in
+  for i = 0 to k - 1 do
+    acc := Gf.add !acc (Gf.mul weights.(i) (get i))
+  done;
+  !acc
+
+(* ----------------------------------------------------------------- *)
+(* Encode / decode                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let check_params ~k ~n =
+  if k < 1 then invalid_arg "Rs: need k >= 1";
+  if n < k then invalid_arg "Rs: need n >= k";
+  (* Abscissae 1..n must be distinct non-zero field elements. *)
+  if n >= Gf.prime then invalid_arg "Rs: n too large for the field"
+
+let block_count ~k symbols = (Array.length symbols + k - 1) / k
+
+(* Data symbol [b * k + i] is the value of block [b]'s polynomial at
+   x = i + 1; missing symbols of the final partial block are zero. *)
+let data_symbol symbols ~k ~block i =
+  let pos = (block * k) + i in
+  if pos < Array.length symbols then symbols.(pos) else Gf.zero
+
+let encode ~k ~n payload =
+  check_params ~k ~n;
+  let symbols = symbols_of_string payload in
+  let blocks = block_count ~k symbols in
+  let xs = Array.init k (fun i -> i + 1) in
+  Array.init n (fun fi ->
+      let x = fi + 1 in
+      let data =
+        if fi < k then
+          (* Systematic prefix: evaluation at x = fi + 1 is data symbol
+             [fi] of each block. *)
+          Array.init blocks (fun b -> data_symbol symbols ~k ~block:b fi)
+        else begin
+          let weights = lagrange_weights ~xs ~x in
+          Array.init blocks (fun b ->
+              dot weights k (fun i -> data_symbol symbols ~k ~block:b i))
+        end
+      in
+      { index = fi; data })
+
+let decode ~k ~len fragments =
+  check_params ~k ~n:k;
+  let fragments =
+    List.sort_uniq (fun a b -> Int.compare a.index b.index) fragments
+  in
+  if List.length fragments < k then
+    invalid_arg "Rs.decode: not enough distinct fragments";
+  let chosen = Array.of_list (List.filteri (fun i _ -> i < k) fragments) in
+  let blocks =
+    match Array.length chosen with
+    | 0 -> 0
+    | _ -> Array.length chosen.(0).data
+  in
+  Array.iter
+    (fun fragment ->
+      if Array.length fragment.data <> blocks then
+        invalid_arg "Rs.decode: fragments of unequal length")
+    chosen;
+  if blocks * k * symbol_bytes < len then
+    invalid_arg "Rs.decode: fragments too short for the claimed length";
+  let xs = Array.map (fun fragment -> fragment.index + 1) chosen in
+  (* One weight vector per data position, shared by every block. *)
+  let weights = Array.init k (fun i -> lagrange_weights ~xs ~x:(i + 1)) in
+  let symbols =
+    Array.init (blocks * k) (fun pos ->
+        let b = pos / k in
+        let i = pos mod k in
+        dot weights.(i) k (fun j -> chosen.(j).data.(b)))
+  in
+  string_of_symbols symbols ~len
+
+(* ----------------------------------------------------------------- *)
+(* Merkle commitment                                                 *)
+(* ----------------------------------------------------------------- *)
+
+module Merkle = struct
+  type root = int
+
+  type branch = int list
+
+  (* Modeled digest width: a production system would use a 256-bit
+     hash; the simulator charges that size on the wire while computing
+     a cheap 62-bit mix internally.  [hash_bytes] is the lambda in the
+     O(|m|/n + lambda log n) per-link bound. *)
+  let hash_bytes = 32
+
+  (* splitmix-style finalizer with multipliers that fit OCaml's 63-bit
+     native int, so hashing is deterministic across runs and
+     platforms. *)
+  let mix h x =
+    let h = (h lxor x) * 0x2545F4914F6CDD1D in
+    let h = (h lxor (h lsr 30)) * 0x369DEA0F31A53F85 in
+    let h = (h lxor (h lsr 27)) * 0x27D4EB2F165667C5 in
+    h lxor (h lsr 31)
+
+  let leaf_hash ~len fragment =
+    let h = ref (mix 0x1EAF (Array.length fragment.data)) in
+    h := mix !h len;
+    h := mix !h fragment.index;
+    Array.iter (fun symbol -> h := mix !h (Gf.to_int symbol)) fragment.data;
+    !h
+
+  let node_hash left right = mix (mix 0x0DDE left) right
+
+  (* Leaves are padded to the next power of two with a fixed empty
+     hash so every branch has the same depth. *)
+  let empty_leaf = mix 0xE117 0
+
+  let rec pow2_at_least x = if x <= 1 then 1 else 2 * pow2_at_least ((x + 1) / 2)
+
+  let commit ~len fragments =
+    let nleaves = Array.length fragments in
+    if nleaves = 0 then invalid_arg "Rs.Merkle.commit: no fragments";
+    let width = pow2_at_least nleaves in
+    let level =
+      Array.init width (fun i ->
+          if i < nleaves then leaf_hash ~len fragments.(i) else empty_leaf)
+    in
+    (* levels.(0) = leaves, last = [| root |]; branches read one
+       sibling per level. *)
+    let levels = ref [ level ] in
+    let current = ref level in
+    while Array.length !current > 1 do
+      let next =
+        Array.init
+          (Array.length !current / 2)
+          (fun i -> node_hash !current.(2 * i) !current.((2 * i) + 1))
+      in
+      levels := next :: !levels;
+      current := next
+    done;
+    let root = !current.(0) in
+    let levels = List.rev !levels in
+    let branch_of index =
+      let rec collect levels index acc =
+        match levels with
+        | [] | [ _ ] -> List.rev acc
+        | level :: rest ->
+          let sibling = level.(index lxor 1) in
+          collect rest (index / 2) (sibling :: acc)
+      in
+      collect levels index []
+    in
+    (root, Array.init nleaves (fun i -> branch_of i))
+
+  let verify ~root ~len ~index branch fragment =
+    fragment.index = index
+    && begin
+         let h = ref (leaf_hash ~len fragment) in
+         let pos = ref index in
+         List.iter
+           (fun sibling ->
+             h :=
+               (if !pos land 1 = 0 then node_hash !h sibling
+                else node_hash sibling !h);
+             pos := !pos / 2)
+           branch;
+         !h = root
+       end
+
+  let root_wire_bytes = hash_bytes
+
+  let branch_wire_bytes branch = hash_bytes * List.length branch
+end

@@ -186,6 +186,13 @@ module Make (V : Value.PAYLOAD) = struct
     | Step2 _ -> "step2"
     | Ba wire -> "ba." ^ Rbc_mux.wire_label wire
 
+  let msg_bytes =
+    let open Protocol.Wire_size in
+    function
+    | Step1 v -> tag + V.bytes v
+    | Step2 v -> tag + option V.bytes v
+    | Ba wire -> tag + Rbc_mux.wire_bytes wire
+
   let pp_msg ppf = function
     | Step1 v -> Fmt.pf ppf "step1(%a)" V.pp v
     | Step2 (Some v) -> Fmt.pf ppf "step2(%a)" V.pp v

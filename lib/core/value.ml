@@ -23,6 +23,8 @@ let pp ppf v = Fmt.int ppf (to_int v)
 
 let label = "bit"
 
+let bytes (_ : t) = 1
+
 module type PAYLOAD = sig
   type t
 
@@ -30,4 +32,5 @@ module type PAYLOAD = sig
   val compare : t -> t -> int
   val pp : t Fmt.t
   val label : string
+  val bytes : t -> int
 end

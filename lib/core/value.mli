@@ -31,9 +31,12 @@ val pp : t Fmt.t
 val label : string
 (** Payload label for message counters ("bit"). *)
 
+val bytes : t -> int
+(** Wire size of a bit payload: one byte. *)
+
 (** Payload interface shared by the reliable-broadcast functors: any
-    type with decidable equality, a total order (used as map keys) and
-    a printer can be broadcast. *)
+    type with decidable equality, a total order (used as map keys), a
+    printer and a size estimate can be broadcast. *)
 module type PAYLOAD = sig
   type t
 
@@ -43,4 +46,8 @@ module type PAYLOAD = sig
 
   val label : string
   (** Short name used in message-kind counters. *)
+
+  val bytes : t -> int
+  (** Estimated serialized size in bytes; feeds the byte-level
+      bandwidth accounting ({!Abc_net.Protocol.S.msg_bytes}). *)
 end

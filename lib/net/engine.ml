@@ -230,11 +230,19 @@ module Make (P : Protocol.S) = struct
         Abc_sim.Vec.push pending { meta; payload; copy = false };
         Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
         policy.Adversary.note meta;
+        let label = P.msg_label payload in
+        let nbytes = P.msg_bytes payload in
         Abc_sim.Metrics.incr metrics "sent";
-        Abc_sim.Metrics.incr metrics ("sent." ^ P.msg_label payload);
+        Abc_sim.Metrics.incr metrics ("sent." ^ label);
+        Abc_sim.Metrics.add metrics "bytes.sent" nbytes;
+        Abc_sim.Metrics.add metrics ("bytes.sent." ^ label) nbytes;
         let src_i = Node_id.to_int src in
-        if cfg.detail then
+        if cfg.detail then begin
           Abc_sim.Metrics.incr metrics (Printf.sprintf "node%d.sent" src_i);
+          Abc_sim.Metrics.add metrics
+            (Printf.sprintf "node%d.bytes.sent" src_i)
+            nbytes
+        end;
         (match cfg.trace with
         | Some tr ->
           Abc_sim.Trace.record tr ~time:now ~node:src_i
@@ -242,8 +250,9 @@ module Make (P : Protocol.S) = struct
                (Abc_sim.Event.Send
                   {
                     dst = Node_id.to_int dst;
-                    label = P.msg_label payload;
+                    label;
                     detail = "";
+                    bytes = nbytes;
                   }))
         | None -> ())
         end
@@ -340,10 +349,19 @@ module Make (P : Protocol.S) = struct
     let deliver now envelope =
       let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
       incr deliveries;
+      let nbytes = P.msg_bytes envelope.payload in
       Abc_sim.Metrics.incr metrics "delivered";
-      if cfg.detail then
+      Abc_sim.Metrics.add metrics "bytes.delivered" nbytes;
+      Abc_sim.Metrics.add metrics
+        ("bytes.delivered." ^ P.msg_label envelope.payload)
+        nbytes;
+      if cfg.detail then begin
         Abc_sim.Metrics.incr metrics
           (Printf.sprintf "node%d.delivered" (Node_id.to_int node.id));
+        Abc_sim.Metrics.add metrics
+          (Printf.sprintf "node%d.bytes.delivered" (Node_id.to_int node.id))
+          nbytes
+      end;
       (match cfg.trace with
       | Some tr ->
         (* The payload rendering is only built when tracing is on —
@@ -355,6 +373,7 @@ module Make (P : Protocol.S) = struct
                   src = Node_id.to_int envelope.meta.Adversary.src;
                   label = P.msg_label envelope.payload;
                   detail = Fmt.str "%a" P.pp_msg envelope.payload;
+                  bytes = nbytes;
                 }))
       | None -> ());
       let state, actions, outputs =

@@ -32,8 +32,19 @@ module type S = sig
 
   val is_terminal : output -> bool
   val msg_label : msg -> string
+  val msg_bytes : msg -> int
   val pp_msg : msg Fmt.t
   val pp_output : output Fmt.t
 end
 
 let no_timeout _ctx state ~id:_ = (state, [], [])
+
+module Wire_size = struct
+  let tag = 1
+
+  let int = 4
+
+  let node_id = 4
+
+  let option inner = function None -> tag | Some v -> tag + inner v
+end

@@ -86,6 +86,17 @@ module type S = sig
   val msg_label : msg -> string
   (** Short label used for per-kind message counters. *)
 
+  val msg_bytes : msg -> int
+  (** Estimated serialized size of [msg] on the wire, in bytes.  The
+      engine accumulates these into the [bytes.sent] / [bytes.delivered]
+      metric counters and stamps them on [send] / [deliver] trace
+      events, which is what the bandwidth experiments (E16) measure.
+      The estimate follows the {!Wire_size} convention: one byte per
+      constructor tag, four bytes per bounded integer field, payloads
+      at their own advertised size.  It must depend only on the message
+      value (never on node state) so the same message costs the same at
+      every hop. *)
+
   val pp_msg : msg Fmt.t
   val pp_output : output Fmt.t
 end
@@ -94,3 +105,24 @@ val no_timeout :
   Context.t -> 'state -> id:int -> 'state * 'msg action list * 'output list
 (** Default {!S.on_timeout} for protocols that never arm timers:
     ignores the firing and changes nothing. *)
+
+(** The shared size convention behind every {!S.msg_bytes}: a compact
+    binary framing with one-byte constructor tags, four-byte integers
+    (rounds, sequence numbers, node ids are all small) and
+    length-delimited payloads.  Centralizing the constants keeps the
+    per-protocol estimates comparable — the absolute numbers matter
+    less than their ratios across protocols. *)
+module Wire_size : sig
+  val tag : int
+  (** One byte per variant-constructor / field tag. *)
+
+  val int : int
+  (** Four bytes per bounded integer field. *)
+
+  val node_id : int
+  (** Node identities travel as four-byte integers. *)
+
+  val option : ('a -> int) -> 'a option -> int
+  (** [option inner o] is a presence tag plus [inner v] when
+      [o = Some v]. *)
+end

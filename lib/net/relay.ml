@@ -94,6 +94,12 @@ module Make (P : Protocol.S) = struct
 
   let msg_label envelope = "relay." ^ P.msg_label envelope.inner
 
+  let msg_bytes envelope =
+    let open Protocol.Wire_size in
+    node_id + int
+    + option (fun (_ : Node_id.t) -> node_id) envelope.target
+    + P.msg_bytes envelope.inner
+
   let pp_msg ppf envelope =
     Fmt.pf ppf "relay[%a#%d%a]:%a" Node_id.pp envelope.origin envelope.sequence
       (Fmt.option (fun ppf t -> Fmt.pf ppf "->%a" Node_id.pp t))

@@ -207,6 +207,12 @@ module Make (P : Protocol.S) = struct
     | Data { retx = true; _ } -> "rl.retx"
     | Ack _ -> "rl.ack"
 
+  let msg_bytes =
+    let open Protocol.Wire_size in
+    function
+    | Data { seq = _; retx = _; inner } -> tag + int + tag + P.msg_bytes inner
+    | Ack { upto = _ } -> tag + int
+
   let pp_msg ppf = function
     | Data { seq; retx; inner } ->
       Fmt.pf ppf "data[#%d%s]:%a" seq

@@ -52,7 +52,7 @@ let entry_line ~n (entry : Abc_sim.Trace.entry) =
   let node = entry.Abc_sim.Trace.node in
   let in_range i = i >= 0 && i < n in
   match entry.Abc_sim.Trace.event.Abc_sim.Event.kind with
-  | Abc_sim.Event.Deliver { src; label; detail } when in_range src && in_range node ->
+  | Abc_sim.Event.Deliver { src; label; detail; _ } when in_range src && in_range node ->
     let text = if String.length detail > 0 then detail else label in
     Some (delivery_line ~n ~time src node text)
   | Abc_sim.Event.Output { label } when in_range node ->

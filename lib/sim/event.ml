@@ -1,6 +1,6 @@
 type kind =
-  | Send of { dst : int; label : string; detail : string }
-  | Deliver of { src : int; label : string; detail : string }
+  | Send of { dst : int; label : string; detail : string; bytes : int }
+  | Deliver of { src : int; label : string; detail : string; bytes : int }
   | Quorum of { quorum : string; count : int; threshold : int }
   | Coin_flip of { value : int }
   | Round_advance
@@ -37,9 +37,11 @@ let kind_equal a b =
   | Send a, Send b ->
     Int.equal a.dst b.dst && String.equal a.label b.label
     && String.equal a.detail b.detail
+    && Int.equal a.bytes b.bytes
   | Deliver a, Deliver b ->
     Int.equal a.src b.src && String.equal a.label b.label
     && String.equal a.detail b.detail
+    && Int.equal a.bytes b.bytes
   | Quorum a, Quorum b ->
     String.equal a.quorum b.quorum && Int.equal a.count b.count
     && Int.equal a.threshold b.threshold
@@ -70,10 +72,10 @@ let equal a b =
   && Int.equal a.round b.round
 
 let pp_kind ppf = function
-  | Send { dst; label; detail } ->
+  | Send { dst; label; detail; bytes = _ } ->
     if String.length detail = 0 then Fmt.pf ppf "send -> n%d %s" dst label
     else Fmt.pf ppf "send -> n%d %s" dst detail
-  | Deliver { src; label; detail } ->
+  | Deliver { src; label; detail; bytes = _ } ->
     if String.length detail = 0 then Fmt.pf ppf "deliver <- n%d %s" src label
     else Fmt.pf ppf "deliver <- n%d %s" src detail
   | Quorum { quorum; count; threshold } ->

@@ -11,12 +11,13 @@
     the replicated log alike. *)
 
 type kind =
-  | Send of { dst : int; label : string; detail : string }
+  | Send of { dst : int; label : string; detail : string; bytes : int }
       (** a point-to-point transmission was enqueued ([detail] may be
-          empty — sends are high-volume) *)
-  | Deliver of { src : int; label : string; detail : string }
+          empty — sends are high-volume); [bytes] is the estimated wire
+          size of the message (see {!Abc_net.Protocol.S.msg_bytes}) *)
+  | Deliver of { src : int; label : string; detail : string; bytes : int }
       (** a message was delivered to this node; [detail] is the
-          pretty-printed payload *)
+          pretty-printed payload and [bytes] its estimated wire size *)
   | Quorum of { quorum : string; count : int; threshold : int }
       (** a named quorum rule fired with [count >= threshold] (e.g.
           ["echo"], ["ready"], ["decide"]) *)

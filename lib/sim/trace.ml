@@ -8,7 +8,7 @@ type t = {
   mutable recorded : int;
 }
 
-let schema_version = 2
+let schema_version = 3
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
@@ -72,11 +72,21 @@ let entry_to_json e =
   in
   let specific =
     match e.event.Event.kind with
-    | Event.Send { dst; label; detail } ->
-      [ kind "send"; ("dst", Json.Int dst); ("label", Json.String label) ]
+    | Event.Send { dst; label; detail; bytes } ->
+      [
+        kind "send";
+        ("dst", Json.Int dst);
+        ("label", Json.String label);
+        ("bytes", Json.Int bytes);
+      ]
       @ if String.length detail > 0 then [ ("detail", Json.String detail) ] else []
-    | Event.Deliver { src; label; detail } ->
-      [ kind "deliver"; ("src", Json.Int src); ("label", Json.String label) ]
+    | Event.Deliver { src; label; detail; bytes } ->
+      [
+        kind "deliver";
+        ("src", Json.Int src);
+        ("label", Json.String label);
+        ("bytes", Json.Int bytes);
+      ]
       @ if String.length detail > 0 then [ ("detail", Json.String detail) ] else []
     | Event.Quorum { quorum; count; threshold } ->
       [
@@ -126,6 +136,13 @@ let entry_of_json json =
     | Some s -> Ok s
     | None -> Error (Printf.sprintf "trace entry: bad %S field" name)
   in
+  (* [bytes] is absent from schema-v2 traces; default it so old files
+     keep loading (see the migration note in OBSERVABILITY.md). *)
+  let int_field name ~default =
+    match Json.int_member ~default name json with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "trace entry: bad %S field" name)
+  in
   let* time = require "t" Json.to_int in
   let* node = require "node" Json.to_int in
   let* kind_name = require "kind" Json.to_str in
@@ -141,12 +158,14 @@ let entry_of_json json =
       let* dst = require "dst" Json.to_int in
       let* label = require "label" Json.to_str in
       let* detail = str_field "detail" ~default:"" in
-      Ok (Event.Send { dst; label; detail })
+      let* bytes = int_field "bytes" ~default:0 in
+      Ok (Event.Send { dst; label; detail; bytes })
     | "deliver" ->
       let* src = require "src" Json.to_int in
       let* label = require "label" Json.to_str in
       let* detail = str_field "detail" ~default:"" in
-      Ok (Event.Deliver { src; label; detail })
+      let* bytes = int_field "bytes" ~default:0 in
+      Ok (Event.Deliver { src; label; detail; bytes })
     | "quorum" ->
       let* quorum = require "quorum" Json.to_str in
       let* count = require "count" Json.to_int in

@@ -41,6 +41,8 @@ let summary (file : Trace_file.t) =
   let coin_values = Hashtbl.create 8 in
   let decisions = ref [] in
   let max_round = ref (-1) in
+  let sent_bytes = ref 0 in
+  let delivered_bytes = ref 0 in
   List.iter
     (fun (e : Trace.entry) ->
       let ev = e.Trace.event in
@@ -48,6 +50,8 @@ let summary (file : Trace_file.t) =
       tally by_node e.Trace.node;
       if ev.Event.round > !max_round then max_round := ev.Event.round;
       match ev.Event.kind with
+      | Event.Send { bytes; _ } -> sent_bytes := !sent_bytes + bytes
+      | Event.Deliver { bytes; _ } -> delivered_bytes := !delivered_bytes + bytes
       | Event.Quorum { quorum; threshold; _ } ->
         tally quorums quorum;
         if not (Hashtbl.mem thresholds quorum) then
@@ -70,6 +74,9 @@ let summary (file : Trace_file.t) =
       (fun (kind, count) -> line "  %-8s %d" kind count)
       (sorted_tally by_kind String.compare)
   end;
+  if !sent_bytes > 0 || !delivered_bytes > 0 then
+    line "bytes on the wire (retained entries): sent=%d delivered=%d"
+      !sent_bytes !delivered_bytes;
   if Hashtbl.length by_node > 0 then begin
     line "events by node:";
     List.iter

@@ -146,6 +146,9 @@ let on_timeout = Protocol.no_timeout
 
 let msg_label (Slot { inner; _ }) = "slot." ^ Slot_acs.msg_label inner
 
+let msg_bytes (Slot { slot = _; inner }) =
+  Protocol.Wire_size.int + Slot_acs.msg_bytes inner
+
 let pp_msg ppf (Slot { slot; inner }) =
   Fmt.pf ppf "slot[%d]:%a" slot Slot_acs.pp_msg inner
 

@@ -227,6 +227,72 @@ let chaos_acs =
       | first :: rest -> List.for_all (( = ) first) rest
       | [] -> false)
 
+(* ---- the other broadcast variants ---- *)
+
+module CodedE = Abc_net.Engine.Make (Abc.Coded_rbc)
+module Ir = Abc.Ir_rbc.Binary
+module IrE = Abc_net.Engine.Make (Ir)
+
+(* The sender (node 0) stays honest in these campaigns — faults land on
+   the tail — so the checked property is the strong one: every honest
+   node delivers exactly the sender's payload. *)
+let chaos_coded =
+  campaign ~name:"coded rbc delivers the payload in arbitrary scenarios"
+    ~count:100
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 3))
+    print_scenario
+    (fun s ->
+      let payload =
+        String.init
+          (1 + (s.seed mod 200))
+          (fun i -> Char.chr ((s.seed + (13 * i)) land 0xFF))
+      in
+      let faulty =
+        faulty_of s ~flip:Abc.Coded_rbc.Fault.tamper
+          ~equivocate:Abc.Coded_rbc.Fault.equivocate
+      in
+      let cfg =
+        CodedE.config ~n:s.n ~f:s.f
+          ~inputs:(Abc.Coded_rbc.inputs ~n:s.n ~sender:(node 0) payload)
+          ~faulty ~adversary:(adversary_of s) ~seed:s.seed ()
+      in
+      let result = CodedE.run cfg in
+      result.CodedE.stop = Abc_net.Engine.All_terminal
+      && List.for_all
+           (fun i ->
+             match result.CodedE.outputs.(i) with
+             | [ (_, Abc.Coded_rbc.Delivered p) ] -> String.equal p payload
+             | _ -> false)
+           (List.init (s.n - s.actual_faults) (fun i -> i)))
+
+let chaos_ir =
+  campaign ~name:"imbs-raynal rbc delivers the payload in arbitrary scenarios"
+    ~count:100
+    (scenario_gen ~max_f_of:(fun n -> (n - 1) / 5))
+    print_scenario
+    (fun s ->
+      let two_faced _rng ~dst v =
+        if Node_id.to_int dst < s.n / 2 then v else Value.negate v
+      in
+      let faulty =
+        faulty_of s
+          ~flip:(Ir.Fault.substitute (fun _ v -> Value.negate v))
+          ~equivocate:(Ir.Fault.equivocate two_faced)
+      in
+      let cfg =
+        IrE.config ~n:s.n ~f:s.f
+          ~inputs:(Ir.inputs ~n:s.n ~sender:(node 0) Value.One)
+          ~faulty ~adversary:(adversary_of s) ~seed:s.seed ()
+      in
+      let result = IrE.run cfg in
+      result.IrE.stop = Abc_net.Engine.All_terminal
+      && List.for_all
+           (fun i ->
+             match result.IrE.outputs.(i) with
+             | [ (_, Ir.Delivered v) ] -> Value.equal v Value.One
+             | _ -> false)
+           (List.init (s.n - s.actual_faults) (fun i -> i)))
+
 (* ---- link-fault campaigns ---- *)
 
 module Link_faults = Abc_net.Link_faults
@@ -387,7 +453,15 @@ let () =
   Alcotest.run "chaos"
     [
       ( "campaigns",
-        [ chaos_bracha; chaos_mmr; chaos_mmr_rabin; chaos_benor; chaos_acs ] );
+        [
+          chaos_bracha;
+          chaos_mmr;
+          chaos_mmr_rabin;
+          chaos_benor;
+          chaos_acs;
+          chaos_coded;
+          chaos_ir;
+        ] );
       ( "link faults",
         [
           chaos_bracha_reliable_lossy;

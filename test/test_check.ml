@@ -101,6 +101,7 @@ module Race = struct
   let is_terminal (Chose _) = true
   let on_timeout = Protocol.no_timeout
   let msg_label (Claim _) = "claim"
+  let msg_bytes (Claim _) = 2
   let pp_msg ppf (Claim v) = Fmt.pf ppf "claim(%a)" Abc.Value.pp v
   let pp_output ppf (Chose v) = Fmt.pf ppf "chose(%a)" Abc.Value.pp v
 end
@@ -157,6 +158,79 @@ let test_safe_toy_exhausts () =
   in
   Alcotest.(check bool) "exhausted" true outcome.XR.exhausted;
   Alcotest.(check bool) "no violation" true (outcome.XR.violation = None)
+
+(* ---- the other broadcast variants under the checker ---- *)
+
+module Coded = Abc.Coded_rbc
+module XC = Abc_check.Explore.Make (Coded)
+
+let coded_agreement outputs =
+  let delivered =
+    Array.to_list outputs
+    |> List.concat_map (List.map (fun (Coded.Delivered p) -> p))
+  in
+  match delivered with
+  | [] -> true
+  | p :: rest -> List.for_all (String.equal p) rest
+
+let test_coded_two_faced_sender_checked () =
+  (* Every schedule prefix of the coded broadcast under a sender that
+     disperses tampered fragments to half the nodes: the Merkle checks
+     must keep agreement intact on all of them. *)
+  let faulty = [ (node 0, Behaviour.Equivocate Coded.Fault.equivocate) ] in
+  let outcome =
+    XC.run
+      {
+        XC.n = 4;
+        f = 1;
+        inputs = Coded.inputs ~n:4 ~sender:(node 0) "twelve bytes";
+        faulty;
+        invariant = coded_agreement;
+        max_states = 200_000;
+        max_depth = Some 6;
+        drop_plan = None;
+      }
+  in
+  Alcotest.(check bool) "no violation in any schedule" true
+    (outcome.XC.violation = None);
+  Alcotest.(check bool) "nontrivial space" true (outcome.XC.explored > 100)
+
+module Ir = Abc.Ir_rbc.Binary
+module XI = Abc_check.Explore.Make (Ir)
+
+let ir_agreement outputs =
+  let delivered =
+    Array.to_list outputs |> List.concat_map (List.map (fun (Ir.Delivered v) -> v))
+  in
+  match delivered with
+  | [] -> true
+  | v :: rest -> List.for_all (Abc.Value.equal v) rest
+
+let test_ir_equivocating_sender_checked () =
+  (* The n > 5f two-phase broadcast under its designed attack: a
+     two-faced sender at the smallest interesting size (n=6, f=1). *)
+  let two_faced _rng ~dst v =
+    if Node_id.to_int dst < 3 then v else Abc.Value.negate v
+  in
+  let faulty =
+    [ (node 0, Behaviour.Equivocate (Ir.Fault.equivocate two_faced)) ]
+  in
+  let outcome =
+    XI.run
+      {
+        XI.n = 6;
+        f = 1;
+        inputs = Ir.inputs ~n:6 ~sender:(node 0) Abc.Value.One;
+        faulty;
+        invariant = ir_agreement;
+        max_states = 150_000;
+        max_depth = Some 5;
+        drop_plan = None;
+      }
+  in
+  Alcotest.(check bool) "no violation in any schedule" true
+    (outcome.XI.violation = None);
+  Alcotest.(check bool) "nontrivial space" true (outcome.XI.explored > 100)
 
 (* ---- parallel branch fan-out ---- *)
 
@@ -301,6 +375,13 @@ let () =
           Alcotest.test_case "silent sender exhausts" `Quick
             test_silent_sender_exhausts_immediately;
           Alcotest.test_case "budget respected" `Quick test_budget_respected;
+        ] );
+      ( "broadcast variants",
+        [
+          Alcotest.test_case "coded rbc: two-faced sender to depth 6" `Slow
+            test_coded_two_faced_sender_checked;
+          Alcotest.test_case "imbs-raynal: equivocator to depth 5" `Slow
+            test_ir_equivocating_sender_checked;
         ] );
       ( "lossy links",
         [

@@ -96,6 +96,67 @@ let test_trace_summaries_identical () =
 let test_e1_slice_csv_identical () =
   Alcotest.(check string) "csv bytes" (e1_slice_csv jobs1) (e1_slice_csv jobs4)
 
+(* The schema-v3 byte counters obey the same contract: a lossy sweep
+   of the two new broadcasts, fingerprinted by per-seed bytes.sent and
+   delivered payloads, merges byte-identically at any worker count. *)
+let coded_ir_fingerprints pool =
+  let payload seed = String.init 300 (fun i -> Char.chr ((seed + (7 * i)) land 0xFF)) in
+  Pool.map_list pool
+    (fun seed ->
+      let n = 7 and f = 2 in
+      let p = payload seed in
+      let coded =
+        let module RL = Abc_net.Reliable_link.Make (Abc.Coded_rbc) in
+        let module E = Abc_net.Engine.Make (RL) in
+        let cfg =
+          E.config ~n ~f
+            ~inputs:(Abc.Coded_rbc.inputs ~n ~sender:(node 0) p)
+            ~link_faults:(Abc_net.Link_faults.make ~drop:0.1 ())
+            ~seed ()
+        in
+        let r = E.run cfg in
+        Printf.sprintf "coded seed=%d bytes=%d delivered=%d" seed
+          (Abc_sim.Metrics.counter r.E.metrics "bytes.sent")
+          (Array.fold_left
+             (fun a outs ->
+               a
+               + List.length
+                   (List.filter
+                      (fun (_, Abc.Coded_rbc.Delivered q) -> String.equal p q)
+                      outs))
+             0 r.E.outputs)
+      in
+      let ir =
+        let module Ir = Abc.Ir_rbc.Binary in
+        let module RL = Abc_net.Reliable_link.Make (Ir) in
+        let module E = Abc_net.Engine.Make (RL) in
+        let cfg =
+          E.config ~n ~f:1
+            ~inputs:(Ir.inputs ~n ~sender:(node 0) Abc.Value.One)
+            ~link_faults:(Abc_net.Link_faults.make ~drop:0.1 ())
+            ~seed ()
+        in
+        let r = E.run cfg in
+        Printf.sprintf "ir seed=%d bytes=%d delivered=%d" seed
+          (Abc_sim.Metrics.counter r.E.metrics "bytes.sent")
+          (Array.fold_left
+             (fun a outs ->
+               a
+               + List.length
+                   (List.filter
+                      (fun (_, Ir.Delivered v) -> Abc.Value.equal v Abc.Value.One)
+                      outs))
+             0 r.E.outputs)
+      in
+      coded ^ " | " ^ ir)
+    (List.init 12 (fun s -> 500 + s))
+
+let test_byte_counters_identical () =
+  List.iter2
+    (fun a b -> Alcotest.(check string) "fingerprint" a b)
+    (coded_ir_fingerprints jobs1)
+    (coded_ir_fingerprints jobs4)
+
 let test_pool_map_order () =
   (* The merge keys by job index even when workers race: a job that
      sleeps on low indices cannot displace their slots. *)
@@ -124,5 +185,7 @@ let () =
             test_trace_summaries_identical;
           Alcotest.test_case "E1-slice csv identical" `Slow
             test_e1_slice_csv_identical;
+          Alcotest.test_case "coded/ir byte counters identical" `Slow
+            test_byte_counters_identical;
         ] );
     ]

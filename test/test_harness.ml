@@ -31,6 +31,7 @@ module Scripted = struct
   let is_terminal _ = true
   let on_timeout = Protocol.no_timeout
   let msg_label Ping = "ping"
+  let msg_bytes Ping = 1
   let pp_msg ppf Ping = Fmt.string ppf "ping"
   let pp_output = Abc.Decision.pp
 

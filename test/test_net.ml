@@ -37,6 +37,7 @@ module Gossip = struct
   let is_terminal (Done _) = true
   let on_timeout = Protocol.no_timeout
   let msg_label (Hello _) = "hello"
+  let msg_bytes (Hello _) = 5
   let pp_msg ppf (Hello v) = Fmt.pf ppf "hello(%d)" v
   let pp_output ppf (Done s) = Fmt.pf ppf "done(%d)" s
 end
@@ -517,6 +518,7 @@ module Ticker = struct
   let is_terminal (Fired k) = k = 0
 
   let msg_label Never = "never"
+  let msg_bytes Never = 1
 
   let pp_msg ppf Never = Fmt.string ppf "never"
 

@@ -1,10 +1,11 @@
 (* Cross-protocol property battery: one scenario vocabulary (size,
    resilience, fault placement, adversary, inputs, optional lossy
-   links), one campaign runner, instantiated over all seven protocols
+   links), one campaign runner, instantiated over all nine protocols
    in the library.  Each protocol asserts the properties it actually
-   promises — totality for reliable broadcast but not for consistent
-   broadcast, full consensus for Bracha/Ben-Or/MMR, agreement-or-joint-
-   fallback for Turpin–Coan, identical common subsets for ACS.
+   promises — totality for the reliable broadcasts (Bracha, erasure-
+   coded, Imbs-Raynal) but not for consistent broadcast, full
+   consensus for Bracha/Ben-Or/MMR, agreement-or-joint-fallback for
+   Turpin–Coan, identical common subsets for ACS.
 
    The battery runs on the Exec.Pool at jobs > 1 on purpose: scenarios
    are generated up front on the main domain from a pinned seed
@@ -283,6 +284,114 @@ module Cb_subject = struct
 end
 
 module Cb_battery = Battery (Cb_subject)
+
+(* ---- 2b. Erasure-coded reliable broadcast ---- *)
+
+module Coded = Abc.Coded_rbc
+module CodedE = Abc_net.Engine.Make (Coded)
+module CodedRL = Abc_net.Reliable_link.Make (Coded)
+module CodedRLE = Abc_net.Engine.Make (CodedRL)
+
+module Coded_subject = struct
+  let name = "coded rbc: validity, agreement, totality"
+
+  let count = 50
+
+  let max_n = 10
+
+  let max_loss = 15
+
+  let max_f ~n = (n - 1) / 3
+
+  (* Same promise as Bracha's RBC, different wire format: the payload
+     is a byte string dispersed as Reed-Solomon fragments, so the
+     checker also asserts it survives reconstruction bit-for-bit. *)
+  let check s =
+    let payload =
+      String.init
+        (match s.input_pattern with 0 -> 1 | 1 -> 64 | _ -> 777)
+        (fun i -> Char.chr ((s.seed + (13 * i)) land 0xFF))
+    in
+    let inputs = Coded.inputs ~n:s.n ~sender:(node 0) payload in
+    let delivered_ok outputs stop =
+      stop = Abc_net.Engine.All_terminal
+      && List.for_all
+           (fun i ->
+             match outputs.(i) with
+             | [ (_, Coded.Delivered d) ] -> String.equal d payload
+             | _ -> false)
+           (honest_indices s)
+    in
+    match s.loss with
+    | None ->
+      let r =
+        CodedE.run
+          (CodedE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ())
+      in
+      delivered_ok r.CodedE.outputs r.CodedE.stop
+    | Some l ->
+      let r =
+        CodedRLE.run
+          (CodedRLE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ~link_faults:(plan_of l)
+             ?max_deliveries:(budget s.loss) ())
+      in
+      delivered_ok r.CodedRLE.outputs r.CodedRLE.stop
+end
+
+module Coded_battery = Battery (Coded_subject)
+
+(* ---- 2c. Imbs-Raynal two-phase reliable broadcast ---- *)
+
+module Ir = Abc.Ir_rbc.Binary
+module IrE = Abc_net.Engine.Make (Ir)
+module IrRL = Abc_net.Reliable_link.Make (Ir)
+module IrRLE = Abc_net.Engine.Make (IrRL)
+
+module Ir_subject = struct
+  let name = "imbs-raynal rbc: validity, agreement, totality at n>5f"
+
+  let count = 50
+
+  let max_n = 12
+
+  let max_loss = 15
+
+  (* The efficiency trade: only f < n/5 tolerated. *)
+  let max_f ~n = (n - 1) / 5
+
+  let check s =
+    let v = if s.input_pattern = 1 then Value.One else Value.Zero in
+    let inputs = Ir.inputs ~n:s.n ~sender:(node 0) v in
+    let delivered_ok outputs stop =
+      stop = Abc_net.Engine.All_terminal
+      && List.for_all
+           (fun i ->
+             match outputs.(i) with
+             | [ (_, Ir.Delivered d) ] -> d = v
+             | _ -> false)
+           (honest_indices s)
+    in
+    match s.loss with
+    | None ->
+      let r =
+        IrE.run
+          (IrE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ())
+      in
+      delivered_ok r.IrE.outputs r.IrE.stop
+    | Some l ->
+      let r =
+        IrRLE.run
+          (IrRLE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ~link_faults:(plan_of l)
+             ?max_deliveries:(budget s.loss) ())
+      in
+      delivered_ok r.IrRLE.outputs r.IrRLE.stop
+end
+
+module Ir_battery = Battery (Ir_subject)
 
 (* ---- consensus subjects share the harness verdict ---- *)
 
@@ -573,7 +682,7 @@ let () =
   Alcotest.run "properties"
     [
       ( "broadcast",
-        [ Rbc_battery.test; Cb_battery.test ] );
+        [ Rbc_battery.test; Cb_battery.test; Coded_battery.test; Ir_battery.test ] );
       ( "consensus",
         [ Bracha_battery.test; Benor_battery.test; Mmr_battery.test ] );
       ( "multivalued",

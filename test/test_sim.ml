@@ -160,7 +160,7 @@ let test_trace_eviction () =
 
 let test_trace_find_kind () =
   let t = Trace.create () in
-  let deliver src = Abc_sim.Event.Deliver { src; label = "m"; detail = "" } in
+  let deliver src = Abc_sim.Event.Deliver { src; label = "m"; detail = ""; bytes = 0 } in
   Trace.record t ~time:1 ~node:0 (Abc_sim.Event.make (deliver 1));
   Trace.record t ~time:2 ~node:0
     (Abc_sim.Event.make (Abc_sim.Event.Output { label = "o1" }));

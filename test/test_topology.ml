@@ -107,6 +107,7 @@ module Gossip = struct
   let is_terminal (Done _) = true
   let on_timeout = Protocol.no_timeout
   let msg_label (Hello _) = "hello"
+  let msg_bytes (Hello _) = 5
   let pp_msg ppf (Hello v) = Fmt.pf ppf "hello(%d)" v
   let pp_output ppf (Done s) = Fmt.pf ppf "done(%d)" s
 end

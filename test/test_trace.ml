@@ -21,9 +21,9 @@ let sample_entries : Trace.entry list =
     { Trace.time; node; event = Event.make ?instance ?round kind }
   in
   [
-    e ~time:0 ~node:0 (Event.Send { dst = 3; label = "echo"; detail = "" });
+    e ~time:0 ~node:0 (Event.Send { dst = 3; label = "echo"; detail = ""; bytes = 2 });
     e ~time:1 ~node:3
-      (Event.Deliver { src = 0; label = "echo"; detail = "echo(1)" });
+      (Event.Deliver { src = 0; label = "echo"; detail = "echo(1)"; bytes = 2 });
     e ~time:2 ~node:3 ~instance:"n0/r1/s1"
       (Event.Quorum { quorum = "echo"; count = 3; threshold = 3 });
     e ~time:3 ~node:1 ~round:2 (Event.Coin_flip { value = 1 });
