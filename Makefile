@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint bench bench-quick chaos golden examples doc clean
+.PHONY: all build test lint lint-json bench bench-quick chaos golden examples doc clean
 
 all: build
 
@@ -13,6 +13,12 @@ test:
 # Protocol-aware static analysis (see README "Static analysis & invariants")
 lint:
 	dune build @lint
+
+# Same scan, machine-readable: writes the SARIF-lite JSON report to
+# _build/default/lint-report.json (fingerprints feed lint.allow entries)
+lint-json:
+	dune build @lint-json
+	@echo "report: _build/default/lint-report.json"
 
 # Full experiment tables (writes bench_results/*.csv too)
 bench:

@@ -1,22 +1,40 @@
-type entry = { rule : string; path : string; snippet : string option }
+type key = Any | Snippet of string | Fingerprint of string
+
+type entry = { rule : string; path : string; key : key; raw : string }
 
 let parse_line line =
-  let line = String.trim line in
-  if String.length line = 0 || line.[0] = '#' then None
+  let raw = String.trim line in
+  if String.length raw = 0 || raw.[0] = '#' then None
   else begin
-    match String.index_opt line ' ' with
+    match String.index_opt raw ' ' with
     | None -> None (* a rule with no path allows nothing; ignore *)
     | Some i ->
-      let rule = String.sub line 0 i in
-      let rest = String.trim (String.sub line i (String.length line - i)) in
-      let path, snippet =
+      let rule = String.sub raw 0 i in
+      let rest = String.trim (String.sub raw i (String.length raw - i)) in
+      let path, tail =
         match String.index_opt rest ' ' with
-        | None -> (rest, None)
+        | None -> (rest, "")
         | Some j ->
           ( String.sub rest 0 j,
-            Some (String.trim (String.sub rest j (String.length rest - j))) )
+            String.trim (String.sub rest j (String.length rest - j)) )
       in
-      if String.length path = 0 then None else Some { rule; path; snippet }
+      if String.length path = 0 then None
+      else begin
+        let key =
+          if tail = "" then Any
+          else if String.length tail >= 3 && String.sub tail 0 3 = "fp:" then begin
+            (* fp:<hex> [trailing comment ignored] *)
+            let fp =
+              match String.index_opt tail ' ' with
+              | None -> String.sub tail 3 (String.length tail - 3)
+              | Some k -> String.sub tail 3 (k - 3)
+            in
+            Fingerprint fp
+          end
+          else Snippet tail
+        in
+        Some { rule; path; key; raw }
+      end
   end
 
 let of_string text =
@@ -40,12 +58,17 @@ let path_matches ~entry_path ~file =
     fl >= sl && String.equal (String.sub file (fl - sl) sl) suffix
   end
 
-let permits entries (finding : Finding.t) =
-  List.exists
-    (fun e ->
-      String.equal e.rule finding.rule
-      && path_matches ~entry_path:e.path ~file:finding.file
-      && match e.snippet with
-         | None -> true
-         | Some s -> String.equal s finding.snippet)
+let entry_permits e (finding : Finding.t) =
+  String.equal e.rule finding.Finding.rule
+  && path_matches ~entry_path:e.path ~file:finding.Finding.file
+  && (match e.key with
+     | Any -> true
+     | Snippet s -> String.equal s finding.Finding.snippet
+     | Fingerprint fp -> String.equal fp (Finding.fingerprint finding))
+
+let permits entries finding = List.exists (fun e -> entry_permits e finding) entries
+
+let unused entries findings =
+  List.filter
+    (fun e -> not (List.exists (fun f -> entry_permits e f) findings))
     entries

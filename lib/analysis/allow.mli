@@ -4,18 +4,39 @@
 
     {v
     # comment
-    <rule> <path> [<snippet>]
+    <rule> <path> fp:<fingerprint>  [trailing comment]
+    <rule> <path> <snippet>
+    <rule> <path>
     v}
 
-    [rule] is a rule id ([determinism], [poly-compare], [quorum],
-    [interface]); [path] is matched against the end of the finding's
-    path (so entries work regardless of the scan root); the optional
-    [snippet] — the rest of the line, verbatim — restricts the entry
-    to findings with exactly that snippet (as printed in the report).
-    An entry without a snippet allows every finding of that rule in
-    that file: prefer snippet-qualified entries. *)
+    [rule] is a rule id (see {!Rule_info.all}); [path] is matched
+    against the end of the finding's path (so entries work regardless
+    of the scan root).  The third field selects {e which} findings of
+    that rule in that file are allowed:
 
-type entry = { rule : string; path : string; snippet : string option }
+    - [fp:<hex>] — the preferred, span-based form: it matches the
+      finding's {!Finding.fingerprint} (a stable hash of rule, file
+      basename and the whitespace-normalized source text of the
+      finding's span).  Fingerprints survive unrelated edits (they do
+      not embed line numbers) and anything after the fingerprint token
+      is ignored, so entries carry the snippet and the review reason
+      as an inline comment.  [abc-lint --format json] prints each
+      finding's fingerprint; [--prune-allow] reports entries that no
+      longer match anything.
+    - a verbatim snippet (legacy form) — matches findings whose
+      snippet is exactly that text; no trailing comment possible.
+    - nothing — allows every finding of that rule in that file;
+      prefer fingerprint entries so new violations in the same file
+      still fail. *)
+
+type key = Any | Snippet of string | Fingerprint of string
+
+type entry = {
+  rule : string;
+  path : string;
+  key : key;
+  raw : string;  (** the line as written, for [--prune-allow] output *)
+}
 
 val of_string : string -> entry list
 (** Parse allowlist text; blank lines and [#] comments are skipped. *)
@@ -25,3 +46,8 @@ val load : file:string -> entry list
     allowlist. *)
 
 val permits : entry list -> Finding.t -> bool
+
+val unused : entry list -> Finding.t list -> entry list
+(** [unused entries findings] is the entries matching none of
+    [findings] (pass the {e unfiltered} finding list) — the stale
+    entries [--prune-allow] reports. *)

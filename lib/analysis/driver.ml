@@ -1,4 +1,10 @@
-type report = { findings : Finding.t list; allowed : int; files : int }
+type report = {
+  findings : Finding.t list;
+  allowed : int;
+  files : int;
+  parse_fallbacks : int;
+  unused_allow : Allow.entry list;
+}
 
 let skip_dir name =
   String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
@@ -31,14 +37,112 @@ let read_file path =
   close_in ic;
   text
 
-let run ~allow ~roots =
+(* Parsetree rules when the unit parses, token rules as the fallback.
+   The boolean is true when the fallback was taken. *)
+let check_source_either ~path source =
+  if Filename.check_suffix path ".ml" then begin
+    match Frontend.parse_impl ~path source with
+    | Ok str -> (Ast_rules.check ~path ~source str, false)
+    | Error _ -> (Rules.check_source ~path source, true)
+  end
+  else ([], false)
+
+let check_source ~path source =
+  let findings, _ = check_source_either ~path source in
+  List.map Rule_info.stamp findings
+
+let rule_enabled ~only ~skip rule =
+  (match only with None -> true | Some ids -> List.mem rule ids)
+  && not (List.mem rule skip)
+
+let make_report ?(only = None) ?(skip = []) ?(parse_fallbacks = 0) ~allow ~files
+    findings =
+  let all =
+    findings
+    |> List.filter (fun f -> rule_enabled ~only ~skip f.Finding.rule)
+    |> List.map Rule_info.stamp
+    |> List.sort Finding.compare
+  in
+  let allowed, findings = List.partition (Allow.permits allow) all in
+  {
+    findings;
+    allowed = List.length allowed;
+    files;
+    parse_fallbacks;
+    unused_allow = Allow.unused allow all;
+  }
+
+let run ?(only = None) ?(skip = []) ~allow ~roots () =
   let files = scan_files ~roots in
-  let token_findings =
-    List.concat_map (fun path -> Rules.check_source ~path (read_file path)) files
+  let fallbacks = ref 0 in
+  let per_file =
+    List.concat_map
+      (fun path ->
+        let findings, fell_back = check_source_either ~path (read_file path) in
+        if fell_back then incr fallbacks;
+        findings)
+      files
   in
-  let iface_findings = Rules.interface_coverage ~files in
-  let all = List.sort Finding.compare (token_findings @ iface_findings) in
-  let allowed, findings =
-    List.partition (fun f -> Allow.permits allow f) all
-  in
-  { findings; allowed = List.length allowed; files = List.length files }
+  let iface = Rules.interface_coverage ~files in
+  make_report ~only ~skip ~parse_fallbacks:!fallbacks ~allow
+    ~files:(List.length files) (per_file @ iface)
+
+(* ----------------------------------------------------------------- *)
+(* JSON report (SARIF-lite)                                          *)
+(* ----------------------------------------------------------------- *)
+
+(* Hand-rolled writer: fixed key order, sorted findings, no
+   environment input — the output is byte-identical across runs, so it
+   can be diffed and checked against a golden in CI. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_finding (f : Finding.t) =
+  let s = f.Finding.span in
+  Printf.sprintf
+    "{\"rule\":%S,\"severity\":\"%s\",\"path\":%S,\"span\":{\"start_line\":%d,\"start_col\":%d,\"end_line\":%d,\"end_col\":%d},\"snippet\":\"%s\",\"message\":\"%s\",\"fingerprint\":\"%s\"}"
+    f.Finding.rule
+    (Finding.severity_label f.Finding.severity)
+    f.Finding.file s.Finding.start_line s.Finding.start_col s.Finding.end_line
+    s.Finding.end_col
+    (json_escape f.Finding.snippet)
+    (json_escape f.Finding.message)
+    (Finding.fingerprint f)
+
+let count severity findings =
+  List.length (List.filter (fun f -> f.Finding.severity = severity) findings)
+
+let json_of_report r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"abc-lint/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files\": %d,\n" r.files);
+  Buffer.add_string buf (Printf.sprintf "  \"allowed\": %d,\n" r.allowed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"parse_fallbacks\": %d,\n" r.parse_fallbacks);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"errors\": %d,\n" (count Finding.Error r.findings));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warnings\": %d,\n" (count Finding.Warn r.findings));
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
+      Buffer.add_string buf (json_of_finding f))
+    r.findings;
+  Buffer.add_string buf (if r.findings = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,13 +1,50 @@
-(** Walk source roots, apply every rule, filter through the allowlist. *)
+(** Walk source roots, apply every rule in scope, filter through the
+    allowlist: parsetree rules ({!Ast_rules}) when the unit parses,
+    token rules ({!Rules}) as the fallback. *)
 
 type report = {
   findings : Finding.t list;  (** unallowlisted findings, sorted *)
   allowed : int;  (** findings suppressed by the allowlist *)
   files : int;  (** source files scanned *)
+  parse_fallbacks : int;  (** files that fell back to the token layer *)
+  unused_allow : Allow.entry list;  (** entries matching no finding *)
 }
 
 val scan_files : roots:string list -> string list
 (** All [.ml]/[.mli] files under [roots] (recursive), sorted; skips
     [_build], [.git] and other dot-directories. *)
 
-val run : allow:Allow.entry list -> roots:string list -> report
+val check_source : path:string -> string -> Finding.t list
+(** Analyze one unit: parsetree rules when it parses, token rules
+    otherwise; severities stamped from {!Rule_info}. *)
+
+val make_report :
+  ?only:string list option ->
+  ?skip:string list ->
+  ?parse_fallbacks:int ->
+  allow:Allow.entry list ->
+  files:int ->
+  Finding.t list ->
+  report
+(** Assemble a report from raw findings: filter by rule selection,
+    stamp severities, sort, partition through the allowlist and
+    compute stale entries.  Exposed so tests can build deterministic
+    reports from inline fixtures. *)
+
+val run :
+  ?only:string list option ->
+  ?skip:string list ->
+  allow:Allow.entry list ->
+  roots:string list ->
+  unit ->
+  report
+(** Scan and analyze every source file under [roots].  [only]
+    restricts to the given rule ids ([--rules]); [skip] removes rule
+    ids ([--skip-rules]). *)
+
+val json_of_report : report -> string
+(** SARIF-lite JSON: schema tag, scan counters, and one object per
+    finding (rule, severity, path, span, snippet, message,
+    fingerprint), sorted in report order with a fixed key order — the
+    output is deterministic (byte-identical across runs on the same
+    tree) so it can be diffed and checked against a golden. *)

@@ -1,0 +1,19 @@
+(** Parsetree front end for the analyzer.
+
+    Sources are parsed with the compiler's own parser
+    ([compiler-libs.common]: [Parse.implementation] /
+    [Parse.interface]), so the semantic rules in {!Ast_rules} operate
+    on real scopes, captures and expressions with span-accurate
+    locations.  A unit that fails to parse falls back to the lexical
+    rules in {!Rules} over {!Token_stream} — the two-layer
+    architecture documented in DESIGN.md. *)
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+val parse : path:string -> string -> (ast, string) result
+(** Parse one compilation unit ([.mli] paths as interfaces, everything
+    else as implementations).  [Error reason] means the caller should
+    fall back to the token layer. *)
+
+val parse_impl : path:string -> string -> (Parsetree.structure, string) result
+(** Parse an implementation only. *)

@@ -1,0 +1,27 @@
+(** The rule registry: one record per rule id, carrying the default
+    severity, the path scope, the rationale printed by
+    [abc-lint --explain], and a minimal example finding.
+
+    The README rules table is kept consistent with this registry by
+    hand; [--explain all] prints the authoritative version. *)
+
+type t = {
+  id : string;
+  severity : Finding.severity;  (** default severity; [Error] gates CI *)
+  scope : string;  (** human-readable path scope *)
+  rationale : string;  (** why the rule exists, printed by [--explain] *)
+  example : string;  (** a minimal violating fragment *)
+}
+
+val all : t list
+(** Every rule, in documentation order. *)
+
+val find : string -> t option
+
+val severity_of : string -> Finding.severity
+(** Default severity for a rule id; unknown ids are [Error]. *)
+
+val stamp : Finding.t -> Finding.t
+(** Re-stamp a finding's severity from the registry. *)
+
+val ids : string list

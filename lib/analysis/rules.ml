@@ -1,23 +1,8 @@
 open Token_stream
 
-(* ----------------------------------------------------------------- *)
-(* Path scoping                                                      *)
-(* ----------------------------------------------------------------- *)
+let normalize = Scope.normalize
 
-let normalize path =
-  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
-  if String.length path > 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
-
-(* [path] contains directory fragment [frag] (e.g. "lib/core/"),
-   anchored at a component boundary. *)
-let in_dir path frag =
-  let path = "/" ^ normalize path in
-  let needle = "/" ^ frag in
-  let np = String.length needle and pp = String.length path in
-  let rec scan i = i + np <= pp && (String.sub path i np = needle || scan (i + 1)) in
-  scan 0
+let in_dir = Scope.in_dir
 
 (* ----------------------------------------------------------------- *)
 (* Token helpers                                                     *)
@@ -66,9 +51,10 @@ let match_seq toks i preds =
 let snippet_of toks indices =
   String.concat " " (List.map (fun i -> toks.(i).text) indices)
 
-(* One finding per (rule, line): a line that trips a rule twice reads
-   as noise, and the allowlist keys on the first snippet. *)
-let dedup findings = List.sort_uniq Finding.compare findings
+let dedup = Finding.dedup
+
+let v ~rule ~file ~line ~snippet message =
+  Finding.v ~rule ~file ~span:(Finding.line_span line) ~snippet message
 
 (* ----------------------------------------------------------------- *)
 (* Rule 1: determinism                                               *)
@@ -88,7 +74,7 @@ let determinism ~path toks =
     let file = normalize path in
     let find = ref [] in
     let flag ~line ~snippet message =
-      find := Finding.v ~rule:"determinism" ~file ~line ~snippet message :: !find
+      find := v ~rule:"determinism" ~file ~line ~snippet message :: !find
     in
     Array.iteri
       (fun i t ->
@@ -157,7 +143,7 @@ let poly_compare ~path toks =
   let node_id_in_scope = mentions toks "Node_id" in
   let find = ref [] in
   let flag ~line ~snippet message =
-    find := Finding.v ~rule:"poly-compare" ~file ~line ~snippet message :: !find
+    find := v ~rule:"poly-compare" ~file ~line ~snippet message :: !find
   in
   (* Scan in order, tracking whether the unit has defined its own
      [compare] yet: after [let compare = ...] a bare [compare] refers
@@ -298,7 +284,7 @@ let quorum ~path toks =
             match match_seq toks i preds with
             | Some idx ->
               find :=
-                Finding.v ~rule:"quorum" ~file ~line:t.line
+                v ~rule:"quorum" ~file ~line:t.line
                   ~snippet:(snippet_of toks idx)
                   ("raw threshold arithmetic: " ^ message)
                 :: !find
@@ -378,7 +364,7 @@ let mutable_global ~path toks =
             | None -> ()
             | Some idx ->
               find :=
-                Finding.v ~rule:"mutable-global" ~file ~line:t.line
+                v ~rule:"mutable-global" ~file ~line:t.line
                   ~snippet:("let " ^ name ^ " = " ^ snippet_of toks idx)
                   "top-level mutable state in an engine library: Exec.Pool \
                    jobs run concurrently across domains, so run state must \
@@ -392,7 +378,7 @@ let mutable_global ~path toks =
   end
 
 (* ----------------------------------------------------------------- *)
-(* Dispatch + rule 5: interface coverage                             *)
+(* Dispatch + interface coverage                                     *)
 (* ----------------------------------------------------------------- *)
 
 let check_source ~path source =
@@ -414,7 +400,8 @@ let interface_coverage ~files =
         if List.exists (String.equal want) mli_present then None
         else
           Some
-            (Finding.v ~rule:"interface" ~file ~line:0 ~snippet:(Filename.basename want)
+            (Finding.v ~rule:"interface" ~file ~span:Finding.file_span
+               ~snippet:(Filename.basename want)
                "every module under lib/ needs an interface: add the .mli so the \
                 public surface (and its threshold docs) stays explicit")
       end

@@ -1,39 +1,20 @@
-(** The four protocol-aware rule families.
+(** The lexical (token-level) rule layer — the fallback.
 
-    All rules are lexical (token-level), which keeps them fast,
-    dependency-free and immune to comment/string false positives; the
-    price is that they are heuristics, so every rule supports explicit
-    exceptions through the [lint.allow] file (see {!Allow}).
+    Since the analyzer moved to the compiler parsetree
+    (see {!Frontend} / {!Ast_rules}), these token rules run only for
+    units that fail to parse: they are fast, never require a
+    successful parse, and immune to comment/string false positives,
+    at the price of line-level (not span-accurate) findings and
+    lexical heuristics for scoping.  The four original rule families
+    are implemented here — {b determinism}, {b poly-compare},
+    {b quorum} and {b mutable-global} — with the same path scoping as
+    their parsetree counterparts (see {!Ast_rules} and
+    {!Rule_info.all}); the newer semantic families (pool-capture,
+    resilience, silent-drop, stray-output) need real scope and
+    attribute information and have no lexical fallback.
 
-    Scoping is path-driven and mirrors the repository layout:
-
-    - {b determinism} applies everywhere except [lib/prng/] (the one
-      module allowed to produce randomness).  The deterministic
-      simulator and the bounded model checker ([lib/check/explore.ml])
-      are only sound if protocol control flow is a pure function of
-      the seeded streams, so [Stdlib.Random], [Sys.time] and the
-      [Unix] wall-clock/timer API are banned outright.
-    - {b poly-compare} applies everywhere: bare polymorphic [compare]
-      (and [Stdlib.compare]) is always flagged; [=] / [<>] adjacent to
-      an identifier conventionally holding an abstract node id
-      ([src], [dst], [sender], [origin], [me], ...) and polymorphic
-      [Hashtbl] creation are flagged in files where [Node_id] is in
-      scope — use [Node_id.equal]/[compare] or a keyed structure.
-    - {b quorum} applies to protocol modules ([lib/core/]) except
-      [quorum.ml] itself: raw threshold arithmetic over the protocol
-      parameters [n] and [f] ([f + 1], [2 * f + 1], [n - f], [n / 3],
-      ...) must flow through the [Quorum] module so each bound carries
-      its intersection argument.
-    - {b mutable-global} applies to the engine-adjacent libraries
-      ([lib/sim/], [lib/net/], [lib/exec/]): a top-level (column-0)
-      value binding whose right-hand side allocates a mutable
-      container ([ref], [Hashtbl.create], [Queue.create],
-      [Buffer.create], [Stack.create], [Atomic.make]) is flagged —
-      [Exec.Pool] jobs run engines concurrently across domains, so
-      run state must be allocated per run; reviewed main-domain-only
-      survivors live in [lint.allow].
-    - {b interface} requires every [.ml] under [lib/] to have a
-      matching [.mli]. *)
+    {b interface} coverage is file-list-based and lives here because
+    it needs no parse at all. *)
 
 val determinism : path:string -> Token_stream.tok array -> Finding.t list
 
@@ -44,9 +25,9 @@ val quorum : path:string -> Token_stream.tok array -> Finding.t list
 val mutable_global : path:string -> Token_stream.tok array -> Finding.t list
 
 val check_source : path:string -> string -> Finding.t list
-(** Lex [source] and apply the three token rules that are in scope for
-    [path] ([.ml] files only; [.mli] and other files yield []).
-    Findings are sorted and deduplicated per (file, line, rule). *)
+(** Lex [source] and apply the token rules in scope for [path]
+    ([.ml] files only; [.mli] and other files yield []).  Findings
+    are sorted and deduplicated per (file, line, rule). *)
 
 val interface_coverage : files:string list -> Finding.t list
 (** [interface_coverage ~files] checks every [lib/**.ml] in [files]

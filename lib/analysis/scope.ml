@@ -1,0 +1,12 @@
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let in_dir path frag =
+  let path = "/" ^ normalize path in
+  let needle = "/" ^ frag in
+  let np = String.length needle and pp = String.length path in
+  let rec scan i = i + np <= pp && (String.sub path i np = needle || scan (i + 1)) in
+  scan 0

@@ -1,3 +1,5 @@
+[@@@abc.resilience "n>2f n>5f"]
+
 open Import
 
 module Mode = struct

@@ -1,3 +1,5 @@
+[@@@abc.resilience "n>3f"]
+
 open Import
 module Root_map = Map.Make (Int)
 module Frag_map = Map.Make (Int)

@@ -1,3 +1,5 @@
+[@@@abc.resilience "n>5f"]
+
 open Import
 
 module Make (V : Value.PAYLOAD) = struct

@@ -1,3 +1,5 @@
+[@@@abc.resilience "n>3f"]
+
 open Import
 
 type coin_source = Flip of Coin.t | Shares of Rabin_coin.t

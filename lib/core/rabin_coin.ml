@@ -1,3 +1,5 @@
+[@@@abc.resilience "n>1f"]
+
 open Import
 
 type t = { n : int; f : int; seed : int }

@@ -163,7 +163,7 @@ let test_shuffle_permutation () =
   let arr = Array.init 50 (fun i -> i) in
   Stream.shuffle_in_place s arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
 
 let test_pick_in_array () =

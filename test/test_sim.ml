@@ -68,7 +68,7 @@ let prop_heap_sorts =
       let rec drain acc =
         match Heap.pop h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
       in
-      drain [] = List.sort compare priorities)
+      drain [] = List.sort Int.compare priorities)
 
 (* Vec *)
 
@@ -86,7 +86,7 @@ let test_vec_swap_remove () =
   let removed = Vec.swap_remove v 1 in
   Alcotest.(check int) "removed" 20 removed;
   Alcotest.(check int) "length" 3 (Vec.length v);
-  let remaining = List.sort compare (Vec.to_list v) in
+  let remaining = List.sort Int.compare (Vec.to_list v) in
   Alcotest.(check (list int)) "rest intact" [ 10; 30; 40 ] remaining
 
 let test_vec_swap_remove_last () =
@@ -115,7 +115,7 @@ let prop_vec_multiset_preserved =
         let i = Vec.length v / 2 in
         removed := Vec.swap_remove v i :: !removed
       done;
-      List.sort compare (!removed @ Vec.to_list v) = List.sort compare xs)
+      List.sort Int.compare (!removed @ Vec.to_list v) = List.sort Int.compare xs)
 
 (* Clock *)
 

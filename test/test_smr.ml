@@ -65,7 +65,7 @@ let test_committed_contents_sorted_by_node () =
           match o with
           | Log.Committed { commands; _ } ->
             let ids = List.map (fun (id, _) -> Node_id.to_int id) commands in
-            Alcotest.(check (list int)) "sorted ids" (List.sort compare ids) ids
+            Alcotest.(check (list int)) "sorted ids" (List.sort Int.compare ids) ids
           | Log.Log_complete _ -> ())
         outputs)
     result.E.outputs
