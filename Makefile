@@ -49,6 +49,10 @@ golden:
 	  --seed 7 --trace-out _build/lossy_trace.jsonl
 	dune exec bin/abc_trace.exe -- summary _build/lossy_trace.jsonl \
 	  > test/golden/lossy_summary.txt
+	dune exec bin/abc_run.exe -- smr --atomic -n 4 -f 1 --epochs 3 \
+	  --batch-size 8 --seed 11 --trace-out _build/atomic_trace.jsonl
+	dune exec bin/abc_trace.exe -- summary _build/atomic_trace.jsonl \
+	  > test/golden/atomic_summary.txt
 	dune runtest
 
 examples:

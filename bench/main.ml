@@ -1066,6 +1066,138 @@ let experiment_e16 pool =
   Table.print table;
   print_newline ()
 
+(* ----------------------------------------------------------------- *)
+(* E17: atomic broadcast — committed tx/sec vs batch size and n      *)
+(* ----------------------------------------------------------------- *)
+
+(* Throughput of the batched, pipelined atomic broadcast (epoch = one
+   ACS over coded-RBC; see PROTOCOLS.md).  Virtual-time metrics keep
+   every cell deterministic at any worker count: committed tx per
+   kilotick rather than wall-clock tx/sec.  Acceptance claims asserted
+   here, mirroring E16's per-seed guards: (1) committed tx/ktick at
+   batch=1024 strictly above batch=16 for every n and every seed
+   (agreement cost amortizes over the batch); (2) per-node per-tx
+   bytes at the largest batch strictly lower at n=13 than at n=4 for
+   every seed (the coded dispersal spreads each batch across more
+   links).
+
+   The sweep holds f = 1 fixed as n grows: that isolates the
+   O(|batch|/n) dispersal term, since Reed-Solomon fragments shrink as
+   |batch|/(n - 2f).  At maximal resilience (f growing with n) the
+   coding rate n/(n - 2f) climbs from 2 toward 3 and per-tx bytes
+   plateau instead of falling — measured in the E17 notes in
+   EXPERIMENTS.md. *)
+
+module Atomic = Abc_smr.Atomic_broadcast
+module AtomE = Abc_net.Engine.Make (Atomic)
+
+let e17_epochs = 2
+
+let e17_run ~n ~f ~batch ~seed =
+  let mempools =
+    Array.init n (fun i ->
+        Abc_smr.Workload.txs
+          (Abc_smr.Workload.generate ~seed ~node:(node i)
+             ~count:(batch * e17_epochs) ~rate:1.0 ~tx_bytes:64))
+  in
+  let config =
+    AtomE.config ~n ~f
+      ~inputs:
+        (Atomic.inputs ~n ~window:2 ~batch_size:batch ~epochs:e17_epochs
+           ~coin_seed:(seed + 7919) mempools)
+      ~adversary:Adversary.uniform ~seed ()
+  in
+  let result = AtomE.run config in
+  let committed =
+    match Atomic.log_of_outputs result.AtomE.outputs.(0) with
+    | Some log -> List.length log
+    | None -> 0
+  in
+  let duration = max 1 result.AtomE.duration in
+  let bytes = Abc_sim.Metrics.counter result.AtomE.metrics "bytes.sent" in
+  ( 1000. *. float_of_int committed /. float_of_int duration,
+    float_of_int bytes /. float_of_int (n * max 1 committed),
+    committed,
+    duration )
+
+let experiment_e17 pool =
+  let seeds = scaled 3 in
+  let batches = [ 16; 64; 256; 1024 ] in
+  let small_batch = List.hd batches in
+  let large_batch = List.nth batches (List.length batches - 1) in
+  let table =
+    Table.create ~title:"E17 atomic broadcast throughput"
+      ~columns:
+        [ "n"; "f"; "batch"; "committed"; "ticks/epoch"; "tx/ktick";
+          "B/tx per node"; "batch amortizes" ]
+  in
+  Printf.printf
+    "E17. Committed throughput, %d epochs, window 2, 64 B txs, f=1, \
+     fault-free uniform scheduler, %d seeds per cell\n"
+    e17_epochs seeds;
+  (* per-seed per-tx bytes at the largest batch, per n (guard 2) *)
+  let per_tx_at_large = ref [] in
+  List.iter
+    (fun n ->
+      (* fixed fault budget — see the header comment *)
+      let f = 1 in
+      let cells =
+        List.map
+          (fun batch ->
+            (batch, sweep_seeds pool ~seeds (fun seed -> e17_run ~n ~f ~batch ~seed)))
+          batches
+      in
+      let runs_of batch = List.assoc batch cells in
+      List.iter
+        (fun (batch, runs) ->
+          let mean field =
+            List.fold_left (fun a r -> a +. field r) 0. runs
+            /. float_of_int seeds
+          in
+          let txktick (t, _, _, _) = t in
+          let per_tx (_, b, _, _) = b in
+          (* guard 1: strict per-seed amortization, not just on means *)
+          let amortizes =
+            List.for_all2
+              (fun big small -> txktick big > txktick small)
+              (runs_of large_batch) (runs_of small_batch)
+          in
+          if batch = large_batch && not amortizes then
+            failwith
+              (Printf.sprintf
+                 "E17: tx/ktick at batch=%d not above batch=%d at n=%d"
+                 large_batch small_batch n);
+          if batch = large_batch then
+            per_tx_at_large := (n, List.map per_tx runs) :: !per_tx_at_large;
+          Table.add_row table
+            [
+              Table.cell_int n;
+              Table.cell_int f;
+              Table.cell_int batch;
+              Table.cell_int
+                (List.fold_left (fun a (_, _, c, _) -> a + c) 0 runs / seeds);
+              Table.cell_float ~decimals:0
+                (mean (fun (_, _, _, d) ->
+                     float_of_int d /. float_of_int e17_epochs));
+              Table.cell_float (mean txktick);
+              Table.cell_float ~decimals:0 (mean per_tx);
+              (if amortizes then "yes" else "NO");
+            ])
+        cells)
+    [ 4; 7; 10; 13 ];
+  (* guard 2: coded dissemination gets cheaper per tx as n grows *)
+  (match
+     (List.assoc_opt 4 !per_tx_at_large, List.assoc_opt 13 !per_tx_at_large)
+   with
+  | Some at4, Some at13 ->
+    if not (List.for_all2 (fun b4 b13 -> b13 < b4) at4 at13) then
+      failwith
+        (Printf.sprintf
+           "E17: per-tx bytes at n=13 not below n=4 at batch=%d" large_batch)
+  | _ -> ());
+  Table.print table;
+  print_newline ()
+
 let experiments =
   [
     ("E1", "reliable broadcast correctness", experiment_e1);
@@ -1084,6 +1216,7 @@ let experiments =
     ("E14", "lossy links vs reliable transport", experiment_e14);
     ("E15", "parallel sweep throughput + determinism", experiment_e15);
     ("E16", "per-node bandwidth: bracha vs coded vs ir", experiment_e16);
+    ("E17", "atomic broadcast: committed tx throughput", experiment_e17);
   ]
 
 let () =

@@ -779,11 +779,104 @@ struct
     if trace then Option.iter print_trace tr
 end
 
-let run_smr n f seed adversary fault faulty_count slots loss dup partition
-    reliable trace trace_out =
+(* ---- smr --atomic: batched, pipelined atomic broadcast ---- *)
+
+module Atomic_runner
+    (P : Abc_net.Protocol.S
+           with type input = Abc_smr.Atomic_broadcast.input
+            and type output = Abc_smr.Atomic_broadcast.output) =
+struct
+  module Ab = Abc_smr.Atomic_broadcast
+  module Workload = Abc_smr.Workload
+
+  let go ~label ~n ~f ~seed ~adversary ~faulty ~link_faults ~batch_size ~tx_rate
+      ~epochs ~window ~tx_bytes ~trace ~trace_out =
+    let module E = Abc_net.Engine.Make (P) in
+    let tr = make_trace ~trace ~trace_out in
+    (* Open-loop workload: each node's mempool holds exactly the
+       pipeline's capacity, arriving Poisson-style at --tx-rate. *)
+    let workloads =
+      Array.init n (fun i ->
+          Workload.generate ~seed ~node:(Node_id.of_int i)
+            ~count:(batch_size * epochs) ~rate:tx_rate ~tx_bytes)
+    in
+    let inputs =
+      Ab.inputs ~n ~window ~batch_size ~epochs ~coin_seed:(seed + 7919)
+        (Array.map Workload.txs workloads)
+    in
+    let config =
+      E.config ~n ~f ~inputs ~faulty
+        ~adversary:(adversary_of ~n adversary)
+        ~seed ?link_faults ?trace:tr ()
+    in
+    let result = E.run config in
+    Fmt.pr
+      "%s n=%d f=%d epochs=%d batch=%d window=%d seed=%d stop=%a messages=%d time=%d@."
+      label n f epochs batch_size window seed Abc_net.Engine.pp_stop_reason
+      result.E.stop
+      (Abc_sim.Metrics.counter result.E.metrics "sent")
+      result.E.duration;
+    if link_faults <> None then print_link_stats result.E.metrics;
+    let offered =
+      Array.fold_left (fun acc w -> acc + Workload.count w) 0 workloads
+    in
+    (match Ab.log_of_outputs result.E.outputs.(0) with
+    | Some log ->
+      let committed = List.length log in
+      let duration = max 1 result.E.duration in
+      let bytes_sent = Abc_sim.Metrics.counter result.E.metrics "bytes.sent" in
+      let per_tx = if committed = 0 then 0 else bytes_sent / (n * committed) in
+      Fmt.pr
+        "  committed %d/%d txs in %d epochs (%.1f ticks/epoch, %.2f tx/ktick, %d B/tx per node)@."
+        committed offered epochs
+        (float_of_int duration /. float_of_int epochs)
+        (1000. *. float_of_int committed /. float_of_int duration)
+        per_tx
+    | None -> ());
+    Array.iteri
+      (fun i outputs ->
+        match Ab.log_of_outputs outputs with
+        | Some log ->
+          Fmt.pr "  replica %d: txs=%d digest=%08x@." i (List.length log)
+            (payload_digest (String.concat ";" log))
+        | None -> Fmt.pr "  replica %d: incomplete@." i)
+      result.E.outputs;
+    write_trace_out ~protocol:label ~n ~f ~seed trace_out tr;
+    if trace then Option.iter print_trace tr
+end
+
+let run_smr_atomic ~n ~f ~seed ~adversary ~fault ~faulty_count ~link_faults
+    ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~reliable ~trace ~trace_out =
+  let module Ab = Abc_smr.Atomic_broadcast in
+  if reliable then begin
+    let module RL = Abc_net.Reliable_link.Make (Ab) in
+    let module R = Atomic_runner (RL) in
+    R.go ~label:"smr-atomic+rl" ~n ~f ~seed ~adversary
+      ~faulty:(msg_agnostic_faulty ~n ~count:faulty_count fault)
+      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~trace
+      ~trace_out
+  end
+  else begin
+    let module R = Atomic_runner (Ab) in
+    let mutators =
+      ( (fun _rng (m : Ab.msg) -> m),
+        (fun _rng ~dst:_ (m : Ab.msg) -> m),
+        fun _rng (m : Ab.msg) -> m )
+    in
+    R.go ~label:"smr-atomic" ~n ~f ~seed ~adversary
+      ~faulty:(faulty_nodes ~n ~count:faulty_count fault mutators)
+      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~trace
+      ~trace_out
+  end
+
+let run_smr n f seed adversary fault faulty_count slots atomic batch_size
+    tx_rate epochs window tx_bytes loss dup partition reliable trace trace_out =
   let module Log = Abc_smr.Replicated_log in
   let link_faults = link_faults_of ~n ~loss ~dup ~partition in
-  if reliable then begin
+  if atomic then
+    run_smr_atomic ~n ~f ~seed ~adversary ~fault ~faulty_count ~link_faults
+      ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~reliable ~trace ~trace_out
+  else if reliable then begin
     let module RL = Abc_net.Reliable_link.Make (Log) in
     let module R = Smr_runner (RL) in
     R.go ~label:"smr+rl" ~n ~f ~seed ~adversary
@@ -979,13 +1072,62 @@ let smr_cmd =
   let slots =
     Arg.(value & opt int 3 & info [ "slots" ] ~docv:"K" ~doc:"Log length in slots.")
   in
+  let atomic =
+    Arg.(
+      value & flag
+      & info [ "atomic" ]
+          ~doc:
+            "Run the batched, pipelined atomic broadcast (HoneyBadger-style \
+             epochs over coded-RBC ACS) instead of the slot-per-command \
+             replicated log.  See --batch-size, --tx-rate, --epochs, \
+             --window and --tx-bytes.")
+  in
+  let batch_size =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-size" ] ~docv:"B"
+          ~doc:"Transactions each node proposes per epoch (with --atomic).")
+  in
+  let tx_rate =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "tx-rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop workload: mean client transactions arriving per \
+             virtual tick per node (Poisson inter-arrivals, deterministic \
+             in --seed; with --atomic).")
+  in
+  let epochs =
+    Arg.(
+      value & opt int 3
+      & info [ "epochs" ] ~docv:"E" ~doc:"Epochs to run (with --atomic).")
+  in
+  let window =
+    Arg.(
+      value & opt int 2
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Pipeline width: epochs allowed in flight above the last \
+             committed one (with --atomic).")
+  in
+  let tx_bytes =
+    Arg.(
+      value & opt int 32
+      & info [ "tx-bytes" ] ~docv:"BYTES"
+          ~doc:"Wire size each transaction is padded to (with --atomic).")
+  in
   let term =
     Term.(
       const run_smr $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
-      $ faulty_count_arg $ slots $ loss_arg $ dup_arg $ partition_arg
-      $ reliable_arg $ trace_arg $ trace_out_arg)
+      $ faulty_count_arg $ slots $ atomic $ batch_size $ tx_rate $ epochs
+      $ window $ tx_bytes $ loss_arg $ dup_arg $ partition_arg $ reliable_arg
+      $ trace_arg $ trace_out_arg)
   in
-  Cmd.v (Cmd.info "smr" ~doc:"Run the replicated log.") term
+  Cmd.v
+    (Cmd.info "smr"
+       ~doc:"Run the replicated log, or the atomic broadcast with --atomic.")
+    term
 
 let () =
   let doc = "Asynchronous Byzantine consensus (Bracha, PODC 1984) simulator" in

@@ -844,6 +844,10 @@ let check ~path ~source (str : structure) =
     quorum_arith ctx str;
     resilience ctx str
   end;
+  (* The SMR layer stacks protocols over lib/core quorums (the atomic
+     broadcast embeds per-epoch ACS instances), so its modules carry
+     the same [@@@abc.resilience] obligations as core protocol code. *)
+  if Scope.in_dir path "lib/smr/" then resilience ctx str;
   if
     Scope.in_dir path "lib/sim/" || Scope.in_dir path "lib/net/"
     || Scope.in_dir path "lib/exec/"

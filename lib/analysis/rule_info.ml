@@ -49,7 +49,7 @@ let all =
     {
       id = "resilience";
       severity = Finding.Error;
-      scope = "lib/core/ except quorum.ml";
+      scope = "lib/core/ except quorum.ml, and lib/smr/";
       rationale =
         "Each protocol module declares its resilience class (n > 3f for \
          the Bracha family, n > 5f for Imbs-Raynal, ...) with an \

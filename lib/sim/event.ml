@@ -12,6 +12,10 @@ type kind =
   | Timer_set of { id : int; due : int }
   | Timer_fire of { id : int }
   | Retransmit of { dst : int; seq : int }
+  | Epoch_start of { epoch : int }
+  | Batch_proposed of { epoch : int; txs : int; bytes : int }
+  | Batch_committed of { epoch : int; proposer : int; txs : int }
+  | Tx_committed of { epoch : int; id : string }
 
 type t = { kind : kind; instance : string; round : int }
 
@@ -31,6 +35,10 @@ let kind_label = function
   | Timer_set _ -> "timer-set"
   | Timer_fire _ -> "timeout"
   | Retransmit _ -> "retransmit"
+  | Epoch_start _ -> "epoch-start"
+  | Batch_proposed _ -> "batch-proposed"
+  | Batch_committed _ -> "batch-committed"
+  | Tx_committed _ -> "tx-committed"
 
 let kind_equal a b =
   match (a, b) with
@@ -60,9 +68,20 @@ let kind_equal a b =
   | Timer_set a, Timer_set b -> Int.equal a.id b.id && Int.equal a.due b.due
   | Timer_fire a, Timer_fire b -> Int.equal a.id b.id
   | Retransmit a, Retransmit b -> Int.equal a.dst b.dst && Int.equal a.seq b.seq
+  | Epoch_start a, Epoch_start b -> Int.equal a.epoch b.epoch
+  | Batch_proposed a, Batch_proposed b ->
+    Int.equal a.epoch b.epoch && Int.equal a.txs b.txs
+    && Int.equal a.bytes b.bytes
+  | Batch_committed a, Batch_committed b ->
+    Int.equal a.epoch b.epoch
+    && Int.equal a.proposer b.proposer
+    && Int.equal a.txs b.txs
+  | Tx_committed a, Tx_committed b ->
+    Int.equal a.epoch b.epoch && String.equal a.id b.id
   | ( ( Send _ | Deliver _ | Quorum _ | Coin_flip _ | Round_advance | Decide _
       | Output _ | Note _ | Link_drop _ | Link_dup _ | Timer_set _
-      | Timer_fire _ | Retransmit _ ),
+      | Timer_fire _ | Retransmit _ | Epoch_start _ | Batch_proposed _
+      | Batch_committed _ | Tx_committed _ ),
       _ ) ->
     false
 
@@ -92,6 +111,12 @@ let pp_kind ppf = function
   | Timer_set { id; due } -> Fmt.pf ppf "timer-set #%d due t=%d" id due
   | Timer_fire { id } -> Fmt.pf ppf "timeout #%d" id
   | Retransmit { dst; seq } -> Fmt.pf ppf "retransmit -> n%d seq=%d" dst seq
+  | Epoch_start { epoch } -> Fmt.pf ppf "epoch-start e%d" epoch
+  | Batch_proposed { epoch; txs; bytes } ->
+    Fmt.pf ppf "batch-proposed e%d txs=%d bytes=%d" epoch txs bytes
+  | Batch_committed { epoch; proposer; txs } ->
+    Fmt.pf ppf "batch-committed e%d proposer=n%d txs=%d" epoch proposer txs
+  | Tx_committed { epoch; id } -> Fmt.pf ppf "tx-committed e%d %s" epoch id
 
 let pp ppf t =
   if String.length t.instance > 0 then Fmt.pf ppf "[%s] " t.instance;

@@ -39,6 +39,18 @@ type kind =
   | Timer_fire of { id : int }  (** timer [id] fired on this node *)
   | Retransmit of { dst : int; seq : int }
       (** a transport layer re-sent an unacknowledged envelope *)
+  | Epoch_start of { epoch : int }
+      (** the atomic-broadcast pipeline opened epoch [epoch] on this
+          node (its batch agreement began; schema v4) *)
+  | Batch_proposed of { epoch : int; txs : int; bytes : int }
+      (** this node proposed its batch for [epoch]: [txs] transactions
+          totalling [bytes] encoded bytes (schema v4) *)
+  | Batch_committed of { epoch : int; proposer : int; txs : int }
+      (** [epoch]'s agreed subset committed [proposer]'s batch, adding
+          [txs] previously-uncommitted transactions (schema v4) *)
+  | Tx_committed of { epoch : int; id : string }
+      (** transaction [id] entered the replicated log in [epoch]
+          (schema v4; high-volume — emitted once per tx per node) *)
 
 type t = {
   kind : kind;
@@ -56,7 +68,8 @@ val kind_label : kind -> string
 (** Stable one-word name of the event kind — the JSONL ["kind"] field:
     ["send"], ["deliver"], ["quorum"], ["coin"], ["round"], ["decide"],
     ["output"], ["note"], ["link-drop"], ["link-dup"], ["timer-set"],
-    ["timeout"] or ["retransmit"]. *)
+    ["timeout"], ["retransmit"], ["epoch-start"], ["batch-proposed"],
+    ["batch-committed"] or ["tx-committed"]. *)
 
 val equal : t -> t -> bool
 (** Structural equality (used by the JSONL round-trip tests). *)

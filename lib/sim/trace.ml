@@ -8,7 +8,10 @@ type t = {
   mutable recorded : int;
 }
 
-let schema_version = 3
+(* v4 added the atomic-broadcast epoch/batch/tx event kinds; the
+   reader accepts any version <= this one (see OBSERVABILITY.md
+   migration notes). *)
+let schema_version = 4
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
@@ -121,6 +124,24 @@ let entry_to_json e =
     | Event.Timer_fire { id } -> [ kind "timeout"; ("id", Json.Int id) ]
     | Event.Retransmit { dst; seq } ->
       [ kind "retransmit"; ("dst", Json.Int dst); ("seq", Json.Int seq) ]
+    | Event.Epoch_start { epoch } ->
+      [ kind "epoch-start"; ("epoch", Json.Int epoch) ]
+    | Event.Batch_proposed { epoch; txs; bytes } ->
+      [
+        kind "batch-proposed";
+        ("epoch", Json.Int epoch);
+        ("txs", Json.Int txs);
+        ("bytes", Json.Int bytes);
+      ]
+    | Event.Batch_committed { epoch; proposer; txs } ->
+      [
+        kind "batch-committed";
+        ("epoch", Json.Int epoch);
+        ("proposer", Json.Int proposer);
+        ("txs", Json.Int txs);
+      ]
+    | Event.Tx_committed { epoch; id } ->
+      [ kind "tx-committed"; ("epoch", Json.Int epoch); ("id", Json.String id) ]
   in
   Json.Obj (base @ specific @ common)
 
@@ -207,6 +228,23 @@ let entry_of_json json =
       let* dst = require "dst" Json.to_int in
       let* seq = require "seq" Json.to_int in
       Ok (Event.Retransmit { dst; seq })
+    | "epoch-start" ->
+      let* epoch = require "epoch" Json.to_int in
+      Ok (Event.Epoch_start { epoch })
+    | "batch-proposed" ->
+      let* epoch = require "epoch" Json.to_int in
+      let* txs = require "txs" Json.to_int in
+      let* bytes = int_field "bytes" ~default:0 in
+      Ok (Event.Batch_proposed { epoch; txs; bytes })
+    | "batch-committed" ->
+      let* epoch = require "epoch" Json.to_int in
+      let* proposer = require "proposer" Json.to_int in
+      let* txs = require "txs" Json.to_int in
+      Ok (Event.Batch_committed { epoch; proposer; txs })
+    | "tx-committed" ->
+      let* epoch = require "epoch" Json.to_int in
+      let* id = require "id" Json.to_str in
+      Ok (Event.Tx_committed { epoch; id })
     | other -> Error (Printf.sprintf "trace entry: unknown kind %S" other)
   in
   Ok { time; node; event = { Event.kind; instance; round } }

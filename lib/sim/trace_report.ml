@@ -135,9 +135,21 @@ let instances (file : Trace_file.t) =
 let timeline ?instance (file : Trace_file.t) =
   let b = Buffer.create 1024 in
   let entries = List.filter (in_instance instance) file.Trace_file.entries in
+  (* Instance-scoped events render as "proto#instance" (not a bare
+     instance id) so overlapping sub-protocols — per-proposer ACS
+     instances, per-epoch batch agreements — stay attributable when
+     several are interleaved in one timeline. *)
+  let proto = Trace_file.meta_string file "protocol" in
+  let qualify (e : Trace.entry) =
+    let inst = e.Trace.event.Event.instance in
+    match proto with
+    | Some p when String.length inst > 0 ->
+      { e with Trace.event = { e.Trace.event with Event.instance = p ^ "#" ^ inst } }
+    | Some _ | None -> e
+  in
   List.iter
     (fun (e : Trace.entry) ->
-      Buffer.add_string b (Fmt.str "%a@." Trace.pp_entry e))
+      Buffer.add_string b (Fmt.str "%a@." Trace.pp_entry (qualify e)))
     entries;
   if List.length entries = 0 then Buffer.add_string b "(no matching entries)\n";
   Buffer.contents b

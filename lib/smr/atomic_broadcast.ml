@@ -1,0 +1,352 @@
+[@@@abc.resilience "n>3f"]
+
+module Node_id = Abc_net.Node_id
+module Protocol = Abc_net.Protocol
+module Event = Abc_sim.Event
+module Int_map = Map.Make (Int)
+module String_set = Set.Make (String)
+
+type tx = Workload.tx
+
+type input = {
+  mempool : tx array;
+  batch_size : int;
+  epochs : int;
+  window : int;
+  coin_seed : int;
+}
+
+type output =
+  | Epoch_committed of {
+      epoch : int;
+      batches : (Node_id.t * tx list) list;
+      fresh : tx list;
+    }
+  | Log_complete of tx list
+
+type msg = Epoch of { epoch : int; inner : Abc.Batch_acs.msg }
+
+type state = {
+  me : Node_id.t;
+  batch_size : int;
+  epochs : int;
+  window : int;
+  coin_seed : int;
+  mempool : tx array;
+  cursor : int; (* next mempool index not yet proposed *)
+  requeue : tx list; (* txs from excluded batches, re-propose first *)
+  proposed : tx list Int_map.t; (* epoch -> my batch *)
+  instances : Abc.Batch_acs.state Int_map.t; (* live epoch agreements *)
+  results : (Node_id.t * string) list Int_map.t; (* decided epochs *)
+  committed : String_set.t; (* dedup set over the whole log *)
+  log : tx list; (* committed txs, newest first *)
+  next_commit : int; (* first epoch not yet committed *)
+  complete : bool;
+}
+
+let name = "atomic-broadcast"
+
+(* ----------------------------------------------------------------- *)
+(* Batch encoding: "<count>" then ":<len>:<tx>" per transaction.     *)
+(* Never empty (an empty batch is "0"), so the Reed-Solomon coder    *)
+(* always has a payload to disperse.                                 *)
+(* ----------------------------------------------------------------- *)
+
+let encode_batch txs =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (string_of_int (List.length txs));
+  List.iter
+    (fun tx ->
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer (string_of_int (String.length tx));
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer tx)
+    txs;
+  Buffer.contents buffer
+
+(* Total: a Byzantine proposer can commit an arbitrary string, which
+   every honest node must skip identically. *)
+let decode_batch s =
+  let len = String.length s in
+  let int_until pos =
+    let rec scan i =
+      if i < len && s.[i] >= '0' && s.[i] <= '9' then scan (i + 1) else i
+    in
+    let stop = scan pos in
+    if stop = pos || stop - pos > 9 then None
+    else Some (int_of_string (String.sub s pos (stop - pos)), stop)
+  in
+  match int_until 0 with
+  | None -> None
+  | Some (count, pos) ->
+    let rec txs remaining pos acc =
+      if remaining = 0 then if pos = len then Some (List.rev acc) else None
+      else if pos >= len || s.[pos] <> ':' then None
+      else
+        match int_until (pos + 1) with
+        | None -> None
+        | Some (tx_len, pos) ->
+          if pos >= len || s.[pos] <> ':' || pos + 1 + tx_len > len then None
+          else
+            txs (remaining - 1) (pos + 1 + tx_len)
+              (String.sub s (pos + 1) tx_len :: acc)
+    in
+    txs count pos []
+
+(* ----------------------------------------------------------------- *)
+(* Epoch plumbing                                                    *)
+(* ----------------------------------------------------------------- *)
+
+let wrap epoch actions =
+  List.map
+    (fun action ->
+      match action with
+      | Protocol.Broadcast inner -> Protocol.Broadcast (Epoch { epoch; inner })
+      | Protocol.Send (dst, inner) -> Protocol.Send (dst, Epoch { epoch; inner })
+      | Protocol.Set_timer { id; after } ->
+        (* Epoch agreements never arm timers today; if one ever does,
+           the id must be epoch-demultiplexed rather than forwarded. *)
+        Protocol.Set_timer { id; after })
+    actions
+
+(* Scope an epoch's observability under "epoch<e>" so overlapping
+   epoch agreements stay distinguishable in traces. *)
+let epoch_ctx (ctx : Protocol.Context.t) epoch =
+  if ctx.Protocol.Context.sink.Event.enabled then
+    {
+      ctx with
+      Protocol.Context.sink =
+        Event.scoped ctx.Protocol.Context.sink
+          ~instance:(Printf.sprintf "epoch%d" epoch);
+    }
+  else ctx
+
+let emit (ctx : Protocol.Context.t) kind =
+  let sink = ctx.Protocol.Context.sink in
+  if sink.Event.enabled then sink.Event.emit (Event.make kind)
+
+(* Draw this node's next batch: requeued (previously excluded) txs
+   first, then fresh mempool arrivals.  The cursor only ever moves
+   forward — an excluded batch re-enters via [requeue], not by
+   rewinding. *)
+let draw_batch state =
+  let rec take k cursor requeue acc =
+    if k = 0 then (List.rev acc, cursor, requeue)
+    else
+      match requeue with
+      | tx :: rest -> take (k - 1) cursor rest (tx :: acc)
+      | [] ->
+        if cursor < Array.length state.mempool then
+          take (k - 1) (cursor + 1) [] (state.mempool.(cursor) :: acc)
+        else (List.rev acc, cursor, [])
+  in
+  take state.batch_size state.cursor state.requeue []
+
+(* Open epoch [epoch]'s agreement (idempotent): draws a batch from the
+   mempool and starts ACS-over-coded-RBC on it, which disperses the
+   batch.  Epochs open either proactively (inside the pipeline window
+   above [next_commit]) or lazily when traffic for them arrives — a
+   peer that commits faster than us may legitimately be an epoch
+   ahead. *)
+let open_epoch ctx state epoch =
+  if epoch < 0 || epoch >= state.epochs || Int_map.mem epoch state.instances
+  then (state, [])
+  else begin
+    let batch, cursor, requeue = draw_batch state in
+    let proposal = encode_batch batch in
+    emit ctx (Event.Epoch_start { epoch });
+    emit ctx
+      (Event.Batch_proposed
+         { epoch; txs = List.length batch; bytes = String.length proposal });
+    let inner_input =
+      {
+        Abc.Batch_acs.proposal;
+        coin = Abc.Coin.common ~seed:(state.coin_seed + epoch);
+      }
+    in
+    let inner_state, actions =
+      Abc.Batch_acs.initial (epoch_ctx ctx epoch) inner_input
+    in
+    ( {
+        state with
+        cursor;
+        requeue;
+        proposed = Int_map.add epoch batch state.proposed;
+        instances = Int_map.add epoch inner_state state.instances;
+      },
+      wrap epoch actions )
+  end
+
+(* Open every epoch the pipeline window admits: [next_commit] up to
+   [next_commit + window) — epoch e+1's dispersal starts while epoch
+   e's agreement is still running. *)
+let open_window ctx state =
+  List.fold_left
+    (fun (state, acc) epoch ->
+      let state, actions = open_epoch ctx state epoch in
+      (state, acc @ actions))
+    (state, [])
+    (List.init state.window (fun k -> state.next_commit + k))
+
+(* Commit decided epochs in order: deduplicate each epoch's agreed
+   subset against the whole log, append the survivors in (proposer,
+   arrival) order, and requeue my own batch if the subset excluded
+   it.  Every honest node processes identical subsets in identical
+   epoch order against an identical dedup set, so the logs agree. *)
+let drain_commits ctx state =
+  let rec loop state acc =
+    match Int_map.find_opt state.next_commit state.results with
+    | Some subset ->
+      let epoch = state.next_commit in
+      let state, batches, fresh_rev =
+        List.fold_left
+          (fun (state, batches, fresh_rev) (proposer, raw) ->
+            match decode_batch raw with
+            | None ->
+              (* Malformed (Byzantine) batch: skipped identically
+                 everywhere. *)
+              (state, batches, fresh_rev)
+            | Some txs ->
+              let fresh =
+                List.filter
+                  (fun tx -> not (String_set.mem tx state.committed))
+                  txs
+              in
+              emit ctx
+                (Event.Batch_committed
+                   {
+                     epoch;
+                     proposer = Node_id.to_int proposer;
+                     txs = List.length fresh;
+                   });
+              List.iter
+                (fun tx ->
+                  emit ctx (Event.Tx_committed { epoch; id = Workload.tx_id tx }))
+                fresh;
+              let state =
+                {
+                  state with
+                  committed =
+                    List.fold_left
+                      (fun set tx -> String_set.add tx set)
+                      state.committed fresh;
+                  log = List.rev_append fresh state.log;
+                }
+              in
+              (state, (proposer, txs) :: batches, List.rev_append fresh fresh_rev))
+          (state, [], []) subset
+      in
+      (* If my batch was excluded, its uncommitted txs go back to the
+         front of the queue for the next epoch I open. *)
+      let included =
+        List.exists (fun (proposer, _) -> Node_id.equal proposer state.me) subset
+      in
+      let state =
+        if included then state
+        else
+          match Int_map.find_opt epoch state.proposed with
+          | None -> state
+          | Some mine ->
+            let missing =
+              List.filter
+                (fun tx -> not (String_set.mem tx state.committed))
+                mine
+            in
+            { state with requeue = state.requeue @ missing }
+      in
+      let output =
+        Epoch_committed
+          { epoch; batches = List.rev batches; fresh = List.rev fresh_rev }
+      in
+      loop { state with next_commit = epoch + 1 } (output :: acc)
+    | None ->
+      if state.next_commit >= state.epochs && not state.complete then
+        ( { state with complete = true },
+          List.rev (Log_complete (List.rev state.log) :: acc) )
+      else (state, List.rev acc)
+  in
+  loop state []
+
+let initial ctx (input : input) =
+  if input.batch_size <= 0 then
+    invalid_arg "Atomic_broadcast: batch_size must be positive";
+  if input.epochs <= 0 then invalid_arg "Atomic_broadcast: epochs must be positive";
+  if input.window <= 0 then invalid_arg "Atomic_broadcast: window must be positive";
+  let state =
+    {
+      me = ctx.Protocol.Context.me;
+      batch_size = input.batch_size;
+      epochs = input.epochs;
+      window = input.window;
+      coin_seed = input.coin_seed;
+      mempool = input.mempool;
+      cursor = 0;
+      requeue = [];
+      proposed = Int_map.empty;
+      instances = Int_map.empty;
+      results = Int_map.empty;
+      committed = String_set.empty;
+      log = [];
+      next_commit = 0;
+      complete = false;
+    }
+  in
+  open_window ctx state
+
+let on_message ctx state ~src msg =
+  let (Epoch { epoch; inner }) = msg in
+  if epoch < 0 || epoch >= state.epochs then (state, [], [])
+  else begin
+    (* Lazily open epochs driven by faster peers (see [open_epoch]). *)
+    let state, open_actions = open_epoch ctx state epoch in
+    let inner_state = Int_map.find epoch state.instances in
+    let inner_state, inner_actions, inner_outputs =
+      Abc.Batch_acs.on_message (epoch_ctx ctx epoch) inner_state ~src inner
+    in
+    let state =
+      { state with instances = Int_map.add epoch inner_state state.instances }
+    in
+    let state =
+      List.fold_left
+        (fun state (Abc.Batch_acs.Accepted subset) ->
+          if Int_map.mem epoch state.results then state
+          else { state with results = Int_map.add epoch subset state.results })
+        state inner_outputs
+    in
+    let state, outputs = drain_commits ctx state in
+    (* Committing an epoch slides the pipeline window forward. *)
+    let state, window_actions = open_window ctx state in
+    (state, open_actions @ wrap epoch inner_actions @ window_actions, outputs)
+  end
+
+let is_terminal = function Log_complete _ -> true | Epoch_committed _ -> false
+let on_timeout = Protocol.no_timeout
+
+let msg_label (Epoch { inner; _ }) = "epoch." ^ Abc.Batch_acs.msg_label inner
+
+let msg_bytes (Epoch { epoch = _; inner }) =
+  Protocol.Wire_size.int + Abc.Batch_acs.msg_bytes inner
+
+let pp_msg ppf (Epoch { epoch; inner }) =
+  Fmt.pf ppf "epoch[%d]:%a" epoch Abc.Batch_acs.pp_msg inner
+
+let pp_output ppf = function
+  | Epoch_committed { epoch; batches; fresh } ->
+    Fmt.pf ppf "epoch[%d]committed{%a} +%d txs" epoch
+      (Fmt.list ~sep:Fmt.comma (fun ppf (id, txs) ->
+           Fmt.pf ppf "%a:%d" Node_id.pp id (List.length txs)))
+      batches (List.length fresh)
+  | Log_complete log -> Fmt.pf ppf "log(%d txs)" (List.length log)
+
+let inputs ~n ?(window = 2) ~batch_size ~epochs ~coin_seed mempools =
+  if Array.length mempools <> n then
+    invalid_arg "Atomic_broadcast.inputs: mempools length must equal n";
+  Array.map
+    (fun mempool -> { mempool; batch_size; epochs; window; coin_seed })
+    mempools
+
+let log_of_outputs outputs =
+  List.find_map
+    (fun (_, output) ->
+      match output with Log_complete log -> Some log | Epoch_committed _ -> None)
+    outputs

@@ -1,0 +1,85 @@
+[@@@abc.resilience "n>3f"]
+
+(** Batched, pipelined atomic broadcast — HoneyBadger-style state
+    machine replication from the paper's primitives.
+
+    {b Paper source:} HoneyBadgerBFT (Miller et al. 2016, §4): each
+    epoch runs one asynchronous common subset over every node's
+    transaction batch; Bracha's 1984 RBC+BA toolbox supplies the
+    agreement core ({!Abc.Batch_acs}) and the PR-5 erasure-coded RBC
+    supplies O(|batch|/n + lambda log n) per-link dissemination.
+
+    {b Resilience:} [n > 3f].
+
+    {b Message type:} [Epoch] wraps a {!Abc.Batch_acs} message tagged
+    with its epoch number; epochs within the pipeline window run
+    concurrently, so the tag demultiplexes overlapping agreements.
+
+    Per epoch, every node proposes a batch drawn from its local
+    mempool (a {!Workload} schedule), ACS selects an agreed subset of
+    at least [n - f] batches, and each node appends the subset —
+    deduplicated against the whole log, in (proposer, arrival) order —
+    to its replicated log.  Epochs overlap: epoch [e+1]'s dispersal
+    starts as soon as the window above the last locally-committed
+    epoch admits it (or lazily when a faster peer's traffic arrives),
+    while epoch [e]'s binary agreements are still finishing.  A node
+    whose batch was excluded from a subset requeues those transactions
+    at the front of its next proposal, so under fair scheduling every
+    correct node's transactions commit within a bounded number of
+    epochs.  (Full censorship resilience against an adversarial
+    scheduler needs threshold-encrypted batches — HoneyBadgerBFT §4.3
+    — which is out of scope here; see PROTOCOLS.md.) *)
+
+type tx = Workload.tx
+
+type input = {
+  mempool : tx array;  (** this node's client transactions, arrival order *)
+  batch_size : int;  (** transactions proposed per epoch *)
+  epochs : int;  (** total epochs to run *)
+  window : int;  (** pipeline width: epochs in flight above [next_commit] *)
+  coin_seed : int;  (** epoch [e]'s BAs use coin seed [coin_seed + e] *)
+}
+
+type output =
+  | Epoch_committed of {
+      epoch : int;
+      batches : (Abc_net.Node_id.t * tx list) list;
+          (** the agreed subset, sorted by proposer — identical at
+              every correct node *)
+      fresh : tx list;
+          (** this epoch's log extension after deduplication *)
+    }
+  | Log_complete of tx list
+      (** all [epochs] committed; the full ordered log *)
+
+type msg
+
+include
+  Abc_net.Protocol.S
+    with type input := input
+     and type output := output
+     and type msg := msg
+
+val inputs :
+  n:int ->
+  ?window:int ->
+  batch_size:int ->
+  epochs:int ->
+  coin_seed:int ->
+  tx array array ->
+  input array
+(** One mempool per node ([window] defaults to 2).  Raises
+    [Invalid_argument] when the outer array length differs from
+    [n]. *)
+
+val log_of_outputs : ('a * output) list -> tx list option
+(** The first [Log_complete] payload in a harness output list. *)
+
+val encode_batch : tx list -> string
+(** The batch wire encoding ACS agrees on (["<count>" then
+    ":<len>:<tx>" per transaction] — never empty, so the
+    Reed-Solomon dispersal always has a payload). *)
+
+val decode_batch : string -> tx list option
+(** Total inverse of {!encode_batch}; [None] on malformed (Byzantine)
+    batches, which every correct node skips identically. *)

@@ -1,0 +1,43 @@
+module Node_id = Abc_net.Node_id
+module Stream = Abc_prng.Stream
+
+type tx = string
+
+type t = { node : Node_id.t; arrivals : (float * tx) array }
+
+let tx_id tx =
+  match String.index_opt tx ':' with
+  | Some i -> String.sub tx 0 i
+  | None -> tx
+
+(* Deterministic filler rotated by [seq] so transaction bodies differ
+   without consuming randomness. *)
+let body ~len seq =
+  String.init len (fun i -> Char.chr (Char.code 'a' + ((seq + i) mod 26)))
+
+let generate ~seed ~node ~count ~rate ~tx_bytes =
+  if count < 0 then invalid_arg "Workload.generate: negative count";
+  if rate <= 0.0 then invalid_arg "Workload.generate: rate must be positive";
+  let stream = Stream.split (Stream.root ~seed) ~label:(Node_id.to_int node) in
+  let mean = 1.0 /. rate in
+  let arrivals = Array.make count (0.0, "") in
+  let clock = ref 0.0 in
+  for seq = 0 to count - 1 do
+    clock := !clock +. Stream.exponential stream ~mean;
+    let id = Fmt.str "%a-t%06d" Node_id.pp node seq in
+    let pad = max 0 (tx_bytes - String.length id - 1) in
+    arrivals.(seq) <- (!clock, id ^ ":" ^ body ~len:pad seq)
+  done;
+  { node; arrivals }
+
+let node t = t.node
+
+let count t = Array.length t.arrivals
+
+let txs t = Array.map snd t.arrivals
+
+let arrival t i = fst t.arrivals.(i)
+
+let span t =
+  if Array.length t.arrivals = 0 then 0.0
+  else fst t.arrivals.(Array.length t.arrivals - 1)

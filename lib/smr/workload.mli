@@ -1,0 +1,53 @@
+(** Open-loop client workload generator for the atomic broadcast.
+
+    {b Paper source:} the open-loop Poisson arrival model used to
+    drive HoneyBadgerBFT-style throughput experiments (Miller et al.
+    2016, §5); arrivals are drawn as exponential inter-arrival gaps,
+    so the offered load is independent of commit progress.
+
+    {b Resilience:} not a protocol — the generator is local to one
+    node and exchanges no messages.
+
+    {b Message type:} none; it produces the transaction strings the
+    atomic broadcast batches ({!Atomic_broadcast}).
+
+    Every transaction is a printable string ["<id>:<body>"] where the
+    id is ["n<node>-t<seq>"] (globally unique across nodes) and the
+    body is deterministic filler padding the transaction to a target
+    wire size.  The whole schedule is a pure function of [(seed,
+    node)] via the splittable PRNG, so two runs — or two [Exec.Pool]
+    job counts — see byte-identical workloads. *)
+
+type tx = string
+
+type t
+
+val generate :
+  seed:int ->
+  node:Abc_net.Node_id.t ->
+  count:int ->
+  rate:float ->
+  tx_bytes:int ->
+  t
+(** [generate ~seed ~node ~count ~rate ~tx_bytes] is [node]'s arrival
+    schedule: [count] transactions with exponential inter-arrival gaps
+    of mean [1/rate] (virtual ticks), each padded to [tx_bytes] bytes.
+    Raises [Invalid_argument] on negative [count] or non-positive
+    [rate]. *)
+
+val tx_id : tx -> string
+(** The unique id prefix (before the first [':']). *)
+
+val node : t -> Abc_net.Node_id.t
+
+val count : t -> int
+
+val txs : t -> tx array
+(** Transactions in arrival order — the node's mempool. *)
+
+val arrival : t -> int -> float
+(** Arrival time (virtual ticks) of the [i]th transaction. *)
+
+val span : t -> float
+(** Arrival time of the last transaction; [0.] when empty.  The
+    offered load of a schedule is [count / span]. *)

@@ -449,6 +449,53 @@ let chaos_acs_reliable_lossy =
       | first :: rest -> List.for_all (( = ) first) rest
       | [] -> false)
 
+module Atomic = Abc_smr.Atomic_broadcast
+module AtomicRL = Abc_net.Reliable_link.Make (Atomic)
+module AtomicRLE = Abc_net.Engine.Make (AtomicRL)
+
+let chaos_atomic_reliable_lossy =
+  (* Loss, duplication, a healing cut AND crash faults that land
+     mid-epoch (Crash_after fires while early epochs are still being
+     agreed): the surviving honest replicas must still finish the
+     pipeline with one identical log. *)
+  campaign
+    ~name:"atomic broadcast keeps one log under loss and mid-epoch crashes"
+    ~count:12
+    (lossy_gen ~max_n:5 ~max_pct:10)
+    print_lossy
+    (fun s ->
+      let batch_size = 2 and epochs = 3 in
+      let mempools =
+        Array.init s.ln (fun i ->
+            Abc_smr.Workload.txs
+              (Abc_smr.Workload.generate ~seed:s.lseed ~node:(node i)
+                 ~count:(batch_size * epochs) ~rate:0.2 ~tx_bytes:16))
+      in
+      let inputs =
+        Atomic.inputs ~n:s.ln ~window:2 ~batch_size ~epochs
+          ~coin_seed:(s.lseed + 7919) mempools
+      in
+      let cfg =
+        AtomicRLE.config ~n:s.ln ~f:s.lf ~inputs ~faulty:(lossy_faulty s)
+          ~adversary:Adversary.uniform ~seed:s.lseed ~link_faults:(plan_of s)
+          ~max_deliveries:12_000_000 ()
+      in
+      let result = AtomicRLE.run cfg in
+      result.AtomicRLE.stop = Abc_net.Engine.All_terminal
+      &&
+      let honest_logs =
+        List.filter_map
+          (fun i ->
+            if i >= s.ln - s.faults then None
+            else Atomic.log_of_outputs result.AtomicRLE.outputs.(i))
+          (List.init s.ln (fun i -> i))
+      in
+      List.length honest_logs = s.ln - s.faults
+      &&
+      match honest_logs with
+      | first :: rest -> List.for_all (( = ) first) rest
+      | [] -> false)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -467,5 +514,6 @@ let () =
           chaos_bracha_reliable_lossy;
           chaos_bracha_raw_lossy_safe;
           chaos_acs_reliable_lossy;
+          chaos_atomic_reliable_lossy;
         ] );
     ]

@@ -78,6 +78,67 @@ let e1_slice_csv pool =
     ];
   Table.csv table
 
+(* A miniature E17: the atomic-broadcast throughput sweep renders the
+   same CSV bytes at any worker count.  The metrics are virtual-time
+   (tx/ktick, B/tx from bytes.sent) so nothing wall-clock can leak in;
+   what this pins down is the per-seed run itself and the merge order. *)
+let e17_slice_csv pool =
+  let module Atomic = Abc_smr.Atomic_broadcast in
+  let module EA = Abc_net.Engine.Make (Atomic) in
+  let epochs = 2 in
+  let table =
+    Table.create ~title:"E17 determinism slice"
+      ~columns:[ "n"; "batch"; "seed"; "committed"; "tx/ktick"; "B/tx" ]
+  in
+  List.iter
+    (fun batch ->
+      let n = 4 and f = 1 in
+      let seeds = List.init 3 (fun s -> 9000 + s) in
+      let rows =
+        Pool.map_list pool
+          (fun seed ->
+            let mempools =
+              Array.init n (fun i ->
+                  Abc_smr.Workload.txs
+                    (Abc_smr.Workload.generate ~seed ~node:(node i)
+                       ~count:(batch * epochs) ~rate:1.0 ~tx_bytes:64))
+            in
+            let cfg =
+              EA.config ~n ~f
+                ~inputs:
+                  (Atomic.inputs ~n ~window:2 ~batch_size:batch ~epochs
+                     ~coin_seed:(seed + 7919) mempools)
+                ~adversary:Adversary.uniform ~seed ()
+            in
+            let r = EA.run cfg in
+            let committed =
+              match Atomic.log_of_outputs r.EA.outputs.(0) with
+              | Some log -> List.length log
+              | None -> 0
+            in
+            let duration = max 1 r.EA.duration in
+            let bytes = Abc_sim.Metrics.counter r.EA.metrics "bytes.sent" in
+            ( seed,
+              committed,
+              1000. *. float_of_int committed /. float_of_int duration,
+              float_of_int bytes /. float_of_int (n * max 1 committed) ))
+          seeds
+      in
+      List.iter
+        (fun (seed, committed, txktick, per_tx) ->
+          Table.add_row table
+            [
+              Table.cell_int 4;
+              Table.cell_int batch;
+              Table.cell_int seed;
+              Table.cell_int committed;
+              Table.cell_float txktick;
+              Table.cell_float ~decimals:0 per_tx;
+            ])
+        rows)
+    [ 16; 64 ];
+  Table.csv table
+
 let jobs1 = Pool.create ~jobs:1 ()
 
 let jobs4 = Pool.create ~jobs:4 ()
@@ -95,6 +156,9 @@ let test_trace_summaries_identical () =
 
 let test_e1_slice_csv_identical () =
   Alcotest.(check string) "csv bytes" (e1_slice_csv jobs1) (e1_slice_csv jobs4)
+
+let test_e17_slice_csv_identical () =
+  Alcotest.(check string) "csv bytes" (e17_slice_csv jobs1) (e17_slice_csv jobs4)
 
 (* The schema-v3 byte counters obey the same contract: a lossy sweep
    of the two new broadcasts, fingerprinted by per-seed bytes.sent and
@@ -185,6 +249,8 @@ let () =
             test_trace_summaries_identical;
           Alcotest.test_case "E1-slice csv identical" `Slow
             test_e1_slice_csv_identical;
+          Alcotest.test_case "E17-slice csv identical" `Slow
+            test_e17_slice_csv_identical;
           Alcotest.test_case "coded/ir byte counters identical" `Slow
             test_byte_counters_identical;
         ] );

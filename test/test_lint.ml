@@ -152,7 +152,16 @@ let test_resilience_cross_class () =
   (* Dual-mode protocols declare both classes (Ben-Or). *)
   check_rules "dual-class declaration" [] ~path:"lib/core/proto.ml"
     "[@@@abc.resilience \"n>2f n>5f\"]\n\
-     let unanimity st = Quorum.decide_unanimity ~f:st.f\n"
+     let unanimity st = Quorum.decide_unanimity ~f:st.f\n";
+  (* The SMR layer is in scope too: an undeclared module using a
+     class-specific threshold is flagged there exactly as in core... *)
+  check_rules "lib/smr undeclared flagged" [ "resilience" ]
+    ~path:"lib/smr/atomic.ml"
+    "let deliver st count = count >= Quorum.ready_deliver ~f:st.f\n";
+  (* ...and the attribute satisfies it the same way. *)
+  check_rules "lib/smr attribute passes" [] ~path:"lib/smr/atomic.ml"
+    "[@@@abc.resilience \"n>3f\"]\n\
+     let deliver st count = count >= Quorum.ready_deliver ~f:st.f\n"
 
 let test_resilience_ratio_and_undeclared () =
   check_rules "ratio literal vs declared class" [ "resilience" ]

@@ -678,6 +678,102 @@ end
 
 module Acs_battery = Battery (Acs_subject)
 
+(* ---- 10. atomic broadcast (batched, pipelined SMR) ---- *)
+
+module Atomic = Abc_smr.Atomic_broadcast
+module AtomicE = Abc_net.Engine.Make (Atomic)
+module AtomicRL = Abc_net.Reliable_link.Make (Atomic)
+module AtomicRLE = Abc_net.Engine.Make (AtomicRL)
+
+module Atomic_subject = struct
+  let name = "atomic broadcast: total order, no dup tx, inclusion"
+
+  (* Each scenario runs [epochs] ACS-over-coded-RBC instances, so the
+     space stays smaller than the plain ACS subject's. *)
+  let count = 20
+
+  let max_n = 5
+
+  let max_loss = 6
+
+  let max_f ~n = (n - 1) / 3
+
+  let batch_size = 3
+
+  let epochs = 4
+
+  (* Mempools hold one epoch less than pipeline capacity: the spare
+     epoch absorbs a batch excluded from some subset and re-proposed,
+     so the inclusion property below has its "within k epochs" slack. *)
+  let mempools s =
+    Array.init s.n (fun i ->
+        Abc_smr.Workload.txs
+          (Abc_smr.Workload.generate ~seed:s.seed ~node:(node i)
+             ~count:(batch_size * (epochs - 1)) ~rate:0.2 ~tx_bytes:24))
+
+  let check s =
+    let mempools = mempools s in
+    let inputs =
+      Atomic.inputs ~n:s.n ~window:2 ~batch_size ~epochs
+        ~coin_seed:(s.seed + 7919) mempools
+    in
+    let judge outputs stop =
+      stop = Abc_net.Engine.All_terminal
+      &&
+      let honest_logs =
+        List.filter_map
+          (fun i -> Atomic.log_of_outputs outputs.(i))
+          (honest_indices s)
+      in
+      List.length honest_logs = s.n - s.faults
+      &&
+      match honest_logs with
+      | [] -> false
+      | first :: rest ->
+        (* total order agreement *)
+        List.for_all (( = ) first) rest
+        (* no duplicate transaction in the log *)
+        && List.length first
+           = List.length (List.sort_uniq String.compare first)
+        (* every committed transaction was some node's client input *)
+        && (let offered =
+              Array.to_list mempools |> List.concat_map Array.to_list
+            in
+            List.for_all (fun tx -> List.mem tx offered) first)
+        (* censorship inclusion: under fault-free fair scheduling on
+           clean links, every correct node's transactions commit
+           within the run's epochs.  Unfair schedulers (targeted,
+           split, eclipse) may legitimately starve a proposer — full
+           resistance needs threshold-encrypted batches, which is out
+           of scope (see PROTOCOLS.md). *)
+        && (s.faults > 0 || s.loss <> None || s.adversary_kind > 2
+           || Array.for_all
+                (fun mempool ->
+                  Array.for_all (fun tx -> List.mem tx first) mempool)
+                mempools)
+    in
+    match s.loss with
+    | None ->
+      let r =
+        AtomicE.run
+          (AtomicE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ())
+      in
+      judge r.AtomicE.outputs r.AtomicE.stop
+    | Some l ->
+      let r =
+        AtomicRLE.run
+          (AtomicRLE.config ~n:s.n ~f:s.f ~inputs ~faulty:(faulty_of s)
+             ~adversary:(adversary_of s) ~seed:s.seed ~link_faults:(plan_of l)
+             (* [epochs] overlapping agreements need a deeper delivery
+                budget than the single-shot subjects *)
+             ~max_deliveries:12_000_000 ())
+      in
+      judge r.AtomicRLE.outputs r.AtomicRLE.stop
+end
+
+module Atomic_battery = Battery (Atomic_subject)
+
 let () =
   Alcotest.run "properties"
     [
@@ -687,4 +783,6 @@ let () =
         [ Bracha_battery.test; Benor_battery.test; Mmr_battery.test ] );
       ( "multivalued",
         [ Turpin_battery.test; Acs_battery.test ] );
+      ( "smr",
+        [ Atomic_battery.test ] );
     ]

@@ -189,6 +189,144 @@ let test_kv_replicas_converge () =
     List.iter (fun d -> Alcotest.(check string) "converged state" first d) rest
   | [] -> Alcotest.fail "no digests"
 
+(* ---- atomic broadcast (batched, pipelined) ---- *)
+
+module Atomic = Abc_smr.Atomic_broadcast
+module Workload = Abc_smr.Workload
+module EA = Abc_net.Engine.Make (Atomic)
+
+let mempools ~n ~count ~seed =
+  Array.init n (fun i ->
+      Workload.txs
+        (Workload.generate ~seed ~node:(node i) ~count ~rate:0.05 ~tx_bytes:32))
+
+let run_atomic ?faulty ?(adversary = Adversary.uniform) ?(window = 2) ~n ~f
+    ~epochs ~batch_size ~seed () =
+  let mempools = mempools ~n ~count:(batch_size * epochs) ~seed in
+  let inputs =
+    Atomic.inputs ~n ~window ~batch_size ~epochs ~coin_seed:((seed * 1000) + 17)
+      mempools
+  in
+  EA.run (EA.config ?faulty ~n ~f ~inputs ~seed ~adversary ())
+
+let check_atomic_terminal result =
+  Alcotest.(check string) "all terminal" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.EA.stop)
+
+let atomic_logs result honest =
+  List.map
+    (fun id ->
+      match Atomic.log_of_outputs result.EA.outputs.(Node_id.to_int id) with
+      | Some log -> log
+      | None ->
+        Alcotest.fail (Fmt.str "replica %a has no complete log" Node_id.pp id))
+    honest
+
+let test_atomic_total_order () =
+  let result = run_atomic ~n:4 ~f:1 ~epochs:3 ~batch_size:4 ~seed:21 () in
+  check_atomic_terminal result;
+  match atomic_logs result (Node_id.all ~n:4) with
+  | first :: rest ->
+    List.iter
+      (fun log -> Alcotest.(check (list string)) "identical log" first log)
+      rest;
+    Alcotest.(check bool) "log non-trivial" true (List.length first > 0)
+  | [] -> Alcotest.fail "no logs"
+
+let test_atomic_no_duplicates () =
+  let result = run_atomic ~n:4 ~f:1 ~epochs:3 ~batch_size:4 ~seed:22 () in
+  check_atomic_terminal result;
+  Array.iter
+    (fun outputs ->
+      match Atomic.log_of_outputs outputs with
+      | None -> Alcotest.fail "no complete log"
+      | Some log ->
+        let sorted = List.sort_uniq String.compare log in
+        Alcotest.(check int) "no duplicate tx" (List.length log)
+          (List.length sorted))
+    result.EA.outputs
+
+let test_atomic_commits_in_epoch_order () =
+  let result = run_atomic ~n:4 ~f:1 ~epochs:3 ~batch_size:2 ~seed:23 () in
+  check_atomic_terminal result;
+  Array.iter
+    (fun outputs ->
+      let epochs =
+        List.filter_map
+          (fun (_, o) ->
+            match o with
+            | Atomic.Epoch_committed { epoch; _ } -> Some epoch
+            | Atomic.Log_complete _ -> None)
+          outputs
+      in
+      Alcotest.(check (list int)) "epochs in order" [ 0; 1; 2 ] epochs)
+    result.EA.outputs
+
+let test_atomic_crash_faulty_tolerated () =
+  let faulty = [ (node 2, Behaviour.Silent) ] in
+  let result = run_atomic ~faulty ~n:4 ~f:1 ~epochs:2 ~batch_size:4 ~seed:24 () in
+  check_atomic_terminal result;
+  let honest = [ node 0; node 1; node 3 ] in
+  match atomic_logs result honest with
+  | first :: rest ->
+    List.iter
+      (fun log -> Alcotest.(check (list string)) "identical" first log)
+      rest
+  | [] -> Alcotest.fail "no logs"
+
+let test_atomic_deep_pipeline () =
+  let result =
+    run_atomic ~window:3 ~n:4 ~f:1 ~epochs:5 ~batch_size:2 ~seed:25 ()
+  in
+  check_atomic_terminal result;
+  match atomic_logs result (Node_id.all ~n:4) with
+  | first :: rest ->
+    List.iter
+      (fun log -> Alcotest.(check (list string)) "identical" first log)
+      rest
+  | [] -> Alcotest.fail "no logs"
+
+let test_batch_codec_roundtrip () =
+  let roundtrip txs =
+    Alcotest.(check (option (list string)))
+      "roundtrip" (Some txs)
+      (Atomic.decode_batch (Atomic.encode_batch txs))
+  in
+  roundtrip [];
+  roundtrip [ "n0-t000000:abc" ];
+  roundtrip [ "a"; "b:with:colons"; ""; String.make 300 'x' ];
+  Alcotest.(check string) "empty batch non-empty wire" "0" (Atomic.encode_batch []);
+  List.iter
+    (fun junk ->
+      Alcotest.(check (option (list string))) junk None (Atomic.decode_batch junk))
+    [ ""; "x"; "2:1:a"; "1:5:ab"; "1:1:ab"; "-1"; "1:9999999999:a" ]
+
+let test_workload_deterministic () =
+  let gen () =
+    Workload.generate ~seed:42 ~node:(node 1) ~count:50 ~rate:0.1 ~tx_bytes:48
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check (array string)) "same txs" (Workload.txs a) (Workload.txs b);
+  let monotone = ref true and prev = ref 0.0 in
+  for i = 0 to Workload.count a - 1 do
+    if Workload.arrival a i < !prev then monotone := false;
+    prev := Workload.arrival a i
+  done;
+  Alcotest.(check bool) "arrivals monotone" true !monotone;
+  Array.iter
+    (fun tx -> Alcotest.(check int) "padded to tx_bytes" 48 (String.length tx))
+    (Workload.txs a);
+  let other =
+    Workload.generate ~seed:42 ~node:(node 2) ~count:50 ~rate:0.1 ~tx_bytes:48
+  in
+  let ids w =
+    Array.to_list (Array.map Workload.tx_id (Workload.txs w))
+  in
+  List.iter
+    (fun id -> Alcotest.(check bool) "ids disjoint across nodes" false
+        (List.mem id (ids other)))
+    (ids a)
+
 (* ---- client sessions (exactly-once) ---- *)
 
 module Session = Abc_smr.Session
@@ -281,6 +419,19 @@ let () =
             test_lying_replica_logs_still_agree;
           Alcotest.test_case "single slot" `Quick test_single_slot;
           Alcotest.test_case "larger cluster" `Slow test_larger_cluster;
+        ] );
+      ( "atomic broadcast",
+        [
+          Alcotest.test_case "total order agreement" `Quick test_atomic_total_order;
+          Alcotest.test_case "no duplicate tx" `Quick test_atomic_no_duplicates;
+          Alcotest.test_case "commits in epoch order" `Quick
+            test_atomic_commits_in_epoch_order;
+          Alcotest.test_case "crash-faulty replica tolerated" `Quick
+            test_atomic_crash_faulty_tolerated;
+          Alcotest.test_case "deep pipeline" `Quick test_atomic_deep_pipeline;
+          Alcotest.test_case "batch codec roundtrip" `Quick test_batch_codec_roundtrip;
+          Alcotest.test_case "workload deterministic" `Quick
+            test_workload_deterministic;
         ] );
       ( "sessions",
         [

@@ -39,6 +39,13 @@ let sample_entries : Trace.entry list =
     e ~time:11 ~node:3 (Event.Timer_set { id = 2; due = 43 });
     e ~time:43 ~node:3 (Event.Timer_fire { id = 2 });
     e ~time:44 ~node:3 (Event.Retransmit { dst = 1; seq = 5 });
+    e ~time:50 ~node:0 ~instance:"epoch0" (Event.Epoch_start { epoch = 0 });
+    e ~time:51 ~node:0 ~instance:"epoch0"
+      (Event.Batch_proposed { epoch = 0; txs = 8; bytes = 412 });
+    e ~time:60 ~node:2 ~instance:"epoch0"
+      (Event.Batch_committed { epoch = 0; proposer = 1; txs = 8 });
+    e ~time:60 ~node:2 ~instance:"epoch0"
+      (Event.Tx_committed { epoch = 0; id = "n1-t000003" });
   ]
 
 let entry_equal (a : Trace.entry) (b : Trace.entry) =
@@ -100,6 +107,43 @@ let test_reader_rejects_garbage () =
   in
   Alcotest.(check bool) "future version rejected" true
     (String.length (fail_of (Trace_file.of_string future)) > 0)
+
+(* A literal schema-v3 file (the last version before the atomic
+   broadcast's epoch vocabulary landed) must still parse: the loader
+   accepts every version <= current, and fields added since default
+   rather than reject.  This pins the v3 -> v4 migration note in
+   OBSERVABILITY.md. *)
+let test_v3_file_still_loads () =
+  let v3 =
+    String.concat "\n"
+      [
+        "{\"schema\":\"abc.trace\",\"version\":3,\"meta\":{\"protocol\":\"bracha-rbc\",\"n\":4},\"recorded\":3,\"dropped\":0}";
+        "{\"t\":0,\"node\":0,\"kind\":\"send\",\"dst\":1,\"label\":\"echo\",\"bytes\":2}";
+        "{\"t\":1,\"node\":1,\"kind\":\"link-drop\",\"src\":0,\"dst\":1,\"label\":\"echo\",\"reason\":\"loss\"}";
+        "{\"t\":2,\"node\":1,\"kind\":\"retransmit\",\"dst\":0,\"seq\":3}";
+      ]
+  in
+  match Trace_file.of_string v3 with
+  | Error msg -> Alcotest.fail ("v3 file rejected: " ^ msg)
+  | Ok file ->
+    Alcotest.(check int) "version" 3 file.Trace_file.version;
+    Alcotest.(check int) "entries" 3 (List.length file.Trace_file.entries);
+    Alcotest.(check (option string)) "meta protocol" (Some "bracha-rbc")
+      (Trace_file.meta_string file "protocol");
+    (* and a v4-era entry missing an optional field defaults instead of
+       erroring — batch-proposed without "bytes" reads back as 0 *)
+    let bare =
+      "{\"t\":5,\"node\":2,\"kind\":\"batch-proposed\",\"epoch\":1,\"txs\":4}"
+    in
+    (match Json.of_string bare with
+    | Error msg -> Alcotest.fail msg
+    | Ok json -> (
+      match Trace.entry_of_json json with
+      | Error msg -> Alcotest.fail ("bare batch-proposed rejected: " ^ msg)
+      | Ok entry ->
+        Alcotest.(check bool) "bytes defaults to 0" true
+          (Event.equal entry.Trace.event
+             (Event.make (Event.Batch_proposed { epoch = 1; txs = 4; bytes = 0 })))))
 
 (* ---- eviction accounting ---- *)
 
@@ -233,6 +277,44 @@ let consensus_summary () =
   | Error msg -> Alcotest.fail msg
   | Ok file -> Trace_report.summary file
 
+(* The same run the CI atomic-smoke job performs through the binaries:
+   abc-run smr --atomic -n 4 -f 1 --epochs 3 --batch-size 8 --seed 11
+   (defaults: window 2, tx-rate 0.5, tx-bytes 32, uniform adversary).
+   The rendered summary must match test/golden/atomic_summary.txt byte
+   for byte — this is the schema-v4 epoch vocabulary under glass. *)
+let atomic_summary () =
+  let module Atomic = Abc_smr.Atomic_broadcast in
+  let module Workload = Abc_smr.Workload in
+  let module E = Abc_net.Engine.Make (Atomic) in
+  let n = 4 and f = 1 and seed = 11 in
+  let batch_size = 8 and epochs = 3 in
+  let mempools =
+    Array.init n (fun i ->
+        Workload.txs
+          (Workload.generate ~seed ~node:(Node_id.of_int i)
+             ~count:(batch_size * epochs) ~rate:0.5 ~tx_bytes:32))
+  in
+  let trace = Trace.create ~capacity:1_000_000 () in
+  let config =
+    E.config ~n ~f
+      ~inputs:
+        (Atomic.inputs ~n ~window:2 ~batch_size ~epochs
+           ~coin_seed:(seed + 7919) mempools)
+      ~adversary:Adversary.uniform ~seed ~trace ()
+  in
+  let _ = E.run config in
+  let meta =
+    [
+      ("protocol", Json.String "smr-atomic");
+      ("n", Json.Int n);
+      ("f", Json.Int f);
+      ("seed", Json.Int seed);
+    ]
+  in
+  match Trace_file.of_string (Trace.to_jsonl_string ~meta trace) with
+  | Error msg -> Alcotest.fail msg
+  | Ok file -> Trace_report.summary file
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -247,6 +329,11 @@ let test_summary_deterministic () =
   Alcotest.(check string) "same seed, same summary" (consensus_summary ())
     (consensus_summary ())
 
+let test_atomic_golden_summary () =
+  let golden = read_file "golden/atomic_summary.txt" in
+  Alcotest.(check string) "atomic summary matches golden" golden
+    (atomic_summary ())
+
 (* ---- suite ---- *)
 
 let () =
@@ -258,6 +345,8 @@ let () =
           Alcotest.test_case "file round-trip" `Quick test_file_round_trip;
           Alcotest.test_case "reader rejects garbage" `Quick
             test_reader_rejects_garbage;
+          Alcotest.test_case "v3 file still loads" `Quick
+            test_v3_file_still_loads;
         ] );
       ( "eviction",
         [ Alcotest.test_case "exact accounting" `Quick test_eviction_exact ] );
@@ -270,6 +359,8 @@ let () =
       ( "golden",
         [
           Alcotest.test_case "summary matches golden" `Quick test_golden_summary;
+          Alcotest.test_case "atomic summary matches golden" `Quick
+            test_atomic_golden_summary;
           Alcotest.test_case "summary deterministic" `Quick
             test_summary_deterministic;
         ] );
