@@ -53,6 +53,11 @@ golden:
 	  --batch-size 8 --seed 11 --trace-out _build/atomic_trace.jsonl
 	dune exec bin/abc_trace.exe -- summary _build/atomic_trace.jsonl \
 	  > test/golden/atomic_summary.txt
+	dune exec bin/abc_run.exe -- smr --atomic -n 4 -f 1 --epochs 4 \
+	  --batch-size 4 --seed 21 --checkpoint-interval 2 --crash 2:300:2500 \
+	  --trace-out _build/recovery_trace.jsonl
+	dune exec bin/abc_trace.exe -- summary _build/recovery_trace.jsonl \
+	  > test/golden/recovery_summary.txt
 	dune runtest
 
 examples:

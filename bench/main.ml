@@ -1198,6 +1198,163 @@ let experiment_e17 pool =
   Table.print table;
   print_newline ()
 
+(* ----------------------------------------------------------------- *)
+(* E18: crash recovery — checkpoint GC bound and catch-up latency    *)
+(* ----------------------------------------------------------------- *)
+
+(* Two claims from the recovery layer (PROTOCOLS.md, PBFT §4.4 style):
+   (1) with checkpoints every C epochs the high-water mark of
+   concurrently live epoch agreements stays bounded near window + C
+   while the GC-off control grows linearly with run length — asserted
+   per seed as strictly below the control, whose high-water mark must
+   equal the epoch count exactly; (2) a replica that crashes and
+   rejoins resumes committing shortly after its rejoin tick, with
+   denser checkpoints buying cheaper catch-up (fresher stable point,
+   shorter suffix).  The GC-off control sets C = epochs + 1: no
+   boundary below the final epoch is ever crossed early enough to
+   prune, but Gc_stats is still emitted, so both arms are measured
+   identically. *)
+
+let e18_epochs = 12
+let e18_batch = 4
+
+let e18_run ~n ~f ~interval ~crash ~seed =
+  let mempools =
+    Array.init n (fun i ->
+        Abc_smr.Workload.txs
+          (Abc_smr.Workload.generate ~seed ~node:(node i)
+             ~count:(e18_batch * e18_epochs) ~rate:0.5 ~tx_bytes:32))
+  in
+  let inputs =
+    Atomic.inputs ~n ~window:2 ~checkpoint_interval:interval
+      ~batch_size:e18_batch ~epochs:e18_epochs ~coin_seed:(seed + 7919)
+      mempools
+  in
+  let faulty =
+    List.map (fun (i, plan) -> (node i, Behaviour.Crash_recover plan)) crash
+  in
+  let recovery = { AtomE.snapshot = Atomic.snapshot; restore = Atomic.restore } in
+  let result =
+    AtomE.run
+      (AtomE.config ~n ~f ~inputs ~faulty ~adversary:Adversary.uniform ~seed
+         ~recovery ())
+  in
+  if result.AtomE.stop <> Abc_net.Engine.All_terminal then
+    failwith "E18: run did not reach all-terminal";
+  result
+
+let e18_stats result i =
+  match Atomic.stats_of_outputs result.AtomE.outputs.(i) with
+  | Some s -> s
+  | None -> failwith "E18: Gc_stats missing from outputs"
+
+let experiment_e18 pool =
+  let seeds = scaled 3 in
+  let n = 4 and f = 1 in
+  let off = e18_epochs + 1 in
+  let meani field runs =
+    List.fold_left (fun a r -> a +. float_of_int (field r)) 0. runs
+    /. float_of_int seeds
+  in
+  Printf.printf
+    "E18. Crash recovery: GC bound and catch-up latency, n=%d f=%d, %d \
+     epochs, batch %d, window 2, uniform scheduler, %d seeds per cell\n"
+    n f e18_epochs e18_batch seeds;
+  (* part A: fault-free, live-instance high-water mark vs interval *)
+  let gc_table =
+    Table.create ~title:"E18 checkpoint GC bound"
+      ~columns:[ "C"; "max live"; "checkpoints"; "transfers"; "bounded" ]
+  in
+  let gc_runs interval =
+    sweep_seeds pool ~seeds (fun seed ->
+        e18_stats (e18_run ~n ~f ~interval ~crash:[] ~seed) 0)
+  in
+  let off_runs = gc_runs off in
+  List.iter
+    (fun (ml, _, _) ->
+      if ml <> e18_epochs then
+        failwith "E18: GC-off high-water mark should equal the epoch count")
+    off_runs;
+  let add_gc_row label runs bounded =
+    Table.add_row gc_table
+      [
+        label;
+        Table.cell_float ~decimals:1 (meani (fun (ml, _, _) -> ml) runs);
+        Table.cell_float ~decimals:1 (meani (fun (_, cp, _) -> cp) runs);
+        Table.cell_float ~decimals:1 (meani (fun (_, _, tr) -> tr) runs);
+        bounded;
+      ]
+  in
+  List.iter
+    (fun interval ->
+      let runs = gc_runs interval in
+      let bounded =
+        List.for_all2
+          (fun (on, _, _) (off, _, _) -> on < off)
+          runs off_runs
+      in
+      if not bounded then
+        failwith
+          (Printf.sprintf "E18: max live with C=%d not below the GC-off run"
+             interval);
+      add_gc_row (Table.cell_int interval) runs "yes")
+    [ 2; 3; 6 ];
+  add_gc_row "off" off_runs "-";
+  Table.print gc_table;
+  print_newline ();
+  (* part B: crash one replica mid-run, measure rejoin-to-first-commit *)
+  let victim = n - 1 in
+  let rejoin = 2500 in
+  let latency_table =
+    Table.create ~title:"E18 recovery latency"
+      ~columns:[ "C"; "latency ticks"; "transfers"; "max live" ]
+  in
+  List.iter
+    (fun interval ->
+      let runs =
+        sweep_seeds pool ~seeds (fun seed ->
+            let result =
+              e18_run ~n ~f ~interval
+                ~crash:[ (victim, [ (400, rejoin) ]) ]
+                ~seed
+            in
+            let log i = Atomic.log_of_outputs result.AtomE.outputs.(i) in
+            (match (log 0, log victim) with
+            | Some a, Some b when a = b -> ()
+            | _ -> failwith "E18: recovered replica's log diverged");
+            (* first commit progress at the victim after its rejoin:
+               Epoch_committed for live epochs, or Log_complete when the
+               tail arrived wholesale via state transfer *)
+            let first =
+              List.fold_left
+                (fun acc (t, out) ->
+                  match out with
+                  | (Atomic.Epoch_committed _ | Atomic.Log_complete _)
+                    when t >= rejoin ->
+                    Some (match acc with None -> t | Some x -> min x t)
+                  | _ -> acc)
+                None
+                result.AtomE.outputs.(victim)
+            in
+            let latency =
+              match first with
+              | Some t -> t - rejoin
+              | None -> failwith "E18: no commit after rejoin"
+            in
+            let ml, _, transfers = e18_stats result victim in
+            (latency, transfers, ml))
+      in
+      Table.add_row latency_table
+        [
+          Table.cell_int interval;
+          Table.cell_float ~decimals:0 (meani (fun (l, _, _) -> l) runs);
+          Table.cell_float ~decimals:1 (meani (fun (_, tr, _) -> tr) runs);
+          Table.cell_float ~decimals:1 (meani (fun (_, _, ml) -> ml) runs);
+        ])
+    [ 1; 2; 3; 6 ];
+  Table.print latency_table;
+  print_newline ()
+
 let experiments =
   [
     ("E1", "reliable broadcast correctness", experiment_e1);
@@ -1217,6 +1374,7 @@ let experiments =
     ("E15", "parallel sweep throughput + determinism", experiment_e15);
     ("E16", "per-node bandwidth: bracha vs coded vs ir", experiment_e16);
     ("E17", "atomic broadcast: committed tx throughput", experiment_e17);
+    ("E18", "crash recovery: GC bound and catch-up latency", experiment_e18);
   ]
 
 let () =

@@ -790,7 +790,8 @@ struct
   module Workload = Abc_smr.Workload
 
   let go ~label ~n ~f ~seed ~adversary ~faulty ~link_faults ~batch_size ~tx_rate
-      ~epochs ~window ~tx_bytes ~trace ~trace_out =
+      ~epochs ~window ~tx_bytes ~checkpoint_interval ~recovery ~trace ~trace_out
+      =
     let module E = Abc_net.Engine.Make (P) in
     let tr = make_trace ~trace ~trace_out in
     (* Open-loop workload: each node's mempool holds exactly the
@@ -801,13 +802,19 @@ struct
             ~count:(batch_size * epochs) ~rate:tx_rate ~tx_bytes)
     in
     let inputs =
-      Ab.inputs ~n ~window ~batch_size ~epochs ~coin_seed:(seed + 7919)
+      Ab.inputs ~n ~window ~checkpoint_interval ~batch_size ~epochs
+        ~coin_seed:(seed + 7919)
         (Array.map Workload.txs workloads)
+    in
+    let recovery =
+      Option.map
+        (fun (snapshot, restore) -> { E.snapshot; restore })
+        recovery
     in
     let config =
       E.config ~n ~f ~inputs ~faulty
         ~adversary:(adversary_of ~n adversary)
-        ~seed ?link_faults ?trace:tr ()
+        ~seed ?link_faults ?recovery ?trace:tr ()
     in
     let result = E.run config in
     Fmt.pr
@@ -841,20 +848,65 @@ struct
             (payload_digest (String.concat ";" log))
         | None -> Fmt.pr "  replica %d: incomplete@." i)
       result.E.outputs;
+    if checkpoint_interval > 0 then begin
+      let c = Abc_sim.Metrics.counter result.E.metrics in
+      Fmt.pr
+        "  recovery: crashes=%d recoveries=%d dropped-while-down=%d \
+         stale-timers=%d@."
+        (c "node.crashed") (c "node.recovered") (c "dropped.crashed")
+        (c "timer.stale");
+      Array.iteri
+        (fun i outputs ->
+          match Ab.stats_of_outputs outputs with
+          | Some (max_live, checkpoints, transfers) ->
+            Fmt.pr "  replica %d gc: max-live=%d checkpoints=%d transfers=%d@."
+              i max_live checkpoints transfers
+          | None -> ())
+        result.E.outputs
+    end;
     write_trace_out ~protocol:label ~n ~f ~seed trace_out tr;
     if trace then Option.iter print_trace tr
 end
 
 let run_smr_atomic ~n ~f ~seed ~adversary ~fault ~faulty_count ~link_faults
-    ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~reliable ~trace ~trace_out =
+    ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~checkpoint_interval ~crash
+    ~reliable ~trace ~trace_out =
   let module Ab = Abc_smr.Atomic_broadcast in
+  (* Crash-recovery needs the raw protocol: under --reliable the
+     transport's pre-crash acks would falsely cover sequence numbers a
+     restarted node never saw, and without checkpoints a recovered
+     node has no catch-up path (epoch agreements are never
+     retransmitted). *)
+  if crash <> [] && reliable then begin
+    Fmt.epr "abc-run: --crash is incompatible with --reliable@.";
+    exit 2
+  end;
+  if crash <> [] && checkpoint_interval <= 0 then begin
+    Fmt.epr
+      "abc-run: --crash needs --checkpoint-interval > 0 (a recovered node \
+       catches up via stable checkpoints)@.";
+    exit 2
+  end;
+  List.iter
+    (fun (node, _) ->
+      if node < 0 || node >= n then begin
+        Fmt.epr "abc-run: --crash node %d out of range [0, %d)@." node n;
+        exit 2
+      end)
+    crash;
+  let crash_faulty =
+    List.map
+      (fun (node, schedule) ->
+        (Node_id.of_int node, Behaviour.Crash_recover schedule))
+      crash
+  in
   if reliable then begin
     let module RL = Abc_net.Reliable_link.Make (Ab) in
     let module R = Atomic_runner (RL) in
     R.go ~label:"smr-atomic+rl" ~n ~f ~seed ~adversary
       ~faulty:(msg_agnostic_faulty ~n ~count:faulty_count fault)
-      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~trace
-      ~trace_out
+      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes
+      ~checkpoint_interval ~recovery:None ~trace ~trace_out
   end
   else begin
     let module R = Atomic_runner (Ab) in
@@ -863,19 +915,28 @@ let run_smr_atomic ~n ~f ~seed ~adversary ~fault ~faulty_count ~link_faults
         (fun _rng ~dst:_ (m : Ab.msg) -> m),
         fun _rng (m : Ab.msg) -> m )
     in
+    let recovery =
+      if crash = [] then None else Some (Ab.snapshot, Ab.restore)
+    in
     R.go ~label:"smr-atomic" ~n ~f ~seed ~adversary
-      ~faulty:(faulty_nodes ~n ~count:faulty_count fault mutators)
-      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~trace
-      ~trace_out
+      ~faulty:(faulty_nodes ~n ~count:faulty_count fault mutators @ crash_faulty)
+      ~link_faults ~batch_size ~tx_rate ~epochs ~window ~tx_bytes
+      ~checkpoint_interval ~recovery ~trace ~trace_out
   end
 
 let run_smr n f seed adversary fault faulty_count slots atomic batch_size
-    tx_rate epochs window tx_bytes loss dup partition reliable trace trace_out =
+    tx_rate epochs window tx_bytes checkpoint_interval crash loss dup partition
+    reliable trace trace_out =
   let module Log = Abc_smr.Replicated_log in
   let link_faults = link_faults_of ~n ~loss ~dup ~partition in
+  if (crash <> [] || checkpoint_interval > 0) && not atomic then begin
+    Fmt.epr "abc-run: --crash / --checkpoint-interval need --atomic@.";
+    exit 2
+  end;
   if atomic then
     run_smr_atomic ~n ~f ~seed ~adversary ~fault ~faulty_count ~link_faults
-      ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~reliable ~trace ~trace_out
+      ~batch_size ~tx_rate ~epochs ~window ~tx_bytes ~checkpoint_interval
+      ~crash ~reliable ~trace ~trace_out
   else if reliable then begin
     let module RL = Abc_net.Reliable_link.Make (Log) in
     let module R = Smr_runner (RL) in
@@ -1117,12 +1178,67 @@ let smr_cmd =
       & info [ "tx-bytes" ] ~docv:"BYTES"
           ~doc:"Wire size each transaction is padded to (with --atomic).")
   in
+  let checkpoint_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-interval" ] ~docv:"C"
+          ~doc:
+            "Broadcast a checkpoint digest vote every $(docv) epochs (with \
+             --atomic): 2f+1 matching votes make the checkpoint stable, \
+             garbage-collecting the epochs below it and enabling \
+             state-transfer catch-up.  0 (default) disables checkpoints.")
+  in
+  let crash_plan_conv =
+    let parse s =
+      match List.map int_of_string_opt (String.split_on_char ':' s) with
+      | Some node :: (_ :: _ as rest) -> (
+        let rec pairs acc = function
+          | [] -> Some (List.rev acc)
+          | Some crash :: Some rejoin :: tl -> pairs ((crash, rejoin) :: acc) tl
+          | _ -> None
+        in
+        match pairs [] rest with
+        | Some schedule when Behaviour.validate_schedule schedule ->
+          Ok (node, schedule)
+        | Some _ | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "crash plan %S: want NODE:CRASH:REJOIN[:CRASH:REJOIN...] \
+                   with crash < rejoin and strictly increasing ticks"
+                  s)))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "crash plan %S: want NODE:CRASH:REJOIN[:CRASH:REJOIN...]" s))
+    in
+    let print ppf (node, schedule) =
+      Fmt.pf ppf "%d%a" node
+        Fmt.(
+          list ~sep:nop (fun ppf (c, r) -> pf ppf ":%d:%d" c r))
+        schedule
+    in
+    Arg.conv (parse, print)
+  in
+  let crash =
+    Arg.(
+      value
+      & opt_all crash_plan_conv []
+      & info [ "crash" ] ~docv:"PLAN"
+          ~doc:
+            "Crash-recovery schedule $(i,NODE:CRASH:REJOIN[:CRASH:REJOIN...]) \
+             (with --atomic; repeatable, one plan per node): crash the node \
+             at each CRASH tick — losing volatile state, keeping its durable \
+             store — and restart it at the matching REJOIN tick.  Needs \
+             --checkpoint-interval > 0 and is incompatible with --reliable.")
+  in
   let term =
     Term.(
       const run_smr $ n_arg $ f_arg $ seed_arg $ adversary_arg $ fault_kind_arg
       $ faulty_count_arg $ slots $ atomic $ batch_size $ tx_rate $ epochs
-      $ window $ tx_bytes $ loss_arg $ dup_arg $ partition_arg $ reliable_arg
-      $ trace_arg $ trace_out_arg)
+      $ window $ tx_bytes $ checkpoint_interval $ crash $ loss_arg $ dup_arg
+      $ partition_arg $ reliable_arg $ trace_arg $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "smr"

@@ -27,15 +27,16 @@ let load file =
     Fmt.epr "abc-trace: %s: %s@." file msg;
     exit 1
 
-let run_summary file = print_string (Trace_report.summary (load file))
+let run_summary file node epoch =
+  print_string (Trace_report.summary ?node ?epoch (load file))
 
 let run_instances file =
   match Trace_report.instances (load file) with
   | [] -> print_endline "(no scoped instances in this trace)"
   | instances -> List.iter print_endline instances
 
-let run_timeline file instance =
-  print_string (Trace_report.timeline ?instance (load file))
+let run_timeline file instance node epoch =
+  print_string (Trace_report.timeline ?instance ?node ?epoch (load file))
 
 let run_diagram file lanes =
   let t = load file in
@@ -47,13 +48,31 @@ let run_diagram file lanes =
   print_string
     (Abc_net.Sequence_diagram.render_entries t.Trace_file.entries ~n)
 
+let node_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node" ] ~docv:"N"
+        ~doc:"Only count/show events recorded at node $(docv).")
+
+let epoch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"E"
+        ~doc:
+          "Only count/show events of atomic-broadcast epoch $(docv): events \
+           whose kind carries that epoch, or scoped under an $(b,epochE) \
+           instance path.")
+
 let summary_cmd =
-  let term = Term.(const run_summary $ file_arg) in
+  let term = Term.(const run_summary $ file_arg $ node_arg $ epoch_arg) in
   Cmd.v
     (Cmd.info "summary"
        ~doc:
          "Print a deterministic overview: run metadata, entry counts, events \
-          by kind and node, quorums, coin flips and decisions.")
+          by kind and node, quorums, coin flips and decisions.  --node and \
+          --epoch restrict the tally.")
     term
 
 let instances_cmd =
@@ -73,10 +92,14 @@ let timeline_cmd =
             "Only show events of instance $(docv) (or nested below it, e.g. \
              $(b,ba3) also shows $(b,ba3/...)).")
   in
-  let term = Term.(const run_timeline $ file_arg $ instance) in
+  let term =
+    Term.(const run_timeline $ file_arg $ instance $ node_arg $ epoch_arg)
+  in
   Cmd.v
     (Cmd.info "timeline"
-       ~doc:"Print every entry in recording order, one line each.")
+       ~doc:
+         "Print every entry in recording order, one line each.  --instance, \
+          --node and --epoch compose as a conjunction.")
     term
 
 let diagram_cmd =

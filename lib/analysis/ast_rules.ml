@@ -433,7 +433,7 @@ type qclass = Generic | Family of int list | Ratio_labelled
 
 let quorum_class = function
   | "echo_quorum" | "ready_amplify" | "ready_deliver" | "decide_support"
-  | "assert_resilience" ->
+  | "checkpoint_stable" | "assert_resilience" ->
     Family [ 3 ]
   | "decide_unanimity" | "faulty_majority" -> Family [ 2; 5 ]
   | "honest_support" -> Family [ 3; 4; 5 ]
@@ -845,9 +845,14 @@ let check ~path ~source (str : structure) =
     resilience ctx str
   end;
   (* The SMR layer stacks protocols over lib/core quorums (the atomic
-     broadcast embeds per-epoch ACS instances), so its modules carry
-     the same [@@@abc.resilience] obligations as core protocol code. *)
-  if Scope.in_dir path "lib/smr/" then resilience ctx str;
+     broadcast embeds per-epoch ACS instances) and now counts quorums
+     of its own (checkpoint stability, transfer vouching), so its
+     modules carry the same [@@@abc.resilience] obligations and the
+     same no-inline-threshold-arithmetic rule as core protocol code. *)
+  if Scope.in_dir path "lib/smr/" then begin
+    quorum_arith ctx str;
+    resilience ctx str
+  end;
   if
     Scope.in_dir path "lib/sim/" || Scope.in_dir path "lib/net/"
     || Scope.in_dir path "lib/exec/"

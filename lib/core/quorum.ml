@@ -40,3 +40,7 @@ let faulty_majority ~n ~f = ((n + f) / 2) + 1
 let honest_support ~n ~f = n - (2 * f)
 
 let majority_possible ~q = (q + 1) / 2
+
+let checkpoint_stable ~f = (2 * f) + 1
+
+let transfer_vouch ~f = f + 1

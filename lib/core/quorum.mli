@@ -103,3 +103,15 @@ val majority_possible : q:int -> int
 (** [(q + 1) / 2] — the least count that makes a value a possible
     strict majority of {e some} [q]-subset of the votes seen so far
     (the validation layer's justification bound). *)
+
+val checkpoint_stable : f:int -> int
+(** [2f + 1] — matching checkpoint digests that make a checkpoint
+    {e stable} (PBFT §4.4): at least [f + 1] are honest, so every
+    honest node can eventually collect a vouching set for it and
+    instances below the checkpoint can be garbage-collected without
+    losing the only copy of a committed prefix. *)
+
+val transfer_vouch : f:int -> int
+(** [f + 1] — matching state-transfer responses required before a
+    recovering node installs a snapshot: at least one sender is honest,
+    so the snapshot extends a genuinely committed log prefix. *)

@@ -6,6 +6,7 @@ type 'msg t =
   | Equivocate of (Abc_prng.Stream.t -> dst:Node_id.t -> 'msg -> 'msg)
   | Replay of int
   | Corrupt_after of int * 'msg t
+  | Crash_recover of (int * int) list
 
 let rec label = function
   | Honest -> "honest"
@@ -15,6 +16,7 @@ let rec label = function
   | Equivocate _ -> "equivocate"
   | Replay _ -> "replay"
   | Corrupt_after (_, inner) -> "adaptive:" ^ label inner
+  | Crash_recover _ -> "crash-recover"
 
 let rec apply b ~rng ~n ~activation actions =
   match b with
@@ -48,3 +50,24 @@ let rec apply b ~rng ~n ~activation actions =
       actions
   | Corrupt_after (k, inner) ->
     if activation < k then actions else apply inner ~rng ~n ~activation actions
+  | Crash_recover _ ->
+    (* Crash-recovery is a *tick*-driven fault, not an activation-driven
+       traffic corruption: the engine tears the node down (dropping its
+       volatile state and in-flight deliveries) and later restarts it
+       from its durable store.  While the node is up it behaves
+       honestly, so the outgoing-traffic transform is the identity. *)
+    actions
+
+let crash_schedule = function
+  | Crash_recover schedule -> Some schedule
+  | Honest | Silent | Crash_after _ | Mutate _ | Equivocate _ | Replay _
+  | Corrupt_after _ ->
+    None
+
+let validate_schedule schedule =
+  let rec check last = function
+    | [] -> true
+    | (crash, rejoin) :: rest ->
+      crash > last && rejoin > crash && check rejoin rest
+  in
+  (match schedule with [] -> false | _ :: _ -> true) && check (-1) schedule

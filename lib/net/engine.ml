@@ -6,6 +6,15 @@ let pp_stop_reason ppf = function
   | Delivery_limit -> Fmt.string ppf "delivery-limit"
 
 module Make (P : Protocol.S) = struct
+  type recovery = {
+    snapshot : P.state -> string;
+    restore :
+      Protocol.Context.t ->
+      P.input ->
+      durable:string ->
+      P.state * P.msg Protocol.action list * P.output list;
+  }
+
   type config = {
     n : int;
     f : int;
@@ -19,6 +28,7 @@ module Make (P : Protocol.S) = struct
     detail : bool;
     topology : Topology.t option;
     link_faults : Link_faults.t option;
+    recovery : recovery option;
   }
 
   type result = {
@@ -31,7 +41,7 @@ module Make (P : Protocol.S) = struct
 
   let config ?(faulty = []) ?(adversary = Adversary.fifo) ?(seed = 0)
       ?max_deliveries ?fairness_age ?trace ?(detail = false) ?topology
-      ?link_faults ~n ~f ~inputs () =
+      ?link_faults ?recovery ~n ~f ~inputs () =
     if Array.length inputs <> n then
       invalid_arg "Engine.config: inputs length must equal n";
     (match topology with
@@ -39,9 +49,15 @@ module Make (P : Protocol.S) = struct
       invalid_arg "Engine.config: topology size must equal n"
     | Some _ | None -> ());
     List.iter
-      (fun (id, _) ->
+      (fun (id, b) ->
         if Node_id.to_int id >= n then
-          invalid_arg "Engine.config: faulty node id out of range")
+          invalid_arg "Engine.config: faulty node id out of range";
+        match Behaviour.crash_schedule b with
+        | Some s when not (Behaviour.validate_schedule s) ->
+          invalid_arg
+            "Engine.config: malformed Crash_recover schedule (need \
+             non-empty, crash < rejoin, strictly increasing)"
+        | Some _ | None -> ())
       faulty;
     let max_deliveries =
       match max_deliveries with Some m -> m | None -> 200_000 * n
@@ -62,6 +78,7 @@ module Make (P : Protocol.S) = struct
       detail;
       topology;
       link_faults;
+      recovery;
     }
 
   let honest cfg =
@@ -104,9 +121,48 @@ module Make (P : Protocol.S) = struct
     let metrics = Abc_sim.Metrics.create () in
     let clock = Abc_sim.Clock.create () in
     let pending : envelope Abc_sim.Vec.t = Abc_sim.Vec.create () in
-    (* Virtual timers: (node, timer id) payloads ordered by due tick;
-       the heap's stable tie-breaking keeps firing order deterministic. *)
-    let timers : (int * int) Abc_sim.Heap.t = Abc_sim.Heap.create () in
+    (* Virtual timers: (node, timer id, incarnation) payloads ordered
+       by due tick; the heap's stable tie-breaking keeps firing order
+       deterministic.  The incarnation stamp lets a crash invalidate
+       every timer armed by the dead incarnation without scanning the
+       heap. *)
+    let timers : (int * int * int) Abc_sim.Heap.t = Abc_sim.Heap.create () in
+    (* Crash-recovery bookkeeping.  [transitions] is the merged
+       per-node crash/rejoin schedule in (tick, node) order; while
+       [crashed.(i)] every delivery to node [i] is dropped and its
+       timers are stale.  [durable.(i)] is the simulated write-ahead
+       store captured at crash time. *)
+    let crashed = Array.make cfg.n false in
+    let incarnation = Array.make cfg.n 0 in
+    let durable = Array.make cfg.n "" in
+    let transition_order (t1, n1, k1) (t2, n2, k2) =
+      let c = Int.compare t1 t2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare n1 n2 in
+        if c <> 0 then c
+        else
+          let rank = function `Crash -> 0 | `Recover -> 1 in
+          Int.compare (rank k1) (rank k2)
+    in
+    let transitions =
+      ref
+        (List.sort transition_order
+           (List.concat_map
+              (fun (id, b) ->
+                match Behaviour.crash_schedule b with
+                | None -> []
+                | Some schedule ->
+                  List.concat_map
+                    (fun (crash, rejoin) ->
+                      let i = Node_id.to_int id in
+                      [ (crash, i, `Crash); (rejoin, i, `Recover) ])
+                    schedule)
+              cfg.faulty))
+    in
+    let next_transition () =
+      match !transitions with [] -> None | (t, _, _) :: _ -> Some t
+    in
     let next_seq = ref 0 in
     (* [index_of_seq] maps a live sequence number to its current index
        in [pending]; [oldest_cursor] advances monotonically, so finding
@@ -264,7 +320,8 @@ module Make (P : Protocol.S) = struct
       | Protocol.Set_timer { id; after } ->
         let now = Abc_sim.Clock.now clock in
         let due = now + max 1 after in
-        Abc_sim.Heap.push timers ~priority:due (Node_id.to_int src, id);
+        let src_i = Node_id.to_int src in
+        Abc_sim.Heap.push timers ~priority:due (src_i, id, incarnation.(src_i));
         Abc_sim.Metrics.incr metrics "timer.set";
         (match cfg.trace with
         | Some tr ->
@@ -306,10 +363,21 @@ module Make (P : Protocol.S) = struct
       node.activations <- 1
     in
     Array.iter initialize created;
-    let faulty_set = Node_id.Set.of_list (List.map fst cfg.faulty) in
+    (* Crash-recover nodes are *correct* (benign crash-restart, no lies)
+       so they must reach a terminal output like honest nodes; only the
+       genuinely Byzantine behaviours are exempt from termination. *)
+    let byzantine_set =
+      Node_id.Set.of_list
+        (List.filter_map
+           (fun (id, b) ->
+             match Behaviour.crash_schedule b with
+             | Some _ -> None
+             | None -> Some id)
+           cfg.faulty)
+    in
     let all_honest_terminal () =
       Array.for_all
-        (fun node -> node.terminal || Node_id.Set.mem node.id faulty_set)
+        (fun node -> node.terminal || Node_id.Set.mem node.id byzantine_set)
         nodes
     in
     let view () =
@@ -331,20 +399,82 @@ module Make (P : Protocol.S) = struct
        drops and timer firings alike — so a lossy run whose transport
        keeps retransmitting into a dead link still terminates. *)
     let iterations = ref 0 in
-    let fire_timer (node_i, id) =
-      let now = Abc_sim.Clock.now clock in
+    let fire_timer (node_i, id, inc) =
+      if crashed.(node_i) || inc <> incarnation.(node_i) then
+        (* Armed by a dead incarnation (or the node is down right now):
+           the crash wiped the volatile state this timer belonged to. *)
+        Abc_sim.Metrics.incr metrics "timer.stale"
+      else begin
+        let now = Abc_sim.Clock.now clock in
+        let node = nodes.(node_i) in
+        Abc_sim.Metrics.incr metrics "timer.fired";
+        (match cfg.trace with
+        | Some tr ->
+          Abc_sim.Trace.record tr ~time:now ~node:node_i
+            (Abc_sim.Event.make (Abc_sim.Event.Timer_fire { id }))
+        | None -> ());
+        let state, actions, outputs = P.on_timeout node.ctx node.state ~id in
+        node.state <- state;
+        emit_actions node actions;
+        node.activations <- node.activations + 1;
+        record_outputs node outputs
+      end
+    in
+    let do_crash node_i =
       let node = nodes.(node_i) in
-      Abc_sim.Metrics.incr metrics "timer.fired";
+      crashed.(node_i) <- true;
+      incarnation.(node_i) <- incarnation.(node_i) + 1;
+      (* The durable store is captured at crash time: the snapshot
+         function extracts exactly the subset the protocol contracts to
+         have written ahead (checkpoint record + committed-log prefix),
+         so this models a WAL, not magic full-state persistence. *)
+      durable.(node_i) <-
+        (match cfg.recovery with
+        | Some r -> r.snapshot node.state
+        | None -> "");
+      node.terminal <- false;
+      Abc_sim.Metrics.incr metrics "node.crashed";
+      match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node:node_i
+          (Abc_sim.Event.make Abc_sim.Event.Node_crash)
+      | None -> ()
+    in
+    let do_recover node_i =
+      let node = nodes.(node_i) in
+      crashed.(node_i) <- false;
+      Abc_sim.Metrics.incr metrics "node.recovered";
       (match cfg.trace with
       | Some tr ->
-        Abc_sim.Trace.record tr ~time:now ~node:node_i
-          (Abc_sim.Event.make (Abc_sim.Event.Timer_fire { id }))
+        Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node:node_i
+          (Abc_sim.Event.make Abc_sim.Event.Node_recover)
       | None -> ());
-      let state, actions, outputs = P.on_timeout node.ctx node.state ~id in
+      let state, actions, outputs =
+        match cfg.recovery with
+        | Some r -> r.restore node.ctx cfg.inputs.(node_i) ~durable:durable.(node_i)
+        | None ->
+          (* Amnesia fallback: restart from the protocol's initial
+             state, as a node with no durable store would. *)
+          let state, actions = P.initial node.ctx cfg.inputs.(node_i) in
+          (state, actions, [])
+      in
       node.state <- state;
       emit_actions node actions;
       node.activations <- node.activations + 1;
       record_outputs node outputs
+    in
+    let apply_transitions now =
+      let rec go () =
+        match !transitions with
+        | (t, node_i, kind) :: rest when t <= now ->
+          transitions := rest;
+          (match kind with
+          | `Crash -> do_crash node_i
+          | `Recover -> do_recover node_i);
+          go ()
+        | _ -> ()
+      in
+      go ()
     in
     let deliver now envelope =
       let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
@@ -412,6 +542,25 @@ module Make (P : Protocol.S) = struct
                 }))
       | None -> ()
     in
+    (* A message scheduled for delivery while its destination is down
+       is lost deterministically — the crash semantics, not a random
+       link fault, so it gets its own counter. *)
+    let drop_crashed now envelope =
+      Abc_sim.Metrics.incr metrics "dropped.crashed";
+      match cfg.trace with
+      | Some tr ->
+        Abc_sim.Trace.record tr ~time:now
+          ~node:(Node_id.to_int envelope.meta.Adversary.dst)
+          (Abc_sim.Event.make
+             (Abc_sim.Event.Link_drop
+                {
+                  src = Node_id.to_int envelope.meta.Adversary.src;
+                  dst = Node_id.to_int envelope.meta.Adversary.dst;
+                  label = P.msg_label envelope.payload;
+                  reason = "crashed";
+                }))
+      | None -> ()
+    in
     let drop_envelope now envelope reason =
       Abc_sim.Metrics.incr metrics "dropped.link";
       Abc_sim.Metrics.incr metrics ("dropped.link." ^ reason);
@@ -432,19 +581,57 @@ module Make (P : Protocol.S) = struct
     in
     let stop = ref None in
     while !stop = None do
-      if all_honest_terminal () then stop := Some All_terminal
-      else if Abc_sim.Vec.is_empty pending && Abc_sim.Heap.is_empty timers then
-        stop := Some Quiescent
+      (* A pending crash/rejoin transition keeps the run alive even
+         when every honest node is momentarily terminal: the fault
+         plan executes in full, so a node scheduled to crash after
+         completing still crashes (and must re-terminate from its
+         durable store for the run to end all-terminal). *)
+      if all_honest_terminal () && next_transition () = None then
+        stop := Some All_terminal
+      else if
+        Abc_sim.Vec.is_empty pending
+        && Abc_sim.Heap.is_empty timers
+        && next_transition () = None
+      then stop := Some Quiescent
       else if !iterations >= cfg.max_deliveries then stop := Some Delivery_limit
       else begin
         incr iterations;
         let now = Abc_sim.Clock.tick clock in
-        (* Timers due by now fire before any delivery; when only timers
-           remain the clock jumps forward to the next due time instead
-           of reporting Quiescent. *)
+        (* When no message is deliverable the clock jumps forward to
+           the next timer or crash/rejoin transition — whichever comes
+           first — instead of reporting Quiescent. *)
+        let now =
+          if Abc_sim.Vec.is_empty pending then begin
+            let next_timer =
+              match Abc_sim.Heap.peek timers with
+              | Some (due, _) -> Some due
+              | None -> None
+            in
+            let due =
+              match (next_timer, next_transition ()) with
+              | Some a, Some b -> Some (min a b)
+              | Some a, None -> Some a
+              | None, b -> b
+            in
+            match due with
+            | Some due when due > now ->
+              Abc_sim.Clock.advance_to clock due;
+              due
+            | Some _ | None -> now
+          end
+          else now
+        in
+        (* Scheduled crashes/rejoins due by [now] apply before any
+           timer firing or delivery at this instant, so a delivery
+           chosen at the crash tick already sees the node down. *)
+        apply_transitions now;
+        (* Timers due by now fire before any delivery.  (The empty-
+           pending clock jump above already landed on the earliest
+           timer/transition, so [due <= now] is the whole test — a
+           timer must never leapfrog a nearer scheduled transition.) *)
         let fire_due =
           match Abc_sim.Heap.peek timers with
-          | Some (due, _) -> due <= now || Abc_sim.Vec.is_empty pending
+          | Some (due, _) -> due <= now
           | None -> false
         in
         if fire_due then begin
@@ -454,6 +641,10 @@ module Make (P : Protocol.S) = struct
             if due > now then Abc_sim.Clock.advance_to clock due;
             fire_timer target
         end
+        else if Abc_sim.Vec.is_empty pending then
+          (* Only a future transition remained and it just applied (or
+             is still ahead); nothing to deliver this iteration. *)
+          ()
         else begin
           let index = choose_index now in
           let envelope = remove_pending index in
@@ -465,19 +656,25 @@ module Make (P : Protocol.S) = struct
           if age > Abc_sim.Metrics.counter metrics "max_delivery_age" then
             Abc_sim.Metrics.add metrics "max_delivery_age"
               (age - Abc_sim.Metrics.counter metrics "max_delivery_age");
-          let verdict =
-            match link_plan with
-            | None -> Link_faults.Deliver
-            | Some (plan, rng) ->
-              Link_faults.judge plan rng ~now ~src:envelope.meta.Adversary.src
-                ~dst:envelope.meta.Adversary.dst ~can_dup:(not envelope.copy)
-          in
-          match verdict with
-          | Link_faults.Drop reason -> drop_envelope now envelope reason
-          | Link_faults.Deliver -> deliver now envelope
-          | Link_faults.Duplicate ->
-            enqueue_duplicate now envelope;
-            deliver now envelope
+          if crashed.(Node_id.to_int envelope.meta.Adversary.dst) then
+            drop_crashed now envelope
+          else begin
+            let verdict =
+              match link_plan with
+              | None -> Link_faults.Deliver
+              | Some (plan, rng) ->
+                Link_faults.judge plan rng ~now
+                  ~src:envelope.meta.Adversary.src
+                  ~dst:envelope.meta.Adversary.dst
+                  ~can_dup:(not envelope.copy)
+            in
+            match verdict with
+            | Link_faults.Drop reason -> drop_envelope now envelope reason
+            | Link_faults.Deliver -> deliver now envelope
+            | Link_faults.Duplicate ->
+              enqueue_duplicate now envelope;
+              deliver now envelope
+          end
         end
       end
     done;

@@ -22,6 +22,27 @@ type stop_reason =
 val pp_stop_reason : stop_reason Fmt.t
 
 module Make (P : Protocol.S) : sig
+  type recovery = {
+    snapshot : P.state -> string;
+        (** extract the durable subset of a node's state — what the
+            protocol contracts to have written ahead to stable storage
+            (e.g. a checkpoint record plus the committed-log prefix).
+            Called at crash time; everything not captured here is lost. *)
+    restore :
+      Protocol.Context.t ->
+      P.input ->
+      durable:string ->
+      P.state * P.msg Protocol.action list * P.output list;
+        (** rebuild a freshly-rejoined node from its durable store
+            (the last [snapshot], or [""] on a pre-first-crash rejoin
+            path).  Returns the restart state plus the actions and
+            outputs to emit immediately — typically a catch-up request
+            and a retry timer. *)
+  }
+  (** How {!Behaviour.Crash_recover} nodes come back.  When [None] in
+      the config, a rejoining node restarts from [P.initial] with total
+      amnesia. *)
+
   type config = {
     n : int;  (** number of nodes *)
     f : int;  (** resilience parameter handed to the protocol *)
@@ -63,6 +84,15 @@ module Make (P : Protocol.S) : sig
             ["duplicated.link"], and both are traced as typed events.
             Fault decisions draw from a dedicated PRNG stream, so runs
             without faults are unaffected by the feature existing *)
+    recovery : recovery option;
+        (** durable-store support for {!Behaviour.Crash_recover} nodes.
+            A crash wipes the node's volatile state, drops every
+            delivery scheduled while it is down (counted as
+            ["dropped.crashed"], traced as a link-drop with reason
+            ["crashed"]) and invalidates its armed timers (counted as
+            ["timer.stale"]); the rejoin rebuilds it via [restore].
+            Crash-recover nodes are {e correct} — they count towards
+            the all-terminal stop condition, unlike Byzantine nodes *)
   }
 
   type result = {
@@ -93,6 +123,7 @@ module Make (P : Protocol.S) : sig
     ?detail:bool ->
     ?topology:Topology.t ->
     ?link_faults:Link_faults.t ->
+    ?recovery:recovery ->
     n:int ->
     f:int ->
     inputs:P.input array ->

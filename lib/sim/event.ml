@@ -16,6 +16,11 @@ type kind =
   | Batch_proposed of { epoch : int; txs : int; bytes : int }
   | Batch_committed of { epoch : int; proposer : int; txs : int }
   | Tx_committed of { epoch : int; id : string }
+  | Node_crash
+  | Node_recover
+  | Checkpoint_stable of { epoch : int; len : int }
+  | Transfer_start of { have : int }
+  | Transfer_done of { epoch : int; len : int }
 
 type t = { kind : kind; instance : string; round : int }
 
@@ -39,6 +44,11 @@ let kind_label = function
   | Batch_proposed _ -> "batch-proposed"
   | Batch_committed _ -> "batch-committed"
   | Tx_committed _ -> "tx-committed"
+  | Node_crash -> "node-crashed"
+  | Node_recover -> "node-recovered"
+  | Checkpoint_stable _ -> "checkpoint-stable"
+  | Transfer_start _ -> "state-transfer-start"
+  | Transfer_done _ -> "state-transfer-done"
 
 let kind_equal a b =
   match (a, b) with
@@ -78,10 +88,18 @@ let kind_equal a b =
     && Int.equal a.txs b.txs
   | Tx_committed a, Tx_committed b ->
     Int.equal a.epoch b.epoch && String.equal a.id b.id
+  | Node_crash, Node_crash -> true
+  | Node_recover, Node_recover -> true
+  | Checkpoint_stable a, Checkpoint_stable b ->
+    Int.equal a.epoch b.epoch && Int.equal a.len b.len
+  | Transfer_start a, Transfer_start b -> Int.equal a.have b.have
+  | Transfer_done a, Transfer_done b ->
+    Int.equal a.epoch b.epoch && Int.equal a.len b.len
   | ( ( Send _ | Deliver _ | Quorum _ | Coin_flip _ | Round_advance | Decide _
       | Output _ | Note _ | Link_drop _ | Link_dup _ | Timer_set _
       | Timer_fire _ | Retransmit _ | Epoch_start _ | Batch_proposed _
-      | Batch_committed _ | Tx_committed _ ),
+      | Batch_committed _ | Tx_committed _ | Node_crash | Node_recover
+      | Checkpoint_stable _ | Transfer_start _ | Transfer_done _ ),
       _ ) ->
     false
 
@@ -117,6 +135,13 @@ let pp_kind ppf = function
   | Batch_committed { epoch; proposer; txs } ->
     Fmt.pf ppf "batch-committed e%d proposer=n%d txs=%d" epoch proposer txs
   | Tx_committed { epoch; id } -> Fmt.pf ppf "tx-committed e%d %s" epoch id
+  | Node_crash -> Fmt.string ppf "node-crashed"
+  | Node_recover -> Fmt.string ppf "node-recovered"
+  | Checkpoint_stable { epoch; len } ->
+    Fmt.pf ppf "checkpoint-stable e%d len=%d" epoch len
+  | Transfer_start { have } -> Fmt.pf ppf "state-transfer-start have=%d" have
+  | Transfer_done { epoch; len } ->
+    Fmt.pf ppf "state-transfer-done e%d len=%d" epoch len
 
 let pp ppf t =
   if String.length t.instance > 0 then Fmt.pf ppf "[%s] " t.instance;

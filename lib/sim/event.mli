@@ -51,6 +51,22 @@ type kind =
   | Tx_committed of { epoch : int; id : string }
       (** transaction [id] entered the replicated log in [epoch]
           (schema v4; high-volume — emitted once per tx per node) *)
+  | Node_crash
+      (** this node crashed: all volatile protocol state is lost and
+          in-flight deliveries to it are dropped (schema v5) *)
+  | Node_recover
+      (** this node rejoined after a crash, restarting from its durable
+          store (schema v5) *)
+  | Checkpoint_stable of { epoch : int; len : int }
+      (** this node collected a stable-checkpoint quorum for [epoch]
+          covering the first [len] log entries; instances below are
+          garbage-collected (schema v5) *)
+  | Transfer_start of { have : int }
+      (** this node began state transfer, holding [have] committed log
+          entries (schema v5) *)
+  | Transfer_done of { epoch : int; len : int }
+      (** this node installed a transferred snapshot at checkpoint
+          [epoch] with [len] log entries (schema v5) *)
 
 type t = {
   kind : kind;
@@ -69,7 +85,9 @@ val kind_label : kind -> string
     ["send"], ["deliver"], ["quorum"], ["coin"], ["round"], ["decide"],
     ["output"], ["note"], ["link-drop"], ["link-dup"], ["timer-set"],
     ["timeout"], ["retransmit"], ["epoch-start"], ["batch-proposed"],
-    ["batch-committed"] or ["tx-committed"]. *)
+    ["batch-committed"], ["tx-committed"], ["node-crashed"],
+    ["node-recovered"], ["checkpoint-stable"], ["state-transfer-start"]
+    or ["state-transfer-done"]. *)
 
 val equal : t -> t -> bool
 (** Structural equality (used by the JSONL round-trip tests). *)

@@ -8,10 +8,11 @@ type t = {
   mutable recorded : int;
 }
 
-(* v4 added the atomic-broadcast epoch/batch/tx event kinds; the
+(* v5 added the crash-recovery event kinds (node-crashed,
+   node-recovered, checkpoint-stable, state-transfer-start/done); the
    reader accepts any version <= this one (see OBSERVABILITY.md
    migration notes). *)
-let schema_version = 4
+let schema_version = 5
 
 let create ?(capacity = 4096) () =
   assert (capacity > 0);
@@ -142,6 +143,22 @@ let entry_to_json e =
       ]
     | Event.Tx_committed { epoch; id } ->
       [ kind "tx-committed"; ("epoch", Json.Int epoch); ("id", Json.String id) ]
+    | Event.Node_crash -> [ kind "node-crashed" ]
+    | Event.Node_recover -> [ kind "node-recovered" ]
+    | Event.Checkpoint_stable { epoch; len } ->
+      [
+        kind "checkpoint-stable";
+        ("epoch", Json.Int epoch);
+        ("len", Json.Int len);
+      ]
+    | Event.Transfer_start { have } ->
+      [ kind "state-transfer-start"; ("have", Json.Int have) ]
+    | Event.Transfer_done { epoch; len } ->
+      [
+        kind "state-transfer-done";
+        ("epoch", Json.Int epoch);
+        ("len", Json.Int len);
+      ]
   in
   Json.Obj (base @ specific @ common)
 
@@ -245,6 +262,19 @@ let entry_of_json json =
       let* epoch = require "epoch" Json.to_int in
       let* id = require "id" Json.to_str in
       Ok (Event.Tx_committed { epoch; id })
+    | "node-crashed" -> Ok Event.Node_crash
+    | "node-recovered" -> Ok Event.Node_recover
+    | "checkpoint-stable" ->
+      let* epoch = require "epoch" Json.to_int in
+      let* len = require "len" Json.to_int in
+      Ok (Event.Checkpoint_stable { epoch; len })
+    | "state-transfer-start" ->
+      let* have = require "have" Json.to_int in
+      Ok (Event.Transfer_start { have })
+    | "state-transfer-done" ->
+      let* epoch = require "epoch" Json.to_int in
+      let* len = require "len" Json.to_int in
+      Ok (Event.Transfer_done { epoch; len })
     | other -> Error (Printf.sprintf "trace entry: unknown kind %S" other)
   in
   Ok { time; node; event = { Event.kind; instance; round } }

@@ -24,13 +24,56 @@ let in_instance filter (e : Trace.entry) =
        && String.length wanted > 0
        && String.starts_with ~prefix:(wanted ^ "/") inst)
 
-let summary (file : Trace_file.t) =
+(* The epoch an event belongs to, when its kind carries one. *)
+let kind_epoch = function
+  | Event.Epoch_start { epoch }
+  | Event.Batch_proposed { epoch; _ }
+  | Event.Batch_committed { epoch; _ }
+  | Event.Tx_committed { epoch; _ }
+  | Event.Checkpoint_stable { epoch; _ }
+  | Event.Transfer_done { epoch; _ } ->
+    Some epoch
+  | _ -> None
+
+let in_node filter (e : Trace.entry) =
+  match filter with None -> true | Some node -> Int.equal e.Trace.node node
+
+(* An entry matches --epoch E when its kind carries epoch E, or when
+   its instance path has an "epochE" component (the scope the atomic
+   broadcast nests each epoch's agreement under). *)
+let in_epoch filter (e : Trace.entry) =
+  match filter with
+  | None -> true
+  | Some epoch -> (
+    match kind_epoch e.Trace.event.Event.kind with
+    | Some k -> Int.equal k epoch
+    | None ->
+      let wanted = "epoch" ^ string_of_int epoch in
+      List.exists (String.equal wanted)
+        (String.split_on_char '/' e.Trace.event.Event.instance))
+
+let filter_entries ?node ?epoch (file : Trace_file.t) =
+  List.filter
+    (fun e -> in_node node e && in_epoch epoch e)
+    file.Trace_file.entries
+
+let filter_line ?node ?epoch add =
+  (match node with
+  | Some n -> add (Printf.sprintf "filter: node=%d" n)
+  | None -> ());
+  match epoch with
+  | Some e -> add (Printf.sprintf "filter: epoch=%d" e)
+  | None -> ()
+
+let summary ?node ?epoch (file : Trace_file.t) =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "trace: abc.trace v%d" file.Trace_file.version;
   if List.length file.Trace_file.meta > 0 then
     line "meta: %s" (meta_line file.Trace_file.meta);
-  let retained = List.length file.Trace_file.entries in
+  filter_line ?node ?epoch (fun s -> line "%s" s);
+  let entries = filter_entries ?node ?epoch file in
+  let retained = List.length entries in
   line "entries: retained=%d recorded=%d dropped=%d" retained
     file.Trace_file.recorded file.Trace_file.dropped;
   (* Events by kind. *)
@@ -67,7 +110,7 @@ let summary (file : Trace_file.t) =
           decisions :=
             (e.Trace.node, ev.Event.round, value, e.Trace.time) :: !decisions
       | _ -> ())
-    file.Trace_file.entries;
+    entries;
   if Hashtbl.length by_kind > 0 then begin
     line "events by kind:";
     List.iter
@@ -132,9 +175,13 @@ let instances (file : Trace_file.t) =
     file.Trace_file.entries;
   Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
 
-let timeline ?instance (file : Trace_file.t) =
+let timeline ?instance ?node ?epoch (file : Trace_file.t) =
   let b = Buffer.create 1024 in
-  let entries = List.filter (in_instance instance) file.Trace_file.entries in
+  let entries =
+    List.filter
+      (fun e -> in_instance instance e && in_node node e && in_epoch epoch e)
+      file.Trace_file.entries
+  in
   (* Instance-scoped events render as "proto#instance" (not a bare
      instance id) so overlapping sub-protocols — per-proposer ACS
      instances, per-epoch batch agreements — stay attributable when

@@ -4,18 +4,26 @@
     two runs with the same seed produce byte-identical output — the
     property the golden tests and the CI trace-smoke job rely on. *)
 
-val summary : Trace_file.t -> string
-(** [summary file] is a multi-line overview: schema version, run
-    metadata, entry counts, events tallied by kind and by node, quorums
-    reached (with thresholds), coin-flip statistics, the highest round
-    observed and per-node decisions. *)
+val summary : ?node:int -> ?epoch:int -> Trace_file.t -> string
+(** [summary ?node ?epoch file] is a multi-line overview: schema
+    version, run metadata, entry counts, events tallied by kind and by
+    node, quorums reached (with thresholds), coin-flip statistics, the
+    highest round observed and per-node decisions.  [?node] keeps only
+    entries recorded at that node; [?epoch] keeps only entries whose
+    kind carries that epoch or whose instance path has an "epoch<E>"
+    component.  Active filters are echoed in a "filter:" header line;
+    with no filters the output is byte-identical to before the filters
+    existed (the golden-file contract). *)
 
 val instances : Trace_file.t -> string list
 (** [instances file] is the sorted list of distinct non-empty instance
     paths appearing in the trace (e.g. ["rbc@n2"],
     ["acs/rbc@n0/key"]). *)
 
-val timeline : ?instance:string -> Trace_file.t -> string
-(** [timeline ?instance file] renders one line per entry in recording
-    order.  With [~instance] only entries whose instance path equals
-    the filter, or nests below it ([filter ^ "/..."]), are shown. *)
+val timeline :
+  ?instance:string -> ?node:int -> ?epoch:int -> Trace_file.t -> string
+(** [timeline ?instance ?node ?epoch file] renders one line per entry
+    in recording order.  With [~instance] only entries whose instance
+    path equals the filter, or nests below it ([filter ^ "/..."]), are
+    shown; [?node] and [?epoch] filter as in {!summary}.  The filters
+    compose (conjunction). *)

@@ -130,6 +130,27 @@ let test_quorum_passing () =
     "[@@@abc.resilience \"n>3f\"]\n\
      let deliver state count = count >= Quorum.ready_deliver ~f:state.f\n"
 
+let test_quorum_smr_scope () =
+  (* Checkpoint quorum thresholds in the SMR layer must come from the
+     named Quorum helpers too: inline 2f+1 stability / f+1 vouch
+     counting are flagged exactly as in lib/core... *)
+  check_rules "2f+1 inline in lib/smr" [ "quorum" ] ~path:"lib/smr/atomic.ml"
+    "let stable ~f votes = votes >= (2 * f) + 1\n";
+  check_rules "f+1 vouch inline in lib/smr" [ "quorum" ]
+    ~path:"lib/smr/atomic.ml" "let vouched ~f senders = senders >= f + 1\n";
+  (* ...and the named helpers are the fix. *)
+  check_rules "named checkpoint thresholds pass" [] ~path:"lib/smr/atomic.ml"
+    "[@@@abc.resilience \"n>3f\"]\n\
+     let stable ~f votes = votes >= Quorum.checkpoint_stable ~f\n\
+     let vouched ~f senders = senders >= Quorum.transfer_vouch ~f\n";
+  (* checkpoint_stable counts a 2f+1 intersection quorum, which is a
+     Bracha-family (n>3f) argument: an n>5f module using it is a
+     cross-class misuse. *)
+  check_rules "checkpoint_stable cross-class" [ "resilience" ]
+    ~path:"lib/smr/atomic.ml"
+    "[@@@abc.resilience \"n>5f\"]\n\
+     let stable st votes = votes >= Quorum.checkpoint_stable ~f:st.f\n"
+
 (* ---- rule 4: resilience classes ---- *)
 
 let test_resilience_cross_class () =
@@ -593,6 +614,7 @@ let () =
           Alcotest.test_case "poly-compare: passing" `Quick test_poly_compare_passing;
           Alcotest.test_case "quorum: violations" `Quick test_quorum_violations;
           Alcotest.test_case "quorum: passing" `Quick test_quorum_passing;
+          Alcotest.test_case "quorum: smr scope" `Quick test_quorum_smr_scope;
           Alcotest.test_case "resilience: cross-class" `Quick test_resilience_cross_class;
           Alcotest.test_case "resilience: ratio + undeclared" `Quick
             test_resilience_ratio_and_undeclared;

@@ -209,7 +209,111 @@ let test_behaviour_labels () =
   Alcotest.(check string) "honest" "honest" (Behaviour.label Behaviour.Honest);
   Alcotest.(check string) "silent" "silent" (Behaviour.label Behaviour.Silent);
   Alcotest.(check string) "crash" "crash" (Behaviour.label (Behaviour.Crash_after 3));
-  Alcotest.(check string) "replay" "replay" (Behaviour.label (Behaviour.Replay 1))
+  Alcotest.(check string) "replay" "replay" (Behaviour.label (Behaviour.Replay 1));
+  Alcotest.(check string) "crash-recover" "crash-recover"
+    (Behaviour.label (Behaviour.Crash_recover [ (5, 10) ]))
+
+(* Crash-recovery *)
+
+(* The durable store for Gossip: a finished node's WAL holds its sum. *)
+let gossip_recovery : Run.recovery =
+  {
+    Run.snapshot =
+      (fun (state : Gossip.state) ->
+        if state.Gossip.finished then
+          let sum =
+            Node_id.Map.fold (fun _ v acc -> acc + v) state.Gossip.heard 0
+          in
+          "done:" ^ string_of_int sum
+        else "");
+    restore =
+      (fun ctx input ~durable ->
+        match String.split_on_char ':' durable with
+        | [ "done"; sum ] ->
+          ( {
+              Gossip.heard = Node_id.Map.empty;
+              quorum = Protocol.Context.quorum ctx;
+              finished = true;
+            },
+            [],
+            [ Gossip.Done (int_of_string sum) ] )
+        | _ ->
+          let state, actions = Gossip.initial ctx input in
+          (state, actions, []));
+  }
+
+let test_crash_recover_amnesia_quiescent () =
+  (* Crash node 2 early (most Hellos still in flight get dropped) and
+     rejoin it late with NO recovery support: total amnesia.  Its fresh
+     incarnation rebroadcasts, but nobody re-sends their Hello, so it
+     can never re-reach the quorum: the run goes quiescent. *)
+  let faulty = [ (node 2, Behaviour.Crash_recover [ (3, 60) ]) ] in
+  let result = run ~n:4 ~f:1 ~faulty () in
+  check_stop Abc_net.Engine.Quiescent result;
+  let c = Abc_sim.Metrics.counter result.Run.metrics in
+  Alcotest.(check int) "crashed" 1 (c "node.crashed");
+  Alcotest.(check int) "recovered" 1 (c "node.recovered");
+  Alcotest.(check bool) "deliveries dropped while down" true
+    (c "dropped.crashed" > 0)
+
+let test_crash_recover_durable_completes () =
+  (* Crash node 2 after it finished (all 16 deliveries land by tick
+     16): its WAL holds the sum, so the restored incarnation re-emits
+     its terminal output and the run stays all-terminal. *)
+  let faulty = [ (node 2, Behaviour.Crash_recover [ (30, 40) ]) ] in
+  let result =
+    Run.run
+      (Run.config ~n:4 ~f:1 ~faulty ~recovery:gossip_recovery
+         ~inputs:(default_inputs 4) ())
+  in
+  check_stop Abc_net.Engine.All_terminal result;
+  (match result.Run.outputs.(2) with
+  | [ (_, Gossip.Done first); (t, Gossip.Done second) ] ->
+    Alcotest.(check int) "restored sum matches" first second;
+    Alcotest.(check int) "re-emitted at rejoin" 40 t
+  | _ -> Alcotest.fail "expected pre-crash and post-restore outputs");
+  let c = Abc_sim.Metrics.counter result.Run.metrics in
+  Alcotest.(check int) "crashed" 1 (c "node.crashed");
+  Alcotest.(check int) "recovered" 1 (c "node.recovered")
+
+let test_crash_recover_traced () =
+  let trace = Abc_sim.Trace.create () in
+  let faulty = [ (node 2, Behaviour.Crash_recover [ (30, 40) ]) ] in
+  let _ =
+    Run.run
+      (Run.config ~n:4 ~f:1 ~faulty ~recovery:gossip_recovery ~trace
+         ~inputs:(default_inputs 4) ())
+  in
+  Alcotest.(check int) "node-crashed traced" 1
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"node-crashed"));
+  Alcotest.(check int) "node-recovered traced" 1
+    (List.length (Abc_sim.Trace.find_kind trace ~label:"node-recovered"))
+
+let test_crash_recover_deterministic () =
+  let go () =
+    let faulty = [ (node 2, Behaviour.Crash_recover [ (3, 25); (50, 70) ]) ] in
+    Run.run
+      (Run.config ~n:4 ~f:1 ~faulty ~recovery:gossip_recovery ~seed:5
+         ~adversary:Adversary.uniform ~inputs:(default_inputs 4) ())
+  in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check int) "same deliveries" r1.Run.deliveries r2.Run.deliveries;
+  Alcotest.(check int) "same duration" r1.Run.duration r2.Run.duration
+
+let test_crash_recover_schedule_validation () =
+  let reject schedule =
+    Alcotest.check_raises "malformed schedule"
+      (Invalid_argument
+         "Engine.config: malformed Crash_recover schedule (need non-empty, \
+          crash < rejoin, strictly increasing)") (fun () ->
+        ignore
+          (Run.config ~n:4 ~f:1
+             ~faulty:[ (node 1, Behaviour.Crash_recover schedule) ]
+             ~inputs:(default_inputs 4) ()))
+  in
+  reject [];
+  reject [ (10, 5) ];
+  reject [ (10, 20); (15, 30) ]
 
 (* Sequence diagram *)
 
@@ -547,6 +651,28 @@ let test_timers_drive_quiet_network () =
     Alcotest.(check int) "second firing" 8 t2
   | _ -> Alcotest.fail "expected two firings"
 
+let test_crash_invalidates_timers () =
+  (* Node 1 crashes at tick 2 with its first timer (due at 4) armed:
+     the firing must be discarded as stale, not delivered to the fresh
+     incarnation.  After rejoining at 100 with amnesia it restarts its
+     countdown from scratch and still completes. *)
+  let faulty = [ (node 1, Behaviour.Crash_recover [ (2, 100) ]) ] in
+  let result =
+    TickRun.run (TickRun.config ~n:2 ~f:0 ~faulty ~inputs:[| 2; 2 |] ())
+  in
+  Alcotest.(check string) "stop" "all-terminal"
+    (Fmt.str "%a" Abc_net.Engine.pp_stop_reason result.TickRun.stop);
+  let c = Abc_sim.Metrics.counter result.TickRun.metrics in
+  Alcotest.(check int) "stale timer discarded" 1 (c "timer.stale");
+  (match result.TickRun.outputs.(1) with
+  | [ (t1, Ticker.Fired 1); (t2, Ticker.Fired 0) ] ->
+    Alcotest.(check int) "restarted countdown" 104 t1;
+    Alcotest.(check int) "completed after rejoin" 108 t2
+  | _ -> Alcotest.fail "expected a full restarted countdown");
+  match result.TickRun.outputs.(0) with
+  | [ (4, Ticker.Fired 1); (8, Ticker.Fired 0) ] -> ()
+  | _ -> Alcotest.fail "node 0's schedule must be unaffected"
+
 let test_no_timers_means_quiescent () =
   let result = TickRun.run (TickRun.config ~n:1 ~f:0 ~inputs:[| 0 |] ()) in
   Alcotest.(check string) "stop" "quiescent"
@@ -695,6 +821,19 @@ let () =
           Alcotest.test_case "replay" `Quick test_replay_duplicates;
           Alcotest.test_case "labels" `Quick test_behaviour_labels;
         ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "amnesia cannot rejoin a quorum" `Quick
+            test_crash_recover_amnesia_quiescent;
+          Alcotest.test_case "durable store completes" `Quick
+            test_crash_recover_durable_completes;
+          Alcotest.test_case "crash/recover traced" `Quick
+            test_crash_recover_traced;
+          Alcotest.test_case "deterministic" `Quick
+            test_crash_recover_deterministic;
+          Alcotest.test_case "schedule validation" `Quick
+            test_crash_recover_schedule_validation;
+        ] );
       ( "sequence diagram",
         [
           Alcotest.test_case "render" `Quick test_sequence_diagram;
@@ -736,6 +875,8 @@ let () =
           Alcotest.test_case "no timers means quiescent" `Quick
             test_no_timers_means_quiescent;
           Alcotest.test_case "timer events traced" `Quick test_timer_events_traced;
+          Alcotest.test_case "crash invalidates timers" `Quick
+            test_crash_invalidates_timers;
         ] );
       ( "reliable link",
         [

@@ -256,7 +256,7 @@ let test_atomic_commits_in_epoch_order () =
           (fun (_, o) ->
             match o with
             | Atomic.Epoch_committed { epoch; _ } -> Some epoch
-            | Atomic.Log_complete _ -> None)
+            | Atomic.Gc_stats _ | Atomic.Log_complete _ -> None)
           outputs
       in
       Alcotest.(check (list int)) "epochs in order" [ 0; 1; 2 ] epochs)
@@ -285,6 +285,135 @@ let test_atomic_deep_pipeline () =
       (fun log -> Alcotest.(check (list string)) "identical" first log)
       rest
   | [] -> Alcotest.fail "no logs"
+
+(* ---- crash-recovery: checkpoints, GC, state transfer ---- *)
+
+let atomic_recovery = { EA.snapshot = Atomic.snapshot; restore = Atomic.restore }
+
+let run_recovery ?(adversary = Adversary.uniform) ?(window = 2)
+    ?(checkpoint_interval = 2) ~crash ~n ~f ~epochs ~batch_size ~seed () =
+  let mempools = mempools ~n ~count:(batch_size * epochs) ~seed in
+  let inputs =
+    Atomic.inputs ~n ~window ~checkpoint_interval ~batch_size ~epochs
+      ~coin_seed:((seed * 1000) + 17)
+      mempools
+  in
+  let faulty =
+    List.map
+      (fun (i, schedule) -> (node i, Behaviour.Crash_recover schedule))
+      crash
+  in
+  EA.run (EA.config ~faulty ~n ~f ~inputs ~seed ~adversary ~recovery:atomic_recovery ())
+
+let check_identical_complete_logs result ~n =
+  match atomic_logs result (Node_id.all ~n) with
+  | first :: rest ->
+    List.iter
+      (fun log -> Alcotest.(check (list string)) "identical log" first log)
+      rest;
+    Alcotest.(check bool) "log non-trivial" true (List.length first > 0);
+    let sorted = List.sort_uniq String.compare first in
+    Alcotest.(check int) "no duplicate tx" (List.length first)
+      (List.length sorted)
+  | [] -> Alcotest.fail "no logs"
+
+let test_atomic_recovery_total_order () =
+  (* Node 2 crashes mid-run and rejoins much later: it must catch up
+     via state transfer (epoch traffic it slept through is never
+     retransmitted) and land on the same log as everyone else. *)
+  let result =
+    run_recovery ~crash:[ (2, [ (800, 9000) ]) ] ~n:4 ~f:1 ~epochs:6
+      ~batch_size:3 ~seed:31 ()
+  in
+  check_atomic_terminal result;
+  check_identical_complete_logs result ~n:4;
+  (match Atomic.stats_of_outputs result.EA.outputs.(2) with
+  | Some (_, _, transfers) ->
+    Alcotest.(check bool) "recovered via state transfer" true (transfers >= 1)
+  | None -> Alcotest.fail "no gc stats on the recovered node");
+  let c = Abc_sim.Metrics.counter result.EA.metrics in
+  Alcotest.(check int) "one crash" 1 (c "node.crashed");
+  Alcotest.(check int) "one recovery" 1 (c "node.recovered")
+
+let test_atomic_gc_bounds_live_instances () =
+  (* GC on (checkpoint every 2 epochs) vs off (interval past the run's
+     end, so no boundary is ever crossed): with GC the high-water mark
+     of live epoch agreements stays bounded by the pipeline window
+     plus checkpoint lag; without it every epoch's instance is
+     retained to the end. *)
+  let epochs = 10 in
+  let stats interval =
+    let result =
+      run_recovery ~checkpoint_interval:interval ~crash:[] ~n:4 ~f:1 ~epochs
+        ~batch_size:2 ~seed:32 ()
+    in
+    check_atomic_terminal result;
+    match Atomic.stats_of_outputs result.EA.outputs.(0) with
+    | Some s -> s
+    | None -> Alcotest.fail "no gc stats"
+  in
+  let live_on, checkpoints_on, _ = stats 2 in
+  let live_off, _, _ = stats (epochs + 1) in
+  Alcotest.(check bool) "checkpoints went stable" true (checkpoints_on >= 3);
+  Alcotest.(check int) "no GC retains every epoch" epochs live_off;
+  Alcotest.(check bool)
+    (Fmt.str "GC bounds live instances (%d < %d)" live_on live_off)
+    true
+    (live_on < live_off);
+  (* window 2 + interval 2 of checkpoint lag, plus one epoch of slack
+     for traffic-driven lazy opens. *)
+  Alcotest.(check bool) "bounded by window + interval + 1" true (live_on <= 5)
+
+let test_atomic_checkpoint_at_window_boundary () =
+  (* The checkpoint interval equals the pipeline window: every
+     stability decision lands exactly where the window slides, the
+     case where GC pruning and open_window race for the same epochs. *)
+  let result =
+    run_recovery ~window:2 ~checkpoint_interval:2
+      ~crash:[ (1, [ (1200, 7000) ]) ]
+      ~n:4 ~f:1 ~epochs:6 ~batch_size:2 ~seed:33 ()
+  in
+  check_atomic_terminal result;
+  check_identical_complete_logs result ~n:4
+
+let test_atomic_recovery_mid_dispersal () =
+  (* Crash node 2 almost immediately — mid-dispersal of its own epoch-0
+     batch.  Its RBC echoes for the batch may still complete at other
+     nodes, and the restored incarnation requeues the same
+     transactions: commit-time dedup must keep each tx single. *)
+  let result =
+    run_recovery ~crash:[ (2, [ (40, 5000) ]) ] ~n:4 ~f:1 ~epochs:5
+      ~batch_size:3 ~seed:34 ()
+  in
+  check_atomic_terminal result;
+  check_identical_complete_logs result ~n:4
+
+let test_atomic_double_crash_before_stable () =
+  (* Two back-to-back crashes, both before any checkpoint can go
+     stable (the first epochs commit around tick ~2000 at this size):
+     the node cold-starts twice from an empty durable store and must
+     still converge. *)
+  let result =
+    run_recovery ~crash:[ (3, [ (30, 200); (260, 900) ]) ] ~n:4 ~f:1 ~epochs:5
+      ~batch_size:2 ~seed:35 ()
+  in
+  check_atomic_terminal result;
+  check_identical_complete_logs result ~n:4;
+  let c = Abc_sim.Metrics.counter result.EA.metrics in
+  Alcotest.(check int) "two crashes" 2 (c "node.crashed");
+  Alcotest.(check int) "two recoveries" 2 (c "node.recovered")
+
+let test_atomic_recovery_deterministic () =
+  let go () =
+    run_recovery ~crash:[ (0, [ (500, 4000) ]) ] ~n:4 ~f:1 ~epochs:4
+      ~batch_size:2 ~seed:36 ()
+  in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check int) "same deliveries" r1.EA.deliveries r2.EA.deliveries;
+  Alcotest.(check int) "same duration" r1.EA.duration r2.EA.duration;
+  Alcotest.(check (list string)) "same log"
+    (List.concat (atomic_logs r1 [ node 0 ]))
+    (List.concat (atomic_logs r2 [ node 0 ]))
 
 let test_batch_codec_roundtrip () =
   let roundtrip txs =
@@ -429,6 +558,18 @@ let () =
           Alcotest.test_case "crash-faulty replica tolerated" `Quick
             test_atomic_crash_faulty_tolerated;
           Alcotest.test_case "deep pipeline" `Quick test_atomic_deep_pipeline;
+          Alcotest.test_case "recovery: total order after crash" `Quick
+            test_atomic_recovery_total_order;
+          Alcotest.test_case "recovery: GC bounds live instances" `Quick
+            test_atomic_gc_bounds_live_instances;
+          Alcotest.test_case "recovery: checkpoint at window boundary" `Quick
+            test_atomic_checkpoint_at_window_boundary;
+          Alcotest.test_case "recovery: crash mid-dispersal" `Quick
+            test_atomic_recovery_mid_dispersal;
+          Alcotest.test_case "recovery: double crash before stable" `Quick
+            test_atomic_double_crash_before_stable;
+          Alcotest.test_case "recovery: deterministic" `Quick
+            test_atomic_recovery_deterministic;
           Alcotest.test_case "batch codec roundtrip" `Quick test_batch_codec_roundtrip;
           Alcotest.test_case "workload deterministic" `Quick
             test_workload_deterministic;

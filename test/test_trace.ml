@@ -46,6 +46,11 @@ let sample_entries : Trace.entry list =
       (Event.Batch_committed { epoch = 0; proposer = 1; txs = 8 });
     e ~time:60 ~node:2 ~instance:"epoch0"
       (Event.Tx_committed { epoch = 0; id = "n1-t000003" });
+    e ~time:70 ~node:1 Event.Node_crash;
+    e ~time:90 ~node:1 Event.Node_recover;
+    e ~time:95 ~node:2 (Event.Checkpoint_stable { epoch = 1; len = 16 });
+    e ~time:96 ~node:1 (Event.Transfer_start { have = 4 });
+    e ~time:99 ~node:1 (Event.Transfer_done { epoch = 1; len = 16 });
   ]
 
 let entry_equal (a : Trace.entry) (b : Trace.entry) =
@@ -144,6 +149,77 @@ let test_v3_file_still_loads () =
         Alcotest.(check bool) "bytes defaults to 0" true
           (Event.equal entry.Trace.event
              (Event.make (Event.Batch_proposed { epoch = 1; txs = 4; bytes = 0 })))))
+
+(* A literal schema-v4 file (the last version before the crash-recovery
+   vocabulary landed) must load under the v5 reader the same way: only
+   new kinds were added, no existing field changed shape. *)
+let test_v4_file_still_loads () =
+  let v4 =
+    String.concat "\n"
+      [
+        "{\"schema\":\"abc.trace\",\"version\":4,\"meta\":{\"protocol\":\"smr-atomic\",\"n\":4},\"recorded\":3,\"dropped\":0}";
+        "{\"t\":0,\"node\":0,\"kind\":\"epoch-start\",\"epoch\":0,\"instance\":\"epoch0\"}";
+        "{\"t\":1,\"node\":0,\"kind\":\"batch-proposed\",\"epoch\":0,\"txs\":8,\"bytes\":412,\"instance\":\"epoch0\"}";
+        "{\"t\":9,\"node\":2,\"kind\":\"tx-committed\",\"epoch\":0,\"id\":\"n1-t000003\",\"instance\":\"epoch0\"}";
+      ]
+  in
+  match Trace_file.of_string v4 with
+  | Error msg -> Alcotest.fail ("v4 file rejected: " ^ msg)
+  | Ok file ->
+    Alcotest.(check int) "version" 4 file.Trace_file.version;
+    Alcotest.(check int) "entries" 3 (List.length file.Trace_file.entries)
+
+(* ---- summary/timeline node and epoch filters ---- *)
+
+let test_report_filters () =
+  let t = Trace.create ~capacity:100 () in
+  List.iter
+    (fun e -> Trace.record t ~time:e.Trace.time ~node:e.Trace.node e.Trace.event)
+    sample_entries;
+  let file =
+    match Trace_file.of_string (Trace.to_jsonl_string ~meta:[] t) with
+    | Ok f -> f
+    | Error msg -> Alcotest.fail msg
+  in
+  let retained s =
+    match
+      List.find_opt
+        (fun l -> String.starts_with ~prefix:"entries: retained=" l)
+        (String.split_on_char '\n' s)
+    with
+    | Some line -> Scanf.sscanf line "entries: retained=%d" (fun k -> k)
+    | None -> Alcotest.fail "no entries line"
+  in
+  let node_matches n =
+    List.length
+      (List.filter (fun e -> e.Trace.node = n) file.Trace_file.entries)
+  in
+  (* --node keeps exactly that node's entries and echoes the filter. *)
+  let s1 = Trace_report.summary ~node:1 file in
+  Alcotest.(check int) "node filter count" (node_matches 1) (retained s1);
+  Alcotest.(check bool) "node filter echoed" true
+    (List.mem "filter: node=1" (String.split_on_char '\n' s1));
+  (* --epoch catches both kinds carrying the epoch and instance-scoped
+     entries under "epoch0": in the sample, every epoch event is epoch
+     0, so filtering epoch 1 keeps only the two v5 checkpoint/transfer
+     events at epoch 1. *)
+  let s2 = Trace_report.summary ~epoch:0 file in
+  Alcotest.(check int) "epoch 0 count" 4 (retained s2);
+  let s3 = Trace_report.summary ~epoch:1 file in
+  Alcotest.(check int) "epoch 1 count" 2 (retained s3);
+  (* no filters: byte-identical to the unfiltered renderer (the golden
+     files depend on this). *)
+  Alcotest.(check string) "no filter unchanged"
+    (Trace_report.summary file)
+    (Trace_report.summary ?node:None ?epoch:None file);
+  (* timeline composes the filters conjunctively *)
+  let tl = Trace_report.timeline ~node:1 ~epoch:1 file in
+  let lines =
+    List.filter
+      (fun l -> String.length l > 0 && not (String.equal l "(no matching entries)"))
+      (String.split_on_char '\n' tl)
+  in
+  Alcotest.(check int) "timeline node=1 epoch=1" 1 (List.length lines)
 
 (* ---- eviction accounting ---- *)
 
@@ -315,6 +391,50 @@ let atomic_summary () =
   | Error msg -> Alcotest.fail msg
   | Ok file -> Trace_report.summary file
 
+(* The same run the CI recovery-smoke job performs through the
+   binaries: abc-run smr --atomic -n 4 -f 1 --epochs 4 --batch-size 4
+   --seed 21 --checkpoint-interval 2 --crash 2:300:2500 (defaults:
+   window 2, tx-rate 0.5, tx-bytes 32, uniform adversary).  The
+   rendered summary must match test/golden/recovery_summary.txt byte
+   for byte — this pins the schema-v5 recovery vocabulary
+   (node-crashed, node-recovered, checkpoint-stable and the
+   state-transfer pair) under glass. *)
+let recovery_summary () =
+  let module Atomic = Abc_smr.Atomic_broadcast in
+  let module Workload = Abc_smr.Workload in
+  let module E = Abc_net.Engine.Make (Atomic) in
+  let n = 4 and f = 1 and seed = 21 in
+  let batch_size = 4 and epochs = 4 in
+  let mempools =
+    Array.init n (fun i ->
+        Workload.txs
+          (Workload.generate ~seed ~node:(Node_id.of_int i)
+             ~count:(batch_size * epochs) ~rate:0.5 ~tx_bytes:32))
+  in
+  let trace = Trace.create ~capacity:1_000_000 () in
+  let config =
+    E.config ~n ~f
+      ~inputs:
+        (Atomic.inputs ~n ~window:2 ~checkpoint_interval:2 ~batch_size ~epochs
+           ~coin_seed:(seed + 7919) mempools)
+      ~faulty:
+        [ (Node_id.of_int 2, Abc_net.Behaviour.Crash_recover [ (300, 2500) ]) ]
+      ~recovery:{ E.snapshot = Atomic.snapshot; restore = Atomic.restore }
+      ~adversary:Adversary.uniform ~seed ~trace ()
+  in
+  let _ = E.run config in
+  let meta =
+    [
+      ("protocol", Json.String "smr-atomic");
+      ("n", Json.Int n);
+      ("f", Json.Int f);
+      ("seed", Json.Int seed);
+    ]
+  in
+  match Trace_file.of_string (Trace.to_jsonl_string ~meta trace) with
+  | Error msg -> Alcotest.fail msg
+  | Ok file -> Trace_report.summary file
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -334,6 +454,11 @@ let test_atomic_golden_summary () =
   Alcotest.(check string) "atomic summary matches golden" golden
     (atomic_summary ())
 
+let test_recovery_golden_summary () =
+  let golden = read_file "golden/recovery_summary.txt" in
+  Alcotest.(check string) "recovery summary matches golden" golden
+    (recovery_summary ())
+
 (* ---- suite ---- *)
 
 let () =
@@ -347,6 +472,9 @@ let () =
             test_reader_rejects_garbage;
           Alcotest.test_case "v3 file still loads" `Quick
             test_v3_file_still_loads;
+          Alcotest.test_case "v4 file still loads" `Quick
+            test_v4_file_still_loads;
+          Alcotest.test_case "report filters" `Quick test_report_filters;
         ] );
       ( "eviction",
         [ Alcotest.test_case "exact accounting" `Quick test_eviction_exact ] );
@@ -361,6 +489,8 @@ let () =
           Alcotest.test_case "summary matches golden" `Quick test_golden_summary;
           Alcotest.test_case "atomic summary matches golden" `Quick
             test_atomic_golden_summary;
+          Alcotest.test_case "recovery summary matches golden" `Quick
+            test_recovery_golden_summary;
           Alcotest.test_case "summary deterministic" `Quick
             test_summary_deterministic;
         ] );
