@@ -22,117 +22,33 @@ let scaled k = max 2 (int_of_float (float_of_int k *. !seeds_scale))
 
 module Rbc = Abc.Bracha_rbc.Binary
 module RbcE = Abc_net.Engine.Make (Rbc)
+module Matrix_spec = Abc_matrix.Spec
+module Matrix_runner = Abc_matrix.Runner
 
-let rbc_fault ~n kind =
-  let two_faced _rng ~dst v =
-    if Node_id.to_int dst < n / 2 then v else Abc.Value.negate v
-  in
-  match kind with
-  | No_fault -> []
-  | Silent -> [ (node 0, Behaviour.Silent) ]
-  | Crash -> [ (node 0, Behaviour.Crash_after 2) ]
-  | Flip ->
-    (* the sender stays honest; a relay lies *)
-    [ (node 1, Behaviour.Mutate (Rbc.Fault.substitute (fun _ v -> Abc.Value.negate v))) ]
-  | Equivocate -> [ (node 0, Behaviour.Equivocate (Rbc.Fault.equivocate two_faced)) ]
-  | Force_decide -> []
+(* E1 and E14 are driven by their committed scenario specs — the same
+   files `abc-bench run` executes, so the harness and the CI bench
+   gate cannot drift apart.  Spec seed counts are the quick-tier
+   baseline and are NOT scaled by the `quick` arg: the committed
+   BENCH_MATRIX baselines are a function of the spec file alone.
+   Expected verdicts play the role the inline assertions play in
+   E16-E18: any cell missing its verdict aborts the harness. *)
+let matrix_spec path =
+  match Matrix_spec.load path with
+  | Ok spec -> spec
+  | Error e -> failwith (Abc_matrix.Sexp.error_to_string e)
 
-(* One E1 cell is a seed sweep: each seed is an independent pool job
-   returning that run's message count and the honest delivered values;
-   the property fold below runs on the merged, seed-ordered list so
-   every cell is byte-identical at any worker count.  [e1_table] is
-   parameterized so E15 (and the determinism CI check) can rebuild an
-   arbitrary slice of the battery. *)
-let e1_table ~pool ~title ~pairs ~faults ~seeds () =
-  let table =
-    Table.create ~title
-      ~columns:
-        [ "n"; "f"; "fault"; "adversary"; "honest delivered"; "agreement";
-          "validity"; "totality"; "msgs/n^2" ]
-  in
-  List.iter
-    (fun (n, f) ->
-      List.iter
-        (fun fault ->
-          List.iter
-            (fun (adversary : Adversary.t) ->
-              let faulty = rbc_fault ~n fault in
-              let faulty_ids = List.map fst faulty in
-              let honest =
-                List.filter
-                  (fun id -> not (List.exists (Node_id.equal id) faulty_ids))
-                  (Node_id.all ~n)
-              in
-              let runs =
-                sweep_seeds pool ~seeds (fun seed ->
-                    let config =
-                      RbcE.config ~n ~f
-                        ~inputs:(Rbc.inputs ~n ~sender:(node 0) Abc.Value.One)
-                        ~faulty ~adversary ~seed ()
-                    in
-                    let result = RbcE.run config in
-                    let values =
-                      List.filter_map
-                        (fun id ->
-                          match result.RbcE.outputs.(Node_id.to_int id) with
-                          | [ (_, Rbc.Delivered v) ] -> Some v
-                          | _ -> None)
-                        honest
-                    in
-                    (Abc_sim.Metrics.counter result.RbcE.metrics "sent", values))
-              in
-              let delivered = ref 0 and total = ref 0 in
-              let agreement = ref true and validity = ref true in
-              let totality = ref true in
-              let msgs = ref 0 in
-              List.iter
-                (fun (sent, values) ->
-                  msgs := !msgs + sent;
-                  total := !total + List.length honest;
-                  delivered := !delivered + List.length values;
-                  (* totality: within one run, all honest deliver or none *)
-                  if
-                    List.length values > 0
-                    && List.length values < List.length honest
-                  then totality := false;
-                  (match values with
-                  | v :: rest ->
-                    if not (List.for_all (Abc.Value.equal v) rest) then
-                      agreement := false
-                  | [] -> ());
-                  (* validity only applies when the sender is honest *)
-                  if fault = No_fault || fault = Flip then
-                    if not (List.for_all (Abc.Value.equal Abc.Value.One) values)
-                    then validity := false)
-                runs;
-              Table.add_row table
-                [
-                  Table.cell_int n;
-                  Table.cell_int f;
-                  fault_label fault;
-                  adversary.Adversary.name;
-                  Table.cell_percent
-                    (float_of_int !delivered /. float_of_int (max 1 !total));
-                  (if !agreement then "yes" else "VIOLATED");
-                  (if !validity then "yes" else "VIOLATED");
-                  (if !totality then "yes" else "VIOLATED");
-                  Table.cell_float
-                    (float_of_int !msgs /. float_of_int (seeds * n * n));
-                ])
-            (Adversary.all_basic ~n))
-        faults)
-    pairs;
-  table
-
-let experiment_e1 pool =
-  let table =
-    e1_table ~pool ~title:"E1. Reliable broadcast correctness (seeds per cell: 20)"
-      ~pairs:[ (4, 1); (7, 2); (10, 3) ]
-      ~faults:[ No_fault; Silent; Crash; Flip; Equivocate ]
-      ~seeds:(scaled 20) ()
-  in
-  Table.print table;
+let run_matrix_spec pool path =
+  let spec = matrix_spec path in
+  let result = Matrix_runner.run ~pool spec in
+  Table.print (Matrix_runner.table result);
+  if not (Matrix_runner.passed result) then
+    failwith
+      (Printf.sprintf "%s: %d matrix cell(s) missed their expected verdict"
+         (Matrix_spec.id spec)
+         (List.length (Matrix_runner.failures result)));
   print_newline ()
+
+let experiment_e1 pool = run_matrix_spec pool "bench/specs/e1.matrix"
 
 (* ----------------------------------------------------------------- *)
 (* E2: resilience boundary — Bracha (n>3f) vs Ben-Or (n>5f)          *)
@@ -142,13 +58,14 @@ let experiment_e2 pool =
   let n = 16 in
   let seeds = scaled 12 in
   let table =
-    Table.create
+    Table.create ~id:"e2"
       ~title:
         (Printf.sprintf
            "E2. Resilience sweep at n=%d, flip-value Byzantine faults (ok%% over %d \
             seeds; Bracha bound f<=%d, Ben-Or bound f<=%d)"
            n seeds (bracha_max_f n) (benor_max_f n))
       ~columns:[ "f (actual faults)"; "bracha ok"; "ben-or ok" ]
+      ()
   in
   (* Cap deliveries so liveness failures beyond the bound return fast. *)
   let cap = 400_000 in
@@ -182,13 +99,14 @@ let experiment_e2 pool =
 let experiment_e3 pool =
   let seeds = scaled 30 in
   let table =
-    Table.create
+    Table.create ~id:"e3"
       ~title:
         (Printf.sprintf
            "E3. Rounds to decide, f=max, split inputs, balanced flip liars, split \
             scheduler (local coin, %d seeds)"
            seeds)
       ~columns:[ "n"; "f"; "mean rounds"; "p95"; "max"; "mean msgs" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -219,13 +137,14 @@ let experiment_e3 pool =
 let experiment_e4 pool =
   let seeds = scaled 20 in
   let table =
-    Table.create
+    Table.create ~id:"e4"
       ~title:
         (Printf.sprintf
            "E4. Rounds with f=floor(sqrt n) — same faults/scheduler as E3 but fewer \
             liars (local coin, %d seeds)"
            seeds)
       ~columns:[ "n"; "f=sqrt(n)"; "f_max"; "mean rounds"; "p95"; "max" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -256,12 +175,13 @@ let experiment_e4 pool =
 
 let experiment_e5 _pool =
   let table =
-    Table.create
+    Table.create ~id:"e5"
       ~title:
         "E5. Message complexity (honest runs, fifo scheduler; consensus msgs \
          normalized per round)"
       ~columns:
         [ "n"; "rbc msgs"; "rbc/n^2"; "consensus msgs/round"; "consensus/(n^3)" ]
+      ()
   in
   let rbc_points = ref [] and cons_points = ref [] in
   List.iter
@@ -304,7 +224,7 @@ let experiment_e5 _pool =
 let experiment_e6 pool =
   let seeds = scaled 40 in
   let table =
-    Table.create
+    Table.create ~id:"e6"
       ~title:
         (Printf.sprintf
            "E6. Coin comparison: rounds to decide (split inputs, flip faults, split \
@@ -313,6 +233,7 @@ let experiment_e6 pool =
       ~columns:
         [ "n"; "f"; "local mean"; "local p95"; "local max"; "common mean";
           "common p95"; "common max" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -369,13 +290,14 @@ let experiment_e7 pool =
   let n = 7 and f = 2 in
   let seeds = scaled 30 in
   let table =
-    Table.create
+    Table.create ~id:"e7"
       ~title:
         (Printf.sprintf
            "E7. Ablation at n=%d f=%d under force-decide + flip liars (ok%% over %d \
             seeds)"
            n f seeds)
       ~columns:[ "transport"; "validation"; "ok"; "mean rounds (ok runs)" ]
+      ()
   in
   let faulty =
     [
@@ -416,7 +338,7 @@ let experiment_e9 pool =
   let seeds = scaled 5 in
   let slots = 3 in
   let table =
-    Table.create
+    Table.create ~id:"e9"
       ~title:
         (Printf.sprintf
            "E9. Replicated log: %d slots, one silent Byzantine replica (%d seeds)"
@@ -424,6 +346,7 @@ let experiment_e9 pool =
       ~columns:
         [ "n"; "f"; "commands"; "messages"; "virtual time"; "msgs/command";
           "time/command" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -560,7 +483,7 @@ let run_mmr ?(coin = Abc.Coin.common ~seed:7) ?(adversary = Adversary.uniform)
 let experiment_e10 pool =
   let seeds = scaled 25 in
   let table =
-    Table.create
+    Table.create ~id:"e10"
       ~title:
         (Printf.sprintf
            "E10. Bracha (1984, local coin) vs MMR (2014, common coin): split inputs, \
@@ -569,6 +492,7 @@ let experiment_e10 pool =
       ~columns:
         [ "n"; "f"; "bracha rounds"; "bracha msgs"; "mmr rounds"; "mmr msgs";
           "msg ratio" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -627,7 +551,7 @@ let experiment_e10 pool =
 let experiment_e11 pool =
   let seeds = scaled 25 in
   let table =
-    Table.create
+    Table.create ~id:"e11"
       ~title:
         (Printf.sprintf
            "E11. MMR with idealized common coin vs implemented Rabin coin (share \
@@ -636,6 +560,7 @@ let experiment_e11 pool =
       ~columns:
         [ "n"; "f"; "ideal rounds"; "ideal msgs"; "rabin rounds"; "rabin msgs";
           "share msgs"; "overhead" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -702,7 +627,7 @@ let experiment_e12 pool =
   let f = 2 in
   let seeds = scaled 10 in
   let table =
-    Table.create
+    Table.create ~id:"e12"
       ~title:
         (Printf.sprintf
            "E12. Agreement over flood relaying vs vertex connectivity (n=%d, f=%d \
@@ -711,6 +636,7 @@ let experiment_e12 pool =
            n f seeds)
       ~columns:
         [ "graph"; "κ"; "crashes"; "survivors connected"; "ok"; "mean msgs" ]
+      ()
   in
   let cut = [ 1; 5 ] in
   let graphs =
@@ -763,7 +689,7 @@ module MvE = Abc_net.Engine.Make (Mv)
 let experiment_e13 pool =
   let seeds = scaled 10 in
   let table =
-    Table.create
+    Table.create ~id:"e13"
       ~title:
         (Printf.sprintf
            "E13. Multivalued consensus: Turpin-Coan reduction (1 BA, n>4f) vs \
@@ -772,6 +698,7 @@ let experiment_e13 pool =
       ~columns:
         [ "n"; "tc f"; "acs f"; "tc msgs"; "acs msgs"; "acs/tc"; "tc agreed";
           "acs agreed" ]
+      ()
   in
   List.iter
     (fun n ->
@@ -843,111 +770,49 @@ end)
    network goes quiescent once a quorum message is dropped (no node
    ever re-sends), while the same protocol behind [Reliable_link]
    masks loss with acks and timer-driven retransmission and keeps
-   deciding — at a bounded retransmission cost. *)
-let experiment_e14 pool =
-  let n = 5 and f = 1 in
-  let seeds = scaled 20 in
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "E14. Lossy links: raw Bracha vs reliable-channel transport \
-            (n=%d f=%d, uniform adversary, %d seeds)"
-           n f seeds)
-      ~columns:
-        [ "loss"; "raw ok"; "raw stalled"; "rl ok"; "rl rounds";
-          "retx/seed"; "acks/seed"; "timeouts/seed" ]
-  in
-  let values = split_inputs n in
-  let inputs = B.inputs ~n ~options:B.Options.default values in
-  List.iter
-    (fun loss ->
-      let plan = Abc_net.Link_faults.make ~name:"loss" ~drop:loss () in
-      let raw_ok = ref 0 and raw_stalled = ref 0 in
-      sweep_seeds pool ~seeds (fun seed ->
-          let config =
-            BH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
-              ~link_faults:plan ~max_deliveries:200_000 ()
-          in
-          let _, verdict = BH.run config in
-          (Abc.Harness.ok verdict, verdict.Abc.Harness.terminated))
-      |> List.iter (fun (ok, terminated) ->
-             if ok then incr raw_ok;
-             if not terminated then incr raw_stalled);
-      let rl_ok = ref 0 and retx = ref 0 and acks = ref 0 and tos = ref 0 in
-      let rounds = ref [] in
-      sweep_seeds pool ~seeds (fun seed ->
-          let config =
-            BRLH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed
-              ~link_faults:plan ~max_deliveries:400_000 ()
-          in
-          let result, verdict = BRLH.run config in
-          let c = Abc_sim.Metrics.counter result.BRLH.E.metrics in
-          ( Abc.Harness.ok verdict, verdict.Abc.Harness.max_round,
-            c "sent.rl.retx", c "sent.rl.ack", c "timer.fired" ))
-      |> List.iter (fun (ok, max_round, r, a, t) ->
-             if ok then begin
-               incr rl_ok;
-               rounds := float_of_int max_round :: !rounds
-             end;
-             retx := !retx + r;
-             acks := !acks + a;
-             tos := !tos + t);
-      let per_seed v = float_of_int v /. float_of_int seeds in
-      Table.add_row table
-        [
-          Table.cell_float ~decimals:2 loss;
-          Table.cell_percent (per_seed !raw_ok);
-          Table.cell_percent (per_seed !raw_stalled);
-          Table.cell_percent (per_seed !rl_ok);
-          Table.cell_float (mean_or (Summary.of_list !rounds) 0.);
-          Table.cell_float ~decimals:0 (per_seed !retx);
-          Table.cell_float ~decimals:0 (per_seed !acks);
-          Table.cell_float ~decimals:0 (per_seed !tos);
-        ])
-    [ 0.0; 0.1; 0.2; 0.3 ];
-  Table.print table;
-  print_newline ()
+   deciding — at a bounded retransmission cost.  Expressed as the
+   committed scenario spec: raw cells at positive loss are annotated
+   expect-fail, reliable-link cells must decide at every loss rate. *)
+let experiment_e14 pool = run_matrix_spec pool "bench/specs/e14.matrix"
 
 (* ----------------------------------------------------------------- *)
 (* E15: sweep throughput vs worker count, with a determinism check    *)
 (* ----------------------------------------------------------------- *)
 
-(* The sweep scaling experiment: rebuild the same small E1 slice at
-   jobs ∈ {1, 2, 4, 8} and report seeds/sec.  The merged CSV must be
-   byte-identical to the jobs=1 output at every worker count — that is
-   the pool's determinism contract, asserted here and again by the CI
-   jobs-matrix.  Wall-clock speedup tracks the host's core count; on a
-   single-core runner every row measures ~1x, which is itself the
-   jobs=1 fallback working. *)
+(* The sweep scaling experiment: expand the committed E1 scenario spec
+   at jobs ∈ {1, 2, 4, 8} and report seeds/sec.  The rendered CSV must
+   be byte-identical to the jobs=1 output at every worker count — that
+   is the pool's determinism contract, asserted here over the matrix
+   runner and again by the CI jobs-matrix on abc-bench's JSON output.
+   Wall-clock speedup tracks the host's core count; on a single-core
+   runner every row measures ~1x, which is itself the jobs=1 fallback
+   working. *)
 let experiment_e15 _pool =
-  let pairs = [ (4, 1); (7, 2) ] in
-  let faults = [ No_fault; Flip ] in
-  let seeds = scaled 20 in
-  let cells =
+  let spec = matrix_spec "bench/specs/e1.matrix" in
+  let cells = Matrix_spec.expand spec in
+  let total_seeds =
     List.fold_left
-      (fun acc (n, _) -> acc + (List.length faults * List.length (Adversary.all_basic ~n)))
-      0 pairs
+      (fun acc cell -> acc + Matrix_spec.find_int cell "seeds" ~default:10)
+      0 cells
   in
-  let total_seeds = cells * seeds in
   let slice jobs =
-    e1_table
-      ~pool:(Abc_exec.Pool.create ~jobs ())
-      ~title:"E15 slice (internal)" ~pairs ~faults ~seeds ()
+    let pool = Abc_exec.Pool.create ~jobs () in
+    Table.csv (Matrix_runner.table (Matrix_runner.run ~pool spec))
   in
   let table =
-    Table.create
+    Table.create ~id:"e15"
       ~title:
         (Printf.sprintf
-           "E15. Parallel sweep throughput over an E1 slice (%d cells x %d seeds = \
+           "E15. Parallel sweep throughput over the E1 matrix spec (%d cells, \
             %d runs; host reports %d recommended domains)"
-           cells seeds total_seeds
+           (List.length cells) total_seeds
            (Domain.recommended_domain_count ()))
       ~columns:[ "jobs"; "seconds"; "seeds/sec"; "speedup"; "csv = jobs1" ]
+      ()
   in
   let timed jobs =
     let t0 = Unix.gettimeofday () in
-    let csv = Table.csv (slice jobs) in
+    let csv = slice jobs in
     let dt = Unix.gettimeofday () -. t0 in
     (csv, dt)
   in
@@ -1017,11 +882,12 @@ let e16_ir ~n ~f ~seed payload =
 let experiment_e16 pool =
   let seeds = scaled 5 in
   let table =
-    Table.create
+    Table.create ~id:"e16"
       ~title:"E16 bandwidth per node bracha vs coded vs ir"
       ~columns:
         [ "payload B"; "n"; "f"; "bracha B/node"; "coded B/node"; "ir f";
           "ir B/node"; "coded/bracha"; "coded < bracha" ]
+      ()
   in
   Printf.printf
     "E16. Per-node sent bytes, fault-free uniform scheduler, %d seeds per cell\n"
@@ -1126,10 +992,11 @@ let experiment_e17 pool =
   let small_batch = List.hd batches in
   let large_batch = List.nth batches (List.length batches - 1) in
   let table =
-    Table.create ~title:"E17 atomic broadcast throughput"
+    Table.create ~id:"e17" ~title:"E17 atomic broadcast throughput"
       ~columns:
         [ "n"; "f"; "batch"; "committed"; "ticks/epoch"; "tx/ktick";
           "B/tx per node"; "batch amortizes" ]
+      ()
   in
   Printf.printf
     "E17. Committed throughput, %d epochs, window 2, 64 B txs, f=1, \
@@ -1262,8 +1129,9 @@ let experiment_e18 pool =
     n f e18_epochs e18_batch seeds;
   (* part A: fault-free, live-instance high-water mark vs interval *)
   let gc_table =
-    Table.create ~title:"E18 checkpoint GC bound"
+    Table.create ~id:"e18-gc" ~title:"E18 checkpoint GC bound"
       ~columns:[ "C"; "max live"; "checkpoints"; "transfers"; "bounded" ]
+      ()
   in
   let gc_runs interval =
     sweep_seeds pool ~seeds (fun seed ->
@@ -1306,8 +1174,9 @@ let experiment_e18 pool =
   let victim = n - 1 in
   let rejoin = 2500 in
   let latency_table =
-    Table.create ~title:"E18 recovery latency"
+    Table.create ~id:"e18-latency" ~title:"E18 recovery latency"
       ~columns:[ "C"; "latency ticks"; "transfers"; "max live" ]
+      ()
   in
   List.iter
     (fun interval ->

@@ -10,8 +10,9 @@ let skip_dir name =
   String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
 
 let source_file name =
-  (Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli")
-  && not (Filename.check_suffix name ".ml-gen")
+  ((Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli")
+  && not (Filename.check_suffix name ".ml-gen"))
+  || Filename.check_suffix name ".matrix"
 
 let scan_files ~roots =
   let rec walk acc path =
@@ -40,7 +41,9 @@ let read_file path =
 (* Parsetree rules when the unit parses, token rules as the fallback.
    The boolean is true when the fallback was taken. *)
 let check_source_either ~path source =
-  if Filename.check_suffix path ".ml" then begin
+  if Filename.check_suffix path ".matrix" then
+    (Matrix_rules.check ~path source, false)
+  else if Filename.check_suffix path ".ml" then begin
     match Frontend.parse_impl ~path source with
     | Ok str -> (Ast_rules.check ~path ~source str, false)
     | Error _ -> (Rules.check_source ~path source, true)

@@ -1,0 +1,75 @@
+module Sexp = Abc_matrix.Sexp
+module Spec = Abc_matrix.Spec
+
+let span_of (s : Sexp.span) : Finding.span =
+  {
+    Finding.start_line = s.Sexp.s.Sexp.line;
+    start_col = s.Sexp.s.Sexp.col;
+    end_line = s.Sexp.e.Sexp.line;
+    end_col = s.Sexp.e.Sexp.col;
+  }
+
+let point_span (p : Sexp.pos) : Finding.span =
+  {
+    Finding.start_line = p.Sexp.line;
+    start_col = p.Sexp.col;
+    end_line = p.Sexp.line;
+    end_col = p.Sexp.col;
+  }
+
+let binding cell axis =
+  List.find_opt (fun b -> String.equal b.Spec.axis axis) cell.Spec.bindings
+
+let int_binding cell axis =
+  match binding cell axis with
+  | Some ({ Spec.value = Spec.Int v; _ } as b) -> Some (b, v)
+  | _ -> None
+
+(* One finding per offending literal, not per cell: a single [f] value
+   fans out across the whole cross product, and every one of those
+   cells points back at the same source span. *)
+let check_cells ~path spec =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let emit ~rule ~span ~snippet msg =
+    let key = (rule, span, snippet) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out :=
+        Finding.v ~rule ~file:path ~span:(span_of span) ~snippet msg :: !out
+    end
+  in
+  List.iter
+    (fun (cell : Spec.cell) ->
+      match (binding cell "protocol", int_binding cell "n", int_binding cell "f") with
+      | Some ({ Spec.value = Spec.Str proto; _ } as pb), Some (_, n), Some (fb, f)
+        -> (
+        match Spec.resilience proto with
+        | None ->
+          emit ~rule:"matrix-resilience" ~span:pb.Spec.vspan ~snippet:proto
+            (Printf.sprintf
+               "unknown protocol token %S: not in the resilience registry, \
+                so its n/f cells cannot be checked (and abc-bench will \
+                reject it)"
+               proto)
+        | Some (cls, max_f) ->
+          if f > max_f n && cell.Spec.oracle <> Spec.Expect_fail then
+            emit ~rule:"matrix-resilience" ~span:fb.Spec.vspan
+              ~snippet:(Printf.sprintf "%s n=%d f=%d" proto n f)
+              (Printf.sprintf
+                 "cell exceeds %s's resilience class %s (max f=%d at n=%d); \
+                  annotate the cell expect-fail or fix the axis"
+                 proto cls (max_f n) n))
+      | _ -> ())
+    (Spec.expand spec);
+  List.rev !out
+
+let check ~path source =
+  match Spec.of_string ~file:path source with
+  | Error e ->
+    [
+      Finding.v ~rule:"matrix-parse" ~file:path ~span:(point_span e.Sexp.pos)
+        ~snippet:(Filename.basename path)
+        e.Sexp.msg;
+    ]
+  | Ok spec -> check_cells ~path spec

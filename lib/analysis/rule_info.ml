@@ -113,6 +113,32 @@ let all =
       example = "let debug x = Printf.printf \"x=%d\\n\" x";
     };
     {
+      id = "matrix-parse";
+      severity = Finding.Error;
+      scope = "*.matrix files under the scan roots";
+      rationale =
+        "A committed scenario spec that fails to parse or elaborate \
+         breaks abc-bench run and the bench-gate CI job only at run \
+         time; the linter loads every .matrix file through the same \
+         Abc_matrix.Spec reader and reports the elaboration error at \
+         the offending token, review-time.";
+      example = "(axes (n 4) (n 7))  ; duplicate axis";
+    };
+    {
+      id = "matrix-resilience";
+      severity = Finding.Error;
+      scope = "*.matrix files under the scan roots";
+      rationale =
+        "The spec-level twin of the resilience rule: every expanded \
+         cell's n/f literals are checked against the protocol's \
+         declared resilience class (n > 3f for the Bracha family, \
+         n > 5f for Ben-Or and Imbs-Raynal, n > 4f for Turpin-Coan). \
+         A beyond-bound cell must carry an expect-fail oracle — \
+         otherwise the protocol's own init-time rejection would be \
+         scored as a verdict miss, or worse, quietly measured.";
+      example = "(zip (n 4) (f 2)) with (default deliver-all)";
+    };
+    {
       id = "interface";
       severity = Finding.Error;
       scope = "lib/";

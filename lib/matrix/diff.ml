@@ -1,0 +1,391 @@
+module Json = Abc_sim.Json
+
+let schema = "abc.bench.matrix"
+
+let diff_schema = "abc.bench.matrix.diff"
+
+let diff_schema_version = 1
+
+type cell = {
+  key : (string * string) list;
+  pass : bool;
+  metrics : (string * float) list;  (** in {!metric_names} order *)
+}
+
+type set = { id : string; file : string; cells : cell list }
+
+let set_id s = s.id
+
+(* Metric vocabulary, in report order.  [`Cost] metrics regress when
+   they grow, [`Benefit] when they shrink; [`Advisory] metrics are
+   compared but only gate on request (wall-clock varies across
+   hosts). *)
+let metric_names =
+  [
+    ("ok_rate", `Benefit);
+    ("rounds", `Cost);
+    ("messages", `Cost);
+    ("bytes", `Cost);
+    ("ticks", `Cost);
+    ("committed", `Benefit);
+    ("wall_s", `Advisory);
+  ]
+
+(* ----------------------------------------------------------------- *)
+(* Loading                                                           *)
+(* ----------------------------------------------------------------- *)
+
+let num_of = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let ( let* ) r f = Result.bind r f
+
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let load_cell v =
+  let* key_obj = field "key" v in
+  let* key =
+    match Json.to_obj key_obj with
+    | None -> Error "cell key is not an object"
+    | Some fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, Json.String s) :: rest -> go ((k, s) :: acc) rest
+        | (k, _) :: _ -> Error (Printf.sprintf "cell key field %S is not a string" k)
+      in
+      go [] fields
+  in
+  let* pass =
+    match Json.member "pass" v with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "cell has no boolean \"pass\" field"
+  in
+  let* metrics =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, _) :: rest -> (
+        match Option.bind (Json.member name v) num_of with
+        | Some x -> go ((name, x) :: acc) rest
+        | None -> Error (Printf.sprintf "cell has no numeric %S field" name))
+    in
+    go [] metric_names
+  in
+  Ok { key; pass; metrics }
+
+let load_json_named ~file v =
+  let* () =
+    match Json.string_member "schema" v with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "schema %S, expected %S" s schema)
+    | None -> Error "missing \"schema\" field"
+  in
+  let* () =
+    match Json.int_member "version" v with
+    | Some ver when ver <= Runner.matrix_schema_version -> Ok ()
+    | Some ver ->
+      Error
+        (Printf.sprintf "version %d is newer than supported version %d" ver
+           Runner.matrix_schema_version)
+    | None -> Error "missing \"version\" field"
+  in
+  let* id =
+    match Json.string_member "id" v with
+    | Some id -> Ok id
+    | None -> Error "missing \"id\" field"
+  in
+  let* cell_list =
+    match Json.member "cells" v with
+    | Some (Json.List cs) -> Ok cs
+    | _ -> Error "missing \"cells\" list"
+  in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+      match load_cell c with
+      | Ok cell -> go (cell :: acc) (i + 1) rest
+      | Error e -> Error (Printf.sprintf "cell %d: %s" i e))
+  in
+  let* cells = go [] 0 cell_list in
+  Ok { id; file; cells }
+
+let load_json v = load_json_named ~file:"<json>" v
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Json.of_string text with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok v -> (
+      match load_json_named ~file:path v with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok s -> Ok s))
+
+(* ----------------------------------------------------------------- *)
+(* Comparison                                                        *)
+(* ----------------------------------------------------------------- *)
+
+type options = { threshold : float; gate_wall : bool }
+
+let default_options = { threshold = 10.; gate_wall = false }
+
+type delta = {
+  metric : string;
+  base : float;
+  cur : float;
+  pct : float option;
+  advisory : bool;
+}
+
+type verdict = Regression | Improvement | Unchanged
+
+let direction metric =
+  match List.assoc_opt metric metric_names with
+  | Some (`Benefit : [ `Benefit | `Cost | `Advisory ]) -> `Benefit
+  | _ -> `Cost
+
+let delta_verdict options d =
+  (* "Worse" is growth for cost metrics, shrinkage for benefit metrics;
+     beyond-threshold worse is a regression, beyond-threshold better an
+     improvement.  A metric leaving or entering zero has no relative
+     change — any move off an exactly-zero baseline counts as beyond
+     any threshold (deterministic same-seed runs only move when the
+     code changed). *)
+  let worse, magnitude =
+    match d.pct with
+    | Some pct -> (
+      match direction d.metric with
+      | `Cost -> (pct > 0., Float.abs pct)
+      | `Benefit -> (pct < 0., Float.abs pct))
+    | None ->
+      if d.cur = d.base then ((* 0 -> 0 *) false, 0.)
+      else
+        ( (match direction d.metric with
+          | `Cost -> d.cur > d.base
+          | `Benefit -> d.cur < d.base),
+          Float.infinity )
+  in
+  if magnitude <= options.threshold then Unchanged
+  else if worse then Regression
+  else Improvement
+
+type cell_report =
+  | Matched of {
+      key : (string * string) list;
+      pass_base : bool;
+      pass_cur : bool;
+      deltas : delta list;
+    }
+  | Added of (string * string) list
+  | Removed of (string * string) list
+
+type t = {
+  id : string;
+  base_file : string;
+  cur_file : string;
+  options : options;
+  cells : cell_report list;
+}
+
+let key_string key =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) key)
+
+let compare ~options ~(base : set) ~(cur : set) =
+  if base.id <> cur.id then
+    invalid_arg
+      (Printf.sprintf "matrix diff: comparing different specs (%S vs %S)"
+         base.id cur.id);
+  let base_index =
+    List.map (fun c -> (key_string c.key, c)) base.cells
+  in
+  let cur_keys = List.map (fun c -> key_string c.key) cur.cells in
+  let matched_or_added =
+    List.map
+      (fun c ->
+        match List.assoc_opt (key_string c.key) base_index with
+        | None -> Added c.key
+        | Some b ->
+          let deltas =
+            List.map
+              (fun (metric, dir) ->
+                let base = List.assoc metric b.metrics in
+                let cur = List.assoc metric c.metrics in
+                {
+                  metric;
+                  base;
+                  cur;
+                  pct =
+                    (if base = 0. then None
+                     else Some (100. *. (cur -. base) /. base));
+                  advisory = dir = `Advisory;
+                })
+              metric_names
+          in
+          Matched { key = c.key; pass_base = b.pass; pass_cur = c.pass; deltas })
+      cur.cells
+  in
+  let removed =
+    List.filter_map
+      (fun b ->
+        if List.mem (key_string b.key) cur_keys then None else Some (Removed b.key))
+      base.cells
+  in
+  {
+    id = cur.id;
+    base_file = base.file;
+    cur_file = cur.file;
+    options;
+    cells = matched_or_added @ removed;
+  }
+
+let gated options d = (not d.advisory) || options.gate_wall
+
+let cell_regressions options = function
+  | Added _ | Removed _ -> 0
+  | Matched m ->
+    let flip = if m.pass_base && not m.pass_cur then 1 else 0 in
+    flip
+    + List.length
+        (List.filter
+           (fun d -> gated options d && delta_verdict options d = Regression)
+           m.deltas)
+
+let cell_improvements options = function
+  | Added _ | Removed _ -> 0
+  | Matched m ->
+    let flip = if (not m.pass_base) && m.pass_cur then 1 else 0 in
+    flip
+    + List.length
+        (List.filter
+           (fun d -> gated options d && delta_verdict options d = Improvement)
+           m.deltas)
+
+let regressions t =
+  List.fold_left (fun acc c -> acc + cell_regressions t.options c) 0 t.cells
+
+let improvements t =
+  List.fold_left (fun acc c -> acc + cell_improvements t.options c) 0 t.cells
+
+(* ----------------------------------------------------------------- *)
+(* Rendering                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let verdict_label = function
+  | Regression -> "regression"
+  | Improvement -> "improvement"
+  | Unchanged -> "unchanged"
+
+let pct_label = function
+  | None -> "(new)"
+  | Some pct -> Printf.sprintf "(%+.1f%%)" pct
+
+(* Only noteworthy lines are printed: pass-flips, beyond-threshold
+   deltas and added/removed cells.  Unchanged cells appear in the
+   summary count — this keeps the report (and the golden file pinning
+   it) focused on what moved. *)
+let to_text t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "matrix diff %s: %s -> %s" t.id t.base_file t.cur_file;
+  line "threshold %.1f%%, wall-clock %s" t.options.threshold
+    (if t.options.gate_wall then "gated" else "advisory");
+  let regs = ref 0 and imps = ref 0 and added = ref 0 in
+  let removed = ref 0 and unchanged = ref 0 in
+  List.iter
+    (fun cell ->
+      match cell with
+      | Added key ->
+        incr added;
+        line "+ [%s] added" (key_string key)
+      | Removed key ->
+        incr removed;
+        line "- [%s] removed" (key_string key)
+      | Matched m ->
+        let flip = m.pass_base <> m.pass_cur in
+        let moved =
+          List.filter (fun d -> delta_verdict t.options d <> Unchanged) m.deltas
+        in
+        if (not flip) && moved = [] then incr unchanged
+        else begin
+          regs := !regs + cell_regressions t.options cell;
+          imps := !imps + cell_improvements t.options cell;
+          line "  [%s]" (key_string m.key);
+          if flip then
+            line "    pass        %s -> %s    %s"
+              (if m.pass_base then "ok" else "FAIL")
+              (if m.pass_cur then "ok" else "FAIL")
+              (if m.pass_cur then "improvement" else "regression");
+          List.iter
+            (fun d ->
+              line "    %-10s %8.2f -> %8.2f  %-9s %s%s" d.metric d.base d.cur
+                (pct_label d.pct)
+                (verdict_label (delta_verdict t.options d))
+                (if gated t.options d then "" else " [advisory]"))
+            moved
+        end)
+    t.cells;
+  line "summary %s: %d regressions, %d improvements, %d added, %d removed, %d unchanged"
+    t.id !regs !imps !added !removed !unchanged;
+  Buffer.contents b
+
+let round2 x = Float.of_string (Printf.sprintf "%.2f" x)
+
+let key_json key = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) key)
+
+let to_json t =
+  let delta_json d =
+    Json.Obj
+      ([
+         ("metric", Json.String d.metric);
+         ("base", Json.Float (round2 d.base));
+         ("cur", Json.Float (round2 d.cur));
+       ]
+      @ (match d.pct with
+        | Some pct -> [ ("pct", Json.Float (round2 pct)) ]
+        | None -> [])
+      @ [
+          ("advisory", Json.Bool d.advisory);
+          ("verdict", Json.String (verdict_label (delta_verdict t.options d)));
+        ])
+  in
+  let cell_json = function
+    | Added key -> Json.Obj [ ("key", key_json key); ("status", Json.String "added") ]
+    | Removed key ->
+      Json.Obj [ ("key", key_json key); ("status", Json.String "removed") ]
+    | Matched m ->
+      Json.Obj
+        [
+          ("key", key_json m.key);
+          ("status", Json.String "matched");
+          ("pass_base", Json.Bool m.pass_base);
+          ("pass_cur", Json.Bool m.pass_cur);
+          ("deltas", Json.List (List.map delta_json m.deltas));
+        ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String diff_schema);
+      ("version", Json.Int diff_schema_version);
+      ("id", Json.String t.id);
+      ("base", Json.String t.base_file);
+      ("cur", Json.String t.cur_file);
+      ( "options",
+        Json.Obj
+          [
+            ("threshold", Json.Float (round2 t.options.threshold));
+            ("gate_wall", Json.Bool t.options.gate_wall);
+          ] );
+      ("regressions", Json.Int (regressions t));
+      ("improvements", Json.Int (improvements t));
+      ("cells", Json.List (List.map cell_json t.cells));
+    ]

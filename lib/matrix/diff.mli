@@ -1,0 +1,81 @@
+(** Cell-by-cell comparison of two [abc.bench.matrix] result sets.
+
+    [abc-bench diff] loads a committed baseline and a fresh run of the
+    same spec and compares each cell (matched by its axis-value key):
+    pass-flips and metric growth beyond a threshold are regressions,
+    metric shrinkage beyond the threshold is an improvement, and cells
+    present on only one side are reported as added/removed.  Gated
+    metrics are [rounds], [messages], [bytes] and [ticks]; wall-clock
+    is compared but advisory-only unless explicitly gated, because
+    it is the one field that varies across hosts (everything else is
+    byte-identical for a given spec and seed set).
+
+    Both renderings ({!to_text}, {!to_json}) are deterministic
+    functions of the two inputs, so they can themselves be
+    golden-tested. *)
+
+type set
+(** One loaded result set. *)
+
+val set_id : set -> string
+
+val load_json : Abc_sim.Json.t -> (set, string) result
+(** Validate schema/version and index the cells.  [Error] explains the
+    mismatch (wrong schema, unsupported version, malformed cell). *)
+
+val load_file : string -> (set, string) result
+
+type options = {
+  threshold : float;  (** regression/improvement cutoff, percent *)
+  gate_wall : bool;  (** also gate on wall-clock growth *)
+}
+
+val default_options : options
+(** 10% threshold, wall-clock advisory. *)
+
+type delta = {
+  metric : string;
+  base : float;
+  cur : float;
+  pct : float option;  (** relative change in percent; [None] when base = 0 *)
+  advisory : bool;  (** compared but never gated (wall-clock) *)
+}
+
+type verdict = Regression | Improvement | Unchanged
+
+val delta_verdict : options -> delta -> verdict
+
+type cell_report =
+  | Matched of {
+      key : (string * string) list;
+      pass_base : bool;
+      pass_cur : bool;
+      deltas : delta list;
+    }
+  | Added of (string * string) list
+  | Removed of (string * string) list
+
+type t = {
+  id : string;
+  base_file : string;
+  cur_file : string;
+  options : options;
+  cells : cell_report list;
+}
+
+val compare : options:options -> base:set -> cur:set -> t
+(** Cells appear in the current set's order, then removed cells in the
+    base set's order.  Raises [Invalid_argument] when the two sets are
+    different specs (ids differ). *)
+
+val regressions : t -> int
+(** Gated regressions: pass-flips to fail, plus non-advisory metric
+    deltas beyond the threshold (advisory metrics gate only when
+    [gate_wall] was set). *)
+
+val improvements : t -> int
+
+val to_text : t -> string
+
+val to_json : t -> Abc_sim.Json.t
+(** The [abc.bench.matrix.diff] report object (see OBSERVABILITY.md). *)

@@ -1,0 +1,66 @@
+(** Execute an expanded scenario matrix on the domain pool.
+
+    Each (cell, seed) pair is one independent pool job; results are
+    merged by job index, so every aggregate below — and hence the
+    rendered table and the [BENCH_MATRIX_*.json] export — is
+    byte-identical at any worker count.  The only non-deterministic
+    field is the advisory wall-clock, and only when a [clock] is
+    supplied; with [clock] absent every wall field is exactly [0.]
+    (what the CI determinism diff runs with).
+
+    Protocol dispatch lives here (not in [bench/]) so the bench
+    harness and [abc-bench] share one implementation.  Supported
+    protocol tokens: [bracha], [bracha-cc] (common coin), [bracha-rl]
+    (reliable-link transport), [ben-or], [mmr] for binary consensus;
+    [bracha-rbc], [coded-rbc], [ir-rbc] for reliable broadcast over a
+    [payload]-byte message; [atomic] for the batched atomic broadcast
+    ([batch] / [epochs] / [window] / [checkpoint] / [crash] axes).  An
+    unsupported token or axis combination raises
+    [Invalid_argument] with the offending cell's key. *)
+
+type cell_metrics = {
+  ok_rate : float;  (** fraction of seeds satisfying {!Spec.Decide} *)
+  rounds : float;  (** mean slowest-honest decision round *)
+  messages : float;  (** mean point-to-point messages per run *)
+  bytes : float;  (** mean wire bytes per run ([bytes.sent]) *)
+  ticks : float;  (** mean virtual duration per run *)
+  committed : float;  (** mean committed transactions (atomic only) *)
+  wall_s : float;  (** summed wall-clock over the cell's runs; advisory *)
+}
+
+type cell_result = {
+  cell : Spec.cell;
+  pass : bool;  (** the cell's expected verdict held on every seed *)
+  metrics : cell_metrics;
+}
+
+type t = { spec : Spec.t; cells : cell_result list }
+
+val run :
+  ?clock:(unit -> float) ->
+  ?seeds_scale:float ->
+  pool:Abc_exec.Pool.t ->
+  Spec.t ->
+  t
+(** Expand the spec and run every cell's seed sweep on the pool.
+    [seeds_scale] multiplies each cell's [seeds] axis (floored at 1);
+    the quick tier in CI uses the spec's own counts, scale [1.]. *)
+
+val passed : t -> bool
+(** Every cell's expected verdict held. *)
+
+val failures : t -> cell_result list
+
+val table : t -> Abc_sim.Table.t
+(** One row per cell: the axis values, the expected verdict, the
+    observed verdict and the aggregate metrics.  The table id is the
+    spec id. *)
+
+val matrix_schema_version : int
+(** Version stamped into (and accepted from) [abc.bench.matrix]
+    documents. *)
+
+val to_json : jobs:int -> seeds_scale:float -> t -> Abc_sim.Json.t
+(** The [abc.bench.matrix] result set (schema documented in
+    OBSERVABILITY.md): spec identity, axis list, one object per cell
+    keyed by its axis values, and run metadata. *)

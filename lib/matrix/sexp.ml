@@ -1,0 +1,142 @@
+type pos = { line : int; col : int }
+
+type span = { s : pos; e : pos }
+
+type t =
+  | Atom of string * span
+  | List of t list * span
+
+type error = { file : string; pos : pos; msg : string }
+
+let span = function Atom (_, sp) -> sp | List (_, sp) -> sp
+
+let error_to_string { file; pos; msg } =
+  Printf.sprintf "%s:%d:%d: %s" file pos.line pos.col msg
+
+exception Fail of pos * string
+
+(* A cursor over the source text that tracks line/column as it
+   advances; all positions reported in errors and spans come from
+   here. *)
+type cursor = {
+  text : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let cursor text = { text; i = 0; line = 1; col = 0 }
+
+let eof c = c.i >= String.length c.text
+
+let peek c = c.text.[c.i]
+
+let position c = { line = c.line; col = c.col }
+
+let advance c =
+  (if c.text.[c.i] = '\n' then begin
+     c.line <- c.line + 1;
+     c.col <- 0
+   end
+   else c.col <- c.col + 1);
+  c.i <- c.i + 1
+
+let rec skip_blank c =
+  if eof c then ()
+  else
+    match peek c with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance c;
+      skip_blank c
+    | ';' ->
+      while (not (eof c)) && peek c <> '\n' do
+        advance c
+      done;
+      skip_blank c
+    | _ -> ()
+
+let atom_char ch =
+  match ch with
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+  | _ -> true
+
+let read_atom c =
+  let start = position c in
+  let b = Buffer.create 16 in
+  while (not (eof c)) && atom_char (peek c) do
+    Buffer.add_char b (peek c);
+    advance c
+  done;
+  Atom (Buffer.contents b, { s = start; e = position c })
+
+let read_string c =
+  let start = position c in
+  advance c (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof c then raise (Fail (start, "unterminated string literal"))
+    else
+      match peek c with
+      | '"' ->
+        advance c;
+        Atom (Buffer.contents b, { s = start; e = position c })
+      | '\\' ->
+        advance c;
+        if eof c then raise (Fail (start, "unterminated string literal"));
+        let escaped = peek c in
+        let resolved =
+          match escaped with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | '"' -> '"'
+          | '\\' -> '\\'
+          | other ->
+            raise
+              (Fail (position c, Printf.sprintf "unknown escape '\\%c'" other))
+        in
+        Buffer.add_char b resolved;
+        advance c;
+        go ()
+      | ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+  in
+  go ()
+
+let rec read_form c =
+  skip_blank c;
+  if eof c then raise (Fail (position c, "unexpected end of input"))
+  else
+    match peek c with
+    | '(' ->
+      let start = position c in
+      advance c;
+      let items = ref [] in
+      let rec items_loop () =
+        skip_blank c;
+        if eof c then
+          raise (Fail (start, "unclosed '(' (expected ')' before end of input)"))
+        else if peek c = ')' then begin
+          advance c;
+          List (List.rev !items, { s = start; e = position c })
+        end
+        else begin
+          items := read_form c :: !items;
+          items_loop ()
+        end
+      in
+      items_loop ()
+    | ')' -> raise (Fail (position c, "unmatched ')'"))
+    | '"' -> read_string c
+    | _ -> read_atom c
+
+let parse ~file text =
+  let c = cursor text in
+  let rec top acc =
+    skip_blank c;
+    if eof c then List.rev acc else top (read_form c :: acc)
+  in
+  match top [] with
+  | forms -> Ok forms
+  | exception Fail (pos, msg) -> Error { file; pos; msg }

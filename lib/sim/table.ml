@@ -1,10 +1,24 @@
 type t = {
+  id : string option;
   title : string;
   columns : string list;
   mutable rows : string list list; (* reversed *)
 }
 
-let create ~title ~columns = { title; columns; rows = [] }
+let id_ok id =
+  id <> ""
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '-' | '_' -> true | _ -> false)
+       id
+
+let create ?id ~title ~columns () =
+  (match id with
+  | Some id when not (id_ok id) ->
+    invalid_arg
+      (Printf.sprintf
+         "Table.create: id %S must be non-empty [a-z0-9_-] (table %S)" id title)
+  | _ -> ());
+  { id; title; columns; rows = [] }
 
 let add_row t cells =
   if List.length cells <> List.length t.columns then
@@ -71,22 +85,36 @@ let bench_schema_version = 1
 let to_json t =
   let row cells = Json.List (List.map (fun c -> Json.String c) cells) in
   Json.Obj
-    [
-      ("schema", Json.String "abc.bench");
-      ("version", Json.Int bench_schema_version);
+    ([
+       ("schema", Json.String "abc.bench");
+       ("version", Json.Int bench_schema_version);
+     ]
+    @ (match t.id with Some id -> [ ("id", Json.String id) ] | None -> [])
+    @ [
       ("title", Json.String t.title);
       ("columns", row t.columns);
-      ("rows", Json.List (List.map row (List.rev t.rows)));
-      ("meta", Json.Obj !run_meta);
-    ]
+        ("rows", Json.List (List.map row (List.rev t.rows)));
+        ("meta", Json.Obj !run_meta);
+      ])
 
-let slug title =
+(* The first 8 hex digits of the title digest keep filenames unique
+   however long (or however alike in their first words) two titles are
+   — truncating the title alone collided E14's loss-sweep tables. *)
+let title_hash title = String.sub (Digest.to_hex (Digest.string title)) 0 8
+
+let sanitize s =
   String.map
     (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
-      | _ -> '_')
-    (String.sub title 0 (min 40 (String.length title)))
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+    s
+
+let slug t =
+  let stem =
+    match t.id with
+    | Some id -> id
+    | None -> sanitize (String.sub t.title 0 (min 24 (String.length t.title)))
+  in
+  stem ^ "_" ^ title_hash t.title
 
 let write_file dir name contents =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -98,12 +126,12 @@ let print t =
   print_string (render t);
   (match !csv_directory with
   | None -> ()
-  | Some dir -> write_file dir (slug t.title ^ ".csv") (csv t));
+  | Some dir -> write_file dir (slug t ^ ".csv") (csv t));
   match !json_directory with
   | None -> ()
   | Some dir ->
     write_file dir
-      ("BENCH_" ^ slug t.title ^ ".json")
+      ("BENCH_" ^ slug t ^ ".json")
       (Json.to_string (to_json t) ^ "\n")
 
 let cell_int = string_of_int

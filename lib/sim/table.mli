@@ -7,8 +7,11 @@
 type t
 (** A table under construction. *)
 
-val create : title:string -> columns:string list -> t
-(** [create ~title ~columns] starts a table with the given header. *)
+val create : ?id:string -> title:string -> columns:string list -> unit -> t
+(** [create ~title ~columns] starts a table with the given header.
+    [id] is a short stable slug ([a-z0-9_-]) naming the table's export
+    files independently of the (long, prose) title; see {!slug}.
+    Raises [Invalid_argument] on a malformed [id]. *)
 
 val add_row : t -> string list -> unit
 (** [add_row t cells] appends a row.  Raises [Invalid_argument] if the
@@ -25,16 +28,22 @@ val csv : t -> string
 (** [csv t] is the table as RFC-4180-ish CSV (header row included;
     cells containing commas or quotes are quoted). *)
 
+val slug : t -> string
+(** The stem of the table's export filenames: the explicit [id] (or,
+    without one, the sanitized first 24 title characters) followed by
+    ["_"] and the first 8 hex digits of the full title's digest — so
+    two tables whose long titles share a prefix never collide, which
+    plain title truncation did not guarantee. *)
+
 val set_csv_directory : string option -> unit
 (** When set, every subsequent {!print} also writes the table as
-    [<dir>/<slug-of-title>.csv] (the directory is created if needed).
-    The experiment harness uses this to export machine-readable
-    results. *)
+    [<dir>/<slug>.csv] (the directory is created if needed).  The
+    experiment harness uses this to export machine-readable results. *)
 
 val set_json_directory : string option -> unit
 (** When set, every subsequent {!print} also writes the table as
-    [<dir>/BENCH_<slug-of-title>.json] — an [abc.bench] run-summary
-    object carrying the schema version, title, columns, rows and the
+    [<dir>/BENCH_<slug>.json] — an [abc.bench] run-summary object
+    carrying the schema version, id, title, columns, rows and the
     current {!set_run_meta} metadata (see [OBSERVABILITY.md]). *)
 
 val set_run_meta : (string * Json.t) list -> unit

@@ -1,0 +1,174 @@
+(* Tests for the abc-bench diff layer (lib/matrix Diff).
+
+   The fixture pair under test/golden/ covers every cell-report shape:
+   an unchanged cell, a rounds regression beyond the threshold with an
+   advisory wall-clock jump, an improvement (including a zero-baseline
+   metric moving off zero, the pct = None case), a pass-flip, and an
+   added and a removed cell.  Both renderings — the text report and
+   the abc.bench.matrix.diff JSON — are golden-checked byte for byte;
+   the regression/improvement counters and the wall-clock gating
+   switch are asserted exactly, since abc-bench's non-zero exit (the
+   CI gate) is [regressions > 0]. *)
+
+module Diff = Abc_matrix.Diff
+module Json = Abc_sim.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let load path =
+  match Diff.load_file path with
+  | Ok set -> set
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let fixture_report ?(options = Diff.default_options) () =
+  let base = load "golden/matrix_diff_base.json" in
+  let cur = load "golden/matrix_diff_cur.json" in
+  Diff.compare ~options ~base ~cur
+
+(* ---- loading ---- *)
+
+let test_load_rejects () =
+  let reject name json msg_has =
+    match Diff.load_json json with
+    | Ok _ -> Alcotest.failf "%s: unexpectedly loaded" name
+    | Error e ->
+      if not (Astring.String.is_infix ~affix:msg_has e) then
+        Alcotest.failf "%s: %S does not mention %S" name e msg_has
+  in
+  reject "wrong schema"
+    (Json.Obj [ ("schema", Json.String "abc.bench") ])
+    "abc.bench.matrix";
+  reject "future version"
+    (Json.Obj
+       [
+         ("schema", Json.String "abc.bench.matrix");
+         ("version", Json.Int 99);
+         ("id", Json.String "x");
+         ("cells", Json.List []);
+       ])
+    "newer than supported";
+  reject "missing cells"
+    (Json.Obj
+       [
+         ("schema", Json.String "abc.bench.matrix");
+         ("version", Json.Int 1);
+         ("id", Json.String "x");
+       ])
+    "cells"
+
+let test_id_mismatch () =
+  let base = load "golden/matrix_diff_base.json" in
+  let other =
+    match
+      Diff.load_json
+        (Json.Obj
+           [
+             ("schema", Json.String "abc.bench.matrix");
+             ("version", Json.Int 1);
+             ("id", Json.String "other");
+             ("cells", Json.List []);
+           ])
+    with
+    | Ok set -> set
+    | Error e -> Alcotest.failf "forged set rejected: %s" e
+  in
+  Alcotest.check_raises "different specs refuse to diff"
+    (Invalid_argument
+       "matrix diff: comparing different specs (\"gd\" vs \"other\")")
+    (fun () ->
+      ignore (Diff.compare ~options:Diff.default_options ~base ~cur:other))
+
+(* ---- counters and gating ---- *)
+
+let test_counts () =
+  let t = fixture_report () in
+  (* rounds +20% (1), pass-flip (1) + ok_rate -50% (1) = 3; the wall
+     jump is advisory and must NOT gate by default. *)
+  Alcotest.(check int) "regressions" 3 (Diff.regressions t);
+  (* bytes -20% (1) + committed off zero (1) = 2. *)
+  Alcotest.(check int) "improvements" 2 (Diff.improvements t);
+  let gated = fixture_report ~options:{ Diff.threshold = 10.0; gate_wall = true } () in
+  Alcotest.(check int) "gate-wall adds the wall regression" 4
+    (Diff.regressions gated)
+
+let test_threshold () =
+  (* At a 25% threshold the rounds (+20%) and bytes (-20%) deltas stop
+     counting; the pass-flip and the infinite-magnitude zero-baseline
+     move still do. *)
+  let t = fixture_report ~options:{ Diff.threshold = 25.0; gate_wall = false } () in
+  Alcotest.(check int) "regressions at 25%" 2 (Diff.regressions t);
+  Alcotest.(check int) "improvements at 25%" 1 (Diff.improvements t)
+
+let test_delta_verdicts () =
+  let v d = Diff.delta_verdict Diff.default_options d in
+  let delta metric base cur advisory =
+    let pct =
+      if base = 0.0 then None else Some ((cur -. base) /. base *. 100.0)
+    in
+    { Diff.metric; base; cur; pct; advisory }
+  in
+  Alcotest.(check bool) "cost growth regresses" true
+    (v (delta "rounds" 10.0 12.0 false) = Diff.Regression);
+  Alcotest.(check bool) "cost shrink improves" true
+    (v (delta "bytes" 1000.0 800.0 false) = Diff.Improvement);
+  Alcotest.(check bool) "benefit shrink regresses" true
+    (v (delta "ok_rate" 1.0 0.5 false) = Diff.Regression);
+  Alcotest.(check bool) "within threshold unchanged" true
+    (v (delta "messages" 100.0 105.0 false) = Diff.Unchanged);
+  Alcotest.(check bool) "zero to zero unchanged" true
+    (v (delta "committed" 0.0 0.0 false) = Diff.Unchanged);
+  Alcotest.(check bool) "off zero is infinite magnitude" true
+    (v (delta "committed" 0.0 3.0 false) = Diff.Improvement)
+
+(* ---- golden renderings ---- *)
+
+let write_actual name text =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let test_text_golden () =
+  let t = fixture_report () in
+  let first = Diff.to_text t in
+  let second = Diff.to_text (fixture_report ()) in
+  Alcotest.(check string) "byte-identical across runs" first second;
+  write_actual "matrix_diff.actual.txt" first;
+  Alcotest.(check string) "matches golden"
+    (read_file "golden/matrix_diff.txt")
+    first
+
+let test_json_golden () =
+  let t = fixture_report () in
+  let first = Json.to_string (Diff.to_json t) in
+  write_actual "matrix_diff.actual.json" first;
+  Alcotest.(check string) "matches golden"
+    (read_file "golden/matrix_diff.json")
+    first
+
+let () =
+  Alcotest.run "bench-diff"
+    [
+      ( "load",
+        [
+          Alcotest.test_case "schema/version validation" `Quick
+            test_load_rejects;
+          Alcotest.test_case "same-spec requirement" `Quick test_id_mismatch;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "regression/improvement counts" `Quick test_counts;
+          Alcotest.test_case "threshold widens the gate" `Quick test_threshold;
+          Alcotest.test_case "delta verdicts" `Quick test_delta_verdicts;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "text report" `Quick test_text_golden;
+          Alcotest.test_case "json report" `Quick test_json_golden;
+        ] );
+    ]

@@ -45,8 +45,8 @@ let sweep_summaries pool seeds =
    shape as the bench harness builds, rendered to CSV. *)
 let e1_slice_csv pool =
   let table =
-    Table.create ~title:"determinism slice"
-      ~columns:[ "n"; "f"; "fault"; "ok"; "mean msgs" ]
+    Table.create ~title:"determinism slice" ~id:"det-slice"
+      ~columns:[ "n"; "f"; "fault"; "ok"; "mean msgs" ] ()
   in
   List.iter
     (fun (n, f, faulty, label) ->
@@ -87,8 +87,8 @@ let e17_slice_csv pool =
   let module EA = Abc_net.Engine.Make (Atomic) in
   let epochs = 2 in
   let table =
-    Table.create ~title:"E17 determinism slice"
-      ~columns:[ "n"; "batch"; "seed"; "committed"; "tx/ktick"; "B/tx" ]
+    Table.create ~title:"E17 determinism slice" ~id:"det-e17"
+      ~columns:[ "n"; "batch"; "seed"; "committed"; "tx/ktick"; "B/tx" ] ()
   in
   List.iter
     (fun batch ->

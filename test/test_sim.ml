@@ -282,7 +282,7 @@ let test_metrics_series () =
 (* Table *)
 
 let test_table_render () =
-  let t = Table.create ~title:"T" ~columns:[ "col"; "n" ] in
+  let t = Table.create ~title:"T" ~columns:[ "col"; "n" ] () in
   Table.add_row t [ "abc"; "1" ];
   Table.add_row t [ "d"; "22" ];
   let out = Table.render t in
@@ -292,13 +292,13 @@ let test_table_render () =
     (List.exists (fun line -> line = "abc  1 ") (String.split_on_char '\n' out))
 
 let test_table_arity_check () =
-  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] () in
   Alcotest.check_raises "wrong arity"
     (Invalid_argument "Table.add_row: 1 cells for 2 columns in table \"T\"")
     (fun () -> Table.add_row t [ "only" ])
 
 let test_table_csv () =
-  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] () in
   Table.add_row t [ "plain"; "with,comma" ];
   Table.add_row t [ "has\"quote"; "fine" ];
   Alcotest.(check string) "csv escaping"
