@@ -1224,6 +1224,86 @@ let experiment_e18 pool =
   Table.print latency_table;
   print_newline ()
 
+(* ----------------------------------------------------------------- *)
+(* E19: engine hot path — wall-clock and events/sec up to n=256      *)
+(* ----------------------------------------------------------------- *)
+
+(* The wall-clock side of bench/specs/e19_engine.matrix: one Bracha
+   broadcast and one full MMR consensus per n at maximal resilience,
+   timed end to end on one domain.  "Events" are engine deliveries —
+   the unit of hot-path work (one arena removal, one protocol step,
+   one metrics/trace update) that PERFORMANCE.md budgets against.
+   Message/byte/tick counts and verdicts for the same cells are
+   pinned by the matrix spec and the CI bench gate; this table
+   reports the wall-clock the --no-wall exports deliberately zero
+   out.  Runs sequentially (never on the pool): overlapping runs
+   would time each other. *)
+let experiment_e19 _pool =
+  let seeds = scaled 2 in
+  let table =
+    Table.create ~id:"e19"
+      ~title:
+        (Printf.sprintf
+           "E19. Engine scale at max resilience, uniform scheduler (%d seeds \
+            per cell, sequential)"
+           seeds)
+      ~columns:
+        [ "protocol"; "n"; "f"; "msgs/run"; "ticks/run"; "wall s"; "events/sec" ]
+      ()
+  in
+  let row protocol n f run =
+    let t0 = Unix.gettimeofday () in
+    let events = ref 0 and msgs = ref 0 and ticks = ref 0 in
+    for seed = 1 to seeds do
+      let delivered, sent, duration = run ~seed in
+      events := !events + delivered;
+      msgs := !msgs + sent;
+      ticks := !ticks + duration
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Table.add_row table
+      [
+        protocol;
+        Table.cell_int n;
+        Table.cell_int f;
+        Table.cell_int (!msgs / seeds);
+        Table.cell_int (!ticks / seeds);
+        Table.cell_float ~decimals:3 dt;
+        Table.cell_float ~decimals:0 (float_of_int !events /. dt);
+      ]
+  in
+  let bracha ~n ~f ~seed =
+    let payload = e16_payload ~bytes:16 ~seed in
+    let config =
+      BrsE.config ~n ~f
+        ~inputs:(Bracha_str.inputs ~n ~sender:(node 0) payload)
+        ~adversary:Adversary.uniform ~seed ()
+    in
+    let r = BrsE.run config in
+    ( Abc_sim.Metrics.counter r.BrsE.metrics "delivered",
+      Abc_sim.Metrics.counter r.BrsE.metrics "sent",
+      r.BrsE.duration )
+  in
+  let mmr ~n ~f ~seed =
+    let inputs =
+      Mmr.inputs ~n ~coin:(Abc.Coin.common ~seed:7) (split_inputs n)
+    in
+    let config =
+      MmrH.E.config ~n ~f ~inputs ~adversary:Adversary.uniform ~seed ()
+    in
+    let result, verdict = MmrH.run config in
+    if not verdict.Abc.Harness.terminated then
+      failwith (Printf.sprintf "E19: mmr n=%d seed=%d did not decide" n seed);
+    ( Abc_sim.Metrics.counter result.MmrH.E.metrics "delivered",
+      Abc_sim.Metrics.counter result.MmrH.E.metrics "sent",
+      result.MmrH.E.duration )
+  in
+  let arms = [ (16, 5); (64, 21); (128, 42); (256, 85) ] in
+  List.iter (fun (n, f) -> row "bracha-rbc" n f (bracha ~n ~f)) arms;
+  List.iter (fun (n, f) -> row "mmr" n f (mmr ~n ~f)) arms;
+  Table.print table;
+  print_newline ()
+
 let experiments =
   [
     ("E1", "reliable broadcast correctness", experiment_e1);
@@ -1244,6 +1324,7 @@ let experiments =
     ("E16", "per-node bandwidth: bracha vs coded vs ir", experiment_e16);
     ("E17", "atomic broadcast: committed tx throughput", experiment_e17);
     ("E18", "crash recovery: GC bound and catch-up latency", experiment_e18);
+    ("E19", "engine scale: wall-clock and events/sec to n=256", experiment_e19);
   ]
 
 let () =

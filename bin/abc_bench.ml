@@ -41,19 +41,29 @@ let write_file path contents =
 
 (* run *)
 
-let run_run specs jobs seeds_scale out no_wall =
+let run_run specs jobs seeds_scale out no_wall tier =
   let pool = Pool.create ~jobs () in
   let clock = if no_wall then None else Some Unix.gettimeofday in
   let all_ok =
     List.fold_left
       (fun all_ok path ->
         let spec = load_spec path in
+        let spec_tier = Spec.tier_label (Spec.tier spec) in
+        match tier with
+        | Some t when t <> spec_tier ->
+          (* A tier filter lets CI pass a whole specs/ glob and run only
+             the cheap slice; skipped specs are named so a mistyped
+             filter is visible, not a silent no-op. *)
+          Fmt.epr "abc-bench: skipping %s (tier %s, filter %s)@."
+            (Spec.id spec) spec_tier t;
+          all_ok
+        | Some _ | None ->
         let result = Runner.run ?clock ~seeds_scale ~pool spec in
         print_string (Table.render (Runner.table result));
         (match out with
         | None -> ()
         | Some dir ->
-          let json = Runner.to_json ~jobs ~seeds_scale result in
+          let json = Runner.to_json ~seeds_scale result in
           write_file
             (Filename.concat dir ("BENCH_MATRIX_" ^ Spec.id spec ^ ".json"))
             (Json.to_string json ^ "\n"));
@@ -107,8 +117,9 @@ let matrix_files dir =
 
 (* Pair the two sides by set id.  Sets present on only one side are a
    hard error: a silently vanishing baseline would let a regression
-   through the gate. *)
-let pair_sets base cur =
+   through the gate.  A tier filter restricts that universe on both
+   sides first — the one-sided check then applies within the tier. *)
+let pair_sets base cur tier =
   let load_side path =
     if not (Sys.file_exists path) then begin
       Fmt.epr "abc-bench: %s: no such file or directory@." path;
@@ -123,7 +134,20 @@ let pair_sets base cur =
     end
     else [ load_set path ]
   in
-  let bases = load_side base and curs = load_side cur in
+  let filter_tier side path sets =
+    match tier with
+    | None -> sets
+    | Some t ->
+      let kept = List.filter (fun s -> Diff.set_tier s = t) sets in
+      if kept = [] then begin
+        Fmt.epr "abc-bench: %s: no result sets with tier %s in %s@." side t
+          path;
+        exit 2
+      end;
+      kept
+  in
+  let bases = filter_tier "base" base (load_side base)
+  and curs = filter_tier "current" cur (load_side cur) in
   let find_id sets id = List.find_opt (fun s -> Diff.set_id s = id) sets in
   let missing =
     List.filter_map
@@ -148,9 +172,9 @@ let pair_sets base cur =
     (fun c -> (Option.get (find_id bases (Diff.set_id c)), c))
     curs
 
-let run_diff base cur threshold gate_wall as_json =
+let run_diff base cur threshold gate_wall as_json tier =
   let options = { Diff.threshold; gate_wall } in
-  let pairs = pair_sets base cur in
+  let pairs = pair_sets base cur tier in
   let reports =
     List.map (fun (b, c) -> Diff.compare ~options ~base:b ~cur:c) pairs
   in
@@ -207,11 +231,21 @@ let no_wall_arg =
            making the result set byte-identical across hosts and runs \
            (what the CI determinism diff uses).")
 
+let tier_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("quick", "quick"); ("full", "full") ])) None
+    & info [ "tier" ] ~docv:"TIER"
+        ~doc:
+          "Only consider specs (run) or result sets (diff) of this \
+           tier: quick or full.  Lets CI pass the whole specs \
+           directory and exercise just the cheap slice.")
+
 let run_cmd =
   let term =
     Term.(
       const run_run $ specs_arg $ jobs_arg $ seeds_scale_arg $ out_arg
-      $ no_wall_arg)
+      $ no_wall_arg $ tier_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -264,7 +298,7 @@ let diff_cmd =
   let term =
     Term.(
       const run_diff $ base_arg $ cur_arg $ threshold_arg $ gate_wall_arg
-      $ json_arg)
+      $ json_arg $ tier_arg)
   in
   Cmd.v
     (Cmd.info "diff"

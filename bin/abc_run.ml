@@ -313,6 +313,18 @@ let payload_digest s =
     s;
   !h
 
+(* Engine throughput for the closing report: deliveries are the
+   hot-path unit of work (one arena removal, one protocol step), so
+   deliveries over host wall-clock is the same events/sec measure the
+   E19 bench table reports (see PERFORMANCE.md).  Skipped for runs too
+   fast to time meaningfully. *)
+let print_events_rate ~deliveries t0 =
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt >= 0.001 && deliveries > 0 then
+    Fmt.pr "  events/sec=%.0f (%d deliveries in %.3fs)@."
+      (float_of_int deliveries /. dt)
+      deliveries dt
+
 let print_byte_counters ~n metrics =
   let c = Abc_sim.Metrics.counter metrics in
   Fmt.pr "  bytes: sent=%d delivered=%d per-node=%d@." (c "bytes.sent")
@@ -348,11 +360,13 @@ struct
         ~adversary:(adversary_of ~n adversary)
         ~seed ?link_faults ?trace:tr ()
     in
+    let t0 = Unix.gettimeofday () in
     let result = E.run config in
     Fmt.pr "%s n=%d f=%d seed=%d stop=%a messages=%d time=%d@." label n f seed
       Abc_net.Engine.pp_stop_reason result.E.stop
       (Abc_sim.Metrics.counter result.E.metrics "sent")
       result.E.duration;
+    print_events_rate ~deliveries:result.E.deliveries t0;
     if link_faults <> None then print_link_stats result.E.metrics;
     Array.iteri
       (fun i outputs ->
@@ -391,12 +405,14 @@ struct
         ~adversary:(adversary_of ~n adversary)
         ~seed ?link_faults ?trace:tr ()
     in
+    let t0 = Unix.gettimeofday () in
     let result = E.run config in
     Fmt.pr "%s n=%d f=%d payload=%dB seed=%d stop=%a messages=%d time=%d@."
       label n f (String.length payload) seed Abc_net.Engine.pp_stop_reason
       result.E.stop
       (Abc_sim.Metrics.counter result.E.metrics "sent")
       result.E.duration;
+    print_events_rate ~deliveries:result.E.deliveries t0;
     print_byte_counters ~n result.E.metrics;
     if link_faults <> None then print_link_stats result.E.metrics;
     Array.iteri
@@ -571,6 +587,7 @@ struct
           ~adversary:(adversary_of ~n adversary)
           ~seed:(seed + k) ?link_faults ?trace:tr ()
       in
+      let t0 = Unix.gettimeofday () in
       let result, verdict = H.run config in
       if Abc.Harness.ok verdict then
         rounds := verdict.Abc.Harness.max_round :: !rounds
@@ -579,6 +596,7 @@ struct
         Fmt.pr "%s n=%d f=%d seed=%d (%a)@." label n f (seed + k) B.Options.pp
           options;
         Fmt.pr "  %a@." Abc.Harness.pp_verdict verdict;
+        print_events_rate ~deliveries:verdict.Abc.Harness.deliveries t0;
         if link_faults <> None then print_link_stats result.H.E.metrics;
         List.iter
           (fun (id, time, d) ->
@@ -656,12 +674,15 @@ let run_benor n f seed seeds adversary fault faulty_count inputs coin mode =
         ~adversary:(adversary_of ~n adversary)
         ~seed:(seed + k) ()
     in
+    let t0 = Unix.gettimeofday () in
     let _, verdict = H.run config in
     if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
     else incr failures;
-    if seeds = 1 then
+    if seeds = 1 then begin
       Fmt.pr "ben-or(%a) n=%d f=%d seed=%d: %a@." BO.Mode.pp mode n f (seed + k)
-        Abc.Harness.pp_verdict verdict
+        Abc.Harness.pp_verdict verdict;
+      print_events_rate ~deliveries:verdict.Abc.Harness.deliveries t0
+    end
   done;
   if seeds > 1 then begin
     Fmt.pr "ben-or(%a) n=%d f=%d seeds=%d..%d: ok %d/%d failures %d@." BO.Mode.pp
@@ -697,12 +718,15 @@ let run_mmr n f seed seeds adversary fault faulty_count inputs coin =
         ~adversary:(adversary_of ~n adversary)
         ~seed:(seed + k) ()
     in
+    let t0 = Unix.gettimeofday () in
     let _, verdict = H.run config in
     if Abc.Harness.ok verdict then rounds := verdict.Abc.Harness.max_round :: !rounds
     else incr failures;
-    if seeds = 1 then
+    if seeds = 1 then begin
       Fmt.pr "mmr-consensus n=%d f=%d seed=%d: %a@." n f (seed + k)
-        Abc.Harness.pp_verdict verdict
+        Abc.Harness.pp_verdict verdict;
+      print_events_rate ~deliveries:verdict.Abc.Harness.deliveries t0
+    end
   done;
   if seeds > 1 then begin
     Fmt.pr "mmr-consensus n=%d f=%d seeds=%d..%d: ok %d/%d failures %d@." n f seed
@@ -762,11 +786,13 @@ struct
         ~adversary:(adversary_of ~n adversary)
         ~seed ?link_faults ?trace:tr ()
     in
+    let t0 = Unix.gettimeofday () in
     let result = E.run config in
     Fmt.pr "%s n=%d f=%d slots=%d seed=%d stop=%a messages=%d time=%d@." label n
       f slots seed Abc_net.Engine.pp_stop_reason result.E.stop
       (Abc_sim.Metrics.counter result.E.metrics "sent")
       result.E.duration;
+    print_events_rate ~deliveries:result.E.deliveries t0;
     if link_faults <> None then print_link_stats result.E.metrics;
     Array.iteri
       (fun i outputs ->
@@ -816,6 +842,7 @@ struct
         ~adversary:(adversary_of ~n adversary)
         ~seed ?link_faults ?recovery ?trace:tr ()
     in
+    let t0 = Unix.gettimeofday () in
     let result = E.run config in
     Fmt.pr
       "%s n=%d f=%d epochs=%d batch=%d window=%d seed=%d stop=%a messages=%d time=%d@."
@@ -823,6 +850,7 @@ struct
       result.E.stop
       (Abc_sim.Metrics.counter result.E.metrics "sent")
       result.E.duration;
+    print_events_rate ~deliveries:result.E.deliveries t0;
     if link_faults <> None then print_link_stats result.E.metrics;
     let offered =
       Array.fold_left (fun acc w -> acc + Workload.count w) 0 workloads

@@ -15,27 +15,36 @@ type output = Decision.t
 
 (* Per-round bookkeeping.  [bval_from] / [aux_from] track the distinct
    senders per value ([aux_from] keyed by the sender's single vote);
-   [bval_echoed] latches the f+1 re-broadcast rule per value. *)
+   [bval_echoed] latches the f+1 re-broadcast rule per value.  The
+   [*_counts] fields mirror the cardinalities of the sets/maps so the
+   quorum rules never walk a set per message (see PERFORMANCE.md); the
+   sets remain the source of truth for deduplication. *)
 type round_state = {
   bval_from : Node_id.Set.t array; (* indexed by Value.to_int *)
+  bval_counts : int array; (* cardinal of bval_from, per value *)
   bval_echoed : bool array;
   bin_values : bool array;
   aux_from : Value.t Node_id.Map.t;
+  aux_counts : int array; (* AUX votes per value *)
   aux_sent : bool;
   share_sent : bool;
   shares : Shamir.share Node_id.Map.t; (* verified coin shares *)
+  share_count : int; (* cardinal of shares *)
   completed : bool;
 }
 
 let fresh_round () =
   {
     bval_from = [| Node_id.Set.empty; Node_id.Set.empty |];
+    bval_counts = [| 0; 0 |];
     bval_echoed = [| false; false |];
     bin_values = [| false; false |];
     aux_from = Node_id.Map.empty;
+    aux_counts = [| 0; 0 |];
     aux_sent = false;
     share_sent = false;
     shares = Node_id.Map.empty;
+    share_count = 0;
     completed = false;
   }
 
@@ -72,15 +81,32 @@ let with_set arr i v =
 
 let add_bval rs ~src value =
   let i = Value.to_int value in
-  { rs with bval_from = with_set rs.bval_from i (Node_id.Set.add src rs.bval_from.(i)) }
+  if Node_id.Set.mem src rs.bval_from.(i) then rs
+  else
+    {
+      rs with
+      bval_from = with_set rs.bval_from i (Node_id.Set.add src rs.bval_from.(i));
+      bval_counts = with_set rs.bval_counts i (rs.bval_counts.(i) + 1);
+    }
 
 let add_aux rs ~src value =
   if Node_id.Map.mem src rs.aux_from then rs
-  else { rs with aux_from = Node_id.Map.add src value rs.aux_from }
+  else
+    let i = Value.to_int value in
+    {
+      rs with
+      aux_from = Node_id.Map.add src value rs.aux_from;
+      aux_counts = with_set rs.aux_counts i (rs.aux_counts.(i) + 1);
+    }
 
 let add_share rs ~src share =
   if Node_id.Map.mem src rs.shares then rs
-  else { rs with shares = Node_id.Map.add src share rs.shares }
+  else
+    {
+      rs with
+      shares = Node_id.Map.add src share rs.shares;
+      share_count = rs.share_count + 1;
+    }
 
 (* The BV-broadcast rules plus the AUX trigger for round [r]; returns
    the messages this node must broadcast now. *)
@@ -91,7 +117,7 @@ let bv_progress state ~(sink : Event.sink) r =
   List.iter
     (fun value ->
       let i = Value.to_int value in
-      let support = Node_id.Set.cardinal !rs.bval_from.(i) in
+      let support = !rs.bval_counts.(i) in
       if support >= Quorum.ready_amplify ~f:state.f && not !rs.bval_echoed.(i)
       then begin
         if sink.Event.enabled then
@@ -148,7 +174,7 @@ let obtain_coin state ~rng rs r =
         (rs, [ Share { round = r; share = my_share } ])
       end
     in
-    if Node_id.Map.cardinal rs.shares >= Rabin_coin.threshold dealer then begin
+    if rs.share_count >= Rabin_coin.threshold dealer then begin
       let shares = List.map snd (Node_id.Map.bindings rs.shares) in
       (rs, sends, Some (Rabin_coin.reconstruct dealer shares))
     end
@@ -161,12 +187,13 @@ let try_complete_round state ~rng ~(sink : Event.sink) =
   let rs = round_state state r in
   if rs.completed then (state, [], [])
   else begin
-    let supported =
-      Node_id.Map.filter
-        (fun _ v -> rs.bin_values.(Value.to_int v))
-        rs.aux_from
-    in
-    if Node_id.Map.cardinal supported < quorum state then (state, [], [])
+    (* An AUX vote is "supported" when its value sits in bin_values;
+       counting per-value tallies against the bin_values flags gives
+       the filtered cardinality without materialising the filtered map
+       (the old [Node_id.Map.filter] allocated a map per message). *)
+    let counted i = if rs.bin_values.(i) then rs.aux_counts.(i) else 0 in
+    let supported = counted 0 + counted 1 in
+    if supported < quorum state then (state, [], [])
     else begin
       if sink.Event.enabled then
         sink.Event.emit
@@ -174,12 +201,10 @@ let try_complete_round state ~rng ~(sink : Event.sink) =
              (Event.Quorum
                 {
                   quorum = "aux";
-                  count = Node_id.Map.cardinal supported;
+                  count = supported;
                   threshold = quorum state;
                 }));
-      let has v =
-        Node_id.Map.exists (fun _ w -> Value.equal v w) supported
-      in
+      let has v = counted (Value.to_int v) > 0 in
       let rs, coin_sends, coin = obtain_coin state ~rng rs r in
       let state = set_round state r rs in
       match coin with

@@ -12,9 +12,11 @@ type cell = {
   metrics : (string * float) list;  (** in {!metric_names} order *)
 }
 
-type set = { id : string; file : string; cells : cell list }
+type set = { id : string; file : string; tier : string; cells : cell list }
 
 let set_id s = s.id
+
+let set_tier s = s.tier
 
 (* Metric vocabulary, in report order.  [`Cost] metrics regress when
    they grow, [`Benefit] when they shrink; [`Advisory] metrics are
@@ -98,6 +100,12 @@ let load_json_named ~file v =
     | Some id -> Ok id
     | None -> Error "missing \"id\" field"
   in
+  (* Result sets have carried "tier" since the field was introduced;
+     default to "full" for any that predate it so they are never
+     silently excluded by a quick-tier filter. *)
+  let tier =
+    match Json.string_member "tier" v with Some t -> t | None -> "full"
+  in
   let* cell_list =
     match Json.member "cells" v with
     | Some (Json.List cs) -> Ok cs
@@ -111,7 +119,7 @@ let load_json_named ~file v =
       | Error e -> Error (Printf.sprintf "cell %d: %s" i e))
   in
   let* cells = go [] 0 cell_list in
-  Ok { id; file; cells }
+  Ok { id; file; tier; cells }
 
 let load_json v = load_json_named ~file:"<json>" v
 

@@ -19,6 +19,11 @@ type set
 
 val set_id : set -> string
 
+val set_tier : set -> string
+(** The spec tier recorded in the result set ("quick" or "full");
+    defaults to "full" for sets written before the field existed.
+    [abc-bench diff --tier] filters both sides on it. *)
+
 val load_json : Abc_sim.Json.t -> (set, string) result
 (** Validate schema/version and index the cells.  [Error] explains the
     mismatch (wrong schema, unsupported version, malformed cell). *)

@@ -722,7 +722,7 @@ let table t =
 
 let matrix_schema_version = 1
 
-let to_json ~jobs ~seeds_scale t =
+let to_json ~seeds_scale t =
   let cell_json c =
     Json.Obj
       [
@@ -750,10 +750,8 @@ let to_json ~jobs ~seeds_scale t =
       ("tier", Json.String (Spec.tier_label (Spec.tier t.spec)));
       ("axes", Json.List (List.map (fun a -> Json.String a) (Spec.axes t.spec)));
       ("cells", Json.List (List.map cell_json t.cells));
-      ( "meta",
-        Json.Obj
-          [
-            ("jobs", Json.Int jobs);
-            ("seeds_scale", Json.Float seeds_scale);
-          ] );
+      (* Only inputs that change the numbers belong in meta: the worker
+         count does not (the export is byte-identical at any --jobs),
+         and recording it would break exactly that contract. *)
+      ("meta", Json.Obj [ ("seeds_scale", Json.Float seeds_scale) ]);
     ]

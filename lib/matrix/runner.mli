@@ -60,7 +60,8 @@ val matrix_schema_version : int
 (** Version stamped into (and accepted from) [abc.bench.matrix]
     documents. *)
 
-val to_json : jobs:int -> seeds_scale:float -> t -> Abc_sim.Json.t
+val to_json : seeds_scale:float -> t -> Abc_sim.Json.t
 (** The [abc.bench.matrix] result set (schema documented in
     OBSERVABILITY.md): spec identity, axis list, one object per cell
-    keyed by its axis values, and run metadata. *)
+    keyed by its axis values, and run metadata.  Deliberately excludes
+    the worker count: the export is byte-identical at any [--jobs]. *)

@@ -8,7 +8,7 @@ type meta = {
 
 module View = struct
   type t = {
-    length : int;
+    length : unit -> int;
     get : int -> meta;
     oldest : unit -> int;
     find_seq : int -> int option;
@@ -16,18 +16,19 @@ module View = struct
 
   let make ~length ~get ~oldest ~find_seq = { length; get; oldest; find_seq }
 
-  let length t = t.length
+  let length t = t.length ()
 
   let get t i = t.get i
 
   let find_seq t seq = t.find_seq seq
 
   let min_by t score =
-    assert (t.length > 0);
+    let len = length t in
+    assert (len > 0);
     let best = ref 0 in
     let best_score = ref (score (get t 0)) in
     let best_seq = ref (get t 0).seq in
-    for i = 1 to t.length - 1 do
+    for i = 1 to len - 1 do
       let m = get t i in
       let s = score m in
       if s < !best_score || (s = !best_score && m.seq < !best_seq) then begin

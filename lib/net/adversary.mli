@@ -30,15 +30,17 @@ module View : sig
   (** Read-only view of the in-flight message pool. *)
 
   val make :
-    length:int ->
+    length:(unit -> int) ->
     get:(int -> meta) ->
     oldest:(unit -> int) ->
     find_seq:(int -> int option) ->
     t
   (** [make ~length ~get ~oldest ~find_seq] wraps the engine's pool
-      accessors: [oldest] is the O(1) index of the longest-in-flight
-      message; [find_seq seq] is the current index of the live entry
-      with sequence number [seq], if still in flight. *)
+      accessors: [length] is the current pool size (a closure so the
+      engine allocates one view per run, not one per delivery);
+      [oldest] is the O(1) index of the longest-in-flight message;
+      [find_seq seq] is the current index of the live entry with
+      sequence number [seq], if still in flight. *)
 
   val length : t -> int
   val get : t -> int -> meta

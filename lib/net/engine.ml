@@ -87,12 +87,6 @@ module Make (P : Protocol.S) = struct
       (fun id -> not (Node_id.Set.mem id faulty_set))
       (Node_id.all ~n:cfg.n)
 
-  type envelope = {
-    meta : Adversary.meta;
-    payload : P.msg;
-    copy : bool;  (* a link-fault duplicate; exempt from re-duplication *)
-  }
-
   type node = {
     id : Node_id.t;
     ctx : Protocol.Context.t;
@@ -119,8 +113,86 @@ module Make (P : Protocol.S) = struct
     in
     let policy = cfg.adversary.Adversary.instantiate () in
     let metrics = Abc_sim.Metrics.create () in
+    (* Pre-interned handles for every per-message counter, so the hot
+       path never concatenates or hashes a string label (see
+       PERFORMANCE.md).  Interned-but-untouched handles stay invisible
+       to [Metrics.counters], preserving pre-rework output exactly. *)
+    let m_sent = Abc_sim.Metrics.handle metrics "sent" in
+    let m_delivered = Abc_sim.Metrics.handle metrics "delivered" in
+    let m_bytes_sent = Abc_sim.Metrics.handle metrics "bytes.sent" in
+    let m_bytes_delivered = Abc_sim.Metrics.handle metrics "bytes.delivered" in
+    let m_dropped_topology = Abc_sim.Metrics.handle metrics "dropped.topology" in
+    let m_dropped_faulty = Abc_sim.Metrics.handle metrics "dropped.faulty" in
+    let m_dropped_link = Abc_sim.Metrics.handle metrics "dropped.link" in
+    let m_dropped_crashed = Abc_sim.Metrics.handle metrics "dropped.crashed" in
+    let m_duplicated_link = Abc_sim.Metrics.handle metrics "duplicated.link" in
+    let m_timer_set = Abc_sim.Metrics.handle metrics "timer.set" in
+    let m_timer_fired = Abc_sim.Metrics.handle metrics "timer.fired" in
+    let m_timer_stale = Abc_sim.Metrics.handle metrics "timer.stale" in
+    let m_node_crashed = Abc_sim.Metrics.handle metrics "node.crashed" in
+    let m_node_recovered = Abc_sim.Metrics.handle metrics "node.recovered" in
+    (* Per-label counter handles ("sent.<label>", "bytes.sent.<label>",
+       "bytes.delivered.<label>"), interned on first sight of the
+       label.  Protocols return their labels as shared literals, so the
+       physical-equality memo hits on nearly every message and the
+       fallback table is touched only on label changes. *)
+    let module Str_tbl = Hashtbl.Make (struct
+      type t = string
+
+      let equal = String.equal
+      let hash = String.hash
+    end) in
+    let label_cache :
+        (Abc_sim.Metrics.handle * Abc_sim.Metrics.handle * Abc_sim.Metrics.handle)
+        Str_tbl.t =
+      Str_tbl.create 8
+    in
+    let memo_label = ref (String.make 1 '\000') in
+    let memo_handles = ref (m_sent, m_bytes_sent, m_bytes_delivered) in
+    let label_handles label =
+      if label == !memo_label then !memo_handles
+      else begin
+        let handles =
+          match Str_tbl.find_opt label_cache label with
+          | Some hs -> hs
+          | None ->
+            let hs =
+              ( Abc_sim.Metrics.handle metrics ("sent." ^ label),
+                Abc_sim.Metrics.handle metrics ("bytes.sent." ^ label),
+                Abc_sim.Metrics.handle metrics ("bytes.delivered." ^ label) )
+            in
+            Str_tbl.add label_cache label hs;
+            hs
+        in
+        memo_label := label;
+        memo_handles := handles;
+        handles
+      end
+    in
+    let reason_cache : Abc_sim.Metrics.handle Str_tbl.t = Str_tbl.create 4 in
+    let reason_handle reason =
+      match Str_tbl.find_opt reason_cache reason with
+      | Some h -> h
+      | None ->
+        let h = Abc_sim.Metrics.handle metrics ("dropped.link." ^ reason) in
+        Str_tbl.add reason_cache reason h;
+        h
+    in
+    (* Detail mode keeps per-node counters; intern the five handles per
+       node up front instead of sprintf-ing a label per message. *)
+    let node_handles =
+      if not cfg.detail then [||]
+      else
+        Array.init cfg.n (fun i ->
+            let h suffix =
+              Abc_sim.Metrics.handle metrics
+                (Printf.sprintf "node%d.%s" i suffix)
+            in
+            (h "sent", h "bytes.sent", h "delivered", h "bytes.delivered",
+             h "outputs"))
+    in
     let clock = Abc_sim.Clock.create () in
-    let pending : envelope Abc_sim.Vec.t = Abc_sim.Vec.create () in
+    let pending : P.msg Envelope_arena.t = Envelope_arena.create () in
     (* Virtual timers: (node, timer id, incarnation) payloads ordered
        by due tick; the heap's stable tie-breaking keeps firing order
        deterministic.  The incarnation stamp lets a crash invalidate
@@ -160,39 +232,15 @@ module Make (P : Protocol.S) = struct
                     schedule)
               cfg.faulty))
     in
-    let next_transition () =
-      match !transitions with [] -> None | (t, _, _) :: _ -> Some t
+    (* [has_transition]/[next_transition_due] poll the schedule head
+       without allocating an option — they run every loop iteration. *)
+    let has_transition () =
+      match !transitions with [] -> false | _ :: _ -> true
+    in
+    let next_transition_due () =
+      match !transitions with [] -> max_int | (t, _, _) :: _ -> t
     in
     let next_seq = ref 0 in
-    (* [index_of_seq] maps a live sequence number to its current index
-       in [pending]; [oldest_cursor] advances monotonically, so finding
-       the longest-in-flight message is O(1) amortized over the run —
-       the fairness check runs on every delivery and must be cheap. *)
-    let module Seq_tbl = Hashtbl.Make (struct
-      type t = int
-
-      let equal = Int.equal
-      let hash = Int.hash
-    end) in
-    let index_of_seq : int Seq_tbl.t = Seq_tbl.create 256 in
-    let oldest_cursor = ref 0 in
-    let oldest_index () =
-      while not (Seq_tbl.mem index_of_seq !oldest_cursor) do
-        incr oldest_cursor;
-        assert (!oldest_cursor < !next_seq)
-      done;
-      Seq_tbl.find index_of_seq !oldest_cursor
-    in
-    let remove_pending index =
-      let envelope = Abc_sim.Vec.swap_remove pending index in
-      Seq_tbl.remove index_of_seq envelope.meta.Adversary.seq;
-      (* swap_remove moved the last entry into [index]; retarget it. *)
-      if index < Abc_sim.Vec.length pending then begin
-        let moved = Abc_sim.Vec.get pending index in
-        Seq_tbl.replace index_of_seq moved.meta.Adversary.seq index
-      end;
-      envelope
-    in
     let behaviour_of id =
       match List.assoc_opt id cfg.faulty with
       | Some b -> b
@@ -266,6 +314,33 @@ module Make (P : Protocol.S) = struct
     in
     let created = Array.init cfg.n make_node in
     let nodes = Array.map fst created in
+    (* Crash-recover nodes are *correct* (benign crash-restart, no lies)
+       so they must reach a terminal output like honest nodes; only the
+       genuinely Byzantine behaviours are exempt from termination.
+       [nonterminal] counts the nodes still owing a terminal output, so
+       the per-iteration all-honest-terminal check is O(1) instead of a
+       scan over all n nodes. *)
+    let byzantine = Array.make cfg.n false in
+    List.iter
+      (fun (id, b) ->
+        match Behaviour.crash_schedule b with
+        | Some _ -> ()
+        | None -> byzantine.(Node_id.to_int id) <- true)
+      cfg.faulty;
+    let nonterminal = ref 0 in
+    Array.iter (fun exempt -> if not exempt then incr nonterminal) byzantine;
+    let set_terminal node =
+      if not node.terminal then begin
+        node.terminal <- true;
+        if not byzantine.(Node_id.to_int node.id) then decr nonterminal
+      end
+    in
+    let clear_terminal node =
+      if node.terminal then begin
+        node.terminal <- false;
+        if not byzantine.(Node_id.to_int node.id) then incr nonterminal
+      end
+    in
     (* With a partial topology only edges of the graph carry messages;
        the self-channel always exists. *)
     let can_reach src dst =
@@ -276,28 +351,27 @@ module Make (P : Protocol.S) = struct
     let enqueue src action =
       let dispatch dst payload =
         if not (can_reach src dst) then
-          Abc_sim.Metrics.incr metrics "dropped.topology"
+          Abc_sim.Metrics.incr_handle m_dropped_topology
         else begin
         let seq = !next_seq in
         next_seq := seq + 1;
         let now = Abc_sim.Clock.now clock in
         let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
         let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
-        Abc_sim.Vec.push pending { meta; payload; copy = false };
-        Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
+        Envelope_arena.push pending ~meta ~payload ~copy:false;
         policy.Adversary.note meta;
         let label = P.msg_label payload in
         let nbytes = P.msg_bytes payload in
-        Abc_sim.Metrics.incr metrics "sent";
-        Abc_sim.Metrics.incr metrics ("sent." ^ label);
-        Abc_sim.Metrics.add metrics "bytes.sent" nbytes;
-        Abc_sim.Metrics.add metrics ("bytes.sent." ^ label) nbytes;
+        let sent_h, bytes_sent_h, _ = label_handles label in
+        Abc_sim.Metrics.incr_handle m_sent;
+        Abc_sim.Metrics.incr_handle sent_h;
+        Abc_sim.Metrics.add_handle m_bytes_sent nbytes;
+        Abc_sim.Metrics.add_handle bytes_sent_h nbytes;
         let src_i = Node_id.to_int src in
         if cfg.detail then begin
-          Abc_sim.Metrics.incr metrics (Printf.sprintf "node%d.sent" src_i);
-          Abc_sim.Metrics.add metrics
-            (Printf.sprintf "node%d.bytes.sent" src_i)
-            nbytes
+          let h_sent, h_bytes_sent, _, _, _ = node_handles.(src_i) in
+          Abc_sim.Metrics.incr_handle h_sent;
+          Abc_sim.Metrics.add_handle h_bytes_sent nbytes
         end;
         (match cfg.trace with
         | Some tr ->
@@ -322,7 +396,7 @@ module Make (P : Protocol.S) = struct
         let due = now + max 1 after in
         let src_i = Node_id.to_int src in
         Abc_sim.Heap.push timers ~priority:due (src_i, id, incarnation.(src_i));
-        Abc_sim.Metrics.incr metrics "timer.set";
+        Abc_sim.Metrics.incr_handle m_timer_set;
         (match cfg.trace with
         | Some tr ->
           Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int src)
@@ -330,14 +404,21 @@ module Make (P : Protocol.S) = struct
         | None -> ())
     in
     let emit_actions node actions =
-      let before = List.length actions in
-      let actions =
-        Behaviour.apply node.behaviour ~rng:node.behaviour_rng ~n:cfg.n
-          ~activation:node.activations actions
-      in
-      if List.length actions < before then
-        Abc_sim.Metrics.add metrics "dropped.faulty" (before - List.length actions);
-      List.iter (enqueue node.id) actions
+      match node.behaviour with
+      | Behaviour.Honest ->
+        (* [Behaviour.apply Honest] is the identity and draws no
+           randomness; skip the double list-length walk. *)
+        List.iter (enqueue node.id) actions
+      | _ ->
+        let before = List.length actions in
+        let actions =
+          Behaviour.apply node.behaviour ~rng:node.behaviour_rng ~n:cfg.n
+            ~activation:node.activations actions
+        in
+        if List.length actions < before then
+          Abc_sim.Metrics.add_handle m_dropped_faulty
+            (before - List.length actions);
+        List.iter (enqueue node.id) actions
     in
     let record_outputs node outputs =
       let now = Abc_sim.Clock.now clock in
@@ -350,9 +431,11 @@ module Make (P : Protocol.S) = struct
             (Abc_sim.Event.make
                (Abc_sim.Event.Output { label = Fmt.str "%a" P.pp_output o }))
         | None -> ());
-        if cfg.detail then
-          Abc_sim.Metrics.incr metrics (Printf.sprintf "node%d.outputs" node_i);
-        if P.is_terminal o then node.terminal <- true
+        if cfg.detail then begin
+          let _, _, _, _, h_outputs = node_handles.(node_i) in
+          Abc_sim.Metrics.incr_handle h_outputs
+        end;
+        if P.is_terminal o then set_terminal node
       in
       List.iter note outputs
     in
@@ -363,36 +446,25 @@ module Make (P : Protocol.S) = struct
       node.activations <- 1
     in
     Array.iter initialize created;
-    (* Crash-recover nodes are *correct* (benign crash-restart, no lies)
-       so they must reach a terminal output like honest nodes; only the
-       genuinely Byzantine behaviours are exempt from termination. *)
-    let byzantine_set =
-      Node_id.Set.of_list
-        (List.filter_map
-           (fun (id, b) ->
-             match Behaviour.crash_schedule b with
-             | Some _ -> None
-             | None -> Some id)
-           cfg.faulty)
-    in
-    let all_honest_terminal () =
-      Array.for_all
-        (fun node -> node.terminal || Node_id.Set.mem node.id byzantine_set)
-        nodes
-    in
-    let view () =
+    (* One view for the whole run: every accessor reads the arena live,
+       so nothing is allocated per delivery. *)
+    let view =
       Adversary.View.make
-        ~length:(Abc_sim.Vec.length pending)
-        ~get:(fun i -> (Abc_sim.Vec.get pending i).meta)
-        ~oldest:oldest_index
-        ~find_seq:(fun seq -> Seq_tbl.find_opt index_of_seq seq)
+        ~length:(fun () -> Envelope_arena.length pending)
+        ~get:(fun slot -> Envelope_arena.meta pending slot)
+        ~oldest:(fun () -> Envelope_arena.oldest_slot pending)
+        ~find_seq:(fun seq ->
+          match Envelope_arena.slot_of_seq pending seq with
+          | -1 -> None
+          | slot -> Some slot)
     in
-    let choose_index now =
-      let v = view () in
-      let oldest = oldest_index () in
-      let oldest_age = now - (Adversary.View.get v oldest).Adversary.sent_at in
+    let choose_slot now =
+      let oldest = Envelope_arena.oldest_slot pending in
+      let oldest_age =
+        now - (Envelope_arena.meta pending oldest).Adversary.sent_at
+      in
       if oldest_age >= cfg.fairness_age then oldest
-      else policy.Adversary.choose ~rng:adversary_rng ~now v
+      else policy.Adversary.choose ~rng:adversary_rng ~now view
     in
     let deliveries = ref 0 in
     (* The budget counts loop iterations — protocol deliveries, link
@@ -403,11 +475,11 @@ module Make (P : Protocol.S) = struct
       if crashed.(node_i) || inc <> incarnation.(node_i) then
         (* Armed by a dead incarnation (or the node is down right now):
            the crash wiped the volatile state this timer belonged to. *)
-        Abc_sim.Metrics.incr metrics "timer.stale"
+        Abc_sim.Metrics.incr_handle m_timer_stale
       else begin
         let now = Abc_sim.Clock.now clock in
         let node = nodes.(node_i) in
-        Abc_sim.Metrics.incr metrics "timer.fired";
+        Abc_sim.Metrics.incr_handle m_timer_fired;
         (match cfg.trace with
         | Some tr ->
           Abc_sim.Trace.record tr ~time:now ~node:node_i
@@ -432,8 +504,8 @@ module Make (P : Protocol.S) = struct
         (match cfg.recovery with
         | Some r -> r.snapshot node.state
         | None -> "");
-      node.terminal <- false;
-      Abc_sim.Metrics.incr metrics "node.crashed";
+      clear_terminal node;
+      Abc_sim.Metrics.incr_handle m_node_crashed;
       match cfg.trace with
       | Some tr ->
         Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node:node_i
@@ -443,7 +515,7 @@ module Make (P : Protocol.S) = struct
     let do_recover node_i =
       let node = nodes.(node_i) in
       crashed.(node_i) <- false;
-      Abc_sim.Metrics.incr metrics "node.recovered";
+      Abc_sim.Metrics.incr_handle m_node_recovered;
       (match cfg.trace with
       | Some tr ->
         Abc_sim.Trace.record tr ~time:(Abc_sim.Clock.now clock) ~node:node_i
@@ -476,21 +548,20 @@ module Make (P : Protocol.S) = struct
       in
       go ()
     in
-    let deliver now envelope =
-      let node = nodes.(Node_id.to_int envelope.meta.Adversary.dst) in
+    let deliver now (meta : Adversary.meta) payload =
+      let node = nodes.(Node_id.to_int meta.Adversary.dst) in
       incr deliveries;
-      let nbytes = P.msg_bytes envelope.payload in
-      Abc_sim.Metrics.incr metrics "delivered";
-      Abc_sim.Metrics.add metrics "bytes.delivered" nbytes;
-      Abc_sim.Metrics.add metrics
-        ("bytes.delivered." ^ P.msg_label envelope.payload)
-        nbytes;
+      let nbytes = P.msg_bytes payload in
+      let _, _, bytes_delivered_h = label_handles (P.msg_label payload) in
+      Abc_sim.Metrics.incr_handle m_delivered;
+      Abc_sim.Metrics.add_handle m_bytes_delivered nbytes;
+      Abc_sim.Metrics.add_handle bytes_delivered_h nbytes;
       if cfg.detail then begin
-        Abc_sim.Metrics.incr metrics
-          (Printf.sprintf "node%d.delivered" (Node_id.to_int node.id));
-        Abc_sim.Metrics.add metrics
-          (Printf.sprintf "node%d.bytes.delivered" (Node_id.to_int node.id))
-          nbytes
+        let _, _, h_delivered, h_bytes_delivered, _ =
+          node_handles.(Node_id.to_int node.id)
+        in
+        Abc_sim.Metrics.incr_handle h_delivered;
+        Abc_sim.Metrics.add_handle h_bytes_delivered nbytes
       end;
       (match cfg.trace with
       | Some tr ->
@@ -500,36 +571,34 @@ module Make (P : Protocol.S) = struct
           (Abc_sim.Event.make
              (Abc_sim.Event.Deliver
                 {
-                  src = Node_id.to_int envelope.meta.Adversary.src;
-                  label = P.msg_label envelope.payload;
-                  detail = Fmt.str "%a" P.pp_msg envelope.payload;
+                  src = Node_id.to_int meta.Adversary.src;
+                  label = P.msg_label payload;
+                  detail = Fmt.str "%a" P.pp_msg payload;
                   bytes = nbytes;
                 }))
       | None -> ());
       let state, actions, outputs =
-        P.on_message node.ctx node.state ~src:envelope.meta.Adversary.src
-          envelope.payload
+        P.on_message node.ctx node.state ~src:meta.Adversary.src payload
       in
       node.state <- state;
       emit_actions node actions;
       node.activations <- node.activations + 1;
       record_outputs node outputs
     in
-    (* Re-enqueue a duplicate copy of [envelope] as a fresh in-flight
+    (* Re-enqueue a duplicate copy of the message as a fresh in-flight
        message (new sequence number, scheduled by the adversary like
        any other).  Copies are marked so they are never duplicated
        again — duplication is bounded, not a traffic amplifier. *)
-    let enqueue_duplicate now envelope =
-      let src = envelope.meta.Adversary.src in
-      let dst = envelope.meta.Adversary.dst in
+    let enqueue_duplicate now (orig : Adversary.meta) payload =
+      let src = orig.Adversary.src in
+      let dst = orig.Adversary.dst in
       let seq = !next_seq in
       next_seq := seq + 1;
       let priority = policy.Adversary.assign ~rng:adversary_rng ~now ~src ~dst in
       let meta = { Adversary.seq; src; dst; sent_at = now; priority } in
-      Abc_sim.Vec.push pending { meta; payload = envelope.payload; copy = true };
-      Seq_tbl.replace index_of_seq seq (Abc_sim.Vec.length pending - 1);
+      Envelope_arena.push pending ~meta ~payload ~copy:true;
       policy.Adversary.note meta;
-      Abc_sim.Metrics.incr metrics "duplicated.link";
+      Abc_sim.Metrics.incr_handle m_duplicated_link;
       match cfg.trace with
       | Some tr ->
         Abc_sim.Trace.record tr ~time:now ~node:(Node_id.to_int src)
@@ -538,47 +607,52 @@ module Make (P : Protocol.S) = struct
                 {
                   src = Node_id.to_int src;
                   dst = Node_id.to_int dst;
-                  label = P.msg_label envelope.payload;
+                  label = P.msg_label payload;
                 }))
       | None -> ()
     in
     (* A message scheduled for delivery while its destination is down
        is lost deterministically — the crash semantics, not a random
        link fault, so it gets its own counter. *)
-    let drop_crashed now envelope =
-      Abc_sim.Metrics.incr metrics "dropped.crashed";
+    let drop_crashed now (meta : Adversary.meta) payload =
+      Abc_sim.Metrics.incr_handle m_dropped_crashed;
       match cfg.trace with
       | Some tr ->
         Abc_sim.Trace.record tr ~time:now
-          ~node:(Node_id.to_int envelope.meta.Adversary.dst)
+          ~node:(Node_id.to_int meta.Adversary.dst)
           (Abc_sim.Event.make
              (Abc_sim.Event.Link_drop
                 {
-                  src = Node_id.to_int envelope.meta.Adversary.src;
-                  dst = Node_id.to_int envelope.meta.Adversary.dst;
-                  label = P.msg_label envelope.payload;
+                  src = Node_id.to_int meta.Adversary.src;
+                  dst = Node_id.to_int meta.Adversary.dst;
+                  label = P.msg_label payload;
                   reason = "crashed";
                 }))
       | None -> ()
     in
-    let drop_envelope now envelope reason =
-      Abc_sim.Metrics.incr metrics "dropped.link";
-      Abc_sim.Metrics.incr metrics ("dropped.link." ^ reason);
+    let drop_envelope now (meta : Adversary.meta) payload reason =
+      Abc_sim.Metrics.incr_handle m_dropped_link;
+      Abc_sim.Metrics.incr_handle (reason_handle reason);
       match cfg.trace with
       | Some tr ->
         Abc_sim.Trace.record tr
           ~time:now
-          ~node:(Node_id.to_int envelope.meta.Adversary.dst)
+          ~node:(Node_id.to_int meta.Adversary.dst)
           (Abc_sim.Event.make
              (Abc_sim.Event.Link_drop
                 {
-                  src = Node_id.to_int envelope.meta.Adversary.src;
-                  dst = Node_id.to_int envelope.meta.Adversary.dst;
-                  label = P.msg_label envelope.payload;
+                  src = Node_id.to_int meta.Adversary.src;
+                  dst = Node_id.to_int meta.Adversary.dst;
+                  label = P.msg_label payload;
                   reason;
                 }))
       | None -> ()
     in
+    (* Delivery ages are tracked in a local maximum and published as
+       the "max_delivery_age" counter once, after the loop — same
+       final value as the per-delivery read-compare-add it replaces,
+       without two hashtable probes per delivery. *)
+    let max_age = ref 0 in
     let stop = ref None in
     while !stop = None do
       (* A pending crash/rejoin transition keeps the run alive even
@@ -586,12 +660,12 @@ module Make (P : Protocol.S) = struct
          plan executes in full, so a node scheduled to crash after
          completing still crashes (and must re-terminate from its
          durable store for the run to end all-terminal). *)
-      if all_honest_terminal () && next_transition () = None then
+      if !nonterminal = 0 && not (has_transition ()) then
         stop := Some All_terminal
       else if
-        Abc_sim.Vec.is_empty pending
+        Envelope_arena.is_empty pending
         && Abc_sim.Heap.is_empty timers
-        && next_transition () = None
+        && not (has_transition ())
       then stop := Some Quiescent
       else if !iterations >= cfg.max_deliveries then stop := Some Delivery_limit
       else begin
@@ -601,23 +675,17 @@ module Make (P : Protocol.S) = struct
            the next timer or crash/rejoin transition — whichever comes
            first — instead of reporting Quiescent. *)
         let now =
-          if Abc_sim.Vec.is_empty pending then begin
-            let next_timer =
-              match Abc_sim.Heap.peek timers with
-              | Some (due, _) -> Some due
-              | None -> None
-            in
+          if Envelope_arena.is_empty pending then begin
             let due =
-              match (next_timer, next_transition ()) with
-              | Some a, Some b -> Some (min a b)
-              | Some a, None -> Some a
-              | None, b -> b
+              min
+                (Abc_sim.Heap.peek_priority timers ~default:max_int)
+                (next_transition_due ())
             in
-            match due with
-            | Some due when due > now ->
+            if due <> max_int && due > now then begin
               Abc_sim.Clock.advance_to clock due;
               due
-            | Some _ | None -> now
+            end
+            else now
           end
           else now
         in
@@ -629,55 +697,50 @@ module Make (P : Protocol.S) = struct
            pending clock jump above already landed on the earliest
            timer/transition, so [due <= now] is the whole test — a
            timer must never leapfrog a nearer scheduled transition.) *)
-        let fire_due =
-          match Abc_sim.Heap.peek timers with
-          | Some (due, _) -> due <= now
-          | None -> false
-        in
-        if fire_due then begin
+        if Abc_sim.Heap.peek_priority timers ~default:max_int <= now then begin
           match Abc_sim.Heap.pop timers with
           | None -> assert false
           | Some (due, target) ->
             if due > now then Abc_sim.Clock.advance_to clock due;
             fire_timer target
         end
-        else if Abc_sim.Vec.is_empty pending then
+        else if Envelope_arena.is_empty pending then
           (* Only a future transition remained and it just applied (or
              is still ahead); nothing to deliver this iteration. *)
           ()
         else begin
-          let index = choose_index now in
-          let envelope = remove_pending index in
+          let slot = choose_slot now in
+          let meta = Envelope_arena.meta pending slot in
+          let payload = Envelope_arena.payload pending slot in
+          let is_copy = Envelope_arena.copy pending slot in
+          Envelope_arena.remove pending slot;
           (* Record the delivery age so tests can audit the fairness
              guarantee: no message older than the bound is ever passed
              over.  Link-fault drops still count — the age measures the
              scheduler, which did pick the message. *)
-          let age = now - envelope.meta.Adversary.sent_at in
-          if age > Abc_sim.Metrics.counter metrics "max_delivery_age" then
-            Abc_sim.Metrics.add metrics "max_delivery_age"
-              (age - Abc_sim.Metrics.counter metrics "max_delivery_age");
-          if crashed.(Node_id.to_int envelope.meta.Adversary.dst) then
-            drop_crashed now envelope
+          let age = now - meta.Adversary.sent_at in
+          if age > !max_age then max_age := age;
+          if crashed.(Node_id.to_int meta.Adversary.dst) then
+            drop_crashed now meta payload
           else begin
             let verdict =
               match link_plan with
               | None -> Link_faults.Deliver
               | Some (plan, rng) ->
-                Link_faults.judge plan rng ~now
-                  ~src:envelope.meta.Adversary.src
-                  ~dst:envelope.meta.Adversary.dst
-                  ~can_dup:(not envelope.copy)
+                Link_faults.judge plan rng ~now ~src:meta.Adversary.src
+                  ~dst:meta.Adversary.dst ~can_dup:(not is_copy)
             in
             match verdict with
-            | Link_faults.Drop reason -> drop_envelope now envelope reason
-            | Link_faults.Deliver -> deliver now envelope
+            | Link_faults.Drop reason -> drop_envelope now meta payload reason
+            | Link_faults.Deliver -> deliver now meta payload
             | Link_faults.Duplicate ->
-              enqueue_duplicate now envelope;
-              deliver now envelope
+              enqueue_duplicate now meta payload;
+              deliver now meta payload
           end
         end
       end
     done;
+    if !max_age > 0 then Abc_sim.Metrics.add metrics "max_delivery_age" !max_age;
     let stop = match !stop with Some s -> s | None -> assert false in
     engine_note ~tag:"stop" (Fmt.str "%a" pp_stop_reason stop);
     {

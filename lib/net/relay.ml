@@ -10,12 +10,14 @@ module Make (P : Protocol.S) = struct
 
   type output = P.output
 
-  module Seen = Set.Make (struct
-    type t = int * int (* origin, sequence *)
+  module Seen = Set.Make (Int)
 
-    let compare (o1, s1) (o2, s2) =
-      match Int.compare o1 o2 with 0 -> Int.compare s1 s2 | c -> c
-  end)
+  (* (origin, sequence) packed into one immediate int: origin in the
+     high bits, sequence in the low 32.  Node ids are small and
+     per-node sequence counters stay far below 2^32, so the packing is
+     injective; membership tests then compare unboxed ints instead of
+     allocating and walking tuples. *)
+  let seen_key origin sequence = (Node_id.to_int origin lsl 32) lor sequence
 
   type state = {
     inner_state : P.state;
@@ -58,7 +60,7 @@ module Make (P : Protocol.S) = struct
     |> fun (state, actions) -> (state, actions)
 
   let on_message ctx state ~src:_ envelope =
-    let key = (Node_id.to_int envelope.origin, envelope.sequence) in
+    let key = seen_key envelope.origin envelope.sequence in
     if Seen.mem key state.seen then (state, [], [])
     else begin
       let state = { state with seen = Seen.add key state.seen } in

@@ -50,6 +50,47 @@ let kind_label = function
   | Transfer_start _ -> "state-transfer-start"
   | Transfer_done _ -> "state-transfer-done"
 
+(* Dense ordinal per kind, used by the sampling trace sink to keep
+   exact per-kind counts in a flat int array (no hashing per event).
+   [kind_ord] follows declaration order; [ord_label] is the matching
+   [kind_label] table. *)
+let kind_count = 22
+
+let kind_ord = function
+  | Send _ -> 0
+  | Deliver _ -> 1
+  | Quorum _ -> 2
+  | Coin_flip _ -> 3
+  | Round_advance -> 4
+  | Decide _ -> 5
+  | Output _ -> 6
+  | Note _ -> 7
+  | Link_drop _ -> 8
+  | Link_dup _ -> 9
+  | Timer_set _ -> 10
+  | Timer_fire _ -> 11
+  | Retransmit _ -> 12
+  | Epoch_start _ -> 13
+  | Batch_proposed _ -> 14
+  | Batch_committed _ -> 15
+  | Tx_committed _ -> 16
+  | Node_crash -> 17
+  | Node_recover -> 18
+  | Checkpoint_stable _ -> 19
+  | Transfer_start _ -> 20
+  | Transfer_done _ -> 21
+
+let ord_labels =
+  [|
+    "send"; "deliver"; "quorum"; "coin"; "round"; "decide"; "output"; "note";
+    "link-drop"; "link-dup"; "timer-set"; "timeout"; "retransmit";
+    "epoch-start"; "batch-proposed"; "batch-committed"; "tx-committed";
+    "node-crashed"; "node-recovered"; "checkpoint-stable";
+    "state-transfer-start"; "state-transfer-done";
+  |]
+
+let ord_label ord = ord_labels.(ord)
+
 let kind_equal a b =
   match (a, b) with
   | Send a, Send b ->

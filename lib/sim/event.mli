@@ -89,6 +89,20 @@ val kind_label : kind -> string
     ["node-recovered"], ["checkpoint-stable"], ["state-transfer-start"]
     or ["state-transfer-done"]. *)
 
+val kind_count : int
+(** Number of event kinds; [kind_ord] ranges over
+    [0 .. kind_count - 1]. *)
+
+val kind_ord : kind -> int
+(** Dense ordinal of the kind, in declaration order.  The sampling
+    trace sink uses it to keep exact per-kind counts in a flat int
+    array without hashing a label per event (see PERFORMANCE.md). *)
+
+val ord_label : int -> string
+(** [ord_label (kind_ord k) = kind_label k] — the label table indexed
+    by ordinal.  Raises [Invalid_argument] outside
+    [0 .. kind_count - 1]. *)
+
 val equal : t -> t -> bool
 (** Structural equality (used by the JSONL round-trip tests). *)
 

@@ -1,36 +1,47 @@
-type 'a entry = { priority : int; seq : int; payload : 'a }
+(* Struct-of-arrays layout: priorities and insertion sequence numbers
+   live in unboxed [int array]s so sift comparisons never chase an
+   entry record, and payloads sit in a parallel array created at the
+   first push (no option boxing, no dummy element) — see
+   PERFORMANCE.md.  Slots at or past [size] may hold stale payloads;
+   they are overwritten by later pushes. *)
 
 type 'a t = {
-  mutable entries : 'a entry option array;
+  mutable priorities : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { entries = Array.make 16 None; size = 0; next_seq = 0 }
+let create () =
+  { priorities = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let entry_get h i =
-  match h.entries.(i) with
-  | Some e -> e
-  | None -> assert false
-
-(* [before a b] is true when [a] must come out of the heap before
-   [b]. *)
-let before a b =
-  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+(* [before h i j] is true when the entry at slot [i] must come out of
+   the heap before the one at slot [j]: smaller priority first,
+   insertion order among ties. *)
+let before h i j =
+  h.priorities.(i) < h.priorities.(j)
+  || (h.priorities.(i) = h.priorities.(j) && h.seqs.(i) < h.seqs.(j))
 
 let swap h i j =
-  let tmp = h.entries.(i) in
-  h.entries.(i) <- h.entries.(j);
-  h.entries.(j) <- tmp
+  let p = h.priorities.(i) in
+  h.priorities.(i) <- h.priorities.(j);
+  h.priorities.(j) <- p;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let x = h.payloads.(i) in
+  h.payloads.(i) <- h.payloads.(j);
+  h.payloads.(j) <- x
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before (entry_get h i) (entry_get h parent) then begin
+    if before h i parent then begin
       swap h i parent;
       sift_up h parent
     end
@@ -39,46 +50,58 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && before (entry_get h left) (entry_get h !smallest) then
-    smallest := left;
-  if right < h.size && before (entry_get h right) (entry_get h !smallest) then
-    smallest := right;
+  if left < h.size && before h left !smallest then smallest := left;
+  if right < h.size && before h right !smallest then smallest := right;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
-let grow h =
-  let bigger = Array.make (2 * Array.length h.entries) None in
-  Array.blit h.entries 0 bigger 0 h.size;
-  h.entries <- bigger
+let grow h fill =
+  let cap = Array.length h.priorities in
+  if cap = 0 then begin
+    h.priorities <- Array.make 16 0;
+    h.seqs <- Array.make 16 0;
+    h.payloads <- Array.make 16 fill
+  end
+  else begin
+    let ps = Array.make (2 * cap) 0 in
+    Array.blit h.priorities 0 ps 0 h.size;
+    h.priorities <- ps;
+    let ss = Array.make (2 * cap) 0 in
+    Array.blit h.seqs 0 ss 0 h.size;
+    h.seqs <- ss;
+    let xs = Array.make (2 * cap) fill in
+    Array.blit h.payloads 0 xs 0 h.size;
+    h.payloads <- xs
+  end
 
 let push h ~priority payload =
-  if h.size = Array.length h.entries then grow h;
+  if h.size = Array.length h.priorities then grow h payload;
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
-  h.entries.(h.size) <- Some { priority; seq; payload };
+  h.priorities.(h.size) <- priority;
+  h.seqs.(h.size) <- seq;
+  h.payloads.(h.size) <- payload;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = entry_get h 0 in
+    let priority = h.priorities.(0) and payload = h.payloads.(0) in
     h.size <- h.size - 1;
-    h.entries.(0) <- h.entries.(h.size);
-    h.entries.(h.size) <- None;
+    h.priorities.(0) <- h.priorities.(h.size);
+    h.seqs.(0) <- h.seqs.(h.size);
+    h.payloads.(0) <- h.payloads.(h.size);
     if h.size > 0 then sift_down h 0;
-    Some (top.priority, top.payload)
+    Some (priority, payload)
   end
 
-let peek h =
-  if h.size = 0 then None
-  else
-    let top = entry_get h 0 in
-    Some (top.priority, top.payload)
+let peek h = if h.size = 0 then None else Some (h.priorities.(0), h.payloads.(0))
+
+let peek_priority h ~default = if h.size = 0 then default else h.priorities.(0)
 
 let clear h =
-  Array.fill h.entries 0 h.size None;
   h.size <- 0;
   h.next_seq <- 0

@@ -26,5 +26,10 @@ val pop : 'a t -> (int * 'a) option
 val peek : 'a t -> (int * 'a) option
 (** [peek h] is like {!pop} but does not remove the entry. *)
 
+val peek_priority : 'a t -> default:int -> int
+(** [peek_priority h ~default] is the smallest priority in [h], or
+    [default] when empty — {!peek} without the option/tuple
+    allocation, for per-iteration polling on the engine hot path. *)
+
 val clear : 'a t -> unit
 (** [clear h] removes all entries. *)

@@ -31,6 +31,38 @@ let add t name k =
     r := !r + k
   end
 
+(* Pre-interned counter handles: the hot path pays one string hash at
+   [handle] time and none afterwards.  The registry entry is attached
+   lazily on the first enabled update so an interned-but-never-touched
+   counter stays invisible to [counter]/[counters] — exactly the
+   semantics of the string API, where [incr] creates the entry. *)
+
+type handle = {
+  h_metrics : t;
+  h_name : string;
+  mutable h_ref : int ref;
+  mutable h_attached : bool;
+}
+
+let handle t name =
+  { h_metrics = t; h_name = name; h_ref = ref 0; h_attached = false }
+
+let attach h =
+  h.h_ref <- counter_ref h.h_metrics h.h_name;
+  h.h_attached <- true
+
+let incr_handle h =
+  if h.h_metrics.enabled then begin
+    if not h.h_attached then attach h;
+    Stdlib.incr h.h_ref
+  end
+
+let add_handle h k =
+  if h.h_metrics.enabled then begin
+    if not h.h_attached then attach h;
+    h.h_ref := !(h.h_ref) + k
+  end
+
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 

@@ -30,6 +30,24 @@ val counter : t -> string -> int
 (** [counter t name] is the current value of counter [name] (0 when the
     counter was never touched). *)
 
+type handle
+(** A pre-interned counter: the string label is resolved once, after
+    which every update is O(1) with no hashing.  See PERFORMANCE.md. *)
+
+val handle : t -> string -> handle
+(** [handle t name] interns counter [name].  Interning alone does not
+    create the counter: until the first {!incr_handle}/{!add_handle}
+    on an enabled registry, [name] stays absent from {!counters} —
+    identical to the string API, where {!incr} creates the entry. *)
+
+val incr_handle : handle -> unit
+(** [incr_handle h] adds 1 to the interned counter without hashing its
+    label.  Equivalent to [incr t name]. *)
+
+val add_handle : handle -> int -> unit
+(** [add_handle h k] adds [k] to the interned counter without hashing
+    its label.  Equivalent to [add t name k]. *)
+
 val observe : t -> string -> float -> unit
 (** [observe t name v] appends observation [v] to series [name]. *)
 

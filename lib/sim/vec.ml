@@ -1,30 +1,39 @@
-type 'a t = { mutable storage : 'a option array; mutable size : int }
+(* Flat storage without option boxing: slots past [size] may hold
+   stale elements (they are overwritten by later pushes), which trades
+   a little liveness precision for an allocation-free hot path — see
+   PERFORMANCE.md.  The payload array is created at the first push so
+   no dummy element is ever needed. *)
 
-let create () = { storage = Array.make 16 None; size = 0 }
+type 'a t = { mutable storage : 'a array; mutable size : int }
+
+let create () = { storage = [||]; size = 0 }
 
 let length v = v.size
 
 let is_empty v = v.size = 0
 
-let grow v =
-  let bigger = Array.make (2 * Array.length v.storage) None in
-  Array.blit v.storage 0 bigger 0 v.size;
-  v.storage <- bigger
+let grow v fill =
+  let cap = Array.length v.storage in
+  if cap = 0 then v.storage <- Array.make 16 fill
+  else begin
+    let bigger = Array.make (2 * cap) fill in
+    Array.blit v.storage 0 bigger 0 v.size;
+    v.storage <- bigger
+  end
 
 let push v x =
-  if v.size = Array.length v.storage then grow v;
-  v.storage.(v.size) <- Some x;
+  if v.size = Array.length v.storage then grow v x;
+  v.storage.(v.size) <- x;
   v.size <- v.size + 1
 
 let get v i =
   if i < 0 || i >= v.size then invalid_arg "Vec.get: index out of bounds";
-  match v.storage.(i) with Some x -> x | None -> assert false
+  v.storage.(i)
 
 let swap_remove v i =
   let x = get v i in
   v.size <- v.size - 1;
   v.storage.(i) <- v.storage.(v.size);
-  v.storage.(v.size) <- None;
   x
 
 let iter f v =
@@ -39,6 +48,4 @@ let fold f init v =
 
 let to_list v = List.rev (fold (fun acc x -> x :: acc) [] v)
 
-let clear v =
-  Array.fill v.storage 0 v.size None;
-  v.size <- 0
+let clear v = v.size <- 0

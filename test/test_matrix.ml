@@ -232,7 +232,7 @@ let run_with_jobs jobs =
   let spec = spec_of_string runner_spec in
   let pool = Pool.create ~jobs () in
   let result = Runner.run ~pool spec in
-  (result, Json.to_string (Runner.to_json ~jobs:1 ~seeds_scale:1.0 result))
+  (result, Json.to_string (Runner.to_json ~seeds_scale:1.0 result))
 
 let test_jobs_determinism () =
   let r1, j1 = run_with_jobs 1 in

@@ -351,6 +351,63 @@ let test_sequence_diagram_window () =
 let meta ~seq ~src ~dst ?(sent_at = 0) ?(priority = 0) () =
   { Adversary.seq; src = node src; dst = node dst; sent_at; priority }
 
+(* Envelope arena *)
+
+module Arena = Abc_net.Envelope_arena
+
+let arena_push a ~seq =
+  Arena.push a ~meta:(meta ~seq ~src:0 ~dst:1 ()) ~payload:(seq * 10)
+    ~copy:false
+
+(* Removal must replicate Vec.swap_remove: the last slot fills the
+   hole, and the seq table follows both the moved and the removed
+   entry.  The engine's trace byte-identity rests on this layout. *)
+let test_arena_swap_remove_layout () =
+  let a = Arena.create () in
+  for seq = 0 to 4 do
+    arena_push a ~seq
+  done;
+  Arena.remove a 1;
+  Alcotest.(check int) "length" 4 (Arena.length a);
+  Alcotest.(check int) "last moved into hole" 4 (Arena.meta a 1).Adversary.seq;
+  Alcotest.(check int) "payload moved with it" 40 (Arena.payload a 1);
+  Alcotest.(check int) "moved seq retargeted" 1 (Arena.slot_of_seq a 4);
+  Alcotest.(check int) "removed seq dead" (-1) (Arena.slot_of_seq a 1);
+  Alcotest.(check int) "untouched slot intact" 0 (Arena.slot_of_seq a 0)
+
+(* Steady-state churn must recycle slots, not allocate: after the
+   initial growth, capacity stays put through thousands of
+   push/remove cycles (the hot-path no-allocation claim in
+   PERFORMANCE.md). *)
+let test_arena_reuse_after_recycle () =
+  let a = Arena.create () in
+  for seq = 0 to 7 do
+    arena_push a ~seq
+  done;
+  let cap = Arena.capacity a in
+  for seq = 8 to 4095 do
+    Arena.remove a (Arena.oldest_slot a);
+    arena_push a ~seq
+  done;
+  Alcotest.(check int) "length steady" 8 (Arena.length a);
+  Alcotest.(check int) "capacity never regrew" cap (Arena.capacity a)
+
+let test_arena_oldest_cursor () =
+  let a = Arena.create () in
+  for seq = 0 to 9 do
+    arena_push a ~seq
+  done;
+  (* Remove seqs 0 and 2 (slot lookups stay valid through the moves);
+     the oldest live message is then seq 1, wherever it sits. *)
+  Arena.remove a (Arena.slot_of_seq a 0);
+  Arena.remove a (Arena.slot_of_seq a 2);
+  let oldest = Arena.oldest_slot a in
+  Alcotest.(check int) "oldest live seq" 1 (Arena.meta a oldest).Adversary.seq;
+  Arena.remove a (Arena.slot_of_seq a 1);
+  let oldest = Arena.oldest_slot a in
+  Alcotest.(check int) "cursor advances past dead seqs" 3
+    (Arena.meta a oldest).Adversary.seq
+
 let view_of_list metas =
   let arr = Array.of_list metas in
   let oldest () =
@@ -365,8 +422,9 @@ let view_of_list metas =
     Array.iteri (fun i m -> if m.Adversary.seq = seq then found := Some i) arr;
     !found
   in
-  Adversary.View.make ~length:(Array.length arr) ~get:(Array.get arr) ~oldest
-    ~find_seq
+  Adversary.View.make
+    ~length:(fun () -> Array.length arr)
+    ~get:(Array.get arr) ~oldest ~find_seq
 
 (* Instantiate a policy and feed it the view's entries (as [note]
    expects) before choosing. *)
@@ -810,6 +868,14 @@ let () =
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "honest listing" `Quick test_honest_listing;
           QCheck_alcotest.to_alcotest prop_engine_deterministic;
+        ] );
+      ( "envelope arena",
+        [
+          Alcotest.test_case "swap-remove layout" `Quick
+            test_arena_swap_remove_layout;
+          Alcotest.test_case "reuse after recycle" `Quick
+            test_arena_reuse_after_recycle;
+          Alcotest.test_case "oldest cursor" `Quick test_arena_oldest_cursor;
         ] );
       ( "behaviours",
         [

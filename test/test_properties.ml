@@ -774,6 +774,30 @@ end
 
 module Atomic_battery = Battery (Atomic_subject)
 
+(* ---- engine scale smoke ---- *)
+
+(* One deterministic large-n run through the arena-based engine: the
+   batteries above randomize shape but stay at n <= 10, so this is
+   the only tier-1 check that the hot path still completes (and
+   delivers everywhere) at the n=128 scale E19 benchmarks. *)
+let test_scale_bracha_rbc_n128 () =
+  let n = 128 and f = 42 in
+  let inputs = Rbc.inputs ~n ~sender:(node 0) Value.One in
+  let r =
+    RbcE.run
+      (RbcE.config ~n ~f ~inputs ~adversary:Abc_net.Adversary.uniform ~seed:1
+         ())
+  in
+  Alcotest.(check bool) "all terminal" true
+    (r.RbcE.stop = Abc_net.Engine.All_terminal);
+  Array.iteri
+    (fun i outputs ->
+      match outputs with
+      | [ (_, Rbc.Delivered v) ] ->
+        if v <> Value.One then Alcotest.failf "node %d delivered Zero" i
+      | _ -> Alcotest.failf "node %d did not deliver exactly once" i)
+    r.RbcE.outputs
+
 let () =
   Alcotest.run "properties"
     [
@@ -785,4 +809,9 @@ let () =
         [ Turpin_battery.test; Acs_battery.test ] );
       ( "smr",
         [ Atomic_battery.test ] );
+      ( "scale",
+        [
+          Alcotest.test_case "bracha rbc n=128 delivers" `Quick
+            test_scale_bracha_rbc_n128;
+        ] );
     ]

@@ -59,6 +59,38 @@ let test_heap_clear () =
   Heap.clear h;
   Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
 
+let test_heap_peek_priority () =
+  let h = Heap.create () in
+  Alcotest.(check int) "empty gives default" max_int
+    (Heap.peek_priority h ~default:max_int);
+  Heap.push h ~priority:7 "a";
+  Heap.push h ~priority:3 "b";
+  Alcotest.(check int) "min priority" 3 (Heap.peek_priority h ~default:0);
+  ignore (Heap.pop h);
+  Alcotest.(check int) "after pop" 7 (Heap.peek_priority h ~default:0);
+  ignore (Heap.pop h);
+  Alcotest.(check int) "drained gives default" 42
+    (Heap.peek_priority h ~default:42)
+
+(* The struct-of-arrays layout must keep each payload glued to its
+   priority through sifts and growth: pop every entry and check the
+   payload is the one pushed with that priority. *)
+let test_heap_payload_pairing () =
+  let h = Heap.create () in
+  for i = 0 to 999 do
+    let p = (i * 7919) mod 1000 in
+    Heap.push h ~priority:p (p * 2)
+  done;
+  let rec drain last =
+    match Heap.pop h with
+    | None -> ()
+    | Some (p, x) ->
+      Alcotest.(check int) "payload tracks priority" (p * 2) x;
+      Alcotest.(check bool) "nondecreasing" true (p >= last);
+      drain p
+  in
+  drain min_int
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops in priority order" ~count:200
     QCheck.(list small_int)
@@ -320,6 +352,8 @@ let () =
           Alcotest.test_case "peek" `Quick test_heap_peek;
           Alcotest.test_case "growth" `Quick test_heap_growth;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "peek_priority" `Quick test_heap_peek_priority;
+          Alcotest.test_case "payload pairing" `Quick test_heap_payload_pairing;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
         ] );
       ( "vec",
